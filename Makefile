@@ -1,0 +1,42 @@
+# Standard developer entry points. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test race cover bench reproduce tables figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# One benchmark iteration per table/figure: regenerates the paper's rows
+# as b.ReportMetric values.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Full paper reproduction to stdout.
+reproduce:
+	$(GO) run ./examples/jsas-paper
+
+tables:
+	$(GO) run ./cmd/jsas-tables
+
+figures:
+	$(GO) run ./cmd/jsas-sweep -config 1
+	$(GO) run ./cmd/jsas-sweep -config 2
+	$(GO) run ./cmd/jsas-uncertainty -config 1
+	$(GO) run ./cmd/jsas-uncertainty -config 2
+
+clean:
+	rm -f cover.out

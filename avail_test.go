@@ -1,0 +1,150 @@
+package avail
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	t.Parallel()
+	b := NewModelBuilder()
+	up := b.State("Up")
+	down := b.State("Down")
+	b.Transition(up, down, 0.001)
+	b.Transition(down, up, 4)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := BinaryReward(m, "Down")
+	if err != nil {
+		t.Fatalf("BinaryReward: %v", err)
+	}
+	res, err := s.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := 4 / 4.001
+	if math.Abs(res.Availability-want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", res.Availability, want)
+	}
+}
+
+func TestFacadeNewReward(t *testing.T) {
+	t.Parallel()
+	b := NewModelBuilder()
+	a := b.State("A")
+	c := b.State("C")
+	b.Transition(a, c, 1)
+	b.Transition(c, a, 1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := NewReward(m, []float64{1, 0.5})
+	if err != nil {
+		t.Fatalf("NewReward: %v", err)
+	}
+	res, err := s.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if math.Abs(res.ExpectedReward-0.75) > 1e-12 {
+		t.Errorf("ExpectedReward = %v, want 0.75", res.ExpectedReward)
+	}
+}
+
+func TestFacadeSolveJSAS(t *testing.T) {
+	t.Parallel()
+	res, err := SolveJSAS(Config1, DefaultParams())
+	if err != nil {
+		t.Fatalf("SolveJSAS: %v", err)
+	}
+	if math.Abs(res.YearlyDowntimeMinutes-3.49) > 0.15 {
+		t.Errorf("YD = %v, want ~3.49", res.YearlyDowntimeMinutes)
+	}
+	if len(Table3Configs()) != 6 {
+		t.Error("Table3Configs should have 6 rows")
+	}
+}
+
+func TestFacadeHierarchy(t *testing.T) {
+	t.Parallel()
+	leaf := NewComponent("leaf", func(p HierParams) (*RewardStructure, error) {
+		b := NewModelBuilder()
+		up := b.State("Up")
+		down := b.State("Down")
+		b.Transition(up, down, p["la"])
+		b.Transition(down, up, p["mu"])
+		m, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		return BinaryReward(m, "Down")
+	})
+	ev, err := EvaluateHierarchy(leaf, HierParams{"la": 0.01, "mu": 1})
+	if err != nil {
+		t.Fatalf("EvaluateHierarchy: %v", err)
+	}
+	if math.Abs(ev.Result.Availability-1/1.01) > 1e-12 {
+		t.Errorf("availability = %v", ev.Result.Availability)
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	t.Parallel()
+	pts, err := SweepTstartLong(Config1, DefaultParams(), 0.5, 3, 5)
+	if err != nil {
+		t.Fatalf("SweepTstartLong: %v", err)
+	}
+	if len(pts) != 6 {
+		t.Errorf("points = %d, want 6", len(pts))
+	}
+	res, err := RunUncertainty(Config1, DefaultParams(), UncertaintyOptions{Samples: 50, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunUncertainty: %v", err)
+	}
+	if res.Summary.N != 50 {
+		t.Errorf("samples = %d, want 50", res.Summary.N)
+	}
+	if len(PaperUncertaintyRanges()) != 6 {
+		t.Error("PaperUncertaintyRanges should have 6 ranges")
+	}
+}
+
+func TestFacadeEstimators(t *testing.T) {
+	t.Parallel()
+	rb, err := FailureRateUpperBound(48*24*time.Hour, 0, 0.95)
+	if err != nil {
+		t.Fatalf("FailureRateUpperBound: %v", err)
+	}
+	if math.Abs(1/(rb.PerHour*24)-16) > 0.1 {
+		t.Errorf("rate bound = 1/%.1f d, want 1/16", 1/(rb.PerHour*24))
+	}
+	cb, err := CoverageLowerBound(3287, 3287, 0.95)
+	if err != nil {
+		t.Fatalf("CoverageLowerBound: %v", err)
+	}
+	if cb.FIR > 0.001 {
+		t.Errorf("FIR = %v, want < 0.001", cb.FIR)
+	}
+}
+
+func TestFacadePaperModels(t *testing.T) {
+	t.Parallel()
+	pair, err := BuildHADBPair(DefaultParams())
+	if err != nil {
+		t.Fatalf("BuildHADBPair: %v", err)
+	}
+	if pair.Model().NumStates() != 6 {
+		t.Errorf("HADB pair states = %d, want 6", pair.Model().NumStates())
+	}
+	as, err := BuildAppServer(DefaultParams(), 2)
+	if err != nil {
+		t.Fatalf("BuildAppServer: %v", err)
+	}
+	if as.Model().NumStates() != 5 {
+		t.Errorf("AS states = %d, want 5", as.Model().NumStates())
+	}
+}

@@ -1,0 +1,53 @@
+// Command avail-server exposes the availability modeling engine over
+// HTTP: POST model documents (flat or hierarchical) and GET solved JSAS
+// configurations as JSON. See internal/httpapi for the endpoints.
+//
+// Usage:
+//
+//	avail-server [-addr :8080]
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	POST /v1/solve              (spec.Document)
+//	POST /v1/solve-hierarchy    (spec.HierDocument)
+//	GET  /v1/jsas?instances=4&pairs=4&spares=2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/httpapi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "avail-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("avail-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	log.Printf("avail-server listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

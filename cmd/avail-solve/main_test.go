@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempModel(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write temp model: %v", err)
+	}
+	return path
+}
+
+const flatModel = `{
+  "name": "pair",
+  "parameters": {"La": 0.001, "Mu": 2},
+  "states": [{"name":"Up","reward":1},{"name":"Down","reward":0}],
+  "transitions": [
+    {"from":"Up","to":"Down","rate":"La"},
+    {"from":"Down","to":"Up","rate":"Mu"}
+  ]
+}`
+
+func TestRunFlatModel(t *testing.T) {
+	path := writeTempModel(t, flatModel)
+	if err := run([]string{path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithOverride(t *testing.T) {
+	path := writeTempModel(t, flatModel)
+	if err := run([]string{"-set", "La=0.01", path}); err != nil {
+		t.Fatalf("run -set: %v", err)
+	}
+	if err := run([]string{"-set", "nope=1", path}); err == nil {
+		t.Fatal("unknown override accepted")
+	}
+	if err := run([]string{"-set", "garbage", path}); err == nil {
+		t.Fatal("malformed override accepted")
+	}
+	if err := run([]string{"-set", "La=zzz", path}); err == nil {
+		t.Fatal("non-numeric override accepted")
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	path := writeTempModel(t, flatModel)
+	if err := run([]string{"-dot", path}); err != nil {
+		t.Fatalf("run -dot: %v", err)
+	}
+}
+
+func TestRunExample(t *testing.T) {
+	if err := run([]string{"-example"}); err != nil {
+		t.Fatalf("run -example: %v", err)
+	}
+}
+
+func TestRunHierarchyDocument(t *testing.T) {
+	// The shipped JSAS Config 1 hierarchy must load and solve.
+	if err := run([]string{"-hier", filepath.Join("..", "..", "models", "jsas-config1.json")}); err != nil {
+		t.Fatalf("run -hier: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"/no/such/file.json"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := writeTempModel(t, `{"name":"x"}`)
+	if err := run([]string{bad}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if err := run([]string{"-hier", bad}); err == nil {
+		t.Fatal("invalid hierarchy accepted")
+	}
+}
+
+func TestRunCheck(t *testing.T) {
+	path := writeTempModel(t, flatModel)
+	if err := run([]string{"-check", path}); err != nil {
+		t.Fatalf("run -check: %v", err)
+	}
+}
+
+func TestRunUncertaintyHier(t *testing.T) {
+	if err := run([]string{"-hier", "-uncertainty", "40",
+		filepath.Join("..", "..", "models", "jsas-config1.json")}); err != nil {
+		t.Fatalf("run -hier -uncertainty: %v", err)
+	}
+}
+
+func TestRunUncertaintyFlat(t *testing.T) {
+	doc := `{
+	  "name": "pair",
+	  "parameters": {"La": 0.001, "Mu": 2},
+	  "uncertain": {"La": {"low": 0.0005, "high": 0.002}},
+	  "states": [{"name":"Up","reward":1},{"name":"Down","reward":0}],
+	  "transitions": [
+	    {"from":"Up","to":"Down","rate":"La"},
+	    {"from":"Down","to":"Up","rate":"Mu"}
+	  ]
+	}`
+	path := writeTempModel(t, doc)
+	if err := run([]string{"-uncertainty", "30", path}); err != nil {
+		t.Fatalf("run -uncertainty: %v", err)
+	}
+	// A document without declared ranges errors cleanly.
+	plain := writeTempModel(t, flatModel)
+	if err := run([]string{"-uncertainty", "10", plain}); err == nil {
+		t.Fatal("undeclared uncertainty accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Command jsas-analysis runs the extended analyses built on top of the
+// paper's models:
+//
+//   - interval (finite-mission) availability via transient uniformization,
+//     the capability the paper cites as RAScad's companion feature;
+//   - performability: delivered-capacity analysis of the AS cluster, where
+//     the paper notes its Recovery state "could be a degraded state";
+//   - parameter importance: one-at-a-time elasticities and range swings
+//     over the §7 uncertainty parameters, explaining why the paper sweeps
+//     Tstart_long in Figures 5/6.
+//
+// Usage:
+//
+//	jsas-analysis -interval 24h [-config 1|2]
+//	jsas-analysis -performability [-instances 2]
+//	jsas-analysis -importance [-config 1|2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/jsas"
+	"repro/internal/report"
+	"repro/internal/sensitivity"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsas-analysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jsas-analysis", flag.ContinueOnError)
+	configNo := fs.Int("config", 1, "paper configuration (1 or 2)")
+	interval := fs.Duration("interval", 0, "mission window for interval availability (e.g. 24h)")
+	perf := fs.Bool("performability", false, "run the AS delivered-capacity analysis")
+	instances := fs.Int("instances", 2, "AS instance count for -performability")
+	importance := fs.Bool("importance", false, "rank the §7 parameters by influence on yearly downtime")
+	upgrades := fs.Float64("upgrades", 0, "upgrade campaigns per year for the dual-cluster comparison")
+	window := fs.Duration("window", time.Hour, "offline window per upgrade")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg jsas.Config
+	switch *configNo {
+	case 1:
+		cfg = jsas.Config1
+	case 2:
+		cfg = jsas.Config2
+	default:
+		return fmt.Errorf("config %d: want 1 or 2", *configNo)
+	}
+	p := jsas.DefaultParams()
+	ran := false
+	if *interval > 0 {
+		ran = true
+		if err := runInterval(cfg, p, *interval); err != nil {
+			return err
+		}
+	}
+	if *perf {
+		ran = true
+		if err := runPerformability(p, *instances); err != nil {
+			return err
+		}
+	}
+	if *importance {
+		ran = true
+		if err := runImportance(cfg, p); err != nil {
+			return err
+		}
+	}
+	if *upgrades > 0 {
+		ran = true
+		if err := runDualCluster(cfg, p, jsas.UpgradePolicy{PerYear: *upgrades, Window: *window}); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("nothing to do: pass -interval, -performability, -importance, or -upgrades")
+	}
+	return nil
+}
+
+func runDualCluster(cfg jsas.Config, p jsas.Params, policy jsas.UpgradePolicy) error {
+	res, err := jsas.SolveDualCluster(cfg, p, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Upgrade strategy for %s (%.0f upgrades/yr, %v windows):\n",
+		cfg, policy.PerYear, policy.Window)
+	fmt.Printf("  single cluster: %.5f%% (%.2f min downtime/yr)\n",
+		res.SingleCluster*100, res.SingleClusterDowntimeMinutes)
+	fmt.Printf("  dual cluster:   %.5f%% (%.4f min downtime/yr)\n",
+		res.DualCluster*100, res.DualClusterDowntimeMinutes)
+	return nil
+}
+
+func runInterval(cfg jsas.Config, p jsas.Params, mission time.Duration) error {
+	res, err := jsas.IntervalAvailability(cfg, p, mission)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Interval availability for %s over %v (starting healthy):\n", cfg, mission)
+	fmt.Printf("  interval availability: %.9f%%\n", res.IntervalAvailability*100)
+	fmt.Printf("  steady-state limit:    %.9f%%\n", res.SteadyStateAvailability*100)
+	fmt.Printf("  expected downtime:     %v\n", res.ExpectedDowntime.Round(time.Millisecond))
+	return nil
+}
+
+func runPerformability(p jsas.Params, n int) error {
+	res, err := jsas.SolveAppServerPerformability(p, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Performability of a %d-instance AS cluster:\n", n)
+	fmt.Printf("  availability:        %.7f%%\n", res.Availability*100)
+	fmt.Printf("  delivered capacity:  %.7f%% of nominal\n", res.ExpectedCapacity*100)
+	fmt.Printf("  hidden capacity loss: %.2f full-outage-equivalent min/yr\n",
+		res.CapacityLossMinutesPerYear)
+	fmt.Printf("  (availability alone charges only %.2f min/yr)\n",
+		(1-res.Availability)*525600)
+	return nil
+}
+
+func runImportance(cfg jsas.Config, p jsas.Params) error {
+	entries, err := sensitivity.Importance(jsas.PaperImportanceRanges(p), jsas.ImportanceSolver(cfg, p))
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Parameter importance for %s (measure: yearly downtime, minutes)", cfg),
+		"parameter", "nominal", "elasticity", "range swing (min/yr)",
+	)
+	for _, e := range entries {
+		t.AddRow(e.Name,
+			fmt.Sprintf("%g", e.Base),
+			fmt.Sprintf("%+.4f", e.Elasticity),
+			fmt.Sprintf("%+.4f", e.Swing),
+		)
+	}
+	return t.Render(os.Stdout)
+}

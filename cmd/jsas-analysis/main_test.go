@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunInterval(t *testing.T) {
+	if err := run([]string{"-interval", "24h"}); err != nil {
+		t.Fatalf("run -interval: %v", err)
+	}
+}
+
+func TestRunPerformability(t *testing.T) {
+	if err := run([]string{"-performability", "-instances", "4"}); err != nil {
+		t.Fatalf("run -performability: %v", err)
+	}
+}
+
+func TestRunImportance(t *testing.T) {
+	if err := run([]string{"-importance", "-config", "2"}); err != nil {
+		t.Fatalf("run -importance: %v", err)
+	}
+}
+
+func TestRunNothing(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run([]string{"-config", "7", "-importance"}); err == nil {
+		t.Fatal("config 7 accepted")
+	}
+}
+
+func TestRunDualCluster(t *testing.T) {
+	if err := run([]string{"-upgrades", "12"}); err != nil {
+		t.Fatalf("run -upgrades: %v", err)
+	}
+}
+
+func TestRunDualClusterBadWindow(t *testing.T) {
+	if err := run([]string{"-upgrades", "12", "-window", "0s"}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}

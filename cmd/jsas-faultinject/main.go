@@ -1,0 +1,101 @@
+// Command jsas-faultinject runs a fault-injection campaign against the
+// simulated JSAS testbed, reproducing the paper's §3 methodology and the
+// Equation (1) FIR estimate of §5 ("for over 3,000 fault injections ...
+// all recoveries were successful"; FIR < 0.1% at 95% confidence).
+//
+// Usage:
+//
+//	jsas-faultinject [-n 3287] [-seed 2004] [-fir 0] [-measure]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/estimate"
+	"repro/internal/faultinject"
+	"repro/internal/jsas"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsas-faultinject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jsas-faultinject", flag.ContinueOnError)
+	n := fs.Int("n", 3287, "number of fault injections")
+	seed := fs.Int64("seed", 2004, "random seed")
+	fir := fs.Float64("fir", 0, "ground-truth fraction of imperfect recovery in the simulated testbed")
+	measure := fs.Bool("measure", false, "print measured recovery-time summaries per fault class")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params := jsas.DefaultParams()
+	params.FIR = *fir
+	fmt.Printf("Running %d fault injections against a simulated %s testbed...\n\n", *n, jsas.Config1)
+	rep, err := faultinject.Run(faultinject.Options{
+		Config:     jsas.Config1,
+		Params:     params,
+		Seed:       *seed,
+		Injections: *n,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Injections: %d   Successful recoveries: %d (%.2f%%)\n",
+		len(rep.Injections), rep.Successes, rep.SuccessRate()*100)
+	t := report.NewTable("Injections by fault type", "fault", "count")
+	faults := make([]string, 0, len(rep.ByFault))
+	counts := make(map[string]int, len(rep.ByFault))
+	for f, c := range rep.ByFault {
+		faults = append(faults, f.String())
+		counts[f.String()] = c
+	}
+	sort.Strings(faults)
+	for _, f := range faults {
+		t.AddRow(f, fmt.Sprintf("%d", counts[f]))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println("\nEquation (1) coverage bounds:")
+	for _, b := range rep.CoverageBounds {
+		fmt.Printf("  at %.1f%% confidence: coverage ≥ %.5f (FIR ≤ %.4f%%)\n",
+			b.Confidence*100, b.Coverage, b.FIR*100)
+	}
+	if *measure {
+		fmt.Println("\nMeasured recovery times (successful recoveries):")
+		keys := make([]string, 0, len(rep.RecoveryTimes))
+		for k := range rep.RecoveryTimes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		mt := report.NewTable("", "component/class", "n", "mean", "max", "conservative (p100 ×1.5)")
+		for _, k := range keys {
+			samples := rep.RecoveryTimes[k]
+			rt := estimate.RecoveryTimes{Samples: samples}
+			sum := rt.Summary()
+			cons, err := rt.Conservative(100, 1.5)
+			if err != nil {
+				return err
+			}
+			mt.AddRow(k,
+				fmt.Sprintf("%d", sum.N),
+				(time.Duration(sum.Mean * float64(time.Second))).Round(time.Second).String(),
+				(time.Duration(sum.Max * float64(time.Second))).Round(time.Second).String(),
+				cons.Round(time.Second).String(),
+			)
+		}
+		if err := mt.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

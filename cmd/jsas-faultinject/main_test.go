@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSmallCampaign(t *testing.T) {
+	if err := run([]string{"-n", "25"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithMeasure(t *testing.T) {
+	if err := run([]string{"-n", "25", "-measure"}); err != nil {
+		t.Fatalf("run -measure: %v", err)
+	}
+}
+
+func TestRunWithGroundTruthFIR(t *testing.T) {
+	if err := run([]string{"-n", "25", "-fir", "0.05"}); err != nil {
+		t.Fatalf("run -fir: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Fatal("zero injections accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunShort(t *testing.T) {
+	if err := run([]string{"-days", "1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunNileOrganic(t *testing.T) {
+	if err := run([]string{"-days", "1", "-profile", "nile", "-organic"}); err != nil {
+		t.Fatalf("run nile: %v", err)
+	}
+}
+
+func TestRunPrintConfig(t *testing.T) {
+	if err := run([]string{"-print-config"}); err != nil {
+		t.Fatalf("run -print-config: %v", err)
+	}
+}
+
+func TestRunBadProfile(t *testing.T) {
+	if err := run([]string{"-profile", "bogus"}); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-samples", "50", "-o", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	if !strings.Contains(string(data), "# Availability assessment") {
+		t.Error("report heading missing")
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	if err := run([]string{"-samples", "30", "-instances", "4", "-pairs", "4"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run([]string{"-instances", "0"}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunConfig1(t *testing.T) {
+	if err := run([]string{"-config", "1", "-steps", "4"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunConfig2CSV(t *testing.T) {
+	if err := run([]string{"-config", "2", "-steps", "4", "-csv"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run([]string{"-config", "3"}); err == nil {
+		t.Fatal("config 3 accepted")
+	}
+}
+
+func TestRunBadRange(t *testing.T) {
+	if err := run([]string{"-from", "3", "-to", "1"}); err == nil {
+		t.Fatal("reversed range accepted")
+	}
+}
+
+func TestRunSweepOtherParam(t *testing.T) {
+	if err := run([]string{"-param", "La_as", "-from", "10", "-to", "50", "-steps", "4"}); err != nil {
+		t.Fatalf("run -param La_as: %v", err)
+	}
+}
+
+func TestRunSweepUnknownParam(t *testing.T) {
+	if err := run([]string{"-param", "bogus", "-steps", "2"}); err == nil {
+		t.Fatal("bogus parameter accepted")
+	}
+}

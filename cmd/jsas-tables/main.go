@@ -1,0 +1,110 @@
+// Command jsas-tables solves the paper's JSAS availability models and
+// prints Table 2 (Config 1/2 results with downtime split by submodel) and
+// Table 3 (configuration comparison).
+//
+// Usage:
+//
+//	jsas-tables [-table3] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/jsas"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsas-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jsas-tables", flag.ContinueOnError)
+	table3Only := fs.Bool("table3", false, "print only Table 3")
+	table2Only := fs.Bool("table2", false, "print only Table 2")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := jsas.DefaultParams()
+	if !*table3Only {
+		t, err := table2(p)
+		if err != nil {
+			return err
+		}
+		if err := emit(t, *csv); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if !*table2Only {
+		t, err := table3(p)
+		if err != nil {
+			return err
+		}
+		if err := emit(t, *csv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emit(t *report.Table, csv bool) error {
+	if csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}
+
+func table2(p jsas.Params) (*report.Table, error) {
+	t := report.NewTable(
+		"Table 2. System Results",
+		"Configuration", "Availability", "Yearly Downtime", "YD due to AS", "YD due to HADB",
+	)
+	for i, cfg := range []jsas.Config{jsas.Config1, jsas.Config2} {
+		res, err := jsas.Solve(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("solve config %d: %w", i+1, err)
+		}
+		asShare := res.DowntimeASMinutes / res.YearlyDowntimeMinutes * 100
+		hadbShare := res.DowntimeHADBMinutes / res.YearlyDowntimeMinutes * 100
+		t.AddRow(
+			fmt.Sprintf("Config %d (%s)", i+1, cfg),
+			report.Availability(res.Availability),
+			report.Minutes(res.YearlyDowntimeMinutes),
+			fmt.Sprintf("%s (%.2f%%)", report.Minutes(res.DowntimeASMinutes), asShare),
+			fmt.Sprintf("%s (%.2f%%)", report.Minutes(res.DowntimeHADBMinutes), hadbShare),
+		)
+	}
+	return t, nil
+}
+
+func table3(p jsas.Params) (*report.Table, error) {
+	t := report.NewTable(
+		"Table 3. Comparison of Configurations",
+		"# of Instances", "# of HADB Pairs", "Availability", "Yearly Downtime", "MTBF (hr.)",
+	)
+	for _, cfg := range jsas.Table3Configs() {
+		res, err := jsas.Solve(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("solve %v: %w", cfg, err)
+		}
+		pairs := "N/A"
+		if cfg.HADBPairs > 0 {
+			pairs = fmt.Sprintf("%d", cfg.HADBPairs)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", cfg.ASInstances),
+			pairs,
+			report.Availability(res.Availability),
+			report.Minutes(res.YearlyDowntimeMinutes),
+			fmt.Sprintf("%.0f", res.MTBFHours),
+		)
+	}
+	return t, nil
+}

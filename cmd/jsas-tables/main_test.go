@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/jsas"
+)
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunTable3Only(t *testing.T) {
+	if err := run([]string{"-table3"}); err != nil {
+		t.Fatalf("run -table3: %v", err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-table2", "-csv"}); err != nil {
+		t.Fatalf("run -csv: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestTables(t *testing.T) {
+	// The table builders are exercised directly for their row counts.
+	p := jsas.DefaultParams()
+	t2, err := table2(p)
+	if err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	if len(t2.Rows) != 2 {
+		t.Errorf("table2 rows = %d, want 2", len(t2.Rows))
+	}
+	t3, err := table3(p)
+	if err != nil {
+		t.Fatalf("table3: %v", err)
+	}
+	if len(t3.Rows) != 6 {
+		t.Errorf("table3 rows = %d, want 6", len(t3.Rows))
+	}
+	// The 1-instance row reports no HADB tier.
+	if t3.Rows[0][1] != "N/A" {
+		t.Errorf("row 1 pairs = %q, want N/A", t3.Rows[0][1])
+	}
+}

@@ -1,0 +1,95 @@
+// capacity-planning uses the model the way the paper's conclusions suggest
+// ("useful in planning data centers and web services deployments"): given
+// an availability target and a per-node cost, find the cheapest JSAS
+// deployment that meets the target — under both the default parameters and
+// pessimistic (uncertainty-range upper bound) failure rates.
+//
+// Run with:
+//
+//	go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	avail "repro"
+)
+
+const (
+	target      = 0.99999 // five nines
+	asNodeCost  = 4       // relative cost units per AS node
+	dbNodeCost  = 3       // per HADB node (2 per pair + spares)
+	maxInstance = 12
+)
+
+func cost(cfg avail.Config) int {
+	return cfg.ASInstances*asNodeCost + (2*cfg.HADBPairs+cfg.HADBSpares)*dbNodeCost
+}
+
+func main() {
+	defaults := avail.DefaultParams()
+
+	// Pessimistic parameters: every uncertain rate at the top of its
+	// uncertainty range, FIR at its 99.5%-confidence bound.
+	pessimistic := defaults
+	pessimistic.HADBFailuresPerYear = 4
+	pessimistic.ASOSFailuresPerYear = 2
+	pessimistic.HADBOSFailuresPerYear = 2
+	pessimistic.ASHWFailuresPerYear = 2
+	pessimistic.HADBHWFailuresPerYear = 2
+	pessimistic.FIR = 0.002
+
+	for _, scenario := range []struct {
+		name   string
+		params avail.Params
+	}{
+		{"default (paper §5) parameters", defaults},
+		{"pessimistic (uncertainty upper-bound) parameters", pessimistic},
+	} {
+		fmt.Printf("=== %s ===\n", scenario.name)
+		fmt.Printf("%-34s %-13s %-14s %s\n", "configuration", "availability", "downtime(min)", "cost")
+		best := avail.Config{}
+		bestCost := 1 << 30
+		for n := 2; n <= maxInstance; n += 2 {
+			// Stateful failover needs session persistence: at least one
+			// HADB pair, scaled up to one pair per instance.
+			for pairs := max(1, n/2); pairs <= n; pairs += max(1, n/2) {
+				cfg := avail.Config{ASInstances: n, HADBPairs: pairs, HADBSpares: spares(pairs)}
+				res, err := avail.SolveJSAS(cfg, scenario.params)
+				if err != nil {
+					log.Fatalf("solve %v: %v", cfg, err)
+				}
+				marker := " "
+				if res.Availability >= target {
+					marker = "*"
+					if cost(cfg) < bestCost {
+						best, bestCost = cfg, cost(cfg)
+					}
+				}
+				fmt.Printf("%s %-46s %-13.5f %-14.3f %d\n",
+					marker, cfg, res.Availability*100, res.YearlyDowntimeMinutes, cost(cfg))
+			}
+		}
+		if bestCost < 1<<30 {
+			fmt.Printf("cheapest five-nines deployment: %s (cost %d)\n\n", best, bestCost)
+		} else {
+			fmt.Printf("no deployment up to %d instances meets %.3f%%\n\n", maxInstance, target*100)
+		}
+	}
+}
+
+// spares follows the paper's sizing: 2 spares once there is any HADB tier.
+func spares(pairs int) int {
+	if pairs == 0 {
+		return 0
+	}
+	return 2
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+// fault-injection drives the simulated testbed directly: it provokes the
+// exact failure scenarios of the paper's §3 manual fault-injection list
+// (process kills, cable pulls, power pulls on AS and HADB nodes) and
+// prints a narrative of what the cluster did about each.
+//
+// Run with:
+//
+//	go run ./examples/fault-injection
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/jsas"
+	"repro/internal/testbed"
+)
+
+func main() {
+	params := jsas.DefaultParams()
+	params.FIR = 0 // the demo testbed recovers perfectly, as the lab did
+	cluster, err := testbed.New(testbed.Options{
+		Config:              jsas.Config1,
+		Params:              params,
+		Seed:                42,
+		SessionsPerInstance: 10000,
+	})
+	if err != nil {
+		log.Fatalf("testbed: %v", err)
+	}
+
+	scenarios := []struct {
+		describe string
+		inject   func() error
+	}{
+		{"HADB node brought down by killing all related processes",
+			func() error { return cluster.InjectHADB(0, 0, testbed.FaultProcessKill) }},
+		{"HADB node communication disrupted by unplugging network cable",
+			func() error { return cluster.InjectHADB(1, 0, testbed.FaultNetworkCut) }},
+		{"HADB node hardware power unplugged",
+			func() error { return cluster.InjectHADB(0, 1, testbed.FaultPowerOff) }},
+		{"Application Server node brought down by killing processes",
+			func() error { return cluster.InjectAS(0, testbed.FaultProcessKill) }},
+		{"Application Server host network cable unplugged",
+			func() error { return cluster.InjectAS(1, testbed.FaultNetworkCut) }},
+	}
+
+	for i, sc := range scenarios {
+		// Let the cluster settle back to full health first.
+		if err := settle(cluster); err != nil {
+			log.Fatalf("scenario %d: %v", i+1, err)
+		}
+		start := cluster.Now()
+		fmt.Printf("[%8s] INJECT: %s\n", fmtT(start), sc.describe)
+		if err := sc.inject(); err != nil {
+			log.Fatalf("scenario %d: %v", i+1, err)
+		}
+		snap := cluster.Snapshot()
+		fmt.Printf("[%8s]   system up: %v (AS up: %v, pair nodes: %v)\n",
+			fmtT(cluster.Now()), snap.SystemUp, snap.ASUp, snap.PairActiveNodes)
+		if err := settle(cluster); err != nil {
+			log.Fatalf("scenario %d: %v", i+1, err)
+		}
+		fmt.Printf("[%8s]   recovered after %s\n", fmtT(cluster.Now()),
+			(cluster.Now() - start).Round(time.Second))
+	}
+
+	stats := cluster.Stats()
+	fmt.Printf("\nTotals: %d recoveries, %d session failovers, downtime %s\n",
+		len(stats.Recoveries), stats.SessionFailovers, stats.DownTime)
+	fmt.Println("Per-recovery measurements:")
+	for _, r := range stats.Recoveries {
+		fmt.Printf("  %-4s %-7s recovered in %8s (injected=%v)\n",
+			r.Component, r.Kind, r.Duration.Round(time.Second), r.Injected)
+	}
+}
+
+// settle advances the simulation until every component is healthy again.
+func settle(c *testbed.Cluster) error {
+	for deadline := c.Now() + 6*time.Hour; c.Now() < deadline; {
+		snap := c.Snapshot()
+		healthy := snap.SystemUp
+		for _, up := range snap.ASUp {
+			healthy = healthy && up
+		}
+		for i, n := range snap.PairActiveNodes {
+			healthy = healthy && n == 2 && !snap.PairDown[i]
+		}
+		if healthy {
+			return nil
+		}
+		if err := c.Run(c.Now() + 10*time.Second); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("cluster did not settle within 6 hours")
+}
+
+func fmtT(d time.Duration) string { return d.Round(time.Second).String() }

@@ -1,0 +1,64 @@
+// Quickstart: build a small Markov reward model with the public API and
+// read availability, yearly downtime, and MTBF off it.
+//
+// The model is a repairable component with a standby: the primary fails at
+// 2/year; failover to the standby takes 30 seconds (a degraded but working
+// state); the failed unit is repaired in 4 hours, during which a standby
+// failure (also 2/year) takes the service down until repair completes.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	avail "repro"
+)
+
+func main() {
+	const (
+		failuresPerHour = 2.0 / 8760 // 2 per year
+		failoverPerHour = 120.0      // 30 s
+		repairPerHour   = 0.25       // 4 h
+	)
+
+	b := avail.NewModelBuilder()
+	ok := b.State("Ok")
+	failover := b.State("Failover")
+	degraded := b.State("Degraded")
+	down := b.State("Down")
+
+	b.Transition(ok, failover, failuresPerHour)       // primary fails
+	b.Transition(failover, degraded, failoverPerHour) // standby takes over
+	b.Transition(degraded, ok, repairPerHour)         // failed unit repaired
+	b.Transition(degraded, down, failuresPerHour)     // standby fails too
+	b.Transition(down, ok, repairPerHour)             // full repair
+
+	m, err := b.Build()
+	if err != nil {
+		log.Fatalf("build model: %v", err)
+	}
+
+	// Reward 1 = working, 0 = failed. Failover and Degraded still serve.
+	s, err := avail.BinaryReward(m, "Down")
+	if err != nil {
+		log.Fatalf("attach rewards: %v", err)
+	}
+	res, err := s.Solve(avail.SolveOptions{})
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+
+	fmt.Printf("States: %d, transitions: %d\n", m.NumStates(), m.NumTransitions())
+	fmt.Printf("Availability:    %.7f%%\n", res.Availability*100)
+	fmt.Printf("Yearly downtime: %.3f minutes\n", res.YearlyDowntimeMinutes)
+	fmt.Printf("MTBF:            %.0f hours\n", res.MTBFHours)
+	fmt.Printf("Equivalent rates: lambda=%.3g/h mu=%.3g/h\n", res.LambdaEq, res.MuEq)
+
+	for _, st := range m.States() {
+		fmt.Printf("  pi[%-8s] = %.9f\n", m.Name(st), res.Pi[st])
+	}
+}

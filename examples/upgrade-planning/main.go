@@ -1,0 +1,52 @@
+// upgrade-planning studies the deployment question the paper's §4 raises
+// but leaves out of its model: how should online upgrades be orchestrated?
+// It compares a single cluster (which absorbs every upgrade window as
+// planned downtime) against a dual-cluster deployment upgraded one side at
+// a time, across upgrade cadences — and adds finite-mission availability
+// for a holiday sale window.
+//
+// Run with:
+//
+//	go run ./examples/upgrade-planning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/jsas"
+)
+
+func main() {
+	p := jsas.DefaultParams()
+	cfg := jsas.Config2 // the paper's optimal 4+4 configuration
+
+	fmt.Println("Upgrade strategy comparison (Config 2, 1-hour windows):")
+	fmt.Printf("%-22s %-26s %-26s\n", "upgrades/year", "single cluster (min/yr)", "dual cluster (min/yr)")
+	for _, perYear := range []float64{0, 4, 12, 26, 52} {
+		policy := jsas.UpgradePolicy{PerYear: perYear}
+		if perYear > 0 {
+			policy.Window = time.Hour
+		}
+		res, err := jsas.SolveDualCluster(cfg, p, policy)
+		if err != nil {
+			log.Fatalf("solve: %v", err)
+		}
+		fmt.Printf("%-22.0f %-26.2f %-26.4f\n",
+			perYear, res.SingleClusterDowntimeMinutes, res.DualClusterDowntimeMinutes)
+	}
+	fmt.Println("\nA dual-cluster deployment keeps weekly upgrades invisible; a single")
+	fmt.Println("cluster pays every window as downtime.")
+
+	// Finite-mission view: availability over a 5-day sale starting healthy.
+	mission := 5 * 24 * time.Hour
+	ir, err := jsas.IntervalAvailability(cfg, p, mission)
+	if err != nil {
+		log.Fatalf("interval availability: %v", err)
+	}
+	fmt.Printf("\nMission view: over a healthy-start %v window, expected availability\n", mission)
+	fmt.Printf("is %.7f%% (steady state %.7f%%), i.e. %v expected downtime.\n",
+		ir.IntervalAvailability*100, ir.SteadyStateAvailability*100,
+		ir.ExpectedDowntime.Round(time.Second))
+}

@@ -1,0 +1,179 @@
+// Package assess generates a complete availability assessment report for
+// a JSAS deployment — the deliverable the paper's methodology produces for
+// a product team: steady-state results, downtime attribution, sensitivity,
+// uncertainty bands, parameter importance, finite-mission availability,
+// and delivered capacity, rendered as a Markdown document.
+package assess
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/jsas"
+	"repro/internal/sensitivity"
+	"repro/internal/uncertainty"
+)
+
+// ErrBadRequest is reported for invalid assessment requests.
+var ErrBadRequest = errors.New("assess: invalid request")
+
+// Request configures an assessment.
+type Request struct {
+	Config jsas.Config
+	Params jsas.Params
+	// MissionWindows lists finite horizons to evaluate interval
+	// availability for (default: 24 h, 30 d, 365 d).
+	MissionWindows []time.Duration
+	// UncertaintySamples sets the Monte-Carlo sample count (default 1000).
+	UncertaintySamples int
+	// Seed makes the uncertainty section reproducible.
+	Seed int64
+	// Title overrides the report heading.
+	Title string
+}
+
+// Report holds the computed assessment, ready for rendering.
+type Report struct {
+	Request     Request
+	System      *jsas.SystemResult
+	Sweep       []sensitivity.Point
+	Crossing    float64
+	HasCrossing bool
+	Uncertainty *uncertainty.Result
+	Importance  []sensitivity.ImportanceEntry
+	Missions    []*jsas.IntervalResult
+	Capacity    *jsas.PerformabilityResult
+}
+
+// Run computes every section of the assessment.
+func Run(req Request) (*Report, error) {
+	if err := req.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if err := req.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(req.MissionWindows) == 0 {
+		req.MissionWindows = []time.Duration{
+			24 * time.Hour, 30 * 24 * time.Hour, 365 * 24 * time.Hour,
+		}
+	}
+	if req.UncertaintySamples <= 0 {
+		req.UncertaintySamples = 1000
+	}
+	rep := &Report{Request: req}
+	var err error
+	if rep.System, err = jsas.Solve(req.Config, req.Params); err != nil {
+		return nil, fmt.Errorf("assess: solve: %w", err)
+	}
+	if rep.Sweep, err = sensitivity.Sweep(0.5, 3, 10,
+		jsas.TstartLongSweepSolver(req.Config, req.Params)); err != nil {
+		return nil, fmt.Errorf("assess: sweep: %w", err)
+	}
+	rep.Crossing, rep.HasCrossing = sensitivity.CrossingBelow(rep.Sweep, 0.99999)
+	if rep.Uncertainty, err = uncertainty.Run(
+		jsas.PaperUncertaintyRanges(),
+		jsas.UncertaintySolver(req.Config, req.Params),
+		uncertainty.Options{Samples: req.UncertaintySamples, Seed: req.Seed},
+	); err != nil {
+		return nil, fmt.Errorf("assess: uncertainty: %w", err)
+	}
+	if rep.Importance, err = sensitivity.Importance(
+		jsas.PaperImportanceRanges(req.Params),
+		jsas.ImportanceSolver(req.Config, req.Params),
+	); err != nil {
+		return nil, fmt.Errorf("assess: importance: %w", err)
+	}
+	for _, w := range req.MissionWindows {
+		ir, err := jsas.IntervalAvailability(req.Config, req.Params, w)
+		if err != nil {
+			return nil, fmt.Errorf("assess: interval %v: %w", w, err)
+		}
+		rep.Missions = append(rep.Missions, ir)
+	}
+	if rep.Capacity, err = jsas.SolveAppServerPerformability(req.Params, req.Config.ASInstances); err != nil {
+		return nil, fmt.Errorf("assess: performability: %w", err)
+	}
+	return rep, nil
+}
+
+// WriteMarkdown renders the report.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	title := r.Request.Title
+	if title == "" {
+		title = fmt.Sprintf("Availability assessment: %s", r.Request.Config)
+	}
+	fmt.Fprintf(&b, "# %s\n\n", title)
+	b.WriteString("Methodology: hierarchical Markov reward modeling with uncertainty\n")
+	b.WriteString("analysis, after Tang et al., DSN 2004.\n\n")
+
+	b.WriteString("## Steady-state availability\n\n")
+	fmt.Fprintf(&b, "- Availability: **%.5f%%**\n", r.System.Availability*100)
+	fmt.Fprintf(&b, "- Yearly downtime: **%.2f minutes**\n", r.System.YearlyDowntimeMinutes)
+	fmt.Fprintf(&b, "- MTBF: %.0f hours\n", r.System.MTBFHours)
+	fmt.Fprintf(&b, "- Downtime attribution: %.2f min/yr Application Server, %.2f min/yr HADB\n\n",
+		r.System.DowntimeASMinutes, r.System.DowntimeHADBMinutes)
+	fiveNines := "meets"
+	if r.System.Availability < 0.99999 {
+		fiveNines = "does not meet"
+	}
+	fmt.Fprintf(&b, "The configuration **%s** the 99.999%% availability target.\n\n", fiveNines)
+
+	b.WriteString("## Sensitivity to HW/OS recovery time (Tstart_long)\n\n")
+	b.WriteString("| Tstart_long (h) | Availability | Downtime (min/yr) |\n|---|---|---|\n")
+	for _, p := range r.Sweep {
+		fmt.Fprintf(&b, "| %.2f | %.7f%% | %.2f |\n", p.Value, p.Availability*100, p.YearlyDowntimeMinutes)
+	}
+	b.WriteByte('\n')
+	if r.HasCrossing {
+		fmt.Fprintf(&b, "Five nines is lost once Tstart_long exceeds **%.2f hours** — bound\n", r.Crossing)
+		b.WriteString("repair logistics accordingly (standby node or spare parts on site).\n\n")
+	} else {
+		b.WriteString("Five nines holds across the entire 0.5–3 h range; repair logistics\nare not the availability bottleneck.\n\n")
+	}
+
+	b.WriteString("## Uncertainty analysis\n\n")
+	u := r.Uncertainty
+	fmt.Fprintf(&b, "Across %d sampled parameter snapshots (§7 ranges):\n\n", u.Summary.N)
+	fmt.Fprintf(&b, "- Mean yearly downtime: **%.2f minutes** (s.d. %.2f)\n", u.Summary.Mean, u.Summary.StdDev)
+	for _, c := range u.SortedConfidences() {
+		ci := u.CIs[c]
+		fmt.Fprintf(&b, "- %.0f%% interval: (%.2f, %.2f) minutes\n", c*100, ci.Low, ci.High)
+	}
+	fmt.Fprintf(&b, "- Fraction of deployments above five nines: **%.1f%%**\n\n", u.FractionBelow(5.25)*100)
+
+	b.WriteString("## Parameter importance\n\n")
+	b.WriteString("| Parameter | Nominal | Elasticity | Range swing (min/yr) |\n|---|---|---|---|\n")
+	for _, e := range r.Importance {
+		fmt.Fprintf(&b, "| %s | %g | %+.4f | %+.3f |\n", e.Name, e.Base, e.Elasticity, e.Swing)
+	}
+	if len(r.Importance) > 0 {
+		fmt.Fprintf(&b, "\nThe dominant lever is **%s**; invest measurement and engineering\neffort there first.\n\n", r.Importance[0].Name)
+	}
+
+	b.WriteString("## Finite-mission availability\n\n")
+	b.WriteString("Starting from a fully healthy system:\n\n")
+	b.WriteString("| Mission | Interval availability | Expected downtime |\n|---|---|---|\n")
+	for _, m := range r.Missions {
+		fmt.Fprintf(&b, "| %v | %.7f%% | %v |\n",
+			m.Mission, m.IntervalAvailability*100, m.ExpectedDowntime.Round(time.Second))
+	}
+	b.WriteByte('\n')
+
+	b.WriteString("## Delivered capacity (performability)\n\n")
+	c := r.Capacity
+	fmt.Fprintf(&b, "- 0/1 availability of the AS cluster: %.7f%%\n", c.Availability*100)
+	fmt.Fprintf(&b, "- Long-run delivered capacity: **%.7f%%** of nominal\n", c.ExpectedCapacity*100)
+	fmt.Fprintf(&b, "- Hidden capacity loss: %.2f full-outage-equivalent minutes/yr\n",
+		c.CapacityLossMinutesPerYear)
+	b.WriteString("\nCapacity loss from instances restarting while the cluster stays\n\"available\" dwarfs the availability-visible downtime; capacity planning\nshould use the performability number.\n")
+
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("assess: write report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package assess
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jsas"
+)
+
+func TestRunAndRenderConfig1(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Request{
+		Config:             jsas.Config1,
+		Params:             jsas.DefaultParams(),
+		UncertaintySamples: 200,
+		Seed:               1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.System == nil || rep.Uncertainty == nil || rep.Capacity == nil {
+		t.Fatal("missing sections")
+	}
+	if len(rep.Sweep) != 11 {
+		t.Errorf("sweep points = %d, want 11", len(rep.Sweep))
+	}
+	if len(rep.Importance) != 6 {
+		t.Errorf("importance entries = %d, want 6", len(rep.Importance))
+	}
+	if len(rep.Missions) != 3 {
+		t.Errorf("default mission windows = %d, want 3", len(rep.Missions))
+	}
+	if !rep.HasCrossing {
+		t.Error("Config 1 should have a five-nines crossing")
+	}
+	var b strings.Builder
+	if err := rep.WriteMarkdown(&b); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Availability assessment",
+		"## Steady-state availability",
+		"## Sensitivity to HW/OS recovery time",
+		"## Uncertainty analysis",
+		"## Parameter importance",
+		"## Finite-mission availability",
+		"## Delivered capacity",
+		"99.99", // the availability number
+		"meets** the 99.999% availability target",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunConfig2NoCrossing(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Request{
+		Config:             jsas.Config2,
+		Params:             jsas.DefaultParams(),
+		UncertaintySamples: 100,
+		Seed:               2,
+		MissionWindows:     []time.Duration{24 * time.Hour},
+		Title:              "Config 2 assessment",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.HasCrossing {
+		t.Error("Config 2 should not cross below five nines in the sweep")
+	}
+	var b strings.Builder
+	if err := rep.WriteMarkdown(&b); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	if !strings.Contains(b.String(), "# Config 2 assessment") {
+		t.Error("custom title not used")
+	}
+	if !strings.Contains(b.String(), "Five nines holds across") {
+		t.Error("no-crossing narrative missing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(Request{Params: jsas.DefaultParams()}); err == nil {
+		t.Error("bad config accepted")
+	}
+	bad := jsas.DefaultParams()
+	bad.FIR = -1
+	if _, err := Run(Request{Config: jsas.Config1, Params: bad}); err == nil {
+		t.Error("bad params accepted")
+	}
+}

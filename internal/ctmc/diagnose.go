@@ -1,0 +1,108 @@
+package ctmc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagnosis reports structural and numerical properties of a model —
+// the checks a modeler wants before trusting a steady-state solution.
+type Diagnosis struct {
+	NumStates      int
+	NumTransitions int
+	// Irreducible reports strong connectivity (steady state well-defined).
+	Irreducible bool
+	// Absorbing lists states with no outgoing transitions.
+	Absorbing []State
+	// Unreachable lists states not reachable from state 0.
+	Unreachable []State
+	// CannotReturn lists states from which state 0 is unreachable
+	// (trap components).
+	CannotReturn []State
+	// MaxExitRate and MinExitRate bound the nonzero exit rates; their
+	// ratio is the stiffness that slows iterative solvers.
+	MaxExitRate, MinExitRate float64
+}
+
+// Stiffness returns the exit-rate ratio (0 when undefined).
+func (d Diagnosis) Stiffness() float64 {
+	if d.MinExitRate == 0 {
+		return 0
+	}
+	return d.MaxExitRate / d.MinExitRate
+}
+
+// Summary renders a human-readable diagnosis with state names resolved
+// through the model.
+func (d Diagnosis) Summary(m *Model) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "states: %d, transitions: %d\n", d.NumStates, d.NumTransitions)
+	if d.Irreducible {
+		b.WriteString("irreducible: yes (steady state well-defined)\n")
+	} else {
+		b.WriteString("irreducible: NO — steady state undefined\n")
+	}
+	names := func(states []State) string {
+		parts := make([]string, len(states))
+		for i, s := range states {
+			parts[i] = m.Name(s)
+		}
+		return strings.Join(parts, ", ")
+	}
+	if len(d.Absorbing) > 0 {
+		fmt.Fprintf(&b, "absorbing states: %s\n", names(d.Absorbing))
+	}
+	if len(d.Unreachable) > 0 {
+		fmt.Fprintf(&b, "unreachable from %s: %s\n", m.Name(0), names(d.Unreachable))
+	}
+	if len(d.CannotReturn) > 0 {
+		fmt.Fprintf(&b, "cannot return to %s: %s\n", m.Name(0), names(d.CannotReturn))
+	}
+	if s := d.Stiffness(); s > 0 {
+		fmt.Fprintf(&b, "exit rates: [%.4g, %.4g] (stiffness %.3g)\n", d.MinExitRate, d.MaxExitRate, s)
+	}
+	return b.String()
+}
+
+// Diagnose analyzes the model's structure.
+func (m *Model) Diagnose() Diagnosis {
+	d := Diagnosis{
+		NumStates:      m.NumStates(),
+		NumTransitions: m.NumTransitions(),
+		Irreducible:    m.IsIrreducible(),
+	}
+	reach := m.Reachable(0)
+	// Reverse reachability: which states can reach state 0.
+	rev := NewBuilder()
+	for _, name := range m.names {
+		rev.State(name)
+	}
+	for _, tr := range m.transitions {
+		rev.Transition(tr.To, tr.From, tr.Rate)
+	}
+	var canReach map[State]bool
+	if rm, err := rev.Build(); err == nil {
+		canReach = rm.Reachable(0)
+	}
+	for s := 0; s < m.NumStates(); s++ {
+		st := State(s)
+		exit := m.ExitRate(st)
+		if exit == 0 {
+			d.Absorbing = append(d.Absorbing, st)
+		} else {
+			if d.MaxExitRate == 0 || exit > d.MaxExitRate {
+				d.MaxExitRate = exit
+			}
+			if d.MinExitRate == 0 || exit < d.MinExitRate {
+				d.MinExitRate = exit
+			}
+		}
+		if !reach[st] {
+			d.Unreachable = append(d.Unreachable, st)
+		}
+		if canReach != nil && !canReach[st] {
+			d.CannotReturn = append(d.CannotReturn, st)
+		}
+	}
+	return d
+}

@@ -1,0 +1,99 @@
+package ctmc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagnoseHealthyChain(t *testing.T) {
+	t.Parallel()
+	m, _, _ := twoState(t, 0.001, 60)
+	d := m.Diagnose()
+	if !d.Irreducible {
+		t.Error("healthy chain reported reducible")
+	}
+	if len(d.Absorbing) != 0 || len(d.Unreachable) != 0 || len(d.CannotReturn) != 0 {
+		t.Errorf("healthy chain reported defects: %+v", d)
+	}
+	if d.MaxExitRate != 60 || d.MinExitRate != 0.001 {
+		t.Errorf("exit rates = [%v, %v]", d.MinExitRate, d.MaxExitRate)
+	}
+	if got := d.Stiffness(); got != 60000 {
+		t.Errorf("Stiffness = %v, want 60000", got)
+	}
+	sum := d.Summary(m)
+	if !strings.Contains(sum, "irreducible: yes") {
+		t.Errorf("summary missing verdict:\n%s", sum)
+	}
+	if !strings.Contains(sum, "stiffness") {
+		t.Errorf("summary missing stiffness:\n%s", sum)
+	}
+}
+
+func TestDiagnoseDefectiveChain(t *testing.T) {
+	t.Parallel()
+	b := NewBuilder()
+	a := b.State("A")
+	trap := b.State("Trap")
+	island := b.State("Island")
+	c := b.State("C")
+	b.Transition(a, c, 1)
+	b.Transition(c, a, 2)
+	b.Transition(a, trap, 0.5) // Trap has no way out
+	b.Transition(island, a, 1) // Island is unreachable
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	d := m.Diagnose()
+	if d.Irreducible {
+		t.Error("defective chain reported irreducible")
+	}
+	if len(d.Absorbing) != 1 || m.Name(d.Absorbing[0]) != "Trap" {
+		t.Errorf("absorbing = %v", d.Absorbing)
+	}
+	if len(d.Unreachable) != 1 || m.Name(d.Unreachable[0]) != "Island" {
+		t.Errorf("unreachable = %v", d.Unreachable)
+	}
+	found := false
+	for _, s := range d.CannotReturn {
+		if m.Name(s) == "Trap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CannotReturn missing Trap: %v", d.CannotReturn)
+	}
+	sum := d.Summary(m)
+	for _, want := range []string{"irreducible: NO", "Trap", "Island"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestDiagnoseStiffnessEdgeCases(t *testing.T) {
+	t.Parallel()
+	// No transitions at all: stiffness undefined (0).
+	b := NewBuilder()
+	b.State("only")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d := m.Diagnose(); d.Stiffness() != 0 {
+		t.Errorf("no-transition model stiffness = %v, want 0", d.Stiffness())
+	}
+	// Single nonzero exit rate: stiffness 1.
+	b2 := NewBuilder()
+	a := b2.State("A")
+	c := b2.State("B")
+	b2.Transition(a, c, 1)
+	m2, err := b2.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d := m2.Diagnose(); d.Stiffness() != 1 {
+		t.Errorf("single exit rate: stiffness = %v, want 1", d.Stiffness())
+	}
+}

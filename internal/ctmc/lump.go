@@ -1,0 +1,153 @@
+package ctmc
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lump computes the coarsest ordinarily-lumpable partition of the chain
+// that refines the given initial partition, and returns the quotient model
+// together with the state→block mapping.
+//
+// initial assigns each state a class label (e.g. its reward class); states
+// may only ever be merged within the same label. The refinement splits
+// blocks until every state in a block has identical total transition rates
+// into every other block — the ordinary lumpability condition, under which
+// the quotient chain is an exact reduction: block steady-state
+// probabilities equal the sums over their members.
+//
+// Symmetric models (replicated components, the product models package hier
+// builds) reduce dramatically; asymmetric models are returned unchanged.
+func (m *Model) Lump(initial []int) (*Model, []int, error) {
+	n := m.NumStates()
+	if len(initial) != n {
+		return nil, nil, fmt.Errorf("initial partition has %d entries for %d states: %w", len(initial), n, ErrBadModel)
+	}
+	// Normalize the initial labels into dense block ids.
+	block := make([]int, n)
+	next := 0
+	seen := make(map[int]int)
+	for i, label := range initial {
+		id, ok := seen[label]
+		if !ok {
+			id = next
+			next++
+			seen[label] = id
+		}
+		block[i] = id
+	}
+	// Refinement: split blocks by the signature of rates into blocks.
+	for {
+		type key struct {
+			old int
+			sig string
+		}
+		sigs := make([]string, n)
+		for s := 0; s < n; s++ {
+			sigs[s] = m.blockSignature(State(s), block)
+		}
+		reassign := make(map[key]int)
+		newBlock := make([]int, n)
+		count := 0
+		for s := 0; s < n; s++ {
+			k := key{old: block[s], sig: sigs[s]}
+			id, ok := reassign[k]
+			if !ok {
+				id = count
+				count++
+				reassign[k] = id
+			}
+			newBlock[s] = id
+		}
+		stable := count == numBlocks(block)
+		block = newBlock
+		if stable {
+			break
+		}
+	}
+	quotient, err := m.buildQuotient(block)
+	if err != nil {
+		return nil, nil, err
+	}
+	return quotient, block, nil
+}
+
+// blockSignature canonically encodes a state's total rates into each block.
+func (m *Model) blockSignature(s State, block []int) string {
+	into := make(map[int]float64)
+	for _, idx := range m.outgoing[s] {
+		tr := m.transitions[idx]
+		into[block[tr.To]] += tr.Rate
+	}
+	// Rate into the state's own block is excluded: ordinary lumpability
+	// only constrains rates leaving the block.
+	delete(into, block[s])
+	keys := make([]int, 0, len(into))
+	for k := range into {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(strconv.Itoa(k))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(into[k], 'g', 17, 64))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func numBlocks(block []int) int {
+	max := -1
+	for _, b := range block {
+		if b > max {
+			max = b
+		}
+	}
+	return max + 1
+}
+
+// buildQuotient assembles the lumped model: one state per block, named
+// after its members, with inter-block rates taken from any member (the
+// refinement guarantees uniformity).
+func (m *Model) buildQuotient(block []int) (*Model, error) {
+	nb := numBlocks(block)
+	members := make([][]State, nb)
+	for s := 0; s < m.NumStates(); s++ {
+		members[block[s]] = append(members[block[s]], State(s))
+	}
+	b := NewBuilder()
+	names := make([]string, nb)
+	for i, ms := range members {
+		if len(ms) == 1 {
+			names[i] = m.Name(ms[0])
+		} else {
+			parts := make([]string, len(ms))
+			for j, s := range ms {
+				parts[j] = m.Name(s)
+			}
+			names[i] = "{" + strings.Join(parts, "+") + "}"
+		}
+		b.State(names[i])
+	}
+	for i, ms := range members {
+		rep := ms[0]
+		into := make(map[int]float64)
+		for _, idx := range m.outgoing[rep] {
+			tr := m.transitions[idx]
+			if block[tr.To] != i {
+				into[block[tr.To]] += tr.Rate
+			}
+		}
+		for j, rate := range into {
+			b.Transition(State(i), State(j), rate)
+		}
+	}
+	q, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lump quotient: %w", err)
+	}
+	return q, nil
+}

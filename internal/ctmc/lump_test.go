@@ -1,0 +1,232 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// buildReplicatedPair constructs the product of two identical repairable
+// components: states UU, UD, DU, DD.
+func buildReplicatedPair(t *testing.T, la, mu float64) (*Model, []int) {
+	t.Helper()
+	b := NewBuilder()
+	uu := b.State("UU")
+	ud := b.State("UD")
+	du := b.State("DU")
+	dd := b.State("DD")
+	b.Transition(uu, ud, la)
+	b.Transition(uu, du, la)
+	b.Transition(ud, uu, mu)
+	b.Transition(du, uu, mu)
+	b.Transition(ud, dd, la)
+	b.Transition(du, dd, la)
+	b.Transition(dd, ud, mu)
+	b.Transition(dd, du, mu)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Initial partition by number of up components (the reward classes of
+	// a 1-out-of-2 system with degraded state).
+	return m, []int{2, 1, 1, 0}
+}
+
+func TestLumpReplicatedPair(t *testing.T) {
+	t.Parallel()
+	m, initial := buildReplicatedPair(t, 0.1, 2)
+	q, block, err := m.Lump(initial)
+	if err != nil {
+		t.Fatalf("Lump: %v", err)
+	}
+	if q.NumStates() != 3 {
+		t.Fatalf("lumped states = %d, want 3 (UU, {UD+DU}, DD)", q.NumStates())
+	}
+	if block[1] != block[2] {
+		t.Errorf("UD and DU not merged: %v", block)
+	}
+	if block[0] == block[1] || block[3] == block[1] {
+		t.Errorf("distinct classes merged: %v", block)
+	}
+	// Exactness: quotient steady state equals member sums.
+	pi, err := m.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	qpi, err := q.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatalf("quotient SteadyState: %v", err)
+	}
+	sums := make([]float64, q.NumStates())
+	for s, blk := range block {
+		sums[blk] += pi[s]
+	}
+	for i := range sums {
+		if math.Abs(sums[i]-qpi[i]) > 1e-12 {
+			t.Errorf("block %d: member sum %.15f, quotient %.15f", i, sums[i], qpi[i])
+		}
+	}
+	// Quotient transition rates: UU → merged block at 2λ.
+	merged := State(block[1])
+	if got := q.Rate(State(block[0]), merged); math.Abs(got-0.2) > 1e-15 {
+		t.Errorf("UU→merged rate = %v, want 0.2", got)
+	}
+}
+
+func TestLumpRespectsInitialPartition(t *testing.T) {
+	t.Parallel()
+	// Same chain, but UD and DU carry different labels (e.g. different
+	// rewards): they must not merge even though their dynamics match.
+	m, _ := buildReplicatedPair(t, 0.1, 2)
+	q, _, err := m.Lump([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("Lump: %v", err)
+	}
+	if q.NumStates() != 4 {
+		t.Errorf("lumped states = %d, want 4 (labels forbid merging)", q.NumStates())
+	}
+}
+
+func TestLumpTrivialPartitionCollapses(t *testing.T) {
+	t.Parallel()
+	// With every state in one class, the whole chain is (degenerately)
+	// lumpable into a single state — the coarsest refinement of the
+	// trivial partition is the trivial partition.
+	b := NewBuilder()
+	a := b.State("A")
+	c := b.State("C")
+	d := b.State("D")
+	b.Transition(a, c, 1)
+	b.Transition(c, d, 2)
+	b.Transition(d, a, 3)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	q, _, err := m.Lump([]int{0, 0, 0})
+	if err != nil {
+		t.Fatalf("Lump: %v", err)
+	}
+	if q.NumStates() != 1 {
+		t.Errorf("trivial partition lumped to %d states, want 1", q.NumStates())
+	}
+}
+
+func TestLumpNoFalseMergeWithinClass(t *testing.T) {
+	t.Parallel()
+	// A and C share a class but have different dynamics toward D: the
+	// refinement must split them rather than lump unsoundly.
+	b := NewBuilder()
+	a := b.State("A")
+	c := b.State("C")
+	d := b.State("D")
+	b.Transition(a, c, 1)
+	b.Transition(c, d, 2)
+	b.Transition(d, a, 3)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	q, block, err := m.Lump([]int{0, 0, 1})
+	if err != nil {
+		t.Fatalf("Lump: %v", err)
+	}
+	if q.NumStates() != 3 {
+		t.Fatalf("lumped states = %d, want 3 (no sound merge exists)", q.NumStates())
+	}
+	if block[0] == block[1] {
+		t.Error("A and C merged despite different rates into {D}")
+	}
+}
+
+func TestLumpThreeReplicas(t *testing.T) {
+	t.Parallel()
+	// Three identical independent components; initial partition by up
+	// count. 8 states must lump to 4 (binomial levels).
+	const la, mu = 0.2, 3.0
+	b := NewBuilder()
+	states := make([]State, 8)
+	upCount := make([]int, 8)
+	for massk := 0; massk < 8; massk++ {
+		name := ""
+		ups := 0
+		for c := 0; c < 3; c++ {
+			if massk&(1<<c) == 0 {
+				name += "U"
+				ups++
+			} else {
+				name += "D"
+			}
+		}
+		states[massk] = b.State(name)
+		upCount[massk] = ups
+	}
+	for mask := 0; mask < 8; mask++ {
+		for c := 0; c < 3; c++ {
+			if mask&(1<<c) == 0 {
+				b.Transition(states[mask], states[mask|1<<c], la)
+			} else {
+				b.Transition(states[mask], states[mask&^(1<<c)], mu)
+			}
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	q, block, err := m.Lump(upCount)
+	if err != nil {
+		t.Fatalf("Lump: %v", err)
+	}
+	if q.NumStates() != 4 {
+		t.Fatalf("lumped states = %d, want 4", q.NumStates())
+	}
+	// The quotient is the birth-death chain with binomial stationary law.
+	qpi, err := q.SteadyState(SolveOptions{})
+	if err != nil {
+		t.Fatalf("SteadyState: %v", err)
+	}
+	pUp := mu / (la + mu)
+	// P(k components up) = C(3,k) pUp^k (1-pUp)^{3-k}.
+	choose := []float64{1, 3, 3, 1}
+	for k := 0; k <= 3; k++ {
+		// Find the block holding a state with k ups.
+		var blk int
+		for s, ups := range upCount {
+			if ups == k {
+				blk = block[s]
+				break
+			}
+		}
+		want := choose[k] * math.Pow(pUp, float64(k)) * math.Pow(1-pUp, float64(3-k))
+		if math.Abs(qpi[blk]-want) > 1e-12 {
+			t.Errorf("P(%d up) = %.12f, want %.12f", k, qpi[blk], want)
+		}
+	}
+}
+
+func TestLumpValidation(t *testing.T) {
+	t.Parallel()
+	m, _ := buildReplicatedPair(t, 1, 1)
+	if _, _, err := m.Lump([]int{0}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("short partition: err = %v", err)
+	}
+}
+
+func TestLumpedNamesDescriptive(t *testing.T) {
+	t.Parallel()
+	m, initial := buildReplicatedPair(t, 0.1, 2)
+	q, _, err := m.Lump(initial)
+	if err != nil {
+		t.Fatalf("Lump: %v", err)
+	}
+	found := false
+	for _, s := range q.States() {
+		if q.Name(s) == "{UD+DU}" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged block not named {UD+DU}")
+	}
+}

@@ -1,0 +1,269 @@
+// Package ctmc implements continuous-time Markov chains: model building,
+// generator-matrix assembly, steady-state and transient solution, mean time
+// to absorption, state-set entry frequencies, and the equivalent two-state
+// (failure rate, recovery rate) abstraction that hierarchical availability
+// models are built from.
+//
+// It is the computational core of the RAScad-equivalent modeling engine
+// described in DESIGN.md.
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/sparse"
+)
+
+// Common errors reported by the package.
+var (
+	// ErrBadModel is reported by Validate for structurally invalid models
+	// (negative rates, self loops, unknown states, no states).
+	ErrBadModel = errors.New("ctmc: invalid model")
+	// ErrNotIrreducible is reported when a solution method requires an
+	// irreducible chain but the model has unreachable or non-communicating
+	// states.
+	ErrNotIrreducible = errors.New("ctmc: chain is not irreducible")
+	// ErrNoSuchState is reported when a state name does not exist.
+	ErrNoSuchState = errors.New("ctmc: no such state")
+)
+
+// State identifies a state by dense index within a Model.
+type State int
+
+// Transition is a rate-labeled directed edge between two states.
+type Transition struct {
+	From, To State
+	Rate     float64
+}
+
+// Model is an immutable CTMC: a finite state space with exponential
+// transition rates. Build one with a Builder.
+type Model struct {
+	names       []string
+	index       map[string]State
+	transitions []Transition
+	// outgoing[s] lists indices into transitions, sorted by target.
+	outgoing [][]int
+}
+
+// Builder accumulates states and transitions and produces a validated Model.
+// The zero value is ready to use.
+type Builder struct {
+	names       []string
+	index       map[string]State
+	transitions []Transition
+	errs        []error
+}
+
+// NewBuilder returns an empty model builder.
+func NewBuilder() *Builder {
+	return &Builder{index: make(map[string]State)}
+}
+
+// State adds (or finds) a state with the given name and returns its handle.
+func (b *Builder) State(name string) State {
+	if b.index == nil {
+		b.index = make(map[string]State)
+	}
+	if s, ok := b.index[name]; ok {
+		return s
+	}
+	s := State(len(b.names))
+	b.names = append(b.names, name)
+	b.index[name] = s
+	return s
+}
+
+// Transition adds a transition from → to with the given rate. Rates must be
+// positive and from ≠ to; violations are collected and reported by Build.
+// A zero rate is accepted and dropped (it arises naturally when a model
+// parameter, e.g. a maintenance rate, is set to zero).
+func (b *Builder) Transition(from, to State, rate float64) {
+	if rate == 0 {
+		return
+	}
+	if rate < 0 {
+		b.errs = append(b.errs, fmt.Errorf("transition %d→%d has negative rate %g: %w", from, to, rate, ErrBadModel))
+		return
+	}
+	if from == to {
+		b.errs = append(b.errs, fmt.Errorf("self loop on state %d: %w", from, ErrBadModel))
+		return
+	}
+	if int(from) < 0 || int(from) >= len(b.names) || int(to) < 0 || int(to) >= len(b.names) {
+		b.errs = append(b.errs, fmt.Errorf("transition references unknown state (%d→%d): %w", from, to, ErrBadModel))
+		return
+	}
+	b.transitions = append(b.transitions, Transition{From: from, To: to, Rate: rate})
+}
+
+// Build validates and returns the model. Parallel transitions between the
+// same pair of states are merged by summing their rates.
+func (b *Builder) Build() (*Model, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	if len(b.names) == 0 {
+		return nil, fmt.Errorf("model has no states: %w", ErrBadModel)
+	}
+	merged := make(map[[2]State]float64)
+	for _, tr := range b.transitions {
+		merged[[2]State{tr.From, tr.To}] += tr.Rate
+	}
+	m := &Model{
+		names:       append([]string(nil), b.names...),
+		index:       make(map[string]State, len(b.names)),
+		transitions: make([]Transition, 0, len(merged)),
+		outgoing:    make([][]int, len(b.names)),
+	}
+	for name, s := range b.index {
+		m.index[name] = s
+	}
+	keys := make([][2]State, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		idx := len(m.transitions)
+		m.transitions = append(m.transitions, Transition{From: k[0], To: k[1], Rate: merged[k]})
+		m.outgoing[k[0]] = append(m.outgoing[k[0]], idx)
+	}
+	return m, nil
+}
+
+// NumStates returns the size of the state space.
+func (m *Model) NumStates() int { return len(m.names) }
+
+// NumTransitions returns the number of (merged) transitions.
+func (m *Model) NumTransitions() int { return len(m.transitions) }
+
+// Name returns the name of state s.
+func (m *Model) Name(s State) string {
+	if int(s) < 0 || int(s) >= len(m.names) {
+		return fmt.Sprintf("<state %d>", int(s))
+	}
+	return m.names[s]
+}
+
+// StateByName resolves a state name.
+func (m *Model) StateByName(name string) (State, error) {
+	s, ok := m.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%q: %w", name, ErrNoSuchState)
+	}
+	return s, nil
+}
+
+// States returns all state handles in index order.
+func (m *Model) States() []State {
+	out := make([]State, len(m.names))
+	for i := range out {
+		out[i] = State(i)
+	}
+	return out
+}
+
+// Transitions returns a copy of the merged transition list.
+func (m *Model) Transitions() []Transition {
+	return append([]Transition(nil), m.transitions...)
+}
+
+// ExitRate returns the total outgoing rate of state s.
+func (m *Model) ExitRate(s State) float64 {
+	var sum float64
+	for _, idx := range m.outgoing[s] {
+		sum += m.transitions[idx].Rate
+	}
+	return sum
+}
+
+// Rate returns the (merged) rate from → to, or 0 if absent.
+func (m *Model) Rate(from, to State) float64 {
+	for _, idx := range m.outgoing[from] {
+		if m.transitions[idx].To == to {
+			return m.transitions[idx].Rate
+		}
+	}
+	return 0
+}
+
+// Generator assembles the dense infinitesimal generator matrix Q
+// (off-diagonal q_ij = rate i→j, diagonal q_ii = −Σ_j q_ij).
+func (m *Model) Generator() *numeric.Matrix {
+	n := m.NumStates()
+	q := numeric.NewMatrix(n, n)
+	for _, tr := range m.transitions {
+		q.Add(int(tr.From), int(tr.To), tr.Rate)
+		q.Add(int(tr.From), int(tr.From), -tr.Rate)
+	}
+	return q
+}
+
+// SparseGenerator assembles Q in CSR form for the iterative solvers.
+func (m *Model) SparseGenerator() (*sparse.CSR, error) {
+	n := m.NumStates()
+	entries := make([]sparse.Entry, 0, len(m.transitions)+n)
+	diag := make([]float64, n)
+	for _, tr := range m.transitions {
+		entries = append(entries, sparse.Entry{Row: int(tr.From), Col: int(tr.To), Val: tr.Rate})
+		diag[tr.From] -= tr.Rate
+	}
+	for i, d := range diag {
+		if d != 0 {
+			entries = append(entries, sparse.Entry{Row: i, Col: i, Val: d})
+		}
+	}
+	return sparse.NewCSR(n, n, entries)
+}
+
+// Reachable returns the set of states reachable from start following
+// transitions forward.
+func (m *Model) Reachable(start State) map[State]bool {
+	seen := map[State]bool{start: true}
+	stack := []State{start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, idx := range m.outgoing[s] {
+			t := m.transitions[idx].To
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// IsIrreducible reports whether every state can reach every other state.
+func (m *Model) IsIrreducible() bool {
+	n := m.NumStates()
+	if n == 0 {
+		return false
+	}
+	// Strong connectivity via forward reachability from 0 on G and on Gᵀ.
+	if len(m.Reachable(0)) != n {
+		return false
+	}
+	rev := NewBuilder()
+	for _, name := range m.names {
+		rev.State(name)
+	}
+	for _, tr := range m.transitions {
+		rev.Transition(tr.To, tr.From, tr.Rate)
+	}
+	rm, err := rev.Build()
+	if err != nil {
+		return false
+	}
+	return len(rm.Reachable(0)) == n
+}

@@ -1,0 +1,192 @@
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/sparse"
+)
+
+// Method selects a steady-state solution algorithm.
+type Method int
+
+// Available steady-state methods.
+const (
+	// MethodAuto picks dense LU for small chains and Gauss–Seidel above
+	// the dense threshold.
+	MethodAuto Method = iota + 1
+	// MethodDense solves the balance equations directly by LU.
+	MethodDense
+	// MethodGaussSeidel iterates Gauss–Seidel sweeps on the sparse
+	// balance equations.
+	MethodGaussSeidel
+	// MethodPower runs power iteration on the uniformized DTMC.
+	MethodPower
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodDense:
+		return "dense"
+	case MethodGaussSeidel:
+		return "gauss-seidel"
+	case MethodPower:
+		return "power"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// denseThreshold is the state-count crossover where MethodAuto switches
+// from dense LU (O(n³) but cache-friendly and exact) to iterative sweeps.
+// Availability chains are stiff (rates spanning 1e-7..1e4 per hour), which
+// slows iterative convergence, so the direct solver is preferred well past
+// the point where it would win on flop count alone.
+const denseThreshold = 1200
+
+// denseFallbackLimit bounds the state count for which MethodAuto retries
+// a failed iterative solve with the dense solver.
+const denseFallbackLimit = 4000
+
+// SolveOptions configures SteadyState.
+type SolveOptions struct {
+	Method Method
+	// Tol/MaxIter are forwarded to the iterative solvers.
+	Tol     float64
+	MaxIter int
+}
+
+// SteadyState computes the stationary distribution π with π·Q = 0, Σπ = 1.
+// The chain must be irreducible.
+func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
+	if m.NumStates() == 0 {
+		return nil, fmt.Errorf("empty model: %w", ErrBadModel)
+	}
+	if !m.IsIrreducible() {
+		return nil, fmt.Errorf("steady state undefined: %w", ErrNotIrreducible)
+	}
+	method := opts.Method
+	auto := method == 0 || method == MethodAuto
+	if auto {
+		if m.NumStates() <= denseThreshold {
+			method = MethodDense
+		} else {
+			method = MethodGaussSeidel
+		}
+	}
+	pi, err := m.steadyStateBy(method, opts)
+	if err != nil && auto && method == MethodGaussSeidel &&
+		errors.Is(err, sparse.ErrNoConvergence) && m.NumStates() <= denseFallbackLimit {
+		// Stiff chain defeated the iterative solver; fall back to the
+		// exact direct solve while it is still affordable.
+		return m.steadyStateDense()
+	}
+	return pi, err
+}
+
+func (m *Model) steadyStateBy(method Method, opts SolveOptions) ([]float64, error) {
+	switch method {
+	case MethodDense:
+		return m.steadyStateDense()
+	case MethodGaussSeidel:
+		q, err := m.SparseGenerator()
+		if err != nil {
+			return nil, err
+		}
+		pi, err := sparse.SteadyStateGaussSeidel(q, sparse.SteadyStateOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
+		if err != nil {
+			return nil, fmt.Errorf("steady state: %w", err)
+		}
+		return pi, nil
+	case MethodPower:
+		q, err := m.SparseGenerator()
+		if err != nil {
+			return nil, err
+		}
+		pi, err := sparse.SteadyStatePower(q, sparse.SteadyStateOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
+		if err != nil {
+			return nil, fmt.Errorf("steady state: %w", err)
+		}
+		return pi, nil
+	default:
+		return nil, fmt.Errorf("unknown method %v: %w", method, ErrBadModel)
+	}
+}
+
+// steadyStateDense solves Qᵀπᵀ = 0 with the normalization Σπ = 1 replacing
+// the last (redundant) balance equation.
+func (m *Model) steadyStateDense() ([]float64, error) {
+	n := m.NumStates()
+	q := m.Generator()
+	// Build A = Qᵀ with the final row replaced by all-ones; b = e_n.
+	a := numeric.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, q.At(j, i))
+		}
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := numeric.SolveLinear(a, b)
+	if err != nil {
+		if errors.Is(err, numeric.ErrSingular) {
+			return nil, fmt.Errorf("balance equations singular: %w", ErrNotIrreducible)
+		}
+		return nil, fmt.Errorf("steady state: %w", err)
+	}
+	// Round-off can leave tiny negatives on near-degenerate chains.
+	for i := range pi {
+		if pi[i] < 0 && pi[i] > -1e-12 {
+			pi[i] = 0
+		}
+	}
+	numeric.Normalize(pi)
+	if !numeric.AllFinite(pi) {
+		return nil, fmt.Errorf("steady state produced non-finite probabilities: %w", ErrNotIrreducible)
+	}
+	return pi, nil
+}
+
+// ProbabilityOf sums π over the given states.
+func ProbabilityOf(pi []float64, states []State) float64 {
+	var p float64
+	for _, s := range states {
+		if int(s) >= 0 && int(s) < len(pi) {
+			p += pi[s]
+		}
+	}
+	return p
+}
+
+// EntryFrequency returns the steady-state frequency (events per unit time)
+// of transitions that enter the target set from outside it: Σ_{i∉T, j∈T}
+// π_i·q_ij. For availability models this is the system failure frequency
+// when T is the set of down states.
+func (m *Model) EntryFrequency(pi []float64, target map[State]bool) float64 {
+	var f float64
+	for _, tr := range m.transitions {
+		if !target[tr.From] && target[tr.To] {
+			f += pi[tr.From] * tr.Rate
+		}
+	}
+	return f
+}
+
+// ExitFrequency returns the steady-state frequency of transitions leaving
+// the target set: Σ_{i∈T, j∉T} π_i·q_ij. In steady state this equals
+// EntryFrequency for the same set (flow balance).
+func (m *Model) ExitFrequency(pi []float64, target map[State]bool) float64 {
+	var f float64
+	for _, tr := range m.transitions {
+		if target[tr.From] && !target[tr.To] {
+			f += pi[tr.From] * tr.Rate
+		}
+	}
+	return f
+}

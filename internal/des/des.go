@@ -1,0 +1,161 @@
+// Package des is a small discrete-event simulation kernel: a virtual
+// clock, an event heap, and deterministic seeded random variates. It
+// drives the simulated JSAS testbed (package testbed) that stands in for
+// the paper's physical lab environment.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is reported when scheduling on a stopped simulation.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator. The zero value is not
+// usable; construct with New.
+type Sim struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	rng     *rand.Rand
+}
+
+// New creates a simulator with a deterministic RNG stream.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// RNG returns the simulation's random stream.
+func (s *Sim) RNG() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay of virtual time. Negative delays fire
+// immediately (at the current time).
+func (s *Sim) Schedule(delay time.Duration, fn func()) error {
+	if s.stopped {
+		return ErrStopped
+	}
+	if fn == nil {
+		return errors.New("des: nil event callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	at := s.now + delay
+	if at < s.now {
+		// Overflow: an effectively-never event (e.g. an exponential draw
+		// for a vanishing rate). Park it at the far horizon instead of
+		// wrapping into the past.
+		at = math.MaxInt64
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	return nil
+}
+
+// Run processes events in time order until the virtual clock would pass
+// until, the queue drains, or Stop is called. The clock is left at until
+// (or at the stop/drain time if earlier events stopped it).
+func (s *Sim) Run(until time.Duration) error {
+	if until < s.now {
+		return fmt.Errorf("des: run until %v is before now %v", until, s.now)
+	}
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		next.fn()
+	}
+	if !s.stopped && s.now < until {
+		s.now = until
+	}
+	return nil
+}
+
+// Stop halts the simulation: Run returns after the current event and
+// further Schedule calls fail.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Exponential draws an exponentially distributed duration with the given
+// mean. A non-positive mean returns 0.
+func (s *Sim) Exponential(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	d := -math.Log(u) * float64(mean)
+	if d > float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(d)
+}
+
+// ExponentialRate draws an exponential duration for a rate expressed in
+// events per hour. A non-positive or vanishing rate returns the maximum
+// duration (effectively "never") — converting the would-be mean to a
+// Duration first would overflow into the past.
+func (s *Sim) ExponentialRate(perHour float64) time.Duration {
+	if perHour <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	meanNs := float64(time.Hour) / perHour
+	if meanNs >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return s.Exponential(time.Duration(meanNs))
+}
+
+// Uniform draws a uniformly distributed duration in [lo, hi].
+func (s *Sim) Uniform(lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(s.rng.Int63n(int64(hi-lo)+1))
+}

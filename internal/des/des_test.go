@@ -1,0 +1,297 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	var order []int
+	mustSchedule := func(d time.Duration, fn func()) {
+		t.Helper()
+		if err := s.Schedule(d, fn); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	mustSchedule(3*time.Second, func() { order = append(order, 3) })
+	mustSchedule(1*time.Second, func() { order = append(order, 1) })
+	mustSchedule(2*time.Second, func() { order = append(order, 2) })
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := s.Schedule(time.Second, func() { order = append(order, i) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestRunHorizonLeavesFutureEvents(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	fired := false
+	if err := s.Schedule(5*time.Second, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	// Continue run picks it up.
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("event not fired on continued run")
+	}
+}
+
+func TestEventsCanSchedule(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			if err := s.Schedule(time.Second, tick); err != nil {
+				t.Errorf("re-schedule: %v", err)
+			}
+		}
+	}
+	if err := s.Schedule(time.Second, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if s.Now() != time.Minute {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	ran := 0
+	if err := s.Schedule(time.Second, func() { ran++; s.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(2*time.Second, func() { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (stopped)", ran)
+	}
+	if !s.Stopped() {
+		t.Error("Stopped() = false")
+	}
+	if err := s.Schedule(time.Second, func() {}); err != ErrStopped {
+		t.Errorf("Schedule after stop: err = %v, want ErrStopped", err)
+	}
+}
+
+func TestRunBackwards(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	if err := s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Millisecond); err == nil {
+		t.Error("Run into the past should error")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	if err := s.Schedule(time.Second, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	// Negative delay clamps to now.
+	fired := false
+	if err := s.Schedule(-time.Second, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("negative-delay event not fired")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	t.Parallel()
+	s := New(42)
+	const n = 20000
+	mean := 2 * time.Hour
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(mean).Hours()
+	}
+	got := sum / n
+	if math.Abs(got-2) > 0.05 {
+		t.Errorf("sample mean = %.3f h, want ~2 (±0.05)", got)
+	}
+	if s.Exponential(0) != 0 {
+		t.Error("zero mean should give 0")
+	}
+}
+
+func TestExponentialRate(t *testing.T) {
+	t.Parallel()
+	s := New(7)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.ExponentialRate(4).Hours() // 4 per hour → mean 0.25 h
+	}
+	got := sum / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("sample mean = %.4f h, want ~0.25", got)
+	}
+	if s.ExponentialRate(0) != time.Duration(math.MaxInt64) {
+		t.Error("zero rate should give max duration")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	t.Parallel()
+	s := New(3)
+	lo, hi := time.Second, 3*time.Second
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if got := s.Uniform(hi, lo); got != hi {
+		t.Errorf("degenerate Uniform = %v, want lo", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	t.Parallel()
+	run := func(seed int64) []time.Duration {
+		s := New(seed)
+		var out []time.Duration
+		for i := 0; i < 10; i++ {
+			out = append(out, s.Exponential(time.Hour))
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different variates")
+		}
+	}
+}
+
+// TestScheduleOverflowClamps: a delay that would overflow the clock parks
+// the event at the far horizon instead of wrapping into the past.
+func TestScheduleOverflowClamps(t *testing.T) {
+	t.Parallel()
+	s := New(1)
+	if err := s.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	if err := s.Schedule(time.Duration(math.MaxInt64), func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(100 * 365 * 24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("effectively-never event fired")
+	}
+	if s.Now() != 100*365*24*time.Hour {
+		t.Errorf("clock = %v, want run horizon", s.Now())
+	}
+}
+
+// TestExponentialRateVanishing: a vanishing (but positive) rate must give
+// an effectively-never delay, not an overflowed negative mean.
+func TestExponentialRateVanishing(t *testing.T) {
+	t.Parallel()
+	s := New(5)
+	if got := s.ExponentialRate(1e-13); got != time.Duration(math.MaxInt64) {
+		t.Errorf("ExponentialRate(1e-13) = %v, want max duration", got)
+	}
+}
+
+// TestExponentialDistributionKS validates the exponential generator with
+// a Kolmogorov–Smirnov goodness-of-fit test, not just its mean.
+func TestExponentialDistributionKS(t *testing.T) {
+	t.Parallel()
+	s := New(101)
+	const n = 5000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Exponential(90 * time.Minute).Hours()
+	}
+	res, err := stats.KolmogorovSmirnov(xs, stats.ExponentialCDF(1.5))
+	if err != nil {
+		t.Fatalf("KolmogorovSmirnov: %v", err)
+	}
+	if res.PValue < 0.005 {
+		t.Errorf("exponential generator rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}
+
+// TestUniformDistributionKS validates Uniform the same way.
+func TestUniformDistributionKS(t *testing.T) {
+	t.Parallel()
+	s := New(102)
+	const n = 5000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = s.Uniform(10*time.Minute, 40*time.Minute).Minutes()
+	}
+	res, err := stats.KolmogorovSmirnov(xs, stats.UniformCDF(10, 40))
+	if err != nil {
+		t.Fatalf("KolmogorovSmirnov: %v", err)
+	}
+	if res.PValue < 0.005 {
+		t.Errorf("uniform generator rejected: D=%v p=%v", res.Statistic, res.PValue)
+	}
+}

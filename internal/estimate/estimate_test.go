@@ -1,0 +1,184 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFailureRateUpperBoundPaperValues(t *testing.T) {
+	t.Parallel()
+	// Paper §5: 24-day zero-failure test over 2 AS instances → 48
+	// instance-days; λ ≤ 1/16 per day at 95%, 1/9 per day at 99.5%.
+	exposure := 48 * 24 * time.Hour
+	b95, err := FailureRateUpperBound(exposure, 0, 0.95)
+	if err != nil {
+		t.Fatalf("FailureRateUpperBound: %v", err)
+	}
+	perDay := b95.PerHour * 24
+	if math.Abs(1/perDay-16) > 0.1 {
+		t.Errorf("95%% bound = 1/%.2f per day, want ~1/16", 1/perDay)
+	}
+	b995, err := FailureRateUpperBound(exposure, 0, 0.995)
+	if err != nil {
+		t.Fatalf("FailureRateUpperBound: %v", err)
+	}
+	perDay995 := b995.PerHour * 24
+	if math.Abs(1/perDay995-9) > 0.1 {
+		t.Errorf("99.5%% bound = 1/%.2f per day, want ~1/9", 1/perDay995)
+	}
+	// Unit consistency.
+	if math.Abs(b95.PerYear-b95.PerHour*8760) > 1e-12 {
+		t.Error("PerYear inconsistent with PerHour")
+	}
+	if math.Abs(b95.MTTFHours-1/b95.PerHour) > 1e-9 {
+		t.Error("MTTFHours inconsistent")
+	}
+}
+
+func TestFailureRateUpperBoundErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := FailureRateUpperBound(0, 0, 0.95); !errors.Is(err, ErrBadData) {
+		t.Errorf("zero exposure: err = %v, want ErrBadData", err)
+	}
+	if _, err := FailureRateUpperBound(time.Hour, -1, 0.95); err == nil {
+		t.Error("negative failures should error")
+	}
+	if _, err := FailureRateUpperBound(time.Hour, 0, 0); err == nil {
+		t.Error("confidence 0 should error")
+	}
+}
+
+func TestCoverageLowerBoundPaperValues(t *testing.T) {
+	t.Parallel()
+	// Paper §5: 3287 injections, all recovered → FIR < 0.1% at 95%,
+	// < 0.2% at 99.5%.
+	b95, err := CoverageLowerBound(3287, 3287, 0.95)
+	if err != nil {
+		t.Fatalf("CoverageLowerBound: %v", err)
+	}
+	if b95.FIR > 0.001 {
+		t.Errorf("FIR at 95%% = %v, want < 0.001", b95.FIR)
+	}
+	b995, err := CoverageLowerBound(3287, 3287, 0.995)
+	if err != nil {
+		t.Fatalf("CoverageLowerBound: %v", err)
+	}
+	if b995.FIR > 0.002 {
+		t.Errorf("FIR at 99.5%% = %v, want < 0.002", b995.FIR)
+	}
+	if b995.FIR <= b95.FIR {
+		t.Error("higher confidence must give larger FIR bound")
+	}
+	if math.Abs(b95.Coverage+b95.FIR-1) > 1e-15 {
+		t.Error("Coverage + FIR != 1")
+	}
+}
+
+func TestCoverageLowerBoundWithFailures(t *testing.T) {
+	t.Parallel()
+	withFail, err := CoverageLowerBound(1000, 998, 0.95)
+	if err != nil {
+		t.Fatalf("CoverageLowerBound: %v", err)
+	}
+	noFail, err := CoverageLowerBound(1000, 1000, 0.95)
+	if err != nil {
+		t.Fatalf("CoverageLowerBound: %v", err)
+	}
+	if withFail.Coverage >= noFail.Coverage {
+		t.Errorf("failures should lower the coverage bound: %v vs %v", withFail.Coverage, noFail.Coverage)
+	}
+	if _, err := CoverageLowerBound(0, 0, 0.95); err == nil {
+		t.Error("zero trials should error")
+	}
+}
+
+func TestRecoveryTimesSummary(t *testing.T) {
+	t.Parallel()
+	r := RecoveryTimes{Samples: []time.Duration{
+		30 * time.Second, 40 * time.Second, 35 * time.Second, 45 * time.Second,
+	}}
+	s := r.Summary()
+	if s.N != 4 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-37.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 37.5", s.Mean)
+	}
+	if s.Max != 45 {
+		t.Errorf("Max = %v, want 45", s.Max)
+	}
+}
+
+func TestRecoveryTimesConservative(t *testing.T) {
+	t.Parallel()
+	// The paper's HADB restart: measured ~40 s, modeled as 1 min.
+	r := RecoveryTimes{Samples: []time.Duration{
+		38 * time.Second, 40 * time.Second, 41 * time.Second,
+	}}
+	d, err := r.Conservative(100, 1.5)
+	if err != nil {
+		t.Fatalf("Conservative: %v", err)
+	}
+	if d < 60*time.Second || d > 62*time.Second {
+		t.Errorf("Conservative = %v, want ~61.5s", d)
+	}
+	if _, err := (RecoveryTimes{}).Conservative(100, 1); !errors.Is(err, ErrBadData) {
+		t.Errorf("empty: err = %v, want ErrBadData", err)
+	}
+	if _, err := r.Conservative(100, 0.5); !errors.Is(err, ErrBadData) {
+		t.Errorf("factor<1: err = %v, want ErrBadData", err)
+	}
+}
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	t.Parallel()
+	// Synthesize exponential inter-failure times at 52/yr ≈ 1/168h.
+	r := rand.New(rand.NewSource(3))
+	const mttf = 168.0
+	samples := make([]time.Duration, 500)
+	for i := range samples {
+		samples[i] = time.Duration(r.ExpFloat64() * mttf * float64(time.Hour))
+	}
+	fit, err := FitExponential(samples)
+	if err != nil {
+		t.Fatalf("FitExponential: %v", err)
+	}
+	if math.Abs(fit.MTBFHours-mttf) > 0.15*mttf {
+		t.Errorf("MTBF = %.1f h, want ~%.0f", fit.MTBFHours, mttf)
+	}
+	if fit.KSPValue < 0.01 {
+		t.Errorf("KS p = %v, exponential sample rejected", fit.KSPValue)
+	}
+	if fit.N != 500 {
+		t.Errorf("N = %d", fit.N)
+	}
+}
+
+func TestFitExponentialRejectsDeterministic(t *testing.T) {
+	t.Parallel()
+	// Constant inter-failure times are decisively not exponential.
+	samples := make([]time.Duration, 300)
+	for i := range samples {
+		samples[i] = 100 * time.Hour
+	}
+	fit, err := FitExponential(samples)
+	if err != nil {
+		t.Fatalf("FitExponential: %v", err)
+	}
+	if fit.KSPValue > 1e-6 {
+		t.Errorf("KS p = %v, deterministic sample should be rejected", fit.KSPValue)
+	}
+}
+
+func TestFitExponentialValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := FitExponential(nil); !errors.Is(err, ErrBadData) {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := FitExponential([]time.Duration{time.Hour, 0}); !errors.Is(err, ErrBadData) {
+		t.Errorf("zero sample: err = %v", err)
+	}
+}

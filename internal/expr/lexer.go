@@ -1,0 +1,194 @@
+// Package expr implements the small rate-expression language used in model
+// specifications: floating-point arithmetic over named parameters with
+// + - * / ^ operators, parentheses, unary minus, and a few math functions.
+// It is the equivalent of the `$Lambda1`-style parameter references RAScad
+// diagrams use on their transition arcs.
+package expr
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokNumber
+	tokIdent
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokCaret
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return "number"
+	case tokIdent:
+		return "identifier"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokCaret:
+		return "'^'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes a lexing or parsing failure with its byte offset.
+type SyntaxError struct {
+	Pos     int
+	Message string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: syntax error at offset %d: %s", e.Pos, e.Message)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch c {
+	case '+':
+		l.pos++
+		return token{tokPlus, "+", start}, nil
+	case '-':
+		l.pos++
+		return token{tokMinus, "-", start}, nil
+	case '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case '/':
+		l.pos++
+		return token{tokSlash, "/", start}, nil
+	case '^':
+		l.pos++
+		return token{tokCaret, "^", start}, nil
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	}
+	if isDigit(c) || c == '.' {
+		return l.lexNumber()
+	}
+	if isIdentStart(rune(c)) {
+		return l.lexIdent()
+	}
+	return token{}, &SyntaxError{Pos: start, Message: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	if text == "." {
+		return token{}, &SyntaxError{Pos: start, Message: "malformed number"}
+	}
+	return token{tokNumber, text, start}, nil
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	// Accept a leading '$' (RAScad-style parameter reference); it is
+	// stripped so "$La" and "La" name the same parameter.
+	if l.src[l.pos] == '$' {
+		l.pos++
+		if l.pos >= len(l.src) || !isIdentStart(rune(l.src[l.pos])) || l.src[l.pos] == '$' {
+			return token{}, &SyntaxError{Pos: start, Message: "'$' must be followed by a name"}
+		}
+	}
+	nameStart := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return token{tokIdent, l.src[nameStart:l.pos], start}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// tokenize is a test helper exposed within the package.
+func tokenize(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

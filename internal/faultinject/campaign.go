@@ -1,0 +1,226 @@
+// Package faultinject runs fault-injection campaigns against the
+// simulated testbed, reproducing the paper's §3 methodology: thousands of
+// injections across the fault taxonomy (process kills, fast-fails, network
+// cuts, power pulls) on AS instances and HADB nodes, single- and
+// multi-node (never both nodes of a pair), each followed by a recovery
+// verdict. The campaign report feeds the Equation (1) coverage estimator.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/estimate"
+	"repro/internal/jsas"
+	"repro/internal/testbed"
+)
+
+// ErrBadCampaign is reported for invalid campaign options.
+var ErrBadCampaign = errors.New("faultinject: invalid campaign")
+
+// Options configures a campaign.
+type Options struct {
+	Config jsas.Config
+	Params jsas.Params
+	// Timing overrides the testbed's measured-truth behavior (nil =
+	// defaults).
+	Timing *testbed.Timing
+	Seed   int64
+	// Injections is the number of injection experiments (paper: 3287).
+	Injections int
+	// Faults restricts the taxonomy (empty = all fault types).
+	Faults []testbed.Fault
+	// ASFraction is the probability an injection targets an AS instance
+	// rather than an HADB node (default 0.3 — the automated campaign
+	// focused on HADB).
+	ASFraction float64
+	// MultiNodeFraction is the probability an HADB injection
+	// simultaneously hits a second node in a *different* pair (paper:
+	// "multi-node (not in a pair) failures were induced"). Default 0.1.
+	MultiNodeFraction float64
+	// RecoveryTimeout bounds how long the campaign waits for full cluster
+	// health after an injection before declaring the recovery failed.
+	// Default 4 h (covers HW physical repair).
+	RecoveryTimeout time.Duration
+	// Confidences for the Equation (1) coverage bounds (default 0.95 and
+	// 0.995).
+	Confidences []float64
+}
+
+// Injection records one experiment.
+type Injection struct {
+	At        time.Duration
+	Target    string
+	Fault     testbed.Fault
+	MultiNode bool
+	// Recovered reports whether the cluster returned to full health
+	// within the timeout with no system-level outage.
+	Recovered bool
+	// RecoveryTime is the time from injection to full health.
+	RecoveryTime time.Duration
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Config     jsas.Config
+	Injections []Injection
+	// Successes counts recoveries with no system outage.
+	Successes int
+	// ByFault counts injections per fault type.
+	ByFault map[testbed.Fault]int
+	// CoverageBounds holds the Equation (1) bounds at each confidence.
+	CoverageBounds []estimate.CoverageBound
+	// RecoveryTimes collects per-(component/fault-class) observed
+	// recovery durations for the §5 parameter estimates.
+	RecoveryTimes map[string][]time.Duration
+}
+
+// SuccessRate returns the fraction of injections that recovered.
+func (r *Report) SuccessRate() float64 {
+	if len(r.Injections) == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(len(r.Injections))
+}
+
+// Run executes a campaign on a fresh cluster. Injections are performed
+// sequentially: the campaign waits for full health (or the timeout)
+// between experiments, as the paper's rigs did.
+func Run(opts Options) (*Report, error) {
+	if opts.Injections <= 0 {
+		return nil, fmt.Errorf("injections = %d: %w", opts.Injections, ErrBadCampaign)
+	}
+	if opts.ASFraction < 0 || opts.ASFraction > 1 {
+		return nil, fmt.Errorf("ASFraction = %g: %w", opts.ASFraction, ErrBadCampaign)
+	}
+	if opts.ASFraction == 0 {
+		opts.ASFraction = 0.3
+	}
+	if opts.MultiNodeFraction < 0 || opts.MultiNodeFraction > 1 {
+		return nil, fmt.Errorf("MultiNodeFraction = %g: %w", opts.MultiNodeFraction, ErrBadCampaign)
+	}
+	if opts.MultiNodeFraction == 0 {
+		opts.MultiNodeFraction = 0.1
+	}
+	if opts.RecoveryTimeout <= 0 {
+		opts.RecoveryTimeout = 4 * time.Hour
+	}
+	if len(opts.Faults) == 0 {
+		opts.Faults = testbed.Faults()
+	}
+	if len(opts.Confidences) == 0 {
+		opts.Confidences = []float64{0.95, 0.995}
+	}
+	if opts.Config.HADBPairs == 0 && opts.ASFraction < 1 {
+		return nil, fmt.Errorf("campaign needs HADB pairs or ASFraction=1: %w", ErrBadCampaign)
+	}
+	cluster, err := testbed.New(testbed.Options{
+		Config: opts.Config,
+		Params: opts.Params,
+		Timing: opts.Timing,
+		Seed:   opts.Seed,
+		// Organic failures off: every failure is an injection.
+	})
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: %w", err)
+	}
+	rng := cluster.Sim().RNG()
+	rep := &Report{
+		Config:        opts.Config,
+		ByFault:       make(map[testbed.Fault]int),
+		RecoveryTimes: make(map[string][]time.Duration),
+	}
+	for i := 0; i < opts.Injections; i++ {
+		if err := waitHealthy(cluster, opts.RecoveryTimeout); err != nil {
+			return nil, fmt.Errorf("faultinject: cluster did not settle before injection %d: %w", i, err)
+		}
+		fault := opts.Faults[rng.Intn(len(opts.Faults))]
+		inj := Injection{At: cluster.Now(), Fault: fault}
+		// Count closed-or-open outages before injecting: an injection that
+		// opens an outage must not count it as pre-existing.
+		outagesBefore := len(cluster.Stats().Outages)
+		if rng.Float64() < opts.ASFraction {
+			id := rng.Intn(opts.Config.ASInstances)
+			inj.Target = fmt.Sprintf("as-%d", id)
+			if err := cluster.InjectAS(id, fault); err != nil {
+				return nil, fmt.Errorf("faultinject: injection %d: %w", i, err)
+			}
+		} else {
+			pair := rng.Intn(opts.Config.HADBPairs)
+			slot := rng.Intn(2)
+			inj.Target = fmt.Sprintf("hadb-%d/%d", pair, slot)
+			if err := cluster.InjectHADB(pair, slot, fault); err != nil {
+				return nil, fmt.Errorf("faultinject: injection %d: %w", i, err)
+			}
+			// Multi-node: a simultaneous second injection in another pair.
+			if opts.Config.HADBPairs > 1 && rng.Float64() < opts.MultiNodeFraction {
+				other := (pair + 1 + rng.Intn(opts.Config.HADBPairs-1)) % opts.Config.HADBPairs
+				if err := cluster.InjectHADB(other, rng.Intn(2), fault); err != nil {
+					return nil, fmt.Errorf("faultinject: injection %d (multi-node): %w", i, err)
+				}
+				inj.MultiNode = true
+			}
+		}
+		healthyErr := waitHealthy(cluster, opts.RecoveryTimeout)
+		stats := cluster.Stats()
+		inj.RecoveryTime = cluster.Now() - inj.At
+		inj.Recovered = healthyErr == nil && len(stats.Outages) == outagesBefore
+		if inj.Recovered {
+			rep.Successes++
+		}
+		rep.ByFault[fault]++
+		rep.Injections = append(rep.Injections, inj)
+	}
+	// Collect the recovery-time samples for parameter estimation.
+	for _, rec := range cluster.Stats().Recoveries {
+		if !rec.Success {
+			continue
+		}
+		key := fmt.Sprintf("%s/%s", rec.Component, rec.Kind)
+		rep.RecoveryTimes[key] = append(rep.RecoveryTimes[key], rec.Duration)
+	}
+	for _, conf := range opts.Confidences {
+		b, err := estimate.CoverageLowerBound(len(rep.Injections), rep.Successes, conf)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: %w", err)
+		}
+		rep.CoverageBounds = append(rep.CoverageBounds, b)
+	}
+	return rep, nil
+}
+
+// waitHealthy advances the simulation in steps until every component is
+// serving, or the timeout elapses.
+func waitHealthy(c *testbed.Cluster, timeout time.Duration) error {
+	const step = 5 * time.Second
+	deadline := c.Now() + timeout
+	for {
+		if healthy(c.Snapshot()) {
+			return nil
+		}
+		if c.Now() >= deadline {
+			return fmt.Errorf("not healthy after %v: %w", timeout, ErrBadCampaign)
+		}
+		if err := c.Run(c.Now() + step); err != nil {
+			return err
+		}
+	}
+}
+
+func healthy(s testbed.Snapshot) bool {
+	if !s.SystemUp {
+		return false
+	}
+	for _, up := range s.ASUp {
+		if !up {
+			return false
+		}
+	}
+	for i, n := range s.PairActiveNodes {
+		if n != 2 || s.PairDown[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/jsas"
+	"repro/internal/testbed"
+)
+
+// perfectParams returns ground-truth parameters with FIR = 0, matching the
+// paper's observed testbed where all 3,000+ injections recovered.
+func perfectParams() jsas.Params {
+	p := jsas.DefaultParams()
+	p.FIR = 0
+	return p
+}
+
+func TestSmallCampaignAllRecover(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Options{
+		Config:     jsas.Config1,
+		Params:     perfectParams(),
+		Seed:       1,
+		Injections: 60,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Injections) != 60 {
+		t.Fatalf("injections = %d, want 60", len(rep.Injections))
+	}
+	if rep.Successes != 60 {
+		for _, inj := range rep.Injections {
+			if !inj.Recovered {
+				t.Logf("failed: %+v", inj)
+			}
+		}
+		t.Errorf("successes = %d, want 60 (FIR=0 ground truth)", rep.Successes)
+	}
+	if rep.SuccessRate() != 1 {
+		t.Errorf("success rate = %v, want 1", rep.SuccessRate())
+	}
+	// All recoveries observed in a bounded window.
+	for _, inj := range rep.Injections {
+		if inj.Recovered && inj.RecoveryTime <= 0 {
+			t.Errorf("non-positive recovery time: %+v", inj)
+		}
+	}
+	// Coverage bounds present and ordered (higher confidence → lower bound).
+	if len(rep.CoverageBounds) != 2 {
+		t.Fatalf("bounds = %d, want 2", len(rep.CoverageBounds))
+	}
+	if rep.CoverageBounds[1].Coverage >= rep.CoverageBounds[0].Coverage {
+		t.Error("99.5% bound should be below 95% bound")
+	}
+}
+
+// TestPaperScaleCampaign reproduces the paper's §5 estimate: 3287
+// injections, all successful, giving FIR ≤ 0.1% at 95% confidence and
+// ≤ 0.2% at 99.5%.
+func TestPaperScaleCampaign(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("3287-injection campaign")
+	}
+	rep, err := Run(Options{
+		Config:     jsas.Config1,
+		Params:     perfectParams(),
+		Seed:       2004,
+		Injections: 3287,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Successes != 3287 {
+		t.Fatalf("successes = %d/3287", rep.Successes)
+	}
+	fir95 := rep.CoverageBounds[0].FIR
+	if fir95 > 0.001 {
+		t.Errorf("FIR bound at 95%% = %v, want ≤ 0.001", fir95)
+	}
+	fir995 := rep.CoverageBounds[1].FIR
+	if fir995 > 0.002 {
+		t.Errorf("FIR bound at 99.5%% = %v, want ≤ 0.002", fir995)
+	}
+	// The campaign exercised the full taxonomy.
+	if len(rep.ByFault) != len(testbed.Faults()) {
+		t.Errorf("fault types exercised = %d, want %d", len(rep.ByFault), len(testbed.Faults()))
+	}
+	// Some multi-node experiments happened.
+	multi := 0
+	for _, inj := range rep.Injections {
+		if inj.MultiNode {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-node injections in a 3287-experiment campaign")
+	}
+	// Measured HADB process restarts land near the paper's ~40 s.
+	hadbRestarts := rep.RecoveryTimes["HADB/process"]
+	if len(hadbRestarts) == 0 {
+		t.Fatal("no HADB process recovery samples")
+	}
+	var sum time.Duration
+	for _, d := range hadbRestarts {
+		sum += d
+	}
+	mean := sum / time.Duration(len(hadbRestarts))
+	if mean < 30*time.Second || mean > 50*time.Second {
+		t.Errorf("mean HADB restart = %v, want ≈ 40 s", mean)
+	}
+}
+
+// TestImperfectRecoveryDetected: with a large ground-truth FIR the
+// campaign observes failures and the coverage bound drops accordingly.
+func TestImperfectRecoveryDetected(t *testing.T) {
+	t.Parallel()
+	p := jsas.DefaultParams()
+	p.FIR = 0.10 // exaggerated for a small campaign
+	rep, err := Run(Options{
+		Config:     jsas.Config1,
+		Params:     p,
+		Seed:       7,
+		Injections: 150,
+		ASFraction: 0.01, // focus on HADB where FIR applies
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Successes == len(rep.Injections) {
+		t.Error("campaign with FIR=0.10 ground truth saw no failures")
+	}
+	if rep.CoverageBounds[0].Coverage > 0.99 {
+		t.Errorf("coverage bound = %v, should reflect observed failures", rep.CoverageBounds[0].Coverage)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(Options{Config: jsas.Config1, Params: perfectParams(), Injections: 0}); !errors.Is(err, ErrBadCampaign) {
+		t.Errorf("0 injections: err = %v", err)
+	}
+	if _, err := Run(Options{Config: jsas.Config1, Params: perfectParams(), Injections: 1, ASFraction: 2}); !errors.Is(err, ErrBadCampaign) {
+		t.Errorf("bad fraction: err = %v", err)
+	}
+	if _, err := Run(Options{Config: jsas.Config1, Params: perfectParams(), Injections: 1, MultiNodeFraction: -1}); !errors.Is(err, ErrBadCampaign) {
+		t.Errorf("bad multi fraction: err = %v", err)
+	}
+	noHADB := jsas.Config{ASInstances: 2}
+	if _, err := Run(Options{Config: noHADB, Params: perfectParams(), Injections: 1, ASFraction: 0.5}); !errors.Is(err, ErrBadCampaign) {
+		t.Errorf("no pairs: err = %v", err)
+	}
+	if _, err := Run(Options{Config: jsas.Config{}, Params: perfectParams(), Injections: 1}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestCampaignASOnly(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Options{
+		Config:     jsas.Config{ASInstances: 4},
+		Params:     perfectParams(),
+		Seed:       3,
+		Injections: 20,
+		ASFraction: 1,
+		Faults:     []testbed.Fault{testbed.FaultProcessKill},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Successes != 20 {
+		t.Errorf("successes = %d, want 20", rep.Successes)
+	}
+	for _, inj := range rep.Injections {
+		if inj.Fault != testbed.FaultProcessKill {
+			t.Errorf("unexpected fault %v", inj.Fault)
+		}
+	}
+	// AS process recovery samples measured (restart < 25 s + health check).
+	samples := rep.RecoveryTimes["AS/process"]
+	if len(samples) != 20 {
+		t.Fatalf("AS samples = %d, want 20", len(samples))
+	}
+	for _, d := range samples {
+		if d > 90*time.Second {
+			t.Errorf("AS recovery %v exceeds 90 s budget", d)
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	t.Parallel()
+	run := func() *Report {
+		rep, err := Run(Options{
+			Config: jsas.Config1, Params: perfectParams(), Seed: 11, Injections: 30,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if len(a.Injections) != len(b.Injections) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Injections {
+		if a.Injections[i] != b.Injections[i] {
+			t.Fatalf("injection %d differs: %+v vs %+v", i, a.Injections[i], b.Injections[i])
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package hier
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ctmc"
+	"repro/internal/reward"
+)
+
+// twoStateBuilder returns a BuildFunc for a repairable component whose
+// failure/repair rates come from the named parameters.
+func twoStateBuilder(lambdaParam, muParam string) BuildFunc {
+	return func(p Params) (*reward.Structure, error) {
+		lambda, ok := p[lambdaParam]
+		if !ok {
+			return nil, errors.New("missing " + lambdaParam)
+		}
+		mu, ok := p[muParam]
+		if !ok {
+			return nil, errors.New("missing " + muParam)
+		}
+		b := ctmc.NewBuilder()
+		up := b.State("Up")
+		down := b.State("Down")
+		b.Transition(up, down, lambda)
+		b.Transition(down, up, mu)
+		m, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		return reward.Binary(m, "Down")
+	}
+}
+
+func TestEvaluateSingle(t *testing.T) {
+	t.Parallel()
+	c := NewComponent("leaf", twoStateBuilder("la", "mu"))
+	ev, err := Evaluate(c, Params{"la": 0.01, "mu": 1}, Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want := 1.0 / 1.01
+	if math.Abs(ev.Result.Availability-want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", ev.Result.Availability, want)
+	}
+	if ev.Name != "leaf" {
+		t.Errorf("Name = %q, want leaf", ev.Name)
+	}
+}
+
+func TestEvaluateHierarchyBindsChildRates(t *testing.T) {
+	t.Parallel()
+	// Child: a pure two-state model. Parent: a two-state model whose rates
+	// are exactly the child's equivalent rates. Then parent availability ==
+	// child availability (two-state reduction is exact for two-state).
+	child := NewComponent("child", twoStateBuilder("la", "mu"))
+	parent := NewComponent("parent", twoStateBuilder("La_child", "Mu_child"))
+	parent.Use(child, "La_child", "Mu_child")
+	ev, err := Evaluate(parent, Params{"la": 0.004, "mu": 2.5}, Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(ev.Children) != 1 {
+		t.Fatalf("children = %d, want 1", len(ev.Children))
+	}
+	childAvail := ev.Children[0].Result.Availability
+	if math.Abs(ev.Result.Availability-childAvail) > 1e-12 {
+		t.Errorf("parent availability %v != child %v", ev.Result.Availability, childAvail)
+	}
+}
+
+func TestEvaluateDoesNotMutateParams(t *testing.T) {
+	t.Parallel()
+	child := NewComponent("child", twoStateBuilder("la", "mu"))
+	parent := NewComponent("parent", twoStateBuilder("L", "M"))
+	parent.Use(child, "L", "M")
+	p := Params{"la": 0.1, "mu": 1}
+	if _, err := Evaluate(parent, p, Options{}); err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if _, ok := p["L"]; ok {
+		t.Error("Evaluate leaked child bindings into caller params")
+	}
+}
+
+func TestEvaluateCycle(t *testing.T) {
+	t.Parallel()
+	a := NewComponent("a", twoStateBuilder("x", "y"))
+	b := NewComponent("b", twoStateBuilder("x", "y"))
+	a.Use(b, "x", "y")
+	b.Use(a, "x", "y")
+	if _, err := Evaluate(a, Params{"x": 1, "y": 1}, Options{}); !errors.Is(err, ErrCycle) {
+		t.Errorf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestEvaluateSharedChildIsNotACycle(t *testing.T) {
+	t.Parallel()
+	// Diamond: parent uses the same child twice under different names.
+	child := NewComponent("child", twoStateBuilder("la", "mu"))
+	parent := NewComponent("parent", func(p Params) (*reward.Structure, error) {
+		b := ctmc.NewBuilder()
+		ok := b.State("Ok")
+		f1 := b.State("F1")
+		f2 := b.State("F2")
+		b.Transition(ok, f1, p["L1"])
+		b.Transition(f1, ok, p["M1"])
+		b.Transition(ok, f2, p["L2"])
+		b.Transition(f2, ok, p["M2"])
+		m, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		return reward.Binary(m, "F1", "F2")
+	})
+	parent.Use(child, "L1", "M1")
+	parent.Use(child, "L2", "M2")
+	ev, err := Evaluate(parent, Params{"la": 0.01, "mu": 1}, Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if len(ev.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(ev.Children))
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Evaluate(nil, nil, Options{}); !errors.Is(err, ErrBadComponent) {
+		t.Errorf("nil component: err = %v, want ErrBadComponent", err)
+	}
+	if _, err := Evaluate(NewComponent("x", nil), nil, Options{}); !errors.Is(err, ErrBadComponent) {
+		t.Errorf("nil build: err = %v, want ErrBadComponent", err)
+	}
+	// Build failure propagates with component name.
+	c := NewComponent("broken", twoStateBuilder("missing", "mu"))
+	if _, err := Evaluate(c, Params{}, Options{}); err == nil {
+		t.Error("expected build error")
+	}
+}
+
+func TestFind(t *testing.T) {
+	t.Parallel()
+	child := NewComponent("child", twoStateBuilder("la", "mu"))
+	parent := NewComponent("parent", twoStateBuilder("L", "M"))
+	parent.Use(child, "L", "M")
+	ev, err := Evaluate(parent, Params{"la": 0.1, "mu": 1}, Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if ev.Find("child") == nil {
+		t.Error("Find(child) = nil")
+	}
+	if ev.Find("parent") != ev {
+		t.Error("Find(parent) != root")
+	}
+	if ev.Find("nope") != nil {
+		t.Error("Find(nope) != nil")
+	}
+	var nilEv *Evaluation
+	if nilEv.Find("x") != nil {
+		t.Error("nil receiver Find should return nil")
+	}
+}
+
+func TestParamsClone(t *testing.T) {
+	t.Parallel()
+	p := Params{"a": 1}
+	c := p.Clone()
+	c["a"] = 2
+	if p["a"] != 1 {
+		t.Error("Clone shares storage")
+	}
+	if v, ok := p.Lookup("a"); !ok || v != 1 {
+		t.Errorf("Lookup = %v,%v", v, ok)
+	}
+	if _, ok := p.Lookup("zz"); ok {
+		t.Error("Lookup(zz) found")
+	}
+}
+
+// TestProductTwoIndependentComponents: for two independent repairable
+// components in series (system up iff both up), the flat product must give
+// availability A1·A2 exactly.
+func TestProductSeries(t *testing.T) {
+	t.Parallel()
+	mk := func(la, mu float64) *reward.Structure {
+		b := ctmc.NewBuilder()
+		up := b.State("Up")
+		down := b.State("Down")
+		b.Transition(up, down, la)
+		b.Transition(down, up, mu)
+		m, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		s, err := reward.Binary(m, "Down")
+		if err != nil {
+			t.Fatalf("Binary: %v", err)
+		}
+		return s
+	}
+	c1 := mk(0.01, 1)
+	c2 := mk(0.02, 4)
+	prod, err := Product([]*reward.Structure{c1, c2}, func(up []bool) bool {
+		return up[0] && up[1]
+	})
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	if prod.Model().NumStates() != 4 {
+		t.Fatalf("product states = %d, want 4", prod.Model().NumStates())
+	}
+	res, err := prod.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	a1 := 1 / 1.01
+	a2 := 4 / 4.02
+	if math.Abs(res.Availability-a1*a2) > 1e-12 {
+		t.Errorf("availability = %v, want %v", res.Availability, a1*a2)
+	}
+}
+
+// TestProductParallel: system up iff at least one component up (1-out-of-2).
+func TestProductParallel(t *testing.T) {
+	t.Parallel()
+	mk := func(la, mu float64) *reward.Structure {
+		b := ctmc.NewBuilder()
+		up := b.State("Up")
+		down := b.State("Down")
+		b.Transition(up, down, la)
+		b.Transition(down, up, mu)
+		m, _ := b.Build()
+		s, err := reward.Binary(m, "Down")
+		if err != nil {
+			t.Fatalf("Binary: %v", err)
+		}
+		return s
+	}
+	c := mk(1, 2) // A = 2/3, U = 1/3
+	prod, err := Product([]*reward.Structure{c, c}, func(up []bool) bool {
+		return up[0] || up[1]
+	})
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	res, err := prod.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := 1 - (1.0/3)*(1.0/3)
+	if math.Abs(res.Availability-want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", res.Availability, want)
+	}
+}
+
+func TestProductErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Product(nil, func([]bool) bool { return true }); !errors.Is(err, ErrBadComponent) {
+		t.Errorf("empty: err = %v, want ErrBadComponent", err)
+	}
+	b := ctmc.NewBuilder()
+	up := b.State("Up")
+	down := b.State("Down")
+	b.Transition(up, down, 1)
+	b.Transition(down, up, 1)
+	m, _ := b.Build()
+	s, err := reward.Binary(m, "Down")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	if _, err := Product([]*reward.Structure{s}, nil); !errors.Is(err, ErrBadComponent) {
+		t.Errorf("nil predicate: err = %v, want ErrBadComponent", err)
+	}
+}
+
+// TestHierarchyVsFlatAccuracy quantifies the hierarchical abstraction error
+// on a series system: for stiff repairable components the approximation is
+// accurate to well below 1% relative on unavailability.
+func TestHierarchyVsFlatAccuracy(t *testing.T) {
+	t.Parallel()
+	mk := twoStateBuilder("la", "mu")
+	c1 := NewComponent("c1", mk)
+	c2 := NewComponent("c2", mk)
+	top := NewComponent("top", func(p Params) (*reward.Structure, error) {
+		b := ctmc.NewBuilder()
+		ok := b.State("Ok")
+		f1 := b.State("F1")
+		f2 := b.State("F2")
+		b.Transition(ok, f1, p["L1"])
+		b.Transition(f1, ok, p["M1"])
+		b.Transition(ok, f2, p["L2"])
+		b.Transition(f2, ok, p["M2"])
+		m, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		return reward.Binary(m, "F1", "F2")
+	})
+	top.Use(c1, "L1", "M1")
+	top.Use(c2, "L2", "M2")
+	params := Params{"la": 0.001, "mu": 2}
+	ev, err := Evaluate(top, params, Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// Flat reference.
+	leaf, err := mk(params)
+	if err != nil {
+		t.Fatalf("leaf: %v", err)
+	}
+	flat, err := Product([]*reward.Structure{leaf, leaf}, func(up []bool) bool {
+		return up[0] && up[1]
+	})
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	fres, err := flat.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	uHier := 1 - ev.Result.Availability
+	uFlat := 1 - fres.Availability
+	if uFlat == 0 {
+		t.Fatal("flat unavailability is zero")
+	}
+	relErr := math.Abs(uHier-uFlat) / uFlat
+	if relErr > 0.01 {
+		t.Errorf("hierarchy error %.4f > 1%% (hier %g, flat %g)", relErr, uHier, uFlat)
+	}
+}
+
+func TestComponentName(t *testing.T) {
+	t.Parallel()
+	c := NewComponent("my component", nil)
+	if c.Name() != "my component" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}

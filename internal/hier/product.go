@@ -1,0 +1,140 @@
+package hier
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctmc"
+	"repro/internal/reward"
+)
+
+// Product composes independent Markov reward submodels into a single flat
+// model on the cross-product state space. Each component evolves with its
+// own transition rates (independence assumption); the composite state is up
+// when the predicate up(componentUp) holds, where componentUp[i] reports
+// whether component i is in a nonzero-reward state.
+//
+// This is the exact "flat" alternative to the hierarchical (λ_eq, μ_eq)
+// abstraction and is used to quantify the hierarchy's approximation error.
+// The state space grows as the product of component sizes; callers should
+// keep the composite below a few hundred thousand states.
+func Product(components []*reward.Structure, up func(componentUp []bool) bool) (*reward.Structure, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("no components: %w", ErrBadComponent)
+	}
+	if up == nil {
+		return nil, fmt.Errorf("nil up predicate: %w", ErrBadComponent)
+	}
+	sizes := make([]int, len(components))
+	total := 1
+	for i, c := range components {
+		sizes[i] = c.Model().NumStates()
+		if sizes[i] == 0 {
+			return nil, fmt.Errorf("component %d has no states: %w", i, ErrBadComponent)
+		}
+		if total > 1_000_000/sizes[i] {
+			return nil, fmt.Errorf("product state space exceeds 1e6 states: %w", ErrBadComponent)
+		}
+		total *= sizes[i]
+	}
+	b := ctmc.NewBuilder()
+	// State naming: "s0|s1|...|sk" by component state names.
+	names := make([]string, total)
+	statesOf := make([][]ctmc.State, len(components))
+	for i, c := range components {
+		statesOf[i] = c.Model().States()
+	}
+	idx := make([]int, len(components))
+	compose := func(idx []int) string {
+		parts := make([]string, len(idx))
+		for i, si := range idx {
+			parts[i] = components[i].Model().Name(ctmc.State(si))
+		}
+		return strings.Join(parts, "|")
+	}
+	for flat := 0; flat < total; flat++ {
+		names[flat] = compose(idx)
+		b.State(names[flat])
+		increment(idx, sizes)
+	}
+	// Transitions: component i moving s→t maps every composite state with
+	// component i at s to the same composite with component i at t.
+	strides := make([]int, len(components))
+	stride := 1
+	for i := len(components) - 1; i >= 0; i-- {
+		strides[i] = stride
+		stride *= sizes[i]
+	}
+	for i, c := range components {
+		for _, tr := range c.Model().Transitions() {
+			// Iterate all composite states with component i in tr.From.
+			forEachComposite(sizes, i, int(tr.From), func(flat int) {
+				to := flat + (int(tr.To)-int(tr.From))*strides[i]
+				b.Transition(ctmc.State(flat), ctmc.State(to), tr.Rate)
+			})
+		}
+	}
+	model, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("product build: %w", err)
+	}
+	// Rewards: decode each flat index, ask the predicate.
+	rates := make([]float64, total)
+	decode := make([]int, len(components))
+	compUp := make([]bool, len(components))
+	for flat := 0; flat < total; flat++ {
+		rem := flat
+		for i := range components {
+			decode[i] = rem / strides[i]
+			rem %= strides[i]
+			compUp[i] = components[i].Rate(ctmc.State(decode[i])) > 0
+		}
+		if up(compUp) {
+			rates[flat] = 1
+		}
+	}
+	return reward.New(model, rates)
+}
+
+// increment advances a mixed-radix counter (most significant digit first).
+func increment(idx, sizes []int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < sizes[i] {
+			return
+		}
+		idx[i] = 0
+	}
+}
+
+// forEachComposite visits every flat composite index whose component comp
+// is fixed at state fixed.
+func forEachComposite(sizes []int, comp, fixed int, fn func(flat int)) {
+	idx := make([]int, len(sizes))
+	idx[comp] = fixed
+	for {
+		// Mixed-radix flat index, most significant digit first.
+		flat := 0
+		for i := 0; i < len(sizes); i++ {
+			flat = flat*sizes[i] + idx[i]
+		}
+		fn(flat)
+		// Advance all digits except comp.
+		i := len(idx) - 1
+		for i >= 0 {
+			if i == comp {
+				i--
+				continue
+			}
+			idx[i]++
+			if idx[i] < sizes[i] {
+				break
+			}
+			idx[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package httpapi exposes the modeling engine as a small JSON-over-HTTP
+// service, so the solver can back dashboards and capacity planners without
+// linking Go code: POST a model document, get availability measures back.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/ctmc"
+	"repro/internal/jsas"
+	"repro/internal/reward"
+	"repro/internal/spec"
+	"repro/internal/uncertainty"
+)
+
+// maxBodyBytes bounds accepted request bodies (model documents are small).
+const maxBodyBytes = 1 << 20
+
+// SolveResponse is the JSON result for a flat model solve.
+type SolveResponse struct {
+	Model                 string             `json:"model"`
+	States                int                `json:"states"`
+	Availability          float64            `json:"availability"`
+	ExpectedReward        float64            `json:"expectedReward"`
+	YearlyDowntimeMinutes float64            `json:"yearlyDowntimeMinutes"`
+	MTBFHours             float64            `json:"mtbfHours,omitempty"`
+	LambdaEq              float64            `json:"lambdaEqPerHour"`
+	MuEq                  float64            `json:"muEqPerHour"`
+	Pi                    map[string]float64 `json:"steadyState"`
+}
+
+// HierSolveResponse is the JSON result for a hierarchical solve.
+type HierSolveResponse struct {
+	Name                  string              `json:"name"`
+	Availability          float64             `json:"availability"`
+	YearlyDowntimeMinutes float64             `json:"yearlyDowntimeMinutes"`
+	LambdaEq              float64             `json:"lambdaEqPerHour"`
+	MuEq                  float64             `json:"muEqPerHour"`
+	Children              []HierSolveResponse `json:"children,omitempty"`
+}
+
+// JSASResponse is the JSON result for a JSAS configuration solve.
+type JSASResponse struct {
+	Instances             int     `json:"instances"`
+	Pairs                 int     `json:"pairs"`
+	Spares                int     `json:"spares"`
+	Availability          float64 `json:"availability"`
+	YearlyDowntimeMinutes float64 `json:"yearlyDowntimeMinutes"`
+	DowntimeASMinutes     float64 `json:"downtimeASMinutes"`
+	DowntimeHADBMinutes   float64 `json:"downtimeHADBMinutes"`
+	MTBFHours             float64 `json:"mtbfHours"`
+}
+
+// UncertaintyResponse is the JSON result for a JSAS uncertainty analysis.
+type UncertaintyResponse struct {
+	Instances       int     `json:"instances"`
+	Pairs           int     `json:"pairs"`
+	Samples         int     `json:"samples"`
+	MeanDowntimeMin float64 `json:"meanDowntimeMinutes"`
+	CI80Low         float64 `json:"ci80Low"`
+	CI80High        float64 `json:"ci80High"`
+	CI90Low         float64 `json:"ci90Low"`
+	CI90High        float64 `json:"ci90High"`
+	// FractionFiveNines is the share of sampled deployments above
+	// 99.999% availability.
+	FractionFiveNines float64 `json:"fractionFiveNines"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the service's HTTP handler:
+//
+//	GET  /healthz               liveness probe
+//	POST /v1/solve              flat spec.Document → SolveResponse
+//	POST /v1/solve-hierarchy    spec.HierDocument → HierSolveResponse
+//	GET  /v1/jsas               ?instances=&pairs=&spares= → JSASResponse
+//	GET  /v1/jsas/uncertainty   ?instances=&pairs=&samples=&seed= →
+//	                            UncertaintyResponse
+func NewHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("POST /v1/solve", handleSolve)
+	mux.HandleFunc("POST /v1/solve-hierarchy", handleSolveHierarchy)
+	mux.HandleFunc("GET /v1/jsas", handleJSAS)
+	mux.HandleFunc("GET /v1/jsas/uncertainty", handleJSASUncertainty)
+	return mux
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleSolve(w http.ResponseWriter, r *http.Request) {
+	doc, err := spec.Parse(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	structure, err := doc.Compile(nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := structure.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		writeError(w, statusForSolveError(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse(doc.Name, structure, res))
+}
+
+func solveResponse(name string, s *reward.Structure, res *reward.Result) SolveResponse {
+	m := s.Model()
+	pi := make(map[string]float64, m.NumStates())
+	for _, st := range m.States() {
+		pi[m.Name(st)] = res.Pi[st]
+	}
+	return SolveResponse{
+		Model:                 name,
+		States:                m.NumStates(),
+		Availability:          res.Availability,
+		ExpectedReward:        res.ExpectedReward,
+		YearlyDowntimeMinutes: res.YearlyDowntimeMinutes,
+		MTBFHours:             res.MTBFHours,
+		LambdaEq:              res.LambdaEq,
+		MuEq:                  res.MuEq,
+		Pi:                    pi,
+	}
+}
+
+func handleSolveHierarchy(w http.ResponseWriter, r *http.Request) {
+	doc, err := spec.ParseHier(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ev, err := doc.Solve(nil)
+	if err != nil {
+		writeError(w, statusForSolveError(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hierResponse(ev))
+}
+
+func hierResponse(ev *spec.HierEvaluation) HierSolveResponse {
+	out := HierSolveResponse{
+		Name:                  ev.Name,
+		Availability:          ev.Result.Availability,
+		YearlyDowntimeMinutes: ev.Result.YearlyDowntimeMinutes,
+		LambdaEq:              ev.Result.LambdaEq,
+		MuEq:                  ev.Result.MuEq,
+	}
+	for _, c := range ev.Children {
+		out.Children = append(out.Children, hierResponse(c))
+	}
+	return out
+}
+
+func handleJSAS(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cfg := jsas.Config{}
+	var err error
+	if cfg.ASInstances, err = intParam(q.Get("instances"), 2); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("instances: %w", err))
+		return
+	}
+	if cfg.HADBPairs, err = intParam(q.Get("pairs"), 2); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("pairs: %w", err))
+		return
+	}
+	if cfg.HADBSpares, err = intParam(q.Get("spares"), 2); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("spares: %w", err))
+		return
+	}
+	res, err := jsas.Solve(cfg, jsas.DefaultParams())
+	if err != nil {
+		if errors.Is(err, jsas.ErrBadConfig) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, JSASResponse{
+		Instances:             cfg.ASInstances,
+		Pairs:                 cfg.HADBPairs,
+		Spares:                cfg.HADBSpares,
+		Availability:          res.Availability,
+		YearlyDowntimeMinutes: res.YearlyDowntimeMinutes,
+		DowntimeASMinutes:     res.DowntimeASMinutes,
+		DowntimeHADBMinutes:   res.DowntimeHADBMinutes,
+		MTBFHours:             res.MTBFHours,
+	})
+}
+
+// maxUncertaintySamples bounds per-request Monte-Carlo work.
+const maxUncertaintySamples = 20000
+
+func handleJSASUncertainty(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cfg := jsas.Config{HADBSpares: 2}
+	var err error
+	if cfg.ASInstances, err = intParam(q.Get("instances"), 2); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("instances: %w", err))
+		return
+	}
+	if cfg.HADBPairs, err = intParam(q.Get("pairs"), 2); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("pairs: %w", err))
+		return
+	}
+	samples, err := intParam(q.Get("samples"), 1000)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("samples: %w", err))
+		return
+	}
+	if samples <= 0 || samples > maxUncertaintySamples {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("samples %d outside (0, %d]", samples, maxUncertaintySamples))
+		return
+	}
+	seed64, err := intParam(q.Get("seed"), 2004)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("seed: %w", err))
+		return
+	}
+	res, err := uncertainty.Run(
+		jsas.PaperUncertaintyRanges(),
+		jsas.UncertaintySolver(cfg, jsas.DefaultParams()),
+		uncertainty.Options{Samples: samples, Seed: int64(seed64)},
+	)
+	if err != nil {
+		if errors.Is(err, jsas.ErrBadConfig) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ci80 := res.CIs[0.80]
+	ci90 := res.CIs[0.90]
+	writeJSON(w, http.StatusOK, UncertaintyResponse{
+		Instances:         cfg.ASInstances,
+		Pairs:             cfg.HADBPairs,
+		Samples:           res.Summary.N,
+		MeanDowntimeMin:   res.Summary.Mean,
+		CI80Low:           ci80.Low,
+		CI80High:          ci80.High,
+		CI90Low:           ci90.Low,
+		CI90High:          ci90.High,
+		FractionFiveNines: res.FractionBelow(5.25),
+	})
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("want an integer, got %q", s)
+	}
+	return v, nil
+}
+
+// statusForSolveError maps model-domain failures to 422 (the document was
+// well-formed but unsolvable) and everything else to 500.
+func statusForSolveError(err error) int {
+	if errors.Is(err, ctmc.ErrNotIrreducible) || errors.Is(err, ctmc.ErrBadModel) ||
+		errors.Is(err, spec.ErrBadSpec) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header are unrecoverable mid-stream; the
+	// types marshaled here cannot fail.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

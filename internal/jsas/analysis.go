@@ -1,0 +1,122 @@
+package jsas
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sensitivity"
+	"repro/internal/uncertainty"
+)
+
+// Uncertainty-analysis parameter names (paper §7). Rates are per year,
+// Tstart_long is in hours, FIR is a fraction. The OS and HW rates apply to
+// both AS and HADB nodes, as in the paper's parameter table.
+const (
+	ParamASFailures   = "La_as"       // AS failure rate, 10–50 /year
+	ParamHADBFailures = "La_hadb"     // HADB failure rate, 1–4 /year
+	ParamOSFailures   = "La_os"       // OS failure rate, 0.5–2 /year
+	ParamHWFailures   = "La_hw"       // HW failure rate, 0.5–2 /year
+	ParamTstartLong   = "Tstart_long" // AS HW/OS recovery time, 0.5–3 h
+	ParamFIR          = "FIR"         // fraction of imperfect recovery, 0–0.2%
+)
+
+// PaperUncertaintyRanges returns the six sampled parameter ranges of the
+// paper's uncertainty analysis (§7).
+func PaperUncertaintyRanges() []uncertainty.Range {
+	return []uncertainty.Range{
+		{Name: ParamASFailures, Low: 10, High: 50},
+		{Name: ParamHADBFailures, Low: 1, High: 4},
+		{Name: ParamOSFailures, Low: 0.5, High: 2},
+		{Name: ParamHWFailures, Low: 0.5, High: 2},
+		{Name: ParamTstartLong, Low: 0.5, High: 3},
+		{Name: ParamFIR, Low: 0, High: 0.002},
+	}
+}
+
+// ApplyOverrides returns a copy of p with the named analysis parameters
+// replaced. Unknown names yield an error.
+func ApplyOverrides(p Params, overrides map[string]float64) (Params, error) {
+	for name, v := range overrides {
+		switch name {
+		case ParamASFailures:
+			p.ASFailuresPerYear = v
+		case ParamHADBFailures:
+			p.HADBFailuresPerYear = v
+		case ParamOSFailures:
+			p.ASOSFailuresPerYear = v
+			p.HADBOSFailuresPerYear = v
+		case ParamHWFailures:
+			p.ASHWFailuresPerYear = v
+			p.HADBHWFailuresPerYear = v
+		case ParamTstartLong:
+			p.ASRestartLong = time.Duration(v * float64(time.Hour))
+		case ParamFIR:
+			p.FIR = v
+		default:
+			return Params{}, fmt.Errorf("unknown analysis parameter %q: %w", name, ErrBadConfig)
+		}
+	}
+	return p, nil
+}
+
+// UncertaintySolver adapts a configuration to the uncertainty package: each
+// sampled assignment is applied over the base parameters and the hierarchy
+// re-solved for yearly downtime.
+func UncertaintySolver(cfg Config, base Params) uncertainty.Solver {
+	return func(assignment map[string]float64) (float64, error) {
+		p, err := ApplyOverrides(base, assignment)
+		if err != nil {
+			return 0, err
+		}
+		res, err := Solve(cfg, p)
+		if err != nil {
+			return 0, err
+		}
+		return res.YearlyDowntimeMinutes, nil
+	}
+}
+
+// PaperImportanceRanges returns the six uncertainty parameters with their
+// Section 5 nominal values and Section 7 ranges, ready for the
+// one-at-a-time importance analysis in package sensitivity.
+func PaperImportanceRanges(base Params) []sensitivity.ImportanceRange {
+	return []sensitivity.ImportanceRange{
+		{Name: ParamASFailures, Base: base.ASFailuresPerYear, Low: 10, High: 50},
+		{Name: ParamHADBFailures, Base: base.HADBFailuresPerYear, Low: 1, High: 4},
+		{Name: ParamOSFailures, Base: base.ASOSFailuresPerYear, Low: 0.5, High: 2},
+		{Name: ParamHWFailures, Base: base.ASHWFailuresPerYear, Low: 0.5, High: 2},
+		{Name: ParamTstartLong, Base: base.ASRestartLong.Hours(), Low: 0.5, High: 3},
+		{Name: ParamFIR, Base: base.FIR, Low: 0, High: 0.002},
+	}
+}
+
+// ImportanceSolver adapts a configuration to the importance analysis: the
+// measure is yearly downtime in minutes.
+func ImportanceSolver(cfg Config, base Params) sensitivity.MultiSolver {
+	return sensitivity.MultiSolver(UncertaintySolver(cfg, base))
+}
+
+// TstartLongSweepSolver adapts a configuration to the sensitivity package
+// for the paper's Figures 5/6 sweep: the swept value is the AS HW/OS
+// recovery time in hours.
+func TstartLongSweepSolver(cfg Config, base Params) sensitivity.Solver {
+	return SweepSolver(cfg, base, ParamTstartLong)
+}
+
+// SweepSolver generalizes the Figures 5/6 sweep to any of the §7 analysis
+// parameters (see the Param* constants): the swept value is the parameter
+// in its natural unit (per year for rates, hours for Tstart_long, a
+// fraction for FIR).
+func SweepSolver(cfg Config, base Params, param string) sensitivity.Solver {
+	return func(value float64) (float64, float64, error) {
+		p, err := ApplyOverrides(base, map[string]float64{param: value})
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := Solve(cfg, p)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Availability, res.YearlyDowntimeMinutes, nil
+	}
+}

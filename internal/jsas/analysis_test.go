@@ -1,0 +1,232 @@
+package jsas
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sensitivity"
+	"repro/internal/uncertainty"
+)
+
+func TestApplyOverrides(t *testing.T) {
+	t.Parallel()
+	base := DefaultParams()
+	p, err := ApplyOverrides(base, map[string]float64{
+		ParamASFailures:   20,
+		ParamHADBFailures: 3,
+		ParamOSFailures:   0.7,
+		ParamHWFailures:   1.5,
+		ParamTstartLong:   2.5,
+		ParamFIR:          0.0015,
+	})
+	if err != nil {
+		t.Fatalf("ApplyOverrides: %v", err)
+	}
+	if p.ASFailuresPerYear != 20 || p.HADBFailuresPerYear != 3 {
+		t.Error("failure rates not applied")
+	}
+	// OS/HW overrides apply to both node types.
+	if p.ASOSFailuresPerYear != 0.7 || p.HADBOSFailuresPerYear != 0.7 {
+		t.Error("OS rate not applied to both tiers")
+	}
+	if p.ASHWFailuresPerYear != 1.5 || p.HADBHWFailuresPerYear != 1.5 {
+		t.Error("HW rate not applied to both tiers")
+	}
+	if p.ASRestartLong != 150*time.Minute {
+		t.Errorf("Tstart_long = %v, want 2.5h", p.ASRestartLong)
+	}
+	if p.FIR != 0.0015 {
+		t.Errorf("FIR = %v", p.FIR)
+	}
+	// Base untouched.
+	if base.ASFailuresPerYear != 50 {
+		t.Error("ApplyOverrides mutated base")
+	}
+	if _, err := ApplyOverrides(base, map[string]float64{"bogus": 1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unknown name: err = %v", err)
+	}
+}
+
+func TestPaperUncertaintyRangesMatchPaper(t *testing.T) {
+	t.Parallel()
+	ranges := PaperUncertaintyRanges()
+	if len(ranges) != 6 {
+		t.Fatalf("ranges = %d, want 6", len(ranges))
+	}
+	want := map[string][2]float64{
+		ParamASFailures:   {10, 50},
+		ParamHADBFailures: {1, 4},
+		ParamOSFailures:   {0.5, 2},
+		ParamHWFailures:   {0.5, 2},
+		ParamTstartLong:   {0.5, 3},
+		ParamFIR:          {0, 0.002},
+	}
+	for _, r := range ranges {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected range %q", r.Name)
+			continue
+		}
+		if r.Low != w[0] || r.High != w[1] {
+			t.Errorf("%s = [%g, %g], want [%g, %g]", r.Name, r.Low, r.High, w[0], w[1])
+		}
+	}
+}
+
+// TestFigure7Uncertainty reproduces the paper's Config 1 uncertainty
+// analysis: mean yearly downtime ≈ 3.78 min with 80% CI ≈ (1.89, 6.02) and
+// over 80% of systems below 5.25 min/yr. Monte-Carlo with a different RNG
+// won't match exactly; tolerances reflect sampling noise at n=1000.
+func TestFigure7Uncertainty(t *testing.T) {
+	t.Parallel()
+	res, err := uncertainty.Run(
+		PaperUncertaintyRanges(),
+		UncertaintySolver(Config1, DefaultParams()),
+		uncertainty.Options{Samples: 1000, Seed: 2004},
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(res.Summary.Mean-3.78) > 0.45 {
+		t.Errorf("mean = %.2f min, paper 3.78", res.Summary.Mean)
+	}
+	ci := res.CIs[0.80]
+	if math.Abs(ci.Low-1.89) > 0.5 || math.Abs(ci.High-6.02) > 0.8 {
+		t.Errorf("80%% CI = (%.2f, %.2f), paper (1.89, 6.02)", ci.Low, ci.High)
+	}
+	if frac := res.FractionBelow(5.25); frac < 0.78 {
+		t.Errorf("fraction below 5.25 min = %.3f, paper > 0.80", frac)
+	}
+}
+
+// TestFigure8Uncertainty reproduces the Config 2 analysis: mean ≈ 2.99 min,
+// 80% CI ≈ (1.01, 5.19), over 90% below 5.25 min/yr.
+func TestFigure8Uncertainty(t *testing.T) {
+	t.Parallel()
+	res, err := uncertainty.Run(
+		PaperUncertaintyRanges(),
+		UncertaintySolver(Config2, DefaultParams()),
+		uncertainty.Options{Samples: 1000, Seed: 2004},
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(res.Summary.Mean-2.99) > 0.4 {
+		t.Errorf("mean = %.2f min, paper 2.99", res.Summary.Mean)
+	}
+	ci := res.CIs[0.80]
+	if math.Abs(ci.Low-1.01) > 0.4 || math.Abs(ci.High-5.19) > 0.8 {
+		t.Errorf("80%% CI = (%.2f, %.2f), paper (1.01, 5.19)", ci.Low, ci.High)
+	}
+	if frac := res.FractionBelow(5.25); frac < 0.85 {
+		t.Errorf("fraction below 5.25 min = %.3f, paper > 0.90", frac)
+	}
+}
+
+// TestFigure5SweepShape reproduces the Figure 5 sweep: Config 1
+// availability declines monotonically in Tstart_long and crosses below
+// five nines between 2 and 3 hours.
+func TestFigure5SweepShape(t *testing.T) {
+	t.Parallel()
+	pts, err := sensitivity.Sweep(0.5, 3, 10, TstartLongSweepSolver(Config1, DefaultParams()))
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Availability >= pts[i-1].Availability {
+			t.Errorf("availability not monotone at step %d", i)
+		}
+	}
+	cross, ok := sensitivity.CrossingBelow(pts, 0.99999)
+	if !ok {
+		t.Fatal("no five-nines crossing found for Config 1")
+	}
+	if cross < 2.0 || cross > 3.0 {
+		t.Errorf("crossing at %.2f h, paper ≈ 2.5 h", cross)
+	}
+}
+
+// TestFigure6SweepShape: Config 2 stays above 99.9995% across the sweep
+// and is nearly flat (the paper's 10⁻⁹-scale axis).
+func TestFigure6SweepShape(t *testing.T) {
+	t.Parallel()
+	pts, err := sensitivity.Sweep(0.5, 3, 10, TstartLongSweepSolver(Config2, DefaultParams()))
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for _, p := range pts {
+		if p.Availability < 0.999995 {
+			t.Errorf("availability %.9f at %.2f h below 99.9995%%", p.Availability, p.Value)
+		}
+	}
+	if d := sensitivity.MaxDelta(pts); d > 5e-9 {
+		t.Errorf("MaxDelta = %.3g, want < 5e-9 (paper's flat curve)", d)
+	}
+}
+
+// TestSweepSolverGeneralizes: sweeping La_as over the §7 range moves
+// downtime monotonically; unknown parameters error.
+func TestSweepSolverGeneralizes(t *testing.T) {
+	t.Parallel()
+	pts, err := sensitivity.Sweep(10, 50, 4, SweepSolver(Config1, DefaultParams(), ParamASFailures))
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].YearlyDowntimeMinutes <= pts[i-1].YearlyDowntimeMinutes {
+			t.Errorf("downtime not increasing in La_as at step %d", i)
+		}
+	}
+	if _, _, err := SweepSolver(Config1, DefaultParams(), "bogus")(1); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+// TestSweepFIR: downtime grows linearly in FIR for Config 2 (FIR drives
+// the dominant HADB pair-loss path).
+func TestSweepFIR(t *testing.T) {
+	t.Parallel()
+	pts, err := sensitivity.Sweep(0.0005, 0.002, 3, SweepSolver(Config2, DefaultParams(), ParamFIR))
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	first := pts[1].YearlyDowntimeMinutes - pts[0].YearlyDowntimeMinutes
+	last := pts[3].YearlyDowntimeMinutes - pts[2].YearlyDowntimeMinutes
+	if first <= 0 || math.Abs(first-last) > 0.05*first {
+		t.Errorf("FIR response not linear: steps %v vs %v", first, last)
+	}
+}
+
+// TestUncertaintyCorrelations: the Monte-Carlo sample itself reveals the
+// variance drivers — La_as dominates Config 1's downtime spread while
+// Tstart_long is irrelevant for Config 2's.
+func TestUncertaintyCorrelations(t *testing.T) {
+	t.Parallel()
+	run := func(cfg Config) map[string]float64 {
+		res, err := uncertainty.Run(
+			PaperUncertaintyRanges(),
+			UncertaintySolver(cfg, DefaultParams()),
+			uncertainty.Options{Samples: 600, Seed: 9},
+		)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.Correlations()
+	}
+	c1 := run(Config1)
+	if c1[ParamASFailures] < 0.3 {
+		t.Errorf("Config1 corr(La_as) = %.3f, want strong positive", c1[ParamASFailures])
+	}
+	if c1[ParamTstartLong] < 0.1 {
+		t.Errorf("Config1 corr(Tstart_long) = %.3f, want positive", c1[ParamTstartLong])
+	}
+	c2 := run(Config2)
+	if c2[ParamFIR] < 0.3 {
+		t.Errorf("Config2 corr(FIR) = %.3f, want strong positive", c2[ParamFIR])
+	}
+	if math.Abs(c2[ParamTstartLong]) > 0.1 {
+		t.Errorf("Config2 corr(Tstart_long) = %.3f, want ~0", c2[ParamTstartLong])
+	}
+}

@@ -1,0 +1,167 @@
+package jsas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctmc"
+	"repro/internal/reward"
+)
+
+// Application Server model state names. For the 2-instance model these
+// correspond one-to-one to Figure 4 of the paper; for other instance
+// counts the phase states are named systematically (see phaseName).
+const (
+	ASStateAllWork = "All_Work"
+	ASStateAllDown = "All_Down"
+)
+
+// phaseName names the degraded state with r instances in session-recovery
+// phase, s in short restart, and l in long restart.
+func phaseName(r, s, l int) string {
+	if r+s+l == 0 {
+		return ASStateAllWork
+	}
+	return fmt.Sprintf("R%dS%dL%d", r, s, l)
+}
+
+// Figure 4 state names for the 2-instance model.
+const (
+	as2Recovery  = "Recovery"
+	as2DownShort = "1DownShort"
+	as2DownLong  = "1DownLong"
+)
+
+// BuildAppServer constructs the Application Server cluster model for n
+// instances, generalizing Figure 4 of the paper:
+//
+//   - Each failure sends one instance through a session Recovery phase
+//     (Trecovery), then with probability FSS = La_as/La into a short
+//     restart (Tstart_short) or with 1−FSS into a long restart
+//     (Tstart_long).
+//   - While d instances are down, each surviving instance fails at the
+//     workload-accelerated rate λ·Acc^d (paper §4: La_i = La_0·2^i); a
+//     failure that downs the last instance enters the All_Down failure
+//     state directly.
+//   - All_Down is restored by operator intervention at rate 1/Tstart_all.
+//
+// For n = 2 this reduces exactly to Figure 4 (states All_Work, Recovery,
+// 1DownShort, 1DownLong, 2_Down — here named All_Down).
+//
+// For n = 1 there is no failover: the instance alternates between up and
+// restarting (short for AS failures, long for HW/OS), matching the
+// 1-instance row of Table 3.
+func BuildAppServer(p Params, n int) (*reward.Structure, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("instance count %d, want ≥ 1: %w", n, ErrBadConfig)
+	}
+	if n == 1 {
+		return buildAS1(p)
+	}
+	return buildASCluster(p, n)
+}
+
+// buildAS1 is the no-redundancy single instance model (Table 3 row 1).
+func buildAS1(p Params) (*reward.Structure, error) {
+	laAS := p.ASFailuresPerYear / hoursPerYear
+	laLong := (p.ASOSFailuresPerYear + p.ASHWFailuresPerYear) / hoursPerYear
+	b := ctmc.NewBuilder()
+	up := b.State(ASStateAllWork)
+	short := b.State(as2DownShort)
+	long := b.State(as2DownLong)
+	b.Transition(up, short, laAS)
+	b.Transition(up, long, laLong)
+	b.Transition(short, up, 1/p.ASRestartShort.Hours())
+	b.Transition(long, up, 1/p.ASRestartLong.Hours())
+	m, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("AS 1-instance model: %w", err)
+	}
+	s, err := reward.Binary(m, as2DownShort, as2DownLong)
+	if err != nil {
+		return nil, fmt.Errorf("AS 1-instance model: %w", err)
+	}
+	return s, nil
+}
+
+// asPhase identifies a degraded cluster state by the number of instances
+// in each recovery phase.
+type asPhase struct{ r, s, l int }
+
+// buildASCluster is the phase-tracking n ≥ 2 model.
+func buildASCluster(p Params, n int) (*reward.Structure, error) {
+	la := p.asInstanceFailurePerHour()
+	fss := p.fractionShortStart()
+	trec := p.SessionRecovery.Hours()
+	tss := p.ASRestartShort.Hours()
+	tsl := p.ASRestartLong.Hours()
+	acc := p.Acceleration
+
+	b := ctmc.NewBuilder()
+	states := make(map[asPhase]ctmc.State)
+	// Enumerate all phases with r+s+l ≤ n−1 (d = n means All_Down).
+	for r := 0; r <= n-1; r++ {
+		for s := 0; s+r <= n-1; s++ {
+			for l := 0; l+s+r <= n-1; l++ {
+				name := phaseName(r, s, l)
+				if n == 2 {
+					// Use the paper's Figure 4 names.
+					switch (asPhase{r, s, l}) {
+					case asPhase{1, 0, 0}:
+						name = as2Recovery
+					case asPhase{0, 1, 0}:
+						name = as2DownShort
+					case asPhase{0, 0, 1}:
+						name = as2DownLong
+					}
+				}
+				states[asPhase{r, s, l}] = b.State(name)
+			}
+		}
+	}
+	allDown := b.State(ASStateAllDown)
+
+	for ph, st := range states {
+		d := ph.r + ph.s + ph.l
+		// Failure of one of the n−d surviving instances at accelerated
+		// per-instance rate λ·Acc^d.
+		failRate := float64(n-d) * la * math.Pow(acc, float64(d))
+		if d+1 == n {
+			b.Transition(st, allDown, failRate)
+		} else {
+			b.Transition(st, states[asPhase{ph.r + 1, ph.s, ph.l}], failRate)
+		}
+		// Session-recovery phase completions split short/long.
+		if ph.r > 0 {
+			rate := float64(ph.r) / trec
+			if fss > 0 {
+				b.Transition(st, states[asPhase{ph.r - 1, ph.s + 1, ph.l}], rate*fss)
+			}
+			if fss < 1 {
+				b.Transition(st, states[asPhase{ph.r - 1, ph.s, ph.l + 1}], rate*(1-fss))
+			}
+		}
+		// Restart completions.
+		if ph.s > 0 {
+			b.Transition(st, states[asPhase{ph.r, ph.s - 1, ph.l}], float64(ph.s)/tss)
+		}
+		if ph.l > 0 {
+			b.Transition(st, states[asPhase{ph.r, ph.s, ph.l - 1}], float64(ph.l)/tsl)
+		}
+	}
+	// Operator restore from All_Down back to full service.
+	b.Transition(allDown, states[asPhase{0, 0, 0}], 1/p.ASRestoreAll.Hours())
+
+	m, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("AS %d-instance model: %w", n, err)
+	}
+	s, err := reward.Binary(m, ASStateAllDown)
+	if err != nil {
+		return nil, fmt.Errorf("AS %d-instance model: %w", n, err)
+	}
+	return s, nil
+}

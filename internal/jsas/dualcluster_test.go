@@ -1,0 +1,72 @@
+package jsas
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDualClusterNoUpgradesMatchesBase(t *testing.T) {
+	t.Parallel()
+	base, err := Solve(Config1, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveDualCluster(Config1, DefaultParams(), UpgradePolicy{})
+	if err != nil {
+		t.Fatalf("SolveDualCluster: %v", err)
+	}
+	// Without upgrades the single-cluster branch is the base system (via
+	// its exact two-state reduction).
+	if math.Abs(res.SingleCluster-base.Availability) > 1e-12 {
+		t.Errorf("single = %.12f, base %.12f", res.SingleCluster, base.Availability)
+	}
+	// The dual deployment is strictly better: unavailability squares.
+	wantDual := 1 - (1-base.Availability)*(1-base.Availability)
+	if math.Abs(res.DualCluster-wantDual) > 1e-12 {
+		t.Errorf("dual = %.15f, want %.15f", res.DualCluster, wantDual)
+	}
+}
+
+// TestDualClusterUpgradesDominateSingle: with monthly 1-hour upgrade
+// windows, a single cluster loses 12 h/yr (≈ 720 min) while the dual
+// deployment stays in the minutes-per-year regime — the §4 motivation for
+// dual-cluster orchestration.
+func TestDualClusterUpgradesDominateSingle(t *testing.T) {
+	t.Parallel()
+	res, err := SolveDualCluster(Config1, DefaultParams(), UpgradePolicy{
+		PerYear: 12,
+		Window:  time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("SolveDualCluster: %v", err)
+	}
+	if res.SingleClusterDowntimeMinutes < 700 || res.SingleClusterDowntimeMinutes > 740 {
+		t.Errorf("single downtime = %.1f min/yr, want ≈ 723 (12 h planned + 3.5 unplanned)",
+			res.SingleClusterDowntimeMinutes)
+	}
+	if res.DualClusterDowntimeMinutes > 5 {
+		t.Errorf("dual downtime = %.2f min/yr, want minutes-scale", res.DualClusterDowntimeMinutes)
+	}
+	if res.DualCluster <= res.SingleCluster {
+		t.Error("dual deployment should beat single")
+	}
+	// Planned downtime dominates the single cluster: > 99% of its budget.
+	if res.SingleClusterDowntimeMinutes < 100*3.5 {
+		t.Errorf("planned downtime should dominate: %.1f", res.SingleClusterDowntimeMinutes)
+	}
+}
+
+func TestDualClusterValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := SolveDualCluster(Config1, DefaultParams(), UpgradePolicy{PerYear: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative rate: err = %v", err)
+	}
+	if _, err := SolveDualCluster(Config1, DefaultParams(), UpgradePolicy{PerYear: 4}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero window: err = %v", err)
+	}
+	if _, err := SolveDualCluster(Config{}, DefaultParams(), UpgradePolicy{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad config: err = %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package jsas encodes the paper's concrete availability models for the
+// Sun Java System Application Server EE7 cluster: the HADB node-pair model
+// (Figure 3), the N-instance Application Server model (Figure 4,
+// generalized beyond two instances), and the top-level hierarchical system
+// model (Figure 2), together with the Section 5 parameter set and the
+// configuration presets used in Tables 2 and 3.
+package jsas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBadConfig is reported for invalid configurations or parameters.
+var ErrBadConfig = errors.New("jsas: invalid configuration")
+
+// hoursPerYear converts the paper's per-year failure rates to the per-hour
+// model time base.
+const hoursPerYear = 8760.0
+
+// Params holds the model parameters of Section 5 of the paper. Rates are
+// quoted per year (as in the paper); durations are real durations. The
+// zero value is not useful — start from DefaultParams.
+type Params struct {
+	// --- HADB node parameters ---
+
+	// HADBFailuresPerYear is the restartable HADB software failure rate
+	// per node (La_hadb = 2/year).
+	HADBFailuresPerYear float64
+	// HADBOSFailuresPerYear is the OS failure rate per HADB node
+	// (La_os = 1/year).
+	HADBOSFailuresPerYear float64
+	// HADBHWFailuresPerYear is the permanent hardware failure rate per
+	// HADB node (La_hw = 1/year).
+	HADBHWFailuresPerYear float64
+	// MaintenancePerYear is the scheduled maintenance event rate for an
+	// HADB pair (La_mnt = 4/year).
+	MaintenancePerYear float64
+	// HADBRestartShort is the restart time after an HADB software failure
+	// (Tstart_short = 1 min; measured ~40 s).
+	HADBRestartShort time.Duration
+	// HADBRestartLong is the restart time after an OS failure on an HADB
+	// node (Tstart_long = 15 min).
+	HADBRestartLong time.Duration
+	// HADBRepair is the spare-rebuild time after a hardware failure
+	// (Trepair = 30 min; measured ~12 min/GB).
+	HADBRepair time.Duration
+	// HADBRestore is the human-intervention restore time after a double
+	// node failure (Trestore = 1 h).
+	HADBRestore time.Duration
+	// MaintenanceSwitchover is the switchover time to a standby during
+	// maintenance (Tmnt = 1 min).
+	MaintenanceSwitchover time.Duration
+	// FIR is the fraction of imperfect recovery (0.001; bounded by
+	// Equation 1 from the fault-injection campaign).
+	FIR float64
+
+	// --- Application Server instance parameters ---
+
+	// ASFailuresPerYear is the restartable AS failure rate per instance
+	// (La_as = 50/year).
+	ASFailuresPerYear float64
+	// ASOSFailuresPerYear is the OS failure rate per AS node (1/year).
+	ASOSFailuresPerYear float64
+	// ASHWFailuresPerYear is the hardware failure rate per AS node
+	// (1/year).
+	ASHWFailuresPerYear float64
+	// SessionRecovery is the session failover re-establishment time
+	// (Trecovery = 5 s; measured sub-second).
+	SessionRecovery time.Duration
+	// ASRestartShort is the restart time after an AS failure, including
+	// the load balancer health-check detection lag
+	// (Tstart_short = 90 s; measured < 25 s restart + 1 min health check).
+	ASRestartShort time.Duration
+	// ASRestartLong is the average recovery time for HW/OS failures on an
+	// AS node (Tstart_long = 1 h: mean of 15 min OS reboot and 100 min HW
+	// repair at one failure per year each).
+	ASRestartLong time.Duration
+	// ASRestoreAll is the human-intervention restart time when all AS
+	// instances are down (Tstart_all = 30 min).
+	ASRestoreAll time.Duration
+
+	// Acceleration is the workload-dependent failure acceleration factor:
+	// after the i-th failure the per-instance rate is multiplied by
+	// Acceleration^i (paper §4: La_i = La_0·2^i).
+	Acceleration float64
+}
+
+// DefaultParams returns the paper's Section 5 parameter set.
+func DefaultParams() Params {
+	return Params{
+		HADBFailuresPerYear:   2,
+		HADBOSFailuresPerYear: 1,
+		HADBHWFailuresPerYear: 1,
+		MaintenancePerYear:    4,
+		HADBRestartShort:      time.Minute,
+		HADBRestartLong:       15 * time.Minute,
+		HADBRepair:            30 * time.Minute,
+		HADBRestore:           time.Hour,
+		MaintenanceSwitchover: time.Minute,
+		FIR:                   0.001,
+
+		ASFailuresPerYear:   50,
+		ASOSFailuresPerYear: 1,
+		ASHWFailuresPerYear: 1,
+		SessionRecovery:     5 * time.Second,
+		ASRestartShort:      90 * time.Second,
+		ASRestartLong:       time.Hour,
+		ASRestoreAll:        30 * time.Minute,
+
+		Acceleration: 2,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	type check struct {
+		name string
+		ok   bool
+	}
+	checks := []check{
+		{"HADBFailuresPerYear ≥ 0", p.HADBFailuresPerYear >= 0},
+		{"HADBOSFailuresPerYear ≥ 0", p.HADBOSFailuresPerYear >= 0},
+		{"HADBHWFailuresPerYear ≥ 0", p.HADBHWFailuresPerYear >= 0},
+		{"MaintenancePerYear ≥ 0", p.MaintenancePerYear >= 0},
+		{"HADB node failure rate > 0", p.HADBFailuresPerYear+p.HADBOSFailuresPerYear+p.HADBHWFailuresPerYear > 0},
+		{"AS failure rate > 0", p.ASFailuresPerYear+p.ASOSFailuresPerYear+p.ASHWFailuresPerYear > 0},
+		{"HADBRestartShort > 0", p.HADBRestartShort > 0},
+		{"HADBRestartLong > 0", p.HADBRestartLong > 0},
+		{"HADBRepair > 0", p.HADBRepair > 0},
+		{"HADBRestore > 0", p.HADBRestore > 0},
+		{"MaintenanceSwitchover > 0", p.MaintenanceSwitchover > 0},
+		{"FIR in [0,1)", p.FIR >= 0 && p.FIR < 1},
+		{"ASFailuresPerYear ≥ 0", p.ASFailuresPerYear >= 0},
+		{"SessionRecovery > 0", p.SessionRecovery > 0},
+		{"ASRestartShort > 0", p.ASRestartShort > 0},
+		{"ASRestartLong > 0", p.ASRestartLong > 0},
+		{"ASRestoreAll > 0", p.ASRestoreAll > 0},
+		{"Acceleration ≥ 1", p.Acceleration >= 1},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return fmt.Errorf("parameter check failed: %s: %w", c.name, ErrBadConfig)
+		}
+	}
+	return nil
+}
+
+// hadbNodeFailurePerHour is the total per-node HADB failure rate λ in
+// model units.
+func (p Params) hadbNodeFailurePerHour() float64 {
+	return (p.HADBFailuresPerYear + p.HADBOSFailuresPerYear + p.HADBHWFailuresPerYear) / hoursPerYear
+}
+
+// asInstanceFailurePerHour is the total per-instance AS failure rate λ.
+func (p Params) asInstanceFailurePerHour() float64 {
+	return (p.ASFailuresPerYear + p.ASOSFailuresPerYear + p.ASHWFailuresPerYear) / hoursPerYear
+}
+
+// fractionShortStart is FSS = La_as/La, the probability an AS failure only
+// needs the short restart.
+func (p Params) fractionShortStart() float64 {
+	total := p.ASFailuresPerYear + p.ASOSFailuresPerYear + p.ASHWFailuresPerYear
+	if total == 0 {
+		return 0
+	}
+	return p.ASFailuresPerYear / total
+}
+
+// Config describes a deployment shape: the modeled configurations of §4.
+type Config struct {
+	// ASInstances is the number of Application Server instances (≥ 1).
+	ASInstances int
+	// HADBPairs is the number of HADB node pairs (DRU mirror pairs);
+	// 0 models a deployment without session persistence (Table 3 row 1).
+	HADBPairs int
+	// HADBSpares is the number of spare HADB nodes. It does not enter the
+	// analytic model (a spare is assumed available for repair, as in the
+	// paper) but is carried for the testbed simulator and reports.
+	HADBSpares int
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.ASInstances < 1 {
+		return fmt.Errorf("ASInstances = %d, want ≥ 1: %w", c.ASInstances, ErrBadConfig)
+	}
+	if c.HADBPairs < 0 || c.HADBSpares < 0 {
+		return fmt.Errorf("negative HADB counts: %w", ErrBadConfig)
+	}
+	return nil
+}
+
+// String renders the configuration compactly.
+func (c Config) String() string {
+	return fmt.Sprintf("%d AS instance(s), %d HADB pair(s), %d spare(s)", c.ASInstances, c.HADBPairs, c.HADBSpares)
+}
+
+// Paper configuration presets.
+var (
+	// Config1 is the paper's Config 1: 2 AS instances, 2 HADB node pairs,
+	// 2 spare nodes.
+	Config1 = Config{ASInstances: 2, HADBPairs: 2, HADBSpares: 2}
+	// Config2 is the paper's Config 2: 4 AS instances, 4 HADB node pairs,
+	// 2 spare nodes.
+	Config2 = Config{ASInstances: 4, HADBPairs: 4, HADBSpares: 2}
+)
+
+// Table3Configs returns the six configurations compared in Table 3 of the
+// paper (1 instance with no HADB, then N instances with N pairs).
+func Table3Configs() []Config {
+	return []Config{
+		{ASInstances: 1, HADBPairs: 0, HADBSpares: 0},
+		{ASInstances: 2, HADBPairs: 2, HADBSpares: 2},
+		{ASInstances: 4, HADBPairs: 4, HADBSpares: 2},
+		{ASInstances: 6, HADBPairs: 6, HADBSpares: 2},
+		{ASInstances: 8, HADBPairs: 8, HADBSpares: 2},
+		{ASInstances: 10, HADBPairs: 10, HADBSpares: 2},
+	}
+}

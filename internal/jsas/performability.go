@@ -1,0 +1,101 @@
+package jsas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctmc"
+	"repro/internal/reward"
+)
+
+// BuildAppServerPerformability constructs the Application Server cluster
+// model with capacity rewards instead of 0/1 availability rewards: a state
+// with d instances down earns reward (n−d)/n, and the session-recovery
+// phase is treated as degraded (the paper notes Recovery "could be a
+// degraded state in performability modeling").
+//
+// The expected steady-state reward of this structure is the long-run
+// fraction of nominal cluster capacity actually delivered — a measure the
+// 0/1 availability number hides (a 2-instance cluster that is "available"
+// while one instance restarts is serving at half capacity).
+func BuildAppServerPerformability(p Params, n int) (*reward.Structure, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("instance count %d, want ≥ 1: %w", n, ErrBadConfig)
+	}
+	base, err := BuildAppServer(p, n)
+	if err != nil {
+		return nil, err
+	}
+	m := base.Model()
+	rates := make([]float64, m.NumStates())
+	for _, s := range m.States() {
+		d, err := downCountOf(m.Name(s), n)
+		if err != nil {
+			return nil, err
+		}
+		rates[s] = float64(n-d) / float64(n)
+	}
+	return reward.New(m, rates)
+}
+
+// downCountOf decodes the number of down instances from a state name
+// produced by BuildAppServer.
+func downCountOf(name string, n int) (int, error) {
+	switch name {
+	case ASStateAllWork:
+		return 0, nil
+	case ASStateAllDown:
+		return n, nil
+	case as2Recovery, as2DownShort, as2DownLong:
+		return 1, nil
+	}
+	// Systematic names: R<r>S<s>L<l>.
+	var r, s, l int
+	if _, err := fmt.Sscanf(name, "R%dS%dL%d", &r, &s, &l); err != nil {
+		return 0, fmt.Errorf("unrecognized AS state %q: %w", name, ErrBadConfig)
+	}
+	return r + s + l, nil
+}
+
+// PerformabilityResult pairs availability with delivered capacity.
+type PerformabilityResult struct {
+	// Availability is the 0/1-reward steady-state availability.
+	Availability float64
+	// ExpectedCapacity is the capacity-reward steady-state expectation
+	// (fraction of nominal throughput delivered long-run).
+	ExpectedCapacity float64
+	// CapacityLossMinutesPerYear expresses 1−ExpectedCapacity as
+	// equivalent full-outage minutes per year: the "hidden" downtime that
+	// availability alone does not charge.
+	CapacityLossMinutesPerYear float64
+}
+
+// SolveAppServerPerformability solves both reward structures for an
+// n-instance cluster.
+func SolveAppServerPerformability(p Params, n int) (*PerformabilityResult, error) {
+	availS, err := BuildAppServer(p, n)
+	if err != nil {
+		return nil, err
+	}
+	availRes, err := availS.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	perfS, err := BuildAppServerPerformability(p, n)
+	if err != nil {
+		return nil, err
+	}
+	perfRes, err := perfS.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		return nil, err
+	}
+	loss := math.Max(0, 1-perfRes.ExpectedReward)
+	return &PerformabilityResult{
+		Availability:               availRes.Availability,
+		ExpectedCapacity:           perfRes.ExpectedReward,
+		CapacityLossMinutesPerYear: loss * reward.MinutesPerYear,
+	}, nil
+}

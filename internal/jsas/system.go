@@ -1,0 +1,142 @@
+package jsas
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/hier"
+	"repro/internal/reward"
+)
+
+// Top-level system model state names (Figure 2 of the paper).
+const (
+	SystemStateOk       = "Ok"
+	SystemStateASFail   = "AS_Fail"
+	SystemStateHADBFail = "HADB_Fail"
+)
+
+// SystemResult aggregates the solved measures for one configuration —
+// one row of the paper's Table 2 / Table 3.
+type SystemResult struct {
+	Config Config
+	// Availability is the steady-state system availability.
+	Availability float64
+	// YearlyDowntimeMinutes is total expected downtime per (365-day) year.
+	YearlyDowntimeMinutes float64
+	// DowntimeASMinutes is the share of yearly downtime attributed to the
+	// Application Server submodel (state AS_Fail).
+	DowntimeASMinutes float64
+	// DowntimeHADBMinutes is the share attributed to the HADB submodel.
+	DowntimeHADBMinutes float64
+	// MTBFHours is the mean time between system failures.
+	MTBFHours float64
+	// ASSubmodel and HADBSubmodel carry the solved submodel measures
+	// (HADBSubmodel is nil when the configuration has no HADB pairs).
+	ASSubmodel   *reward.Result
+	HADBSubmodel *reward.Result
+	// System carries the top-level model measures.
+	System *reward.Result
+}
+
+// Components returns the hierarchical model for a configuration, with the
+// Application Server and HADB node-pair submodels bound into the Figure 2
+// top-level diagram via their equivalent (λ, μ) rates.
+func Components(cfg Config, p Params) (*hier.Component, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	as := hier.NewComponent("Appl Server", func(hier.Params) (*reward.Structure, error) {
+		return BuildAppServer(p, cfg.ASInstances)
+	})
+	top := hier.NewComponent("JSAS", func(env hier.Params) (*reward.Structure, error) {
+		return buildTopModel(cfg, env)
+	})
+	top.Use(as, "La_appl", "Mu_appl")
+	if cfg.HADBPairs > 0 {
+		hadb := hier.NewComponent("HADB Node Pair", func(hier.Params) (*reward.Structure, error) {
+			return BuildHADBPair(p)
+		})
+		top.Use(hadb, "La_hadb", "Mu_hadb")
+	}
+	return top, nil
+}
+
+// buildTopModel assembles the 3-state Figure 2 diagram from the submodel
+// equivalent rates bound in env.
+func buildTopModel(cfg Config, env hier.Params) (*reward.Structure, error) {
+	laAppl, ok := env["La_appl"]
+	if !ok {
+		return nil, fmt.Errorf("missing La_appl binding: %w", ErrBadConfig)
+	}
+	muAppl := env["Mu_appl"]
+	b := ctmc.NewBuilder()
+	okState := b.State(SystemStateOk)
+	var downNames []string
+	// A submodel whose equivalent failure rate underflows to zero (e.g. a
+	// very wide AS cluster) contributes no failure state: adding one would
+	// leave it unreachable and the chain reducible.
+	if laAppl > 0 && muAppl > 0 {
+		asFail := b.State(SystemStateASFail)
+		b.Transition(okState, asFail, laAppl)
+		b.Transition(asFail, okState, muAppl)
+		downNames = append(downNames, SystemStateASFail)
+	}
+	if cfg.HADBPairs > 0 {
+		laHADB, okh := env["La_hadb"]
+		if !okh {
+			return nil, fmt.Errorf("missing La_hadb binding: %w", ErrBadConfig)
+		}
+		muHADB := env["Mu_hadb"]
+		if laHADB > 0 && muHADB > 0 {
+			hadbFail := b.State(SystemStateHADBFail)
+			b.Transition(okState, hadbFail, float64(cfg.HADBPairs)*laHADB)
+			b.Transition(hadbFail, okState, muHADB)
+			downNames = append(downNames, SystemStateHADBFail)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("system model: %w", err)
+	}
+	return reward.Binary(m, downNames...)
+}
+
+// Solve evaluates the full hierarchy for a configuration and returns the
+// system-level measures.
+func Solve(cfg Config, p Params) (*SystemResult, error) {
+	top, err := Components(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := hier.Evaluate(top, nil, hier.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("solve %v: %w", cfg, err)
+	}
+	res := &SystemResult{
+		Config:       cfg,
+		Availability: ev.Result.Availability,
+		System:       ev.Result,
+	}
+	res.YearlyDowntimeMinutes = ev.Result.YearlyDowntimeMinutes
+	if ev.Result.FailureFrequency > 0 {
+		res.MTBFHours = ev.Result.MTBFHours
+	}
+	if asEv := ev.Find("Appl Server"); asEv != nil {
+		res.ASSubmodel = asEv.Result
+	}
+	if hadbEv := ev.Find("HADB Node Pair"); hadbEv != nil {
+		res.HADBSubmodel = hadbEv.Result
+	}
+	// Downtime split by cause comes from the top-level state occupancy.
+	topModel := ev.Structure.Model()
+	if s, err := topModel.StateByName(SystemStateASFail); err == nil {
+		res.DowntimeASMinutes = ev.Result.Pi[s] * reward.MinutesPerYear
+	}
+	if s, err := topModel.StateByName(SystemStateHADBFail); err == nil {
+		res.DowntimeHADBMinutes = ev.Result.Pi[s] * reward.MinutesPerYear
+	}
+	return res, nil
+}

@@ -1,0 +1,380 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewMatrixFrom(t *testing.T) {
+	t.Parallel()
+	m, err := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("NewMatrixFrom: %v", err)
+	}
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 2x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestNewMatrixFromRagged(t *testing.T) {
+	t.Parallel()
+	_, err := NewMatrixFrom([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestNewMatrixFromEmpty(t *testing.T) {
+	t.Parallel()
+	m, err := NewMatrixFrom(nil)
+	if err != nil {
+		t.Fatalf("NewMatrixFrom(nil): %v", err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("shape = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	t.Parallel()
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("I(3)[%d,%d] = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	t.Parallel()
+	m, _ := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := m.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v, want [6 15]", y)
+	}
+	if _, err := m.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("short vector: err = %v, want ErrShape", err)
+	}
+}
+
+func TestVecMul(t *testing.T) {
+	t.Parallel()
+	m, _ := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	y, err := m.VecMul([]float64{1, 10})
+	if err != nil {
+		t.Fatalf("VecMul: %v", err)
+	}
+	if y[0] != 31 || y[1] != 42 {
+		t.Errorf("VecMul = %v, want [31 42]", y)
+	}
+}
+
+func TestMul(t *testing.T) {
+	t.Parallel()
+	a, _ := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFrom([][]float64{{0, 1}, {1, 0}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{2, 1}, {4, 3}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("C[%d,%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch: err = %v, want ErrShape", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	t.Parallel()
+	m, _ := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	if tr.At(2, 1) != 6 {
+		t.Errorf("T[2,1] = %v, want 6", tr.At(2, 1))
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	t.Parallel()
+	m := NewMatrix(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	t.Parallel()
+	m, _ := NewMatrixFrom([][]float64{{1, -2}, {-3, 0.5}})
+	if got := m.MaxAbs(); got != 3 {
+		t.Errorf("MaxAbs = %v, want 3", got)
+	}
+	if got := m.NormInf(); got != 3.5 {
+		t.Errorf("NormInf = %v, want 3.5", got)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	t.Parallel()
+	a, _ := NewMatrixFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-12) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	t.Parallel()
+	a, _ := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factor(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor(singular) err = %v, want ErrSingular", err)
+	}
+	z, _ := NewMatrixFrom([][]float64{{0, 0}, {0, 1}})
+	if _, err := Factor(z); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor(zero row) err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	t.Parallel()
+	if _, err := Factor(NewMatrix(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("Factor(2x3) err = %v, want ErrShape", err)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	t.Parallel()
+	a, _ := NewMatrixFrom([][]float64{{3, 8}, {4, 6}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	if !almostEqual(f.Det(), -14, 1e-12) {
+		t.Errorf("Det = %v, want -14", f.Det())
+	}
+}
+
+func TestInverse(t *testing.T) {
+	t.Parallel()
+	a, _ := NewMatrixFrom([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	prod, _ := a.Mul(inv)
+	id := Identity(2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if !almostEqual(prod.At(i, j), id.At(i, j), 1e-12) {
+				t.Errorf("A·A⁻¹[%d,%d] = %v, want %v", i, j, prod.At(i, j), id.At(i, j))
+			}
+		}
+	}
+}
+
+// TestLUSolveProperty: for random well-conditioned matrices, solving then
+// multiplying recovers the right-hand side.
+func TestLUSolveProperty(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			// Diagonal dominance guarantees nonsingularity.
+			a.Add(i, i, float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		got, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		return MaxDiff(got, b) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLUBadlyScaled exercises the scaled-pivoting path with rates spanning
+// many orders of magnitude, as CTMC generators do.
+func TestLUBadlyScaled(t *testing.T) {
+	t.Parallel()
+	a, _ := NewMatrixFrom([][]float64{
+		{1e-7, 1, 0},
+		{1, 1e-7, 1},
+		{0, 1, 60},
+	})
+	b := []float64{1, 2, 3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	got, _ := a.MulVec(x)
+	if MaxDiff(got, b) > 1e-9 {
+		t.Errorf("residual = %v too large", MaxDiff(got, b))
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	t.Parallel()
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	v := Normalize([]float64{2, 2})
+	if v[0] != 0.5 || v[1] != 0.5 {
+		t.Errorf("Normalize = %v, want [0.5 0.5]", v)
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("Normalize(zero) = %v, want unchanged", z)
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Errorf("AXPY = %v, want [3 5]", y)
+	}
+	if got := NormInfVec([]float64{-4, 2}); got != 4 {
+		t.Errorf("NormInfVec = %v, want 4", got)
+	}
+	if got := Norm1Vec([]float64{-4, 2}); got != 6 {
+		t.Errorf("Norm1Vec = %v, want 6", got)
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Error("AllFinite(NaN) = true, want false")
+	}
+	if AllFinite([]float64{1, math.Inf(1)}) {
+		t.Error("AllFinite(Inf) = true, want false")
+	}
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Error("AllFinite(finite) = false, want true")
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	t.Parallel()
+	if got := MaxDiff([]float64{1, 2}, []float64{1.5, 2}); got != 0.5 {
+		t.Errorf("MaxDiff = %v, want 0.5", got)
+	}
+}
+
+func TestScaleMatrix(t *testing.T) {
+	t.Parallel()
+	m, _ := NewMatrixFrom([][]float64{{1, 2}})
+	m.Scale(3)
+	if m.At(0, 1) != 6 {
+		t.Errorf("Scale: At(0,1) = %v, want 6", m.At(0, 1))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	t.Parallel()
+	m, _ := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	s := m.String()
+	if s == "" || len(s) < 8 {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestNewMatrixNegativeDims(t *testing.T) {
+	t.Parallel()
+	m := NewMatrix(-3, 5)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("negative dims should give 0x0, got %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestVecMulShapeError(t *testing.T) {
+	t.Parallel()
+	m, _ := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if _, err := m.VecMul([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("VecMul short: err = %v", err)
+	}
+	// Zero elements skip the inner loop.
+	y, err := m.VecMul([]float64{0, 1})
+	if err != nil || y[0] != 3 || y[1] != 4 {
+		t.Errorf("VecMul sparse-x = %v, %v", y, err)
+	}
+}
+
+func TestAXPYLengthMismatch(t *testing.T) {
+	t.Parallel()
+	y := []float64{1}
+	AXPY(2, []float64{1, 2, 3}, y) // clamps to common prefix
+	if y[0] != 3 {
+		t.Errorf("AXPY = %v", y)
+	}
+}
+
+func TestSolveLinearSingularPropagates(t *testing.T) {
+	t.Parallel()
+	a, _ := NewMatrixFrom([][]float64{{1, 1}, {1, 1}})
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUSolveShapeError(t *testing.T) {
+	t.Parallel()
+	a, _ := NewMatrixFrom([][]float64{{2, 0}, {0, 2}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatalf("Factor: %v", err)
+	}
+	if _, err := f.Solve([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("short rhs: err = %v", err)
+	}
+}

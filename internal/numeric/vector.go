@@ -1,0 +1,101 @@
+package numeric
+
+import "math"
+
+// Dot returns the inner product of a and b. Lengths must match; extra
+// elements in the longer slice are ignored to keep the hot path branch-free
+// — callers validate shapes at the boundary.
+func Dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Scale multiplies v by s in place and returns v.
+func Scale(v []float64, s float64) []float64 {
+	for i := range v {
+		v[i] *= s
+	}
+	return v
+}
+
+// Normalize scales v in place so its elements sum to 1 and returns v.
+// A zero vector is returned unchanged.
+func Normalize(v []float64) []float64 {
+	s := Sum(v)
+	if s == 0 {
+		return v
+	}
+	return Scale(v, 1/s)
+}
+
+// AXPY computes y += a·x in place.
+func AXPY(a float64, x, y []float64) {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	for i := 0; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// NormInfVec returns max|v_i|.
+func NormInfVec(v []float64) float64 {
+	var mx float64
+	for _, x := range v {
+		if a := math.Abs(x); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm1Vec returns Σ|v_i|.
+func Norm1Vec(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// MaxDiff returns max|a_i − b_i| over the common prefix.
+func MaxDiff(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var mx float64
+	for i := 0; i < n; i++ {
+		if d := math.Abs(a[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// AllFinite reports whether every element of v is finite (no NaN/Inf).
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+// Package report renders analysis results as aligned ASCII tables and CSV,
+// matching the rows and series the paper's tables and figures present.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted cells; each cell is a
+// (format, value...) pair rendered with fmt.Sprintf.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, fmt.Sprint(c))
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		var line strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(c)
+			line.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return fmt.Sprintf("<table render error: %v>", err)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table (headers + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return fmt.Errorf("report: write csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flush csv: %w", err)
+	}
+	return nil
+}
+
+// Availability formats an availability as a percentage with the paper's
+// precision (e.g. 0.9999933 → "99.99933%").
+func Availability(a float64) string {
+	return fmt.Sprintf("%.5f%%", a*100)
+}
+
+// Minutes formats a duration in minutes, switching to seconds below 0.1
+// minute (as the paper does for the Config 2 AS share).
+func Minutes(m float64) string {
+	if m >= 0.1 {
+		return fmt.Sprintf("%.2f min", m)
+	}
+	return fmt.Sprintf("%.2f sec", m*60)
+}

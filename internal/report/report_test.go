@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("Results", "Config", "Availability")
+	tb.AddRow("Config 1", "99.99933%")
+	tb.AddRow("Config 2", "99.99956%")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if lines[0] != "Results" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Config ") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "Config 1") || !strings.Contains(lines[3], "99.99933%") {
+		t.Errorf("row = %q", lines[3])
+	}
+	// Columns aligned: "Availability" starts at the same offset in all rows.
+	off := strings.Index(lines[1], "Availability")
+	if off < 0 {
+		t.Fatal("no Availability header")
+	}
+	if lines[3][off:off+8] != "99.99933"[:8] {
+		t.Errorf("misaligned column: %q", lines[3])
+	}
+	// No trailing spaces.
+	for i, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("line %d has trailing space: %q", i, l)
+		}
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Fatalf("row cells = %d, want 3", got)
+	}
+	// Renders without panic.
+	_ = tb.String()
+}
+
+func TestTableNoTitle(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("", "A")
+	tb.AddRow("1")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("leading blank line with empty title")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("", "n", "v")
+	tb.AddRowf(42, 3.14)
+	if tb.Rows[0][0] != "42" || tb.Rows[0][1] != "3.14" {
+		t.Errorf("AddRowf = %v", tb.Rows[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	t.Parallel()
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "x,y") // embedded comma must be quoted
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "a,b\n") {
+		t.Errorf("csv header missing: %q", got)
+	}
+	if !strings.Contains(got, `"x,y"`) {
+		t.Errorf("embedded comma not quoted: %q", got)
+	}
+}
+
+func TestAvailabilityFormat(t *testing.T) {
+	t.Parallel()
+	if got := Availability(0.9999933); got != "99.99933%" {
+		t.Errorf("Availability = %q", got)
+	}
+}
+
+func TestMinutesFormat(t *testing.T) {
+	t.Parallel()
+	if got := Minutes(3.49); got != "3.49 min" {
+		t.Errorf("Minutes = %q", got)
+	}
+	if got := Minutes(0.0002); got != "0.01 sec" {
+		t.Errorf("Minutes(small) = %q", got)
+	}
+}

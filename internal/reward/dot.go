@@ -1,0 +1,63 @@
+package reward
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the model as a Graphviz digraph in the visual style of
+// the paper's RAScad diagrams: working (nonzero-reward) states as white
+// ellipses labeled with their reward rate, failure states shaded, and
+// edges labeled with their transition rates.
+func (s *Structure) WriteDOT(w io.Writer, title string) error {
+	m := s.Model()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeDOTID(title))
+	b.WriteString("  rankdir=LR;\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
+	}
+	b.WriteString("  node [shape=ellipse, fontsize=11];\n")
+	for _, st := range m.States() {
+		attrs := fmt.Sprintf("label=\"%s\\nreward %g\"", m.Name(st), s.Rate(st))
+		if s.Rate(st) == 0 {
+			attrs += ", style=filled, fillcolor=gray85"
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", m.Name(st), attrs)
+	}
+	trs := m.Transitions()
+	sort.Slice(trs, func(i, j int) bool {
+		if trs[i].From != trs[j].From {
+			return trs[i].From < trs[j].From
+		}
+		return trs[i].To < trs[j].To
+	})
+	for _, tr := range trs {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%.4g\"];\n",
+			m.Name(tr.From), m.Name(tr.To), tr.Rate)
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("reward: write dot: %w", err)
+	}
+	return nil
+}
+
+// sanitizeDOTID keeps graph names to a safe identifier subset.
+func sanitizeDOTID(s string) string {
+	if s == "" {
+		return "model"
+	}
+	var out strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			out.WriteRune(r)
+		default:
+			out.WriteByte('_')
+		}
+	}
+	return out.String()
+}

@@ -1,0 +1,70 @@
+package reward
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ctmc"
+)
+
+func TestWriteDOT(t *testing.T) {
+	t.Parallel()
+	b := ctmc.NewBuilder()
+	up := b.State("Up")
+	down := b.State("2_Down")
+	b.Transition(up, down, 0.001)
+	b.Transition(down, up, 4)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := Binary(m, "2_Down")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	var buf strings.Builder
+	if err := s.WriteDOT(&buf, "HADB Pair"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"HADB_Pair\"",
+		"label=\"HADB Pair\"",
+		"\"Up\" [label=\"Up\\nreward 1\"]",
+		"fillcolor=gray85",     // failure state shaded
+		"\"Up\" -> \"2_Down\"", // forward edge
+		"label=\"0.001\"",      // rate label
+		"\"2_Down\" -> \"Up\"", // repair edge
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTEmptyTitle(t *testing.T) {
+	t.Parallel()
+	b := ctmc.NewBuilder()
+	a := b.State("A")
+	c := b.State("C")
+	b.Transition(a, c, 1)
+	b.Transition(c, a, 1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := Binary(m, "C")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	var buf strings.Builder
+	if err := s.WriteDOT(&buf, ""); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if !strings.Contains(buf.String(), "digraph \"model\"") {
+		t.Errorf("empty title should default graph name:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "labelloc") {
+		t.Error("empty title should not emit a label")
+	}
+}

@@ -1,0 +1,40 @@
+package reward
+
+import "fmt"
+
+// Lumped returns an exactly equivalent reduced reward structure by merging
+// states that carry the same reward rate and are ordinarily lumpable (see
+// ctmc.Lump). The returned mapping gives each original state's block in
+// the reduced model. Availability, expected reward, downtime, and failure
+// frequency are preserved exactly.
+//
+// Replicated-component models (the flat products hier.Product builds)
+// shrink combinatorially; already-minimal models are returned equivalent
+// but rebuilt.
+func (s *Structure) Lumped() (*Structure, []int, error) {
+	n := s.model.NumStates()
+	classOf := make(map[float64]int)
+	initial := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := s.rates[i]
+		id, ok := classOf[r]
+		if !ok {
+			id = len(classOf)
+			classOf[r] = id
+		}
+		initial[i] = id
+	}
+	quotient, block, err := s.model.Lump(initial)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reward: lump: %w", err)
+	}
+	rates := make([]float64, quotient.NumStates())
+	for st, blk := range block {
+		rates[blk] = s.rates[st] // uniform within a block by construction
+	}
+	ls, err := New(quotient, rates)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reward: lump: %w", err)
+	}
+	return ls, block, nil
+}

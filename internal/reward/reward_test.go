@@ -1,0 +1,290 @@
+package reward
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ctmc"
+)
+
+func buildTwoState(t *testing.T, lambda, mu float64) *ctmc.Model {
+	t.Helper()
+	b := ctmc.NewBuilder()
+	up := b.State("Up")
+	down := b.State("Down")
+	b.Transition(up, down, lambda)
+	b.Transition(down, up, mu)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return m
+}
+
+func TestBinaryTwoState(t *testing.T) {
+	t.Parallel()
+	const lambda, mu = 0.001, 2.0
+	m := buildTwoState(t, lambda, mu)
+	s, err := Binary(m, "Down")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	res, err := s.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	wantAvail := mu / (lambda + mu)
+	if math.Abs(res.Availability-wantAvail) > 1e-12 {
+		t.Errorf("Availability = %v, want %v", res.Availability, wantAvail)
+	}
+	if math.Abs(res.ExpectedReward-wantAvail) > 1e-12 {
+		t.Errorf("ExpectedReward = %v, want %v", res.ExpectedReward, wantAvail)
+	}
+	wantYD := (1 - wantAvail) * MinutesPerYear
+	if math.Abs(res.YearlyDowntimeMinutes-wantYD) > 1e-9 {
+		t.Errorf("YD = %v, want %v", res.YearlyDowntimeMinutes, wantYD)
+	}
+	wantFreq := wantAvail * lambda
+	if math.Abs(res.FailureFrequency-wantFreq) > 1e-12 {
+		t.Errorf("FailureFrequency = %v, want %v", res.FailureFrequency, wantFreq)
+	}
+	if math.Abs(res.MTBFHours-1/wantFreq) > 1e-6 {
+		t.Errorf("MTBF = %v, want %v", res.MTBFHours, 1/wantFreq)
+	}
+	if math.Abs(res.MeanDownDurationHours-1/mu) > 1e-9 {
+		t.Errorf("MeanDownDuration = %v, want %v", res.MeanDownDurationHours, 1/mu)
+	}
+	if math.Abs(res.LambdaEq-lambda) > 1e-12 || math.Abs(res.MuEq-mu) > 1e-9 {
+		t.Errorf("equivalent rates = (%v, %v), want (%v, %v)", res.LambdaEq, res.MuEq, lambda, mu)
+	}
+}
+
+func TestBinaryUnknownState(t *testing.T) {
+	t.Parallel()
+	m := buildTwoState(t, 1, 1)
+	if _, err := Binary(m, "NoSuch"); !errors.Is(err, ctmc.ErrNoSuchState) {
+		t.Errorf("err = %v, want ErrNoSuchState", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	m := buildTwoState(t, 1, 1)
+	if _, err := New(m, []float64{1}); !errors.Is(err, ErrReward) {
+		t.Errorf("short rates: err = %v, want ErrReward", err)
+	}
+	if _, err := New(m, []float64{1, -1}); !errors.Is(err, ErrReward) {
+		t.Errorf("negative reward: err = %v, want ErrReward", err)
+	}
+	if _, err := New(nil, nil); !errors.Is(err, ErrReward) {
+		t.Errorf("nil model: err = %v, want ErrReward", err)
+	}
+}
+
+func TestPerformabilityReward(t *testing.T) {
+	t.Parallel()
+	// Three states: full (reward 1), degraded (reward 0.5), down (0).
+	b := ctmc.NewBuilder()
+	full := b.State("Full")
+	deg := b.State("Degraded")
+	down := b.State("Down")
+	b.Transition(full, deg, 1)
+	b.Transition(deg, full, 1)
+	b.Transition(deg, down, 1)
+	b.Transition(down, full, 2)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := New(m, []float64{1, 0.5, 0})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := s.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Availability counts degraded as up; expected reward discounts it.
+	if res.ExpectedReward >= res.Availability {
+		t.Errorf("performability %v should be < availability %v", res.ExpectedReward, res.Availability)
+	}
+	wantAvail := 1 - res.Pi[down]
+	if math.Abs(res.Availability-wantAvail) > 1e-12 {
+		t.Errorf("Availability = %v, want %v", res.Availability, wantAvail)
+	}
+}
+
+func TestDowntimeShare(t *testing.T) {
+	t.Parallel()
+	// Two distinct failure modes with different repair rates.
+	b := ctmc.NewBuilder()
+	ok := b.State("Ok")
+	fa := b.State("FailA")
+	fb := b.State("FailB")
+	b.Transition(ok, fa, 0.01)
+	b.Transition(ok, fb, 0.02)
+	b.Transition(fa, ok, 1)
+	b.Transition(fb, ok, 4)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := Binary(m, "FailA", "FailB")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	res, err := s.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	shares, err := s.DowntimeShare(res.Pi, map[string][]string{
+		"A": {"FailA"},
+		"B": {"FailB"},
+	})
+	if err != nil {
+		t.Fatalf("DowntimeShare: %v", err)
+	}
+	total := shares["A"] + shares["B"]
+	if math.Abs(total-res.YearlyDowntimeMinutes) > 1e-9 {
+		t.Errorf("shares sum %v, want total %v", total, res.YearlyDowntimeMinutes)
+	}
+	// FailA has 0.01 rate and 1h repair → 0.01 expected hours share;
+	// FailB has 0.02 rate and 0.25h repair → 0.005. Ratio A:B = 2:1.
+	if math.Abs(shares["A"]/shares["B"]-2) > 1e-9 {
+		t.Errorf("share ratio = %v, want 2", shares["A"]/shares["B"])
+	}
+}
+
+func TestDowntimeShareErrors(t *testing.T) {
+	t.Parallel()
+	m := buildTwoState(t, 1, 1)
+	s, err := Binary(m, "Down")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	res, err := s.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if _, err := s.DowntimeShare(res.Pi, map[string][]string{"x": {"Up"}}); !errors.Is(err, ErrReward) {
+		t.Errorf("up state in group: err = %v, want ErrReward", err)
+	}
+	if _, err := s.DowntimeShare(res.Pi, map[string][]string{"x": {"zzz"}}); !errors.Is(err, ctmc.ErrNoSuchState) {
+		t.Errorf("unknown state: err = %v, want ErrNoSuchState", err)
+	}
+	if _, err := s.DowntimeShare([]float64{1}, nil); !errors.Is(err, ErrReward) {
+		t.Errorf("short pi: err = %v, want ErrReward", err)
+	}
+}
+
+func TestFromPiValidation(t *testing.T) {
+	t.Parallel()
+	m := buildTwoState(t, 1, 1)
+	s, err := Binary(m, "Down")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	if _, err := s.FromPi([]float64{1}); !errors.Is(err, ErrReward) {
+		t.Errorf("err = %v, want ErrReward", err)
+	}
+}
+
+func TestDownStatesCopy(t *testing.T) {
+	t.Parallel()
+	m := buildTwoState(t, 1, 1)
+	s, err := Binary(m, "Down")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	ds := s.DownStates()
+	for k := range ds {
+		delete(ds, k)
+	}
+	if len(s.DownStates()) != 1 {
+		t.Error("DownStates exposes internal map")
+	}
+}
+
+func TestRateAccessor(t *testing.T) {
+	t.Parallel()
+	m := buildTwoState(t, 1, 1)
+	s, err := New(m, []float64{1, 0.25})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if s.Rate(1) != 0.25 {
+		t.Errorf("Rate(1) = %v, want 0.25", s.Rate(1))
+	}
+	if s.Model() != m {
+		t.Error("Model() returned wrong model")
+	}
+}
+
+func TestConstantsMatchPaper(t *testing.T) {
+	t.Parallel()
+	// The paper's Table 3 availability figures imply a 525,600-minute year.
+	if MinutesPerYear != 525600 {
+		t.Errorf("MinutesPerYear = %d, want 525600", MinutesPerYear)
+	}
+	if HoursPerYear != 8760 {
+		t.Errorf("HoursPerYear = %d, want 8760", HoursPerYear)
+	}
+}
+
+// TestLumpedPreservesMeasures: the product of two identical repairable
+// components in series lumps from 4 to 3 states with every availability
+// measure preserved exactly.
+func TestLumpedPreservesMeasures(t *testing.T) {
+	t.Parallel()
+	b := ctmc.NewBuilder()
+	uu := b.State("UU")
+	ud := b.State("UD")
+	du := b.State("DU")
+	dd := b.State("DD")
+	const la, mu = 0.05, 2.0
+	b.Transition(uu, ud, la)
+	b.Transition(uu, du, la)
+	b.Transition(ud, uu, mu)
+	b.Transition(du, uu, mu)
+	b.Transition(ud, dd, la)
+	b.Transition(du, dd, la)
+	b.Transition(dd, ud, mu)
+	b.Transition(dd, du, mu)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Series system: up only when both components are up.
+	s, err := Binary(m, "UD", "DU", "DD")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	lumped, block, err := s.Lumped()
+	if err != nil {
+		t.Fatalf("Lumped: %v", err)
+	}
+	if lumped.Model().NumStates() != 3 {
+		t.Fatalf("lumped states = %d, want 3", lumped.Model().NumStates())
+	}
+	if block[1] != block[2] {
+		t.Error("symmetric states not merged")
+	}
+	full, err := s.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := lumped.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full.Availability-red.Availability) > 1e-14 {
+		t.Errorf("availability: full %.15f, lumped %.15f", full.Availability, red.Availability)
+	}
+	if math.Abs(full.FailureFrequency-red.FailureFrequency) > 1e-16 {
+		t.Errorf("failure frequency: full %g, lumped %g", full.FailureFrequency, red.FailureFrequency)
+	}
+	if math.Abs(full.ExpectedReward-red.ExpectedReward) > 1e-14 {
+		t.Errorf("expected reward mismatch")
+	}
+}

@@ -1,0 +1,130 @@
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiSolver evaluates the model for a full parameter assignment and
+// returns the measure of interest (for availability studies, yearly
+// downtime in minutes).
+type MultiSolver func(assignment map[string]float64) (float64, error)
+
+// ImportanceEntry ranks one parameter's influence on the output measure.
+type ImportanceEntry struct {
+	Name string
+	// Base is the parameter's nominal value.
+	Base float64
+	// Elasticity is the normalized logarithmic sensitivity
+	// (∂m/m)/(∂x/x) at the nominal point: the % change in the measure per
+	// % change in the parameter. Estimated by central finite differences.
+	Elasticity float64
+	// Swing is the measure's change when the parameter moves across its
+	// whole [Low, High] range with the others held at nominal — a global
+	// (one-at-a-time) importance complementing the local elasticity.
+	Swing float64
+}
+
+// ImportanceRange describes one analyzed parameter.
+type ImportanceRange struct {
+	Name      string
+	Base      float64
+	Low, High float64
+}
+
+// Importance ranks parameters by influence on the solver's output measure,
+// using central-difference elasticities at the nominal point plus
+// one-at-a-time range swings. Results are sorted by |Swing| descending.
+//
+// This is the "which parameter should we actually improve?" analysis that
+// motivates the paper's choice of Tstart_long for its Figures 5/6 sweep.
+func Importance(params []ImportanceRange, solve MultiSolver) ([]ImportanceEntry, error) {
+	if solve == nil {
+		return nil, fmt.Errorf("nil solver: %w", ErrBadSweep)
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("no parameters: %w", ErrBadSweep)
+	}
+	nominal := make(map[string]float64, len(params))
+	for _, p := range params {
+		if p.Low > p.Base || p.Base > p.High {
+			return nil, fmt.Errorf("parameter %s: base %g outside [%g, %g]: %w",
+				p.Name, p.Base, p.Low, p.High, ErrBadSweep)
+		}
+		if _, dup := nominal[p.Name]; dup {
+			return nil, fmt.Errorf("duplicate parameter %s: %w", p.Name, ErrBadSweep)
+		}
+		nominal[p.Name] = p.Base
+	}
+	base, err := solve(clone(nominal))
+	if err != nil {
+		return nil, fmt.Errorf("importance at nominal: %w", err)
+	}
+	entries := make([]ImportanceEntry, 0, len(params))
+	for _, p := range params {
+		e := ImportanceEntry{Name: p.Name, Base: p.Base}
+		// Central difference with a 1% relative step, clipped to the range.
+		h := 0.01 * (p.High - p.Low)
+		if h == 0 {
+			entries = append(entries, e)
+			continue
+		}
+		lo, hi := p.Base-h, p.Base+h
+		if lo < p.Low {
+			lo = p.Low
+		}
+		if hi > p.High {
+			hi = p.High
+		}
+		mLo, err := solveAt(solve, nominal, p.Name, lo)
+		if err != nil {
+			return nil, err
+		}
+		mHi, err := solveAt(solve, nominal, p.Name, hi)
+		if err != nil {
+			return nil, err
+		}
+		if hi > lo && base != 0 && p.Base != 0 {
+			e.Elasticity = (mHi - mLo) / (hi - lo) * p.Base / base
+		}
+		mLow, err := solveAt(solve, nominal, p.Name, p.Low)
+		if err != nil {
+			return nil, err
+		}
+		mHigh, err := solveAt(solve, nominal, p.Name, p.High)
+		if err != nil {
+			return nil, err
+		}
+		e.Swing = mHigh - mLow
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return abs(entries[i].Swing) > abs(entries[j].Swing)
+	})
+	return entries, nil
+}
+
+func solveAt(solve MultiSolver, nominal map[string]float64, name string, v float64) (float64, error) {
+	a := clone(nominal)
+	a[name] = v
+	m, err := solve(a)
+	if err != nil {
+		return 0, fmt.Errorf("importance of %s at %g: %w", name, v, err)
+	}
+	return m, nil
+}
+
+func clone(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

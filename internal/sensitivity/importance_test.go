@@ -1,0 +1,104 @@
+package sensitivity
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// quadSolver returns m = 2x + 10y² + 3 for a synthetic importance study
+// with known elasticities.
+func quadSolver(a map[string]float64) (float64, error) {
+	return 2*a["x"] + 10*a["y"]*a["y"] + 3, nil
+}
+
+func TestImportanceKnownElasticities(t *testing.T) {
+	t.Parallel()
+	params := []ImportanceRange{
+		{Name: "x", Base: 1, Low: 0, High: 2},
+		{Name: "y", Base: 1, Low: 0, High: 2},
+	}
+	entries, err := Importance(params, quadSolver)
+	if err != nil {
+		t.Fatalf("Importance: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(entries))
+	}
+	byName := map[string]ImportanceEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	// m(1,1) = 15; ∂m/∂x = 2 → elasticity 2·1/15 ≈ 0.1333.
+	if got := byName["x"].Elasticity; math.Abs(got-2.0/15) > 1e-6 {
+		t.Errorf("x elasticity = %v, want %v", got, 2.0/15)
+	}
+	// ∂m/∂y = 20y = 20 → elasticity 20/15 ≈ 1.333.
+	if got := byName["y"].Elasticity; math.Abs(got-20.0/15) > 1e-3 {
+		t.Errorf("y elasticity = %v, want %v", got, 20.0/15)
+	}
+	// Swings: x over [0,2] → Δm = 4; y over [0,2] → Δm = 40.
+	if got := byName["x"].Swing; math.Abs(got-4) > 1e-9 {
+		t.Errorf("x swing = %v, want 4", got)
+	}
+	if got := byName["y"].Swing; math.Abs(got-40) > 1e-9 {
+		t.Errorf("y swing = %v, want 40", got)
+	}
+	// Sorted by |swing| descending: y first.
+	if entries[0].Name != "y" {
+		t.Errorf("ranking = %v, want y first", entries[0].Name)
+	}
+}
+
+func TestImportanceBoundaryBase(t *testing.T) {
+	t.Parallel()
+	// Base at the range edge: central difference clips to the range but
+	// still produces a finite elasticity.
+	params := []ImportanceRange{{Name: "x", Base: 2, Low: 0, High: 2}}
+	entries, err := Importance(params, quadSolver)
+	if err != nil {
+		t.Fatalf("Importance: %v", err)
+	}
+	if entries[0].Elasticity == 0 {
+		t.Error("boundary base produced zero elasticity")
+	}
+}
+
+func TestImportanceDegenerateRange(t *testing.T) {
+	t.Parallel()
+	// Zero-width range: no swing, no elasticity, no error.
+	params := []ImportanceRange{{Name: "x", Base: 1, Low: 1, High: 1}}
+	entries, err := Importance(params, quadSolver)
+	if err != nil {
+		t.Fatalf("Importance: %v", err)
+	}
+	if entries[0].Swing != 0 || entries[0].Elasticity != 0 {
+		t.Errorf("degenerate range: %+v", entries[0])
+	}
+}
+
+func TestImportanceErrors(t *testing.T) {
+	t.Parallel()
+	good := []ImportanceRange{{Name: "x", Base: 1, Low: 0, High: 2}}
+	if _, err := Importance(nil, quadSolver); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("no params: err = %v", err)
+	}
+	if _, err := Importance(good, nil); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("nil solver: err = %v", err)
+	}
+	bad := []ImportanceRange{{Name: "x", Base: 9, Low: 0, High: 2}}
+	if _, err := Importance(bad, quadSolver); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("base outside range: err = %v", err)
+	}
+	dup := []ImportanceRange{
+		{Name: "x", Base: 1, Low: 0, High: 2},
+		{Name: "x", Base: 1, Low: 0, High: 2},
+	}
+	if _, err := Importance(dup, quadSolver); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("duplicate: err = %v", err)
+	}
+	failing := func(map[string]float64) (float64, error) { return 0, errors.New("boom") }
+	if _, err := Importance(good, failing); err == nil {
+		t.Error("solver failure should propagate")
+	}
+}

@@ -1,0 +1,89 @@
+// Package sensitivity implements RAScad-style parametric analysis: sweep a
+// single model parameter across a range and record the availability
+// measures at each point (the paper's Figures 5 and 6).
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSweep is reported for invalid sweep specifications.
+var ErrBadSweep = errors.New("sensitivity: invalid sweep")
+
+// Point is one sample of a parametric sweep.
+type Point struct {
+	// Value is the swept parameter value.
+	Value float64
+	// Availability and YearlyDowntimeMinutes are the system measures at
+	// this parameter value.
+	Availability          float64
+	YearlyDowntimeMinutes float64
+}
+
+// Solver evaluates the model at one parameter value and returns
+// (availability, yearly downtime minutes).
+type Solver func(value float64) (availability, downtimeMinutes float64, err error)
+
+// Sweep evaluates solve at steps+1 evenly spaced values across [from, to]
+// (inclusive). steps must be ≥ 1 and from < to.
+func Sweep(from, to float64, steps int, solve Solver) ([]Point, error) {
+	if solve == nil {
+		return nil, fmt.Errorf("nil solver: %w", ErrBadSweep)
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("steps = %d, want ≥ 1: %w", steps, ErrBadSweep)
+	}
+	if from >= to {
+		return nil, fmt.Errorf("empty range [%g, %g]: %w", from, to, ErrBadSweep)
+	}
+	points := make([]Point, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		v := from + (to-from)*float64(i)/float64(steps)
+		a, d, err := solve(v)
+		if err != nil {
+			return nil, fmt.Errorf("sweep at %g: %w", v, err)
+		}
+		points = append(points, Point{Value: v, Availability: a, YearlyDowntimeMinutes: d})
+	}
+	return points, nil
+}
+
+// CrossingBelow returns the first swept value at which availability falls
+// below the threshold, interpolating linearly between bracketing points.
+// ok is false if availability never crosses.
+func CrossingBelow(points []Point, threshold float64) (value float64, ok bool) {
+	for i, p := range points {
+		if p.Availability < threshold {
+			if i == 0 {
+				return p.Value, true
+			}
+			prev := points[i-1]
+			da := prev.Availability - p.Availability
+			if da <= 0 {
+				return p.Value, true
+			}
+			frac := (prev.Availability - threshold) / da
+			return prev.Value + frac*(p.Value-prev.Value), true
+		}
+	}
+	return 0, false
+}
+
+// MaxDelta returns the largest availability difference across the sweep —
+// a summary of how sensitive the measure is to the parameter.
+func MaxDelta(points []Point) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	lo, hi := points[0].Availability, points[0].Availability
+	for _, p := range points[1:] {
+		if p.Availability < lo {
+			lo = p.Availability
+		}
+		if p.Availability > hi {
+			hi = p.Availability
+		}
+	}
+	return hi - lo
+}

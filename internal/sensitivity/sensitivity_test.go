@@ -1,0 +1,97 @@
+package sensitivity
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func linearSolver(t *testing.T) Solver {
+	t.Helper()
+	// Availability declines linearly with the parameter.
+	return func(v float64) (float64, float64, error) {
+		a := 1 - 1e-5*v
+		return a, (1 - a) * 525600, nil
+	}
+}
+
+func TestSweepBasic(t *testing.T) {
+	t.Parallel()
+	pts, err := Sweep(0.5, 3, 10, linearSolver(t))
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("points = %d, want 11", len(pts))
+	}
+	if pts[0].Value != 0.5 || pts[10].Value != 3 {
+		t.Errorf("endpoints = %v, %v", pts[0].Value, pts[10].Value)
+	}
+	// Evenly spaced.
+	for i := 1; i < len(pts); i++ {
+		if math.Abs((pts[i].Value-pts[i-1].Value)-0.25) > 1e-12 {
+			t.Errorf("uneven step at %d", i)
+		}
+	}
+	// Monotone availability for the linear solver.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Availability >= pts[i-1].Availability {
+			t.Errorf("availability not declining at %d", i)
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Sweep(0, 1, 10, nil); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("nil solver: err = %v", err)
+	}
+	if _, err := Sweep(0, 1, 0, linearSolver(t)); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("0 steps: err = %v", err)
+	}
+	if _, err := Sweep(2, 1, 10, linearSolver(t)); !errors.Is(err, ErrBadSweep) {
+		t.Errorf("reversed range: err = %v", err)
+	}
+	failing := func(float64) (float64, float64, error) {
+		return 0, 0, errors.New("boom")
+	}
+	if _, err := Sweep(0, 1, 2, failing); err == nil {
+		t.Error("solver failure should propagate")
+	}
+}
+
+func TestCrossingBelow(t *testing.T) {
+	t.Parallel()
+	pts, err := Sweep(0, 10, 10, linearSolver(t))
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	// a(v) = 1 − 1e-5·v crosses 0.99996 at v = 4.
+	v, ok := CrossingBelow(pts, 0.99996)
+	if !ok {
+		t.Fatal("no crossing found")
+	}
+	if math.Abs(v-4) > 1e-9 {
+		t.Errorf("crossing = %v, want 4", v)
+	}
+	// Threshold below the whole sweep: no crossing.
+	if _, ok := CrossingBelow(pts, 0.5); ok {
+		t.Error("found crossing below entire sweep")
+	}
+	// Threshold above the first point: crossing at first value.
+	v, ok = CrossingBelow(pts, 2)
+	if !ok || v != 0 {
+		t.Errorf("crossing = %v,%v, want 0,true", v, ok)
+	}
+}
+
+func TestMaxDelta(t *testing.T) {
+	t.Parallel()
+	pts := []Point{{Availability: 0.9999}, {Availability: 0.99995}, {Availability: 0.99991}}
+	if got := MaxDelta(pts); math.Abs(got-5e-5) > 1e-15 {
+		t.Errorf("MaxDelta = %v, want 5e-5", got)
+	}
+	if MaxDelta(nil) != 0 {
+		t.Error("MaxDelta(nil) != 0")
+	}
+}

@@ -1,0 +1,171 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is reported when an iterative solver exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("sparse: iteration limit reached without convergence")
+
+// SteadyStateOptions tunes the iterative steady-state solvers.
+type SteadyStateOptions struct {
+	// Tol is the convergence tolerance on the max-norm change of the
+	// probability vector between sweeps. Defaults to 1e-12.
+	Tol float64
+	// MaxIter bounds the number of sweeps. Defaults to 200000.
+	MaxIter int
+	// Relax is the SOR relaxation factor for Gauss–Seidel (1 = plain GS).
+	// Defaults to 1.
+	Relax float64
+}
+
+func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200000
+	}
+	if o.Relax <= 0 {
+		o.Relax = 1
+	}
+	return o
+}
+
+// SteadyStatePower computes the stationary distribution π of the CTMC with
+// generator Q (π·Q = 0, Σπ = 1) by power iteration on the uniformized DTMC
+// P = I + Q/Λ, where Λ exceeds the largest exit rate. Q must be a proper
+// generator: nonnegative off-diagonals, rows summing to zero. The chain
+// must be irreducible for the result to be the unique stationary vector.
+func SteadyStatePower(q *CSR, opts SteadyStateOptions) ([]float64, error) {
+	if q.Rows() != q.Cols() {
+		return nil, fmt.Errorf("generator is %dx%d, want square: %w", q.Rows(), q.Cols(), ErrShape)
+	}
+	o := opts.withDefaults()
+	n := q.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("empty generator: %w", ErrShape)
+	}
+	// Uniformization constant: strictly above the max exit rate so the DTMC
+	// is aperiodic even for deterministic-looking structures.
+	var lambda float64
+	for i := 0; i < n; i++ {
+		d := -q.At(i, i)
+		if d > lambda {
+			lambda = d
+		}
+	}
+	if lambda == 0 {
+		// No transitions at all: every distribution is stationary; return uniform.
+		pi := make([]float64, n)
+		for i := range pi {
+			pi[i] = 1 / float64(n)
+		}
+		return pi, nil
+	}
+	lambda *= 1.05
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	scratch := make([]float64, n)
+	for iter := 0; iter < o.MaxIter; iter++ {
+		// next = pi·P = pi + (pi·Q)/Λ
+		piQ, err := q.VecMul(pi, scratch)
+		if err != nil {
+			return nil, err
+		}
+		var diff float64
+		for i := 0; i < n; i++ {
+			v := pi[i] + piQ[i]/lambda
+			if v < 0 {
+				v = 0 // clamp tiny negative round-off
+			}
+			next[i] = v
+		}
+		normalizeInPlace(next)
+		for i := 0; i < n; i++ {
+			if d := math.Abs(next[i] - pi[i]); d > diff {
+				diff = d
+			}
+		}
+		pi, next = next, pi
+		if diff < o.Tol {
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("power iteration after %d sweeps: %w", o.MaxIter, ErrNoConvergence)
+}
+
+// SteadyStateGaussSeidel computes the stationary distribution of generator Q
+// by Gauss–Seidel (optionally SOR) sweeps on the balance equations
+// πQ = 0 rewritten per-state as π_j = Σ_{i≠j} π_i q_ij / (−q_jj).
+// It operates on the transposed generator for column access.
+func SteadyStateGaussSeidel(q *CSR, opts SteadyStateOptions) ([]float64, error) {
+	if q.Rows() != q.Cols() {
+		return nil, fmt.Errorf("generator is %dx%d, want square: %w", q.Rows(), q.Cols(), ErrShape)
+	}
+	o := opts.withDefaults()
+	n := q.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("empty generator: %w", ErrShape)
+	}
+	qt := q.Transpose() // row j of qt holds incoming rates q_ij for state j
+	diag := make([]float64, n)
+	for j := 0; j < n; j++ {
+		diag[j] = -q.At(j, j)
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < o.MaxIter; iter++ {
+		var diff float64
+		for j := 0; j < n; j++ {
+			if diag[j] == 0 {
+				continue // absorbing or isolated state: leave as-is
+			}
+			var in float64
+			lo, hi := qt.rowPtr[j], qt.rowPtr[j+1]
+			for k := lo; k < hi; k++ {
+				i := qt.colIdx[k]
+				if i == j {
+					continue
+				}
+				in += pi[i] * qt.vals[k]
+			}
+			v := in / diag[j]
+			v = pi[j] + o.Relax*(v-pi[j])
+			if v < 0 {
+				v = 0
+			}
+			if d := math.Abs(v - pi[j]); d > diff {
+				diff = d
+			}
+			pi[j] = v
+		}
+		normalizeInPlace(pi)
+		if diff < o.Tol {
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("gauss-seidel after %d sweeps: %w", o.MaxIter, ErrNoConvergence)
+}
+
+func normalizeInPlace(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	if s == 0 {
+		return
+	}
+	inv := 1 / s
+	for i := range v {
+		v[i] *= inv
+	}
+}

@@ -1,0 +1,172 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ctmc"
+)
+
+const validDoc = `{
+  "name": "pair",
+  "description": "repairable pair",
+  "parameters": {"La": 0.01, "Mu": 2.0},
+  "states": [
+    {"name": "Up", "reward": 1},
+    {"name": "Down", "reward": 0}
+  ],
+  "transitions": [
+    {"from": "Up", "to": "Down", "rate": "La"},
+    {"from": "Down", "to": "Up", "rate": "Mu"}
+  ]
+}`
+
+func TestParseAndCompile(t *testing.T) {
+	t.Parallel()
+	d, err := Parse(strings.NewReader(validDoc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Name != "pair" || len(d.States) != 2 {
+		t.Fatalf("decoded doc wrong: %+v", d)
+	}
+	s, err := d.Compile(nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, err := s.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := 2.0 / 2.01
+	if math.Abs(res.Availability-want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", res.Availability, want)
+	}
+}
+
+func TestCompileWithOverrides(t *testing.T) {
+	t.Parallel()
+	d, err := Parse(strings.NewReader(validDoc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s, err := d.Compile(map[string]float64{"La": 0.5})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, err := s.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := 2.0 / 2.5
+	if math.Abs(res.Availability-want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", res.Availability, want)
+	}
+	// Unknown override rejected.
+	if _, err := d.Compile(map[string]float64{"Zz": 1}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("unknown override: err = %v", err)
+	}
+}
+
+func TestParseRejectsBadDocs(t *testing.T) {
+	t.Parallel()
+	docs := map[string]string{
+		"unknown field":      `{"name":"x","bogus":1,"states":[{"name":"A","reward":1}],"transitions":[]}`,
+		"no name":            `{"states":[{"name":"A","reward":1}],"transitions":[]}`,
+		"no states":          `{"name":"x","states":[],"transitions":[]}`,
+		"dup state":          `{"name":"x","states":[{"name":"A","reward":1},{"name":"A","reward":0}],"transitions":[]}`,
+		"unnamed state":      `{"name":"x","states":[{"name":"","reward":1}],"transitions":[]}`,
+		"negative reward":    `{"name":"x","states":[{"name":"A","reward":-1}],"transitions":[]}`,
+		"unknown from":       `{"name":"x","states":[{"name":"A","reward":1}],"transitions":[{"from":"B","to":"A","rate":"1"}]}`,
+		"unknown to":         `{"name":"x","states":[{"name":"A","reward":1}],"transitions":[{"from":"A","to":"B","rate":"1"}]}`,
+		"bad rate expr":      `{"name":"x","states":[{"name":"A","reward":1},{"name":"B","reward":0}],"transitions":[{"from":"A","to":"B","rate":"(("}]}`,
+		"unbound rate param": `{"name":"x","states":[{"name":"A","reward":1},{"name":"B","reward":0}],"transitions":[{"from":"A","to":"B","rate":"La"}]}`,
+		"not json":           `hello`,
+	}
+	for name, doc := range docs {
+		name, doc := name, doc
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := Parse(strings.NewReader(doc)); err == nil {
+				t.Errorf("Parse accepted %s", name)
+			}
+		})
+	}
+}
+
+func TestCompileEvalError(t *testing.T) {
+	t.Parallel()
+	doc := `{
+	  "name": "x",
+	  "parameters": {"T": 0},
+	  "states": [{"name":"A","reward":1},{"name":"B","reward":0}],
+	  "transitions": [
+	    {"from":"A","to":"B","rate":"1/T"},
+	    {"from":"B","to":"A","rate":"1"}
+	  ]
+	}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := d.Compile(nil); err == nil {
+		t.Error("Compile should fail on division by zero")
+	}
+	// But a nonzero override fixes it.
+	if _, err := d.Compile(map[string]float64{"T": 2}); err != nil {
+		t.Errorf("Compile with fix: %v", err)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	t.Parallel()
+	d, err := Parse(strings.NewReader(validDoc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	d2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if d2.Name != d.Name || len(d2.Transitions) != len(d.Transitions) {
+		t.Error("round trip lost content")
+	}
+}
+
+// TestRAScadStyleDollarParams: the $-prefixed parameter references from
+// RAScad diagrams work in rate expressions.
+func TestRAScadStyleDollarParams(t *testing.T) {
+	t.Parallel()
+	doc := `{
+	  "name": "fig2",
+	  "parameters": {"Lambda1": 0.001, "Mu1": 10, "N_pair": 2},
+	  "states": [{"name":"Ok","reward":1},{"name":"HADB_Fail","reward":0}],
+	  "transitions": [
+	    {"from":"Ok","to":"HADB_Fail","rate":"$N_pair * $Lambda1"},
+	    {"from":"HADB_Fail","to":"Ok","rate":"$Mu1"}
+	  ]
+	}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s, err := d.Compile(nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	res, err := s.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := 10.0 / 10.002
+	if math.Abs(res.Availability-want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", res.Availability, want)
+	}
+}

@@ -1,0 +1,83 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/uncertainty"
+)
+
+// UncertainRange declares, inside a model document, the interval a
+// parameter may take across deployments — the document-level equivalent of
+// the ranges the paper's §7 uncertainty analysis samples.
+type UncertainRange struct {
+	Low  float64 `json:"low"`
+	High float64 `json:"high"`
+}
+
+// uncertaintyRanges converts a document's uncertain-parameter map after
+// validating that each name is a declared parameter.
+func uncertaintyRanges(uncertain map[string]UncertainRange, declared func(string) bool) ([]uncertainty.Range, error) {
+	if len(uncertain) == 0 {
+		return nil, fmt.Errorf("document declares no uncertain parameters: %w", ErrBadSpec)
+	}
+	out := make([]uncertainty.Range, 0, len(uncertain))
+	for name, r := range uncertain {
+		if !declared(name) {
+			return nil, fmt.Errorf("uncertain parameter %q is not declared: %w", name, ErrBadSpec)
+		}
+		if r.Low > r.High {
+			return nil, fmt.Errorf("uncertain parameter %q: low %g > high %g: %w", name, r.Low, r.High, ErrBadSpec)
+		}
+		out = append(out, uncertainty.Range{Name: name, Low: r.Low, High: r.High})
+	}
+	return out, nil
+}
+
+// RunUncertainty samples the document's uncertain parameters, re-solving
+// the model per sample, and returns the downtime distribution — RAScad's
+// uncertainty analysis for any user model.
+func (d *Document) RunUncertainty(opts uncertainty.Options) (*uncertainty.Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	ranges, err := uncertaintyRanges(d.Uncertain, func(name string) bool {
+		_, ok := d.Parameters[name]
+		return ok
+	})
+	if err != nil {
+		return nil, err
+	}
+	solver := func(assignment map[string]float64) (float64, error) {
+		s, err := d.Compile(assignment)
+		if err != nil {
+			return 0, err
+		}
+		res, err := s.Solve(ctmc.SolveOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.YearlyDowntimeMinutes, nil
+	}
+	return uncertainty.Run(ranges, solver, opts)
+}
+
+// RunUncertainty is the hierarchical variant: overrides are applied across
+// globals and per-model parameters by name.
+func (d *HierDocument) RunUncertainty(opts uncertainty.Options) (*uncertainty.Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	ranges, err := uncertaintyRanges(d.Uncertain, d.isDeclaredParam)
+	if err != nil {
+		return nil, err
+	}
+	solver := func(assignment map[string]float64) (float64, error) {
+		ev, err := d.Solve(assignment)
+		if err != nil {
+			return 0, err
+		}
+		return ev.Result.YearlyDowntimeMinutes, nil
+	}
+	return uncertainty.Run(ranges, solver, opts)
+}

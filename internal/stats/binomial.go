@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinomialLowerBound returns the one-sided lower confidence bound on a
+// binomial success probability (the "coverage" C in the paper), given s
+// successes in n trials at the stated confidence level, via the
+// F-distribution form the paper cites (Kececioglu; Eq. (1) in the paper):
+//
+//	C_low = s / (s + (n−s+1)·F_{conf; 2(n−s)+2; 2s})
+//
+// For s = n (no failures observed) the exact Clopper–Pearson zero-failure
+// bound C_low = α^{1/n} is used, which the F form degenerates to.
+func BinomialLowerBound(n, s int, confidence float64) (float64, error) {
+	if n <= 0 || s < 0 || s > n {
+		return 0, fmt.Errorf("BinomialLowerBound: n=%d s=%d: %w", n, s, ErrDomain)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("BinomialLowerBound: confidence %g: %w", confidence, ErrDomain)
+	}
+	alpha := 1 - confidence
+	if s == 0 {
+		return 0, nil
+	}
+	if s == n {
+		// Zero failures: exact bound from (C_low)^n = α.
+		return math.Pow(alpha, 1/float64(n)), nil
+	}
+	f, err := FQuantile(confidence, float64(2*(n-s)+2), float64(2*s))
+	if err != nil {
+		return 0, err
+	}
+	return float64(s) / (float64(s) + float64(n-s+1)*f), nil
+}
+
+// BinomialUpperBound returns the one-sided upper confidence bound on a
+// binomial probability with s successes in n trials (Clopper–Pearson via
+// the F distribution). Useful for bounding a failure fraction from above.
+func BinomialUpperBound(n, s int, confidence float64) (float64, error) {
+	if n <= 0 || s < 0 || s > n {
+		return 0, fmt.Errorf("BinomialUpperBound: n=%d s=%d: %w", n, s, ErrDomain)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("BinomialUpperBound: confidence %g: %w", confidence, ErrDomain)
+	}
+	// Upper bound on p with s successes = 1 − (lower bound on q with n−s
+	// successes), by symmetry.
+	low, err := BinomialLowerBound(n, n-s, confidence)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - low, nil
+}
+
+// PoissonRateUpperBound returns the one-sided upper confidence bound on an
+// exponential failure rate given n observed failures over total exposure
+// time T — the paper's Equation (2):
+//
+//	λ_max = χ²_{conf; 2n+2} / (2T)
+//
+// With n = 0 this is the standard zero-failure bound −ln(α)/T.
+func PoissonRateUpperBound(totalTime float64, failures int, confidence float64) (float64, error) {
+	if totalTime <= 0 {
+		return 0, fmt.Errorf("PoissonRateUpperBound: T=%g: %w", totalTime, ErrDomain)
+	}
+	if failures < 0 {
+		return 0, fmt.Errorf("PoissonRateUpperBound: n=%d: %w", failures, ErrDomain)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("PoissonRateUpperBound: confidence %g: %w", confidence, ErrDomain)
+	}
+	q, err := ChiSquareQuantile(confidence, float64(2*failures+2))
+	if err != nil {
+		return 0, err
+	}
+	return q / (2 * totalTime), nil
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareCDF returns P(X ≤ x) for X ~ χ²(k).
+func ChiSquareCDF(x float64, k float64) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("ChiSquareCDF: dof %g: %w", k, ErrDomain)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return GammaP(k/2, x/2)
+}
+
+// ChiSquareQuantile returns the p-quantile of χ²(k): the x with
+// P(X ≤ x) = p. This is the χ²_{p;k} the paper's Equation (2) uses.
+func ChiSquareQuantile(p float64, k float64) (float64, error) {
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("ChiSquareQuantile: p=%g: %w", p, ErrDomain)
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("ChiSquareQuantile: dof %g: %w", k, ErrDomain)
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	cdf := func(x float64) (float64, error) { return ChiSquareCDF(x, k) }
+	// Bracket: mean k, variance 2k — start at mean + 10 std dev.
+	hi := k + 10*math.Sqrt(2*k) + 10
+	return quantileBisect(cdf, p, 0, hi)
+}
+
+// FCDF returns P(X ≤ x) for X ~ F(d1, d2).
+func FCDF(x, d1, d2 float64) (float64, error) {
+	if d1 <= 0 || d2 <= 0 {
+		return 0, fmt.Errorf("FCDF: dof (%g, %g): %w", d1, d2, ErrDomain)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return BetaInc(d1/2, d2/2, d1*x/(d1*x+d2))
+}
+
+// FQuantile returns the p-quantile of the F(d1, d2) distribution — the
+// F_{p; d1; d2} value in the paper's Equation (1).
+func FQuantile(p, d1, d2 float64) (float64, error) {
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("FQuantile: p=%g: %w", p, ErrDomain)
+	}
+	if d1 <= 0 || d2 <= 0 {
+		return 0, fmt.Errorf("FQuantile: dof (%g, %g): %w", d1, d2, ErrDomain)
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	cdf := func(x float64) (float64, error) { return FCDF(x, d1, d2) }
+	// Grow the bracket until it covers p.
+	hi := 1.0
+	for i := 0; i < 200; i++ {
+		c, err := cdf(hi)
+		if err != nil {
+			return 0, err
+		}
+		if c > p {
+			break
+		}
+		hi *= 2
+	}
+	return quantileBisect(cdf, p, 0, hi)
+}
+
+// NormalCDF returns Φ(x) for the standard normal distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p ∈ (0, 1) using the Acklam rational
+// approximation refined with one Halley step (absolute error < 1e-14).
+func NormalQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("NormalQuantile: p=%g: %w", p, ErrDomain)
+	}
+	// Acklam coefficients.
+	a := [...]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [...]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [...]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [...]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x, nil
+}
+
+// quantileBisect inverts a monotone CDF by bisection on [lo, hi].
+func quantileBisect(cdf func(float64) (float64, error), p, lo, hi float64) (float64, error) {
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		c, err := cdf(mid)
+		if err != nil {
+			return 0, err
+		}
+		if c < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}

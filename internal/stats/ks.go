@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a one-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// Statistic is D_n = sup |F_n(x) − F(x)|.
+	Statistic float64
+	// PValue is the asymptotic probability of observing a larger D under
+	// the null hypothesis that the sample follows the reference CDF.
+	PValue float64
+	// N is the sample size.
+	N int
+}
+
+// KolmogorovSmirnov runs a one-sample KS test of xs against the reference
+// CDF. The sample is not modified. Used to validate the simulator's
+// variate generators against their intended distributions.
+func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) (KSResult, error) {
+	n := len(xs)
+	if n == 0 {
+		return KSResult{}, fmt.Errorf("KolmogorovSmirnov: empty sample: %w", ErrDomain)
+	}
+	if cdf == nil {
+		return KSResult{}, fmt.Errorf("KolmogorovSmirnov: nil cdf: %w", ErrDomain)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var d float64
+	for i, x := range sorted {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return KSResult{}, fmt.Errorf("KolmogorovSmirnov: cdf(%g) = %g outside [0,1]: %w", x, f, ErrDomain)
+		}
+		upper := float64(i+1)/float64(n) - f
+		lower := f - float64(i)/float64(n)
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	return KSResult{
+		Statistic: d,
+		PValue:    ksPValue(d, n),
+		N:         n,
+	}, nil
+}
+
+// ksPValue evaluates the asymptotic Kolmogorov distribution complement
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²} at λ = D(√n + 0.12 + 0.11/√n)
+// (Stephens' small-sample correction).
+func ksPValue(d float64, n int) float64 {
+	sn := math.Sqrt(float64(n))
+	lambda := d * (sn + 0.12 + 0.11/sn)
+	if lambda < 1e-6 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ExponentialCDF returns the CDF of an exponential distribution with the
+// given mean, for use with KolmogorovSmirnov.
+func ExponentialCDF(mean float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x <= 0 || mean <= 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/mean)
+	}
+}
+
+// UniformCDF returns the CDF of a uniform distribution on [lo, hi].
+func UniformCDF(lo, hi float64) func(float64) float64 {
+	return func(x float64) float64 {
+		switch {
+		case hi <= lo, x <= lo:
+			return 0
+		case x >= hi:
+			return 1
+		default:
+			return (x - lo) / (hi - lo)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSAcceptsMatchingDistribution(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(11))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.ExpFloat64() * 3 // exponential, mean 3
+	}
+	res, err := KolmogorovSmirnov(xs, ExponentialCDF(3))
+	if err != nil {
+		t.Fatalf("KolmogorovSmirnov: %v", err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("p = %v, matching distribution rejected", res.PValue)
+	}
+	if res.N != 2000 {
+		t.Errorf("N = %d", res.N)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(12))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.Float64() * 6 // uniform [0,6], mean 3
+	}
+	res, err := KolmogorovSmirnov(xs, ExponentialCDF(3))
+	if err != nil {
+		t.Fatalf("KolmogorovSmirnov: %v", err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("p = %v, wrong distribution accepted", res.PValue)
+	}
+}
+
+func TestKSUniformCDF(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(13))
+	xs := make([]float64, 1500)
+	for i := range xs {
+		xs[i] = 2 + 3*r.Float64()
+	}
+	res, err := KolmogorovSmirnov(xs, UniformCDF(2, 5))
+	if err != nil {
+		t.Fatalf("KolmogorovSmirnov: %v", err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("p = %v, uniform sample rejected against its own CDF", res.PValue)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := KolmogorovSmirnov(nil, ExponentialCDF(1)); !errors.Is(err, ErrDomain) {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); !errors.Is(err, ErrDomain) {
+		t.Errorf("nil cdf: err = %v", err)
+	}
+	badCDF := func(float64) float64 { return 2 }
+	if _, err := KolmogorovSmirnov([]float64{1}, badCDF); !errors.Is(err, ErrDomain) {
+		t.Errorf("bad cdf: err = %v", err)
+	}
+}
+
+func TestKSPValueMonotoneInStatistic(t *testing.T) {
+	t.Parallel()
+	prev := 1.0
+	for d := 0.01; d < 0.2; d += 0.01 {
+		p := ksPValue(d, 500)
+		if p > prev+1e-12 {
+			t.Errorf("p-value not monotone at D=%v", d)
+		}
+		prev = p
+	}
+	if p := ksPValue(0, 100); p != 1 {
+		t.Errorf("ksPValue(0) = %v, want 1", p)
+	}
+}
+
+func TestCDFHelpers(t *testing.T) {
+	t.Parallel()
+	e := ExponentialCDF(2)
+	if e(-1) != 0 || e(0) != 0 {
+		t.Error("ExponentialCDF at non-positive x")
+	}
+	if math.Abs(e(2)-(1-math.Exp(-1))) > 1e-15 {
+		t.Error("ExponentialCDF value")
+	}
+	u := UniformCDF(1, 3)
+	if u(0) != 0 || u(4) != 1 || u(2) != 0.5 {
+		t.Error("UniformCDF values")
+	}
+	if UniformCDF(3, 1)(2) != 0 {
+		t.Error("degenerate UniformCDF")
+	}
+}

@@ -1,0 +1,225 @@
+// Package stats implements the statistical machinery the paper's parameter
+// estimation and uncertainty analysis rely on: log-gamma, regularized
+// incomplete gamma and beta functions, χ²/F/normal distribution CDFs and
+// quantiles, exact binomial confidence bounds, and sample statistics.
+//
+// Everything is implemented from scratch on the stdlib; accuracy targets
+// (~1e-10 relative over the parameter ranges availability models use) are
+// enforced by the test suite against reference values.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDomain is reported for arguments outside a function's domain.
+var ErrDomain = errors.New("stats: argument out of domain")
+
+// lanczosCoef are the Lanczos approximation coefficients (g=7, n=9).
+var lanczosCoef = [...]float64{
+	0.99999999999980993,
+	676.5203681218851,
+	-1259.1392167224028,
+	771.32342877765313,
+	-176.61502916214059,
+	12.507343278686905,
+	-0.13857109526572012,
+	9.9843695780195716e-6,
+	1.5056327351493116e-7,
+}
+
+// LogGamma returns ln Γ(x) for x > 0.
+func LogGamma(x float64) (float64, error) {
+	if x <= 0 {
+		return 0, fmt.Errorf("LogGamma(%g): %w", x, ErrDomain)
+	}
+	if x < 0.5 {
+		// Reflection: Γ(x)Γ(1−x) = π/sin(πx).
+		lg, err := LogGamma(1 - x)
+		if err != nil {
+			return 0, err
+		}
+		return math.Log(math.Pi/math.Sin(math.Pi*x)) - lg, nil
+	}
+	x--
+	a := lanczosCoef[0]
+	t := x + 7.5
+	for i := 1; i < len(lanczosCoef); i++ {
+		a += lanczosCoef[i] / (x + float64(i))
+	}
+	return 0.5*math.Log(2*math.Pi) + (x+0.5)*math.Log(t) - t + math.Log(a), nil
+}
+
+// GammaP returns the regularized lower incomplete gamma function P(a, x)
+// for a > 0, x ≥ 0.
+func GammaP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 {
+		return 0, fmt.Errorf("GammaP(%g, %g): %w", a, x, ErrDomain)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		return gammaPSeries(a, x)
+	}
+	q, err := gammaQContinuedFraction(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - q, nil
+}
+
+// GammaQ returns the regularized upper incomplete gamma Q(a, x) = 1−P(a, x).
+func GammaQ(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 {
+		return 0, fmt.Errorf("GammaQ(%g, %g): %w", a, x, ErrDomain)
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if x < a+1 {
+		p, err := gammaPSeries(a, x)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - p, nil
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) (float64, error) {
+	lg, err := LogGamma(a)
+	if err != nil {
+		return 0, err
+	}
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 1000; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-16 {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, fmt.Errorf("GammaP(%g, %g): series did not converge: %w", a, x, ErrDomain)
+}
+
+func gammaQContinuedFraction(a, x float64) (float64, error) {
+	lg, err := LogGamma(a)
+	if err != nil {
+		return 0, err
+	}
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 1000; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, fmt.Errorf("GammaQ(%g, %g): continued fraction did not converge: %w", a, x, ErrDomain)
+}
+
+// BetaInc returns the regularized incomplete beta function I_x(a, b) for
+// a, b > 0 and x ∈ [0, 1].
+func BetaInc(a, b, x float64) (float64, error) {
+	if a <= 0 || b <= 0 || x < 0 || x > 1 {
+		return 0, fmt.Errorf("BetaInc(%g, %g, %g): %w", a, b, x, ErrDomain)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x == 1 {
+		return 1, nil
+	}
+	lga, err := LogGamma(a + b)
+	if err != nil {
+		return 0, err
+	}
+	lgb, err := LogGamma(a)
+	if err != nil {
+		return 0, err
+	}
+	lgc, err := LogGamma(b)
+	if err != nil {
+		return 0, err
+	}
+	front := math.Exp(lga - lgb - lgc + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		cf, err := betaCF(a, b, x)
+		if err != nil {
+			return 0, err
+		}
+		return front * cf / a, nil
+	}
+	cf, err := betaCF(b, a, 1-x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - front*cf/b, nil
+}
+
+// betaCF evaluates the continued fraction for BetaInc (Lentz's method).
+func betaCF(a, b, x float64) (float64, error) {
+	const tiny = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= 1000; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-16 {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("BetaInc continued fraction did not converge: %w", ErrDomain)
+}

@@ -1,0 +1,595 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func wantClose(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %.12g, want %.12g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestLogGamma(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		x, want float64
+	}{
+		{1, 0},
+		{2, 0},
+		{3, math.Log(2)},
+		{4, math.Log(6)},
+		{5, math.Log(24)},
+		{0.5, math.Log(math.Sqrt(math.Pi))},
+		{1.5, math.Log(math.Sqrt(math.Pi) / 2)},
+		{10.5, 13.94062521940332}, // reference value
+		{100, 359.1342053695754},
+	}
+	for _, tc := range tests {
+		got, err := LogGamma(tc.x)
+		if err != nil {
+			t.Fatalf("LogGamma(%g): %v", tc.x, err)
+		}
+		wantClose(t, "LogGamma", got, tc.want, 1e-12)
+	}
+	if _, err := LogGamma(0); !errors.Is(err, ErrDomain) {
+		t.Errorf("LogGamma(0): err = %v, want ErrDomain", err)
+	}
+	if _, err := LogGamma(-1); !errors.Is(err, ErrDomain) {
+		t.Errorf("LogGamma(-1): err = %v, want ErrDomain", err)
+	}
+}
+
+func TestGammaPExponential(t *testing.T) {
+	t.Parallel()
+	// P(1, x) = 1 − e^{-x}.
+	for _, x := range []float64{0, 0.1, 1, 2, 5, 20} {
+		got, err := GammaP(1, x)
+		if err != nil {
+			t.Fatalf("GammaP(1, %g): %v", x, err)
+		}
+		wantClose(t, "GammaP(1,x)", got, 1-math.Exp(-x), 1e-12)
+	}
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := 0.3 + 20*r.Float64()
+		x := 30 * r.Float64()
+		p, err1 := GammaP(a, x)
+		q, err2 := GammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p+q-1) < 1e-10 && p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetaIncReference(t *testing.T) {
+	t.Parallel()
+	// I_x(1, b) = 1 − (1−x)^b; I_x(a, 1) = x^a.
+	for _, tc := range []struct{ a, b, x float64 }{
+		{1, 3, 0.2}, {1, 1, 0.7}, {2, 1, 0.4}, {5, 1, 0.9},
+	} {
+		got, err := BetaInc(tc.a, tc.b, tc.x)
+		if err != nil {
+			t.Fatalf("BetaInc(%v,%v,%v): %v", tc.a, tc.b, tc.x, err)
+		}
+		var want float64
+		if tc.a == 1 {
+			want = 1 - math.Pow(1-tc.x, tc.b)
+		} else {
+			want = math.Pow(tc.x, tc.a)
+		}
+		wantClose(t, "BetaInc", got, want, 1e-12)
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	g1, _ := BetaInc(3.5, 2.25, 0.3)
+	g2, _ := BetaInc(2.25, 3.5, 0.7)
+	wantClose(t, "BetaInc symmetry", g1, 1-g2, 1e-12)
+	// Edges.
+	if v, _ := BetaInc(2, 3, 0); v != 0 {
+		t.Errorf("BetaInc(.,.,0) = %v", v)
+	}
+	if v, _ := BetaInc(2, 3, 1); v != 1 {
+		t.Errorf("BetaInc(.,.,1) = %v", v)
+	}
+	if _, err := BetaInc(0, 1, 0.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("BetaInc domain err = %v", err)
+	}
+}
+
+func TestChiSquareQuantileReference(t *testing.T) {
+	t.Parallel()
+	// Reference values from standard χ² tables.
+	tests := []struct {
+		p, k, want float64
+	}{
+		{0.95, 2, 5.991464547},
+		{0.995, 2, 10.59663473},
+		{0.95, 1, 3.841458821},
+		{0.99, 10, 23.20925116},
+		{0.50, 4, 3.356694},
+	}
+	for _, tc := range tests {
+		got, err := ChiSquareQuantile(tc.p, tc.k)
+		if err != nil {
+			t.Fatalf("ChiSquareQuantile(%v,%v): %v", tc.p, tc.k, err)
+		}
+		wantClose(t, "ChiSquareQuantile", got, tc.want, 1e-6)
+	}
+	if _, err := ChiSquareQuantile(1.5, 2); !errors.Is(err, ErrDomain) {
+		t.Errorf("p>1: err = %v", err)
+	}
+	if _, err := ChiSquareQuantile(0.5, 0); !errors.Is(err, ErrDomain) {
+		t.Errorf("k=0: err = %v", err)
+	}
+	if v, err := ChiSquareQuantile(0, 2); err != nil || v != 0 {
+		t.Errorf("p=0: %v, %v", v, err)
+	}
+}
+
+func TestChiSquareCDFQuantileRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + float64(r.Intn(30))
+		p := 0.01 + 0.98*r.Float64()
+		x, err := ChiSquareQuantile(p, k)
+		if err != nil {
+			return false
+		}
+		c, err := ChiSquareCDF(x, k)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFQuantileReference(t *testing.T) {
+	t.Parallel()
+	// Standard F-table values.
+	tests := []struct {
+		p, d1, d2, want float64
+	}{
+		{0.95, 2, 10, 4.102821},
+		{0.95, 5, 5, 5.050329},
+		{0.99, 3, 12, 5.952545},
+		{0.95, 1, 1, 161.4476},
+		{0.90, 10, 20, 1.936738},
+	}
+	for _, tc := range tests {
+		got, err := FQuantile(tc.p, tc.d1, tc.d2)
+		if err != nil {
+			t.Fatalf("FQuantile: %v", err)
+		}
+		wantClose(t, "FQuantile", got, tc.want, 1e-5)
+	}
+	if _, err := FQuantile(0.95, 0, 1); !errors.Is(err, ErrDomain) {
+		t.Errorf("d1=0: err = %v", err)
+	}
+}
+
+func TestFCDFQuantileRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d1 := 1 + float64(r.Intn(40))
+		d2 := 1 + float64(r.Intn(40))
+		p := 0.05 + 0.9*r.Float64()
+		x, err := FQuantile(p, d1, d2)
+		if err != nil {
+			return false
+		}
+		c, err := FCDF(x, d1, d2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	t.Parallel()
+	tests := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963985},
+		{0.995, 2.575829304},
+		{0.841344746, 1.0},
+		{0.05, -1.644853627},
+		{1e-6, -4.753424309},
+	}
+	for _, tc := range tests {
+		got, err := NormalQuantile(tc.p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%v): %v", tc.p, err)
+		}
+		if math.Abs(got-tc.want) > 1e-8 {
+			t.Errorf("NormalQuantile(%v) = %.10f, want %.10f", tc.p, got, tc.want)
+		}
+	}
+	if _, err := NormalQuantile(0); !errors.Is(err, ErrDomain) {
+		t.Errorf("p=0: err = %v", err)
+	}
+	if _, err := NormalQuantile(1); !errors.Is(err, ErrDomain) {
+		t.Errorf("p=1: err = %v", err)
+	}
+}
+
+func TestNormalCDFQuantileRoundTrip(t *testing.T) {
+	t.Parallel()
+	for p := 0.001; p < 1; p += 0.013 {
+		x, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%v): %v", p, err)
+		}
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-12 {
+			t.Errorf("round trip p=%v: got %v", p, got)
+		}
+	}
+}
+
+// TestPaperEquation1 reproduces the paper's FIR bounds: with 3287
+// fault injections and zero failures, FIR ≤ ~0.1% at 95% confidence and
+// ≤ ~0.2% at 99.5% confidence.
+func TestPaperEquation1(t *testing.T) {
+	t.Parallel()
+	c95, err := BinomialLowerBound(3287, 3287, 0.95)
+	if err != nil {
+		t.Fatalf("BinomialLowerBound: %v", err)
+	}
+	fir95 := 1 - c95
+	if fir95 > 0.001 || fir95 < 0.0008 {
+		t.Errorf("FIR at 95%% = %v, want ~0.00091 (below 0.1%%)", fir95)
+	}
+	c995, err := BinomialLowerBound(3287, 3287, 0.995)
+	if err != nil {
+		t.Fatalf("BinomialLowerBound: %v", err)
+	}
+	fir995 := 1 - c995
+	if fir995 > 0.002 || fir995 < 0.0014 {
+		t.Errorf("FIR at 99.5%% = %v, want ~0.0016 (below 0.2%%)", fir995)
+	}
+}
+
+// TestPaperEquation2 reproduces the paper's AS failure-rate bounds: 24-day
+// test on 2 instances (48 instance-days) with zero failures gives
+// λ ≤ 1/16 per day at 95% and λ ≤ 1/9 per day at 99.5%.
+func TestPaperEquation2(t *testing.T) {
+	t.Parallel()
+	const exposureDays = 48
+	l95, err := PoissonRateUpperBound(exposureDays, 0, 0.95)
+	if err != nil {
+		t.Fatalf("PoissonRateUpperBound: %v", err)
+	}
+	if math.Abs(1/l95-16) > 0.1 {
+		t.Errorf("95%% bound = 1/%.2f days, want ~1/16", 1/l95)
+	}
+	l995, err := PoissonRateUpperBound(exposureDays, 0, 0.995)
+	if err != nil {
+		t.Fatalf("PoissonRateUpperBound: %v", err)
+	}
+	if math.Abs(1/l995-9) > 0.1 {
+		t.Errorf("99.5%% bound = 1/%.2f days, want ~1/9", 1/l995)
+	}
+}
+
+func TestBinomialBoundsConsistency(t *testing.T) {
+	t.Parallel()
+	// F-form with s<n approaches the zero-failure bound as s→n, and the
+	// bound tightens with more trials.
+	b1, err := BinomialLowerBound(100, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := BinomialLowerBound(1000, 1000, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 <= b1 {
+		t.Errorf("more trials should tighten bound: %v vs %v", b1, b2)
+	}
+	// With failures the bound drops.
+	b3, err := BinomialLowerBound(1000, 990, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3 >= b2 {
+		t.Errorf("failures should lower bound: %v vs %v", b3, b2)
+	}
+	// s=0 gives 0.
+	if b, _ := BinomialLowerBound(10, 0, 0.95); b != 0 {
+		t.Errorf("s=0 bound = %v, want 0", b)
+	}
+	// Monotone in confidence.
+	lo90, _ := BinomialLowerBound(500, 495, 0.90)
+	lo99, _ := BinomialLowerBound(500, 495, 0.99)
+	if lo99 >= lo90 {
+		t.Errorf("higher confidence should give lower bound: %v vs %v", lo99, lo90)
+	}
+	// Domain.
+	if _, err := BinomialLowerBound(0, 0, 0.9); !errors.Is(err, ErrDomain) {
+		t.Errorf("n=0: err = %v", err)
+	}
+	if _, err := BinomialLowerBound(5, 6, 0.9); !errors.Is(err, ErrDomain) {
+		t.Errorf("s>n: err = %v", err)
+	}
+	if _, err := BinomialLowerBound(5, 5, 1); !errors.Is(err, ErrDomain) {
+		t.Errorf("conf=1: err = %v", err)
+	}
+}
+
+func TestBinomialUpperBound(t *testing.T) {
+	t.Parallel()
+	// Upper bound on failure fraction with 0 failures in n trials equals
+	// 1 − α^{1/n}.
+	up, err := BinomialUpperBound(3287, 0, 0.95)
+	if err != nil {
+		t.Fatalf("BinomialUpperBound: %v", err)
+	}
+	want := 1 - math.Pow(0.05, 1.0/3287)
+	wantClose(t, "BinomialUpperBound", up, want, 1e-12)
+	if _, err := BinomialUpperBound(-1, 0, 0.9); !errors.Is(err, ErrDomain) {
+		t.Errorf("n<0: err = %v", err)
+	}
+}
+
+func TestPoissonRateUpperBoundWithFailures(t *testing.T) {
+	t.Parallel()
+	// n=1 failure in T=100 h at 90%: χ²_{0.9;4}/200.
+	q, err := ChiSquareQuantile(0.90, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PoissonRateUpperBound(100, 1, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClose(t, "PoissonRateUpperBound", got, q/200, 1e-12)
+	if _, err := PoissonRateUpperBound(0, 0, 0.9); !errors.Is(err, ErrDomain) {
+		t.Errorf("T=0: err = %v", err)
+	}
+	if _, err := PoissonRateUpperBound(1, -1, 0.9); !errors.Is(err, ErrDomain) {
+		t.Errorf("n<0: err = %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t.Parallel()
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	wantClose(t, "Mean", s.Mean, 5, 1e-12)
+	wantClose(t, "StdDev", s.StdDev, math.Sqrt(32.0/7), 1e-12)
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	wantClose(t, "Median", s.Median, 4.5, 1e-12)
+	zero := Summarize(nil)
+	if zero.N != 0 {
+		t.Errorf("empty: %+v", zero)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	if got := Percentile(xs, 10); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("P10 = %v, want 1.4", got)
+	}
+	// Clamping and degenerate cases.
+	if got := Percentile(xs, -5); got != 1 {
+		t.Errorf("P(-5) = %v", got)
+	}
+	if got := Percentile([]float64{7}, 33); got != 7 {
+		t.Errorf("single sample = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Input untouched.
+	xs2 := []float64{3, 1, 2}
+	Percentile(xs2, 50)
+	if xs2[0] != 3 {
+		t.Error("Percentile sorted caller's slice")
+	}
+}
+
+func TestPercentileCI(t *testing.T) {
+	t.Parallel()
+	xs := make([]float64, 1001)
+	for i := range xs {
+		xs[i] = float64(i) // uniform 0..1000
+	}
+	ci, err := PercentileCI(xs, 0.80)
+	if err != nil {
+		t.Fatalf("PercentileCI: %v", err)
+	}
+	wantClose(t, "CI.Low", ci.Low, 100, 1e-9)
+	wantClose(t, "CI.High", ci.High, 900, 1e-9)
+	if _, err := PercentileCI(xs, 1.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("bad confidence: err = %v", err)
+	}
+	if _, err := PercentileCI(nil, 0.8); !errors.Is(err, ErrDomain) {
+		t.Errorf("empty: err = %v", err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionBelow(xs, 3); got != 0.5 {
+		t.Errorf("FractionBelow = %v, want 0.5", got)
+	}
+	if !math.IsNaN(FractionBelow(nil, 1)) {
+		t.Error("empty should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+	xs := []float64{0, 0.1, 0.2, 0.5, 0.9, 1.0}
+	bins := Histogram(xs, 2)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	// Bins are half-open [low, high): 0.5 falls into the second bin.
+	if bins[0].Count != 3 || bins[1].Count != 3 {
+		t.Errorf("counts = %d,%d, want 3,3", bins[0].Count, bins[1].Count)
+	}
+	// Degenerate all-equal sample.
+	one := Histogram([]float64{5, 5, 5}, 4)
+	if len(one) != 1 || one[0].Count != 3 {
+		t.Errorf("degenerate histogram = %+v", one)
+	}
+	if Histogram(nil, 3) != nil {
+		t.Error("empty histogram should be nil")
+	}
+	if Histogram(xs, 0) != nil {
+		t.Error("zero bins should be nil")
+	}
+}
+
+func TestSpearmanRank(t *testing.T) {
+	t.Parallel()
+	// Perfect monotone relationships.
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := SpearmanRank(xs, []float64{10, 20, 30, 40, 50}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("increasing: rho = %v, want 1", got)
+	}
+	if got := SpearmanRank(xs, []float64{5, 4, 3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("decreasing: rho = %v, want -1", got)
+	}
+	// Monotone nonlinear still gives 1 (rank-based).
+	if got := SpearmanRank(xs, []float64{1, 8, 27, 64, 125}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("cubic: rho = %v, want 1", got)
+	}
+	// Independence ≈ 0 for a large random sample.
+	r := rand.New(rand.NewSource(5))
+	a := make([]float64, 3000)
+	b := make([]float64, 3000)
+	for i := range a {
+		a[i], b[i] = r.Float64(), r.Float64()
+	}
+	if got := SpearmanRank(a, b); math.Abs(got) > 0.05 {
+		t.Errorf("independent: rho = %v, want ~0", got)
+	}
+	// Ties and degenerate inputs.
+	if got := SpearmanRank([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant xs: rho = %v, want 0", got)
+	}
+	if !math.IsNaN(SpearmanRank([]float64{1}, []float64{2})) {
+		t.Error("n=1 should be NaN")
+	}
+	if !math.IsNaN(SpearmanRank(xs, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+	// Tie handling: average ranks keep symmetry.
+	got := SpearmanRank([]float64{1, 2, 2, 3}, []float64{1, 2, 2, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("tied identical: rho = %v, want 1", got)
+	}
+}
+
+func TestDistributionDomainEdges(t *testing.T) {
+	t.Parallel()
+	// CDF edges and domain errors not covered by the quantile tests.
+	if v, err := ChiSquareCDF(-1, 2); err != nil || v != 0 {
+		t.Errorf("ChiSquareCDF(-1) = %v, %v", v, err)
+	}
+	if _, err := ChiSquareCDF(1, 0); !errors.Is(err, ErrDomain) {
+		t.Errorf("ChiSquareCDF dof=0: %v", err)
+	}
+	if v, err := FCDF(-2, 1, 1); err != nil || v != 0 {
+		t.Errorf("FCDF(-2) = %v, %v", v, err)
+	}
+	if _, err := FCDF(1, 0, 1); !errors.Is(err, ErrDomain) {
+		t.Errorf("FCDF d1=0: %v", err)
+	}
+	if _, err := FQuantile(0.5, 1, -1); !errors.Is(err, ErrDomain) {
+		t.Errorf("FQuantile d2<0: %v", err)
+	}
+	if v, err := FQuantile(0, 2, 2); err != nil || v != 0 {
+		t.Errorf("FQuantile(0) = %v, %v", v, err)
+	}
+	if _, err := FQuantile(-0.1, 2, 2); !errors.Is(err, ErrDomain) {
+		t.Errorf("FQuantile p<0: %v", err)
+	}
+	// GammaP/Q domain and x=0 paths.
+	if _, err := GammaP(0, 1); !errors.Is(err, ErrDomain) {
+		t.Errorf("GammaP a=0: %v", err)
+	}
+	if _, err := GammaQ(-1, 1); !errors.Is(err, ErrDomain) {
+		t.Errorf("GammaQ a<0: %v", err)
+	}
+	if v, _ := GammaP(2, 0); v != 0 {
+		t.Errorf("GammaP(.,0) = %v", v)
+	}
+	if v, _ := GammaQ(2, 0); v != 1 {
+		t.Errorf("GammaQ(.,0) = %v", v)
+	}
+	// Both evaluation regimes of GammaQ (series and continued fraction).
+	qSeries, _ := GammaQ(5, 2) // x < a+1 → via series
+	qCF, _ := GammaQ(2, 10)    // x ≥ a+1 → continued fraction
+	pSeries, _ := GammaP(5, 2)
+	pCF, _ := GammaP(2, 10)
+	if math.Abs(qSeries+pSeries-1) > 1e-12 || math.Abs(qCF+pCF-1) > 1e-12 {
+		t.Error("GammaP/GammaQ complements broken across regimes")
+	}
+	// BetaInc domain.
+	if _, err := BetaInc(1, 1, -0.1); !errors.Is(err, ErrDomain) {
+		t.Errorf("BetaInc x<0: %v", err)
+	}
+	if _, err := BetaInc(1, -1, 0.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("BetaInc b<0: %v", err)
+	}
+}
+
+func TestBinomialUpperBoundWithSuccesses(t *testing.T) {
+	t.Parallel()
+	// Upper bound on failure probability with some observed failures: the
+	// F-distribution branch of the underlying lower bound.
+	up, err := BinomialUpperBound(1000, 5, 0.95)
+	if err != nil {
+		t.Fatalf("BinomialUpperBound: %v", err)
+	}
+	if up <= 5.0/1000 || up > 0.02 {
+		t.Errorf("upper bound = %v, want slightly above the 0.005 point estimate", up)
+	}
+	if _, err := BinomialUpperBound(10, 5, 1.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("bad confidence: %v", err)
+	}
+	if _, err := PoissonRateUpperBound(10, 0, -1); !errors.Is(err, ErrDomain) {
+		t.Errorf("bad confidence: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// asFailureRatePerHour returns the current per-instance failure rate,
+// including the workload acceleration from already-down instances
+// (paper §4: La_i = La_0·Acc^i).
+func (c *Cluster) asFailureRatePerHour() float64 {
+	base := (c.params.ASFailuresPerYear + c.params.ASOSFailuresPerYear + c.params.ASHWFailuresPerYear) / 8760
+	down := len(c.as) - c.upASCount()
+	return base * math.Pow(c.params.Acceleration, float64(down))
+}
+
+// scheduleASFailure arms the organic failure timer for an up instance.
+func (c *Cluster) scheduleASFailure(inst *asInstance) {
+	if !c.opts.OrganicFailures || !inst.up {
+		return
+	}
+	inst.version++
+	version := inst.version
+	delay := c.sim.ExponentialRate(c.asFailureRatePerHour())
+	// Schedule errors only occur on a stopped simulation; the run is over
+	// then and the timer is moot.
+	_ = c.sim.Schedule(delay, func() {
+		if inst.version != version || !inst.up {
+			return
+		}
+		c.failAS(inst, c.classifyASFailure(), false)
+	})
+}
+
+// classifyASFailure draws the failure class with the Params proportions.
+func (c *Cluster) classifyASFailure() FailureKind {
+	total := c.params.ASFailuresPerYear + c.params.ASOSFailuresPerYear + c.params.ASHWFailuresPerYear
+	u := c.sim.RNG().Float64() * total
+	switch {
+	case u < c.params.ASFailuresPerYear:
+		return FailureProcess
+	case u < c.params.ASFailuresPerYear+c.params.ASOSFailuresPerYear:
+		return FailureOS
+	default:
+		return FailureHW
+	}
+}
+
+// rescheduleUpASTimers resamples the failure timers of all up instances;
+// called whenever the acceleration level changes. Exponential
+// memorylessness makes the resample statistically exact.
+func (c *Cluster) rescheduleUpASTimers() {
+	for _, inst := range c.as {
+		if inst.up {
+			c.scheduleASFailure(inst)
+		}
+	}
+}
+
+// failAS takes an instance down and drives its recovery.
+func (c *Cluster) failAS(inst *asInstance, kind FailureKind, injected bool) {
+	if !inst.up {
+		return
+	}
+	inst.up = false
+	inst.version++ // cancel the organic failure timer
+	inst.pendingKind = kind
+	inst.failedAt = c.sim.Now()
+	inst.injected = injected
+	c.emit(Event{
+		Type: EventFailure, Component: ComponentAS,
+		Target: fmt.Sprintf("as-%d", inst.id), Kind: kind, Injected: injected,
+	})
+
+	survivors := c.upASCount()
+	if survivors > 0 && c.opts.SessionsPerInstance > 0 {
+		// Sessions on the failed instance fail over to the survivors and
+		// are re-established from HADB (HTTP session failover); each pays
+		// one session-recovery interval of elevated response time.
+		c.sessionFailovers += c.opts.SessionsPerInstance
+		c.sessionRecovery += float64(c.opts.SessionsPerInstance) *
+			c.draw(c.timing.SessionRecovery).Seconds()
+	}
+	c.stateChanged(ComponentAS)
+
+	if survivors == 0 {
+		// Total AS outage: operator restarts every instance.
+		c.recordRecovery(Recovery{
+			Component: ComponentAS,
+			Kind:      kind,
+			Start:     inst.failedAt,
+			Injected:  injected,
+			Success:   false,
+		})
+		c.scheduleASRestoreAll()
+		return
+	}
+	c.rescheduleUpASTimers() // survivors now run accelerated
+	c.scheduleASRecovery(inst)
+}
+
+// scheduleASRecovery arms the automatic restart of a failed instance,
+// including the load-balancer health-check reinstatement lag.
+func (c *Cluster) scheduleASRecovery(inst *asInstance) {
+	var base time.Duration
+	switch inst.pendingKind {
+	case FailureOS:
+		base = c.draw(c.timing.ASOSReboot)
+	case FailureHW:
+		base = c.draw(c.timing.ASHWRepair)
+	default:
+		base = c.draw(c.timing.ASRestart)
+	}
+	// The load balancer reinstates the instance at its next health check,
+	// uniformly distributed within the check interval.
+	detection := c.sim.Uniform(0, c.timing.HealthCheckInterval)
+	version := inst.version
+	_ = c.sim.Schedule(base+detection, func() {
+		if inst.version != version || inst.up {
+			return
+		}
+		c.recoverAS(inst)
+	})
+}
+
+// recoverAS reinstates an instance after automatic restart.
+func (c *Cluster) recoverAS(inst *asInstance) {
+	inst.up = true
+	c.emit(Event{
+		Type: EventRecovery, Component: ComponentAS,
+		Target: fmt.Sprintf("as-%d", inst.id), Kind: inst.pendingKind, Injected: inst.injected,
+	})
+	c.recordRecovery(Recovery{
+		Component: ComponentAS,
+		Kind:      inst.pendingKind,
+		Start:     inst.failedAt,
+		Duration:  c.sim.Now() - inst.failedAt,
+		Injected:  inst.injected,
+		Success:   true,
+	})
+	c.stateChanged(ComponentAS)
+	c.rescheduleUpASTimers()
+}
+
+// scheduleASRestoreAll arms the operator restore after a total AS outage:
+// every instance returns to service together.
+func (c *Cluster) scheduleASRestoreAll() {
+	// Invalidate all pending per-instance recoveries.
+	for _, inst := range c.as {
+		inst.version++
+	}
+	_ = c.sim.Schedule(c.draw(c.timing.OperatorRestoreAS), func() {
+		for _, inst := range c.as {
+			inst.up = true
+		}
+		c.emit(Event{Type: EventRecovery, Component: ComponentAS, Target: "as-all"})
+		c.stateChanged(ComponentAS)
+		c.rescheduleUpASTimers()
+	})
+}
+
+func (c *Cluster) recordRecovery(r Recovery) {
+	c.recoveries = append(c.recoveries, r)
+}

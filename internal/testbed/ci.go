@@ -1,0 +1,79 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// AvailabilityCI estimates a two-sided confidence interval for the
+// long-run availability from the observed outage history, treating the
+// per-outage downtime contributions as an i.i.d. renewal sample (valid for
+// long runs where outages are rare and short). With fewer than two outages
+// the interval degenerates to [observed, 1].
+func (s Stats) AvailabilityCI(confidence float64) (stats.Interval, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return stats.Interval{}, fmt.Errorf("testbed: confidence %g out of (0,1)", confidence)
+	}
+	total := s.UpTime + s.DownTime
+	if total <= 0 {
+		return stats.Interval{Low: 0, High: 1}, nil
+	}
+	point := s.Availability()
+	if len(s.Outages) < 2 {
+		return stats.Interval{Low: point, High: 1}, nil
+	}
+	// Split the run into per-outage renewal cycles: cycle i spans from the
+	// end of outage i−1 to the end of outage i. Unavailability is the
+	// ratio estimator E[down_i]/E[cycle_i]; its standard error follows the
+	// delta method for ratio estimators.
+	n := len(s.Outages)
+	downs := make([]float64, n)
+	cycles := make([]float64, n)
+	prevEnd := time.Duration(0)
+	for i, o := range s.Outages {
+		downs[i] = o.Duration().Hours()
+		cycles[i] = (o.End - prevEnd).Hours()
+		prevEnd = o.End
+	}
+	meanDown := mean(downs)
+	meanCycle := mean(cycles)
+	if meanCycle == 0 {
+		return stats.Interval{Low: point, High: 1}, nil
+	}
+	ratio := meanDown / meanCycle
+	// Delta-method variance of the ratio estimator.
+	var sVar float64
+	for i := range downs {
+		d := downs[i] - ratio*cycles[i]
+		sVar += d * d
+	}
+	sVar /= float64(n - 1)
+	se := 0.0
+	if sVar > 0 {
+		se = math.Sqrt(sVar/float64(n)) / meanCycle
+	}
+	z, err := stats.NormalQuantile(0.5 + confidence/2)
+	if err != nil {
+		return stats.Interval{}, fmt.Errorf("testbed: %w", err)
+	}
+	lo := 1 - (ratio + z*se)
+	hi := 1 - (ratio - z*se)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return stats.Interval{Low: lo, High: hi}, nil
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,86 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/jsas"
+)
+
+func TestAvailabilityCICoversModel(t *testing.T) {
+	t.Parallel()
+	// Long organic run: the 95% CI must cover the observed availability
+	// and (almost always) the analytic model's value.
+	p := jsas.DefaultParams()
+	tm := DefaultTiming()
+	tm.HADBRestart = Fixed(p.HADBRestartShort)
+	tm.HADBOSReboot = Fixed(p.HADBRestartLong)
+	tm.HADBRepairPerGB = Fixed(p.HADBRepair)
+	tm.OperatorRestoreHADB = Fixed(p.HADBRestore)
+	tm.ASRestart = Fixed(p.ASRestartShort / 2)
+	tm.HealthCheckInterval = p.ASRestartShort
+	tm.ASOSReboot = Fixed(15 * time.Minute)
+	tm.ASHWRepair = Fixed(100 * time.Minute)
+	tm.OperatorRestoreAS = Fixed(p.ASRestoreAll)
+	tm.MaintenanceSwitchover = Fixed(p.MaintenanceSwitchover)
+	c, err := New(Options{
+		Config: jsas.Config1, Params: p, Timing: &tm, Seed: 41,
+		OrganicFailures: true, Maintenance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(250 * 8760 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if len(s.Outages) < 5 {
+		t.Skipf("only %d outages; CI not meaningful", len(s.Outages))
+	}
+	ci, err := s.AvailabilityCI(0.95)
+	if err != nil {
+		t.Fatalf("AvailabilityCI: %v", err)
+	}
+	obs := s.Availability()
+	if obs < ci.Low || obs > ci.High {
+		t.Errorf("observed %v outside its own CI (%v, %v)", obs, ci.Low, ci.High)
+	}
+	model, err := jsas.Solve(jsas.Config1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Availability < ci.Low || model.Availability > ci.High {
+		t.Logf("note: model availability %v outside 95%% CI (%v, %v) — possible for 1 in 20 seeds",
+			model.Availability, ci.Low, ci.High)
+	}
+	if ci.Low >= ci.High {
+		t.Errorf("degenerate CI: (%v, %v)", ci.Low, ci.High)
+	}
+}
+
+func TestAvailabilityCIDegenerateCases(t *testing.T) {
+	t.Parallel()
+	var empty Stats
+	ci, err := empty.AvailabilityCI(0.9)
+	if err != nil {
+		t.Fatalf("AvailabilityCI(empty): %v", err)
+	}
+	if ci.Low != 0 || ci.High != 1 {
+		t.Errorf("empty stats CI = %+v, want [0,1]", ci)
+	}
+	one := Stats{UpTime: 100 * time.Hour, DownTime: time.Hour,
+		Outages: []Outage{{Start: 0, End: time.Hour}}}
+	ci, err = one.AvailabilityCI(0.9)
+	if err != nil {
+		t.Fatalf("AvailabilityCI(one outage): %v", err)
+	}
+	if ci.High != 1 {
+		t.Errorf("one-outage CI high = %v, want 1", ci.High)
+	}
+	if _, err := one.AvailabilityCI(0); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+	if _, err := one.AvailabilityCI(1); err == nil {
+		t.Error("confidence 1 accepted")
+	}
+}

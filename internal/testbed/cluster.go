@@ -1,0 +1,399 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/jsas"
+)
+
+// Common errors.
+var (
+	// ErrBadTarget is reported when a fault injection names a nonexistent
+	// or already-down component.
+	ErrBadTarget = errors.New("testbed: invalid injection target")
+)
+
+// Component identifies the tier a record refers to.
+type Component int
+
+// Component values.
+const (
+	ComponentAS Component = iota + 1
+	ComponentHADB
+)
+
+func (c Component) String() string {
+	switch c {
+	case ComponentAS:
+		return "AS"
+	case ComponentHADB:
+		return "HADB"
+	default:
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+}
+
+// FailureKind classifies a component failure, mirroring the model's
+// failure classes.
+type FailureKind int
+
+// FailureKind values.
+const (
+	// FailureProcess is a restartable software failure (AS or HADB
+	// process death).
+	FailureProcess FailureKind = iota + 1
+	// FailureOS is an operating-system failure requiring a reboot.
+	FailureOS
+	// FailureHW is a permanent hardware failure requiring physical repair
+	// (and, for HADB, spare-node data reconstruction).
+	FailureHW
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailureProcess:
+		return "process"
+	case FailureOS:
+		return "os"
+	case FailureHW:
+		return "hw"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Recovery records one observed component recovery.
+type Recovery struct {
+	Component Component
+	Kind      FailureKind
+	// Start is the virtual time the failure occurred.
+	Start time.Duration
+	// Duration is the time from failure to full reinstatement (including
+	// load-balancer detection for AS instances).
+	Duration time.Duration
+	// Injected marks fault-injection (vs organic) failures.
+	Injected bool
+	// Success is false when the recovery escalated to a system-level
+	// outage (imperfect recovery / double failure).
+	Success bool
+}
+
+// Outage records one system-level unavailability interval.
+type Outage struct {
+	Start, End time.Duration
+	// Cause names the tier whose failure made the system unavailable.
+	Cause Component
+}
+
+// Duration returns the outage length.
+func (o Outage) Duration() time.Duration { return o.End - o.Start }
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Config is the deployment shape (instances, pairs, spares).
+	Config jsas.Config
+	// Params supplies the ground-truth failure rates (per year) and the
+	// FIR used to decide imperfect recoveries. Recovery *durations* come
+	// from Timing, not Params.
+	Params jsas.Params
+	// Timing is the measured-truth recovery behavior; zero value means
+	// DefaultTiming.
+	Timing *Timing
+	// Seed makes the run reproducible.
+	Seed int64
+	// OrganicFailures enables random failures at the Params rates. Off,
+	// the cluster only fails under explicit injection — the
+	// fault-injection campaign mode.
+	OrganicFailures bool
+	// Maintenance enables scheduled HADB maintenance events.
+	Maintenance bool
+	// RequestRatePerSecond is the offered load used for request/session
+	// accounting (paper: ~11.6 req/s ≈ 7M requests per 7-day run).
+	RequestRatePerSecond float64
+	// SessionsPerInstance is the number of live sessions an AS instance
+	// carries (used for failover accounting; paper: up to 10,000).
+	SessionsPerInstance int
+	// Observer, if set, receives trace events as the simulation runs.
+	Observer Observer
+}
+
+// Cluster is a simulated JSAS EE7 deployment.
+type Cluster struct {
+	sim    *des.Sim
+	cfg    jsas.Config
+	params jsas.Params
+	timing Timing
+	opts   Options
+
+	as    []*asInstance
+	pairs []*hadbPair
+	// spares is the pool of ready spare nodes.
+	spares int
+
+	// Availability bookkeeping.
+	systemUp   bool
+	lastChange time.Duration
+	upTime     time.Duration
+	downTime   time.Duration
+	openOutage *Outage
+	outages    []Outage
+	recoveries []Recovery
+
+	// Workload accounting.
+	requestsServed   float64
+	requestsFailed   float64
+	sessionFailovers int
+	// sessionRecovery accumulates session-seconds of elevated response
+	// time from failovers (the paper's "session recovery time").
+	sessionRecovery float64
+}
+
+// asInstance is one Application Server instance.
+type asInstance struct {
+	id      int
+	up      bool
+	version uint64 // invalidates stale failure timers
+	// pendingKind is the failure class being recovered from.
+	pendingKind FailureKind
+	failedAt    time.Duration
+	injected    bool
+}
+
+// hadbNode is one HADB node slot within a pair.
+type hadbNode struct {
+	active   bool
+	version  uint64
+	failedAt time.Duration
+	kind     FailureKind
+	injected bool
+}
+
+// hadbPair is a mirrored DRU pair.
+type hadbPair struct {
+	id    int
+	nodes [2]*hadbNode
+	// down marks a catastrophic pair failure awaiting operator restore.
+	down   bool
+	downAt time.Duration
+	// maintenance marks a scheduled switchover in progress.
+	maintenance bool
+}
+
+func (p *hadbPair) activeCount() int {
+	n := 0
+	for _, nd := range p.nodes {
+		if nd.active {
+			n++
+		}
+	}
+	return n
+}
+
+// degraded reports whether only one node is serving (recovery or
+// maintenance in progress).
+func (p *hadbPair) degraded() bool { return !p.down && p.activeCount() < 2 }
+
+// New constructs a cluster.
+func New(opts Options) (*Cluster, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	timing := DefaultTiming()
+	if opts.Timing != nil {
+		timing = *opts.Timing
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.RequestRatePerSecond < 0 || opts.SessionsPerInstance < 0 {
+		return nil, &ConfigError{Field: "negative workload settings"}
+	}
+	c := &Cluster{
+		sim:      des.New(opts.Seed),
+		cfg:      opts.Config,
+		params:   opts.Params,
+		timing:   timing,
+		opts:     opts,
+		spares:   opts.Config.HADBSpares,
+		systemUp: true,
+	}
+	for i := 0; i < opts.Config.ASInstances; i++ {
+		c.as = append(c.as, &asInstance{id: i, up: true})
+	}
+	for i := 0; i < opts.Config.HADBPairs; i++ {
+		c.pairs = append(c.pairs, &hadbPair{
+			id:    i,
+			nodes: [2]*hadbNode{{active: true}, {active: true}},
+		})
+	}
+	if opts.OrganicFailures {
+		for _, inst := range c.as {
+			c.scheduleASFailure(inst)
+		}
+		for _, p := range c.pairs {
+			for slot := range p.nodes {
+				c.scheduleHADBFailure(p, slot)
+			}
+		}
+	}
+	if opts.Maintenance {
+		for _, p := range c.pairs {
+			c.scheduleMaintenance(p)
+		}
+	}
+	return c, nil
+}
+
+// Sim exposes the underlying simulator (advanced use: custom event
+// scripting in tests and campaigns).
+func (c *Cluster) Sim() *des.Sim { return c.sim }
+
+// Run advances the cluster to the given virtual time.
+func (c *Cluster) Run(until time.Duration) error {
+	if err := c.sim.Run(until); err != nil {
+		return fmt.Errorf("testbed: %w", err)
+	}
+	c.accountInterval()
+	return nil
+}
+
+// Now returns the cluster's virtual time.
+func (c *Cluster) Now() time.Duration { return c.sim.Now() }
+
+// draw samples a duration from a range.
+func (c *Cluster) draw(r DurationRange) time.Duration {
+	return c.sim.Uniform(r.Min, r.Max)
+}
+
+// upASCount returns the number of serving AS instances.
+func (c *Cluster) upASCount() int {
+	n := 0
+	for _, inst := range c.as {
+		if inst.up {
+			n++
+		}
+	}
+	return n
+}
+
+// systemIsUp evaluates the availability predicate: at least one AS
+// instance serving and every HADB pair able to persist session state.
+func (c *Cluster) systemIsUp() bool {
+	if c.upASCount() == 0 {
+		return false
+	}
+	for _, p := range c.pairs {
+		if p.down || p.activeCount() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// accountInterval charges the elapsed time since the last state change to
+// up or down time and to the request counters.
+func (c *Cluster) accountInterval() {
+	now := c.sim.Now()
+	dt := now - c.lastChange
+	if dt <= 0 {
+		c.lastChange = now
+		return
+	}
+	if c.systemUp {
+		c.upTime += dt
+		c.requestsServed += c.opts.RequestRatePerSecond * dt.Seconds()
+	} else {
+		c.downTime += dt
+		c.requestsFailed += c.opts.RequestRatePerSecond * dt.Seconds()
+	}
+	c.lastChange = now
+}
+
+// stateChanged re-evaluates the system predicate after any component
+// event, closing/opening outage records as needed. cause attributes a new
+// outage to the tier that triggered it.
+func (c *Cluster) stateChanged(cause Component) {
+	c.accountInterval()
+	up := c.systemIsUp()
+	if up == c.systemUp {
+		return
+	}
+	c.systemUp = up
+	now := c.sim.Now()
+	if !up {
+		c.openOutage = &Outage{Start: now, Cause: cause}
+		c.emit(Event{Type: EventOutageStart, Component: cause, Target: "system"})
+		return
+	}
+	if c.openOutage != nil {
+		c.openOutage.End = now
+		c.outages = append(c.outages, *c.openOutage)
+		c.openOutage = nil
+		c.emit(Event{Type: EventOutageEnd, Component: cause, Target: "system"})
+	}
+}
+
+// Stats is a snapshot of the cluster's accumulated measurements.
+type Stats struct {
+	UpTime, DownTime time.Duration
+	Outages          []Outage
+	Recoveries       []Recovery
+	RequestsServed   float64
+	RequestsFailed   float64
+	SessionFailovers int
+	// SessionRecoverySeconds is the cumulative session-seconds of
+	// elevated response time caused by failovers: each migrated session
+	// pays one session-recovery interval on its next request.
+	SessionRecoverySeconds float64
+}
+
+// Availability returns observed uptime fraction (1 if no time elapsed).
+func (s Stats) Availability() float64 {
+	total := s.UpTime + s.DownTime
+	if total == 0 {
+		return 1
+	}
+	return float64(s.UpTime) / float64(total)
+}
+
+// RecoveryDurations returns the observed recovery durations filtered by
+// component and kind.
+func (s Stats) RecoveryDurations(comp Component, kind FailureKind) []time.Duration {
+	var out []time.Duration
+	for _, r := range s.Recoveries {
+		if r.Component == comp && r.Kind == kind && r.Success {
+			out = append(out, r.Duration)
+		}
+	}
+	return out
+}
+
+// Stats returns a copy of the current measurements.
+func (c *Cluster) Stats() Stats {
+	c.accountInterval()
+	outages := make([]Outage, len(c.outages))
+	copy(outages, c.outages)
+	if c.openOutage != nil {
+		o := *c.openOutage
+		o.End = c.sim.Now()
+		outages = append(outages, o)
+	}
+	recoveries := make([]Recovery, len(c.recoveries))
+	copy(recoveries, c.recoveries)
+	return Stats{
+		UpTime:                 c.upTime,
+		DownTime:               c.downTime,
+		Outages:                outages,
+		Recoveries:             recoveries,
+		RequestsServed:         c.requestsServed,
+		RequestsFailed:         c.requestsFailed,
+		SessionFailovers:       c.sessionFailovers,
+		SessionRecoverySeconds: c.sessionRecovery,
+	}
+}

@@ -1,0 +1,232 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+)
+
+// hadbFailureRatePerHour returns the per-node failure rate, doubled (by
+// the acceleration factor) while the pair runs on one node.
+func (c *Cluster) hadbFailureRatePerHour(p *hadbPair) float64 {
+	base := (c.params.HADBFailuresPerYear + c.params.HADBOSFailuresPerYear + c.params.HADBHWFailuresPerYear) / 8760
+	if p.degraded() {
+		return base * c.params.Acceleration
+	}
+	return base
+}
+
+// scheduleHADBFailure arms the organic failure timer for an active node.
+func (c *Cluster) scheduleHADBFailure(p *hadbPair, slot int) {
+	node := p.nodes[slot]
+	if !c.opts.OrganicFailures || !node.active || p.down {
+		return
+	}
+	node.version++
+	version := node.version
+	delay := c.sim.ExponentialRate(c.hadbFailureRatePerHour(p))
+	_ = c.sim.Schedule(delay, func() {
+		if node.version != version || !node.active || p.down {
+			return
+		}
+		c.failHADB(p, slot, c.classifyHADBFailure(), false)
+	})
+}
+
+// classifyHADBFailure draws the node failure class with the Params
+// proportions.
+func (c *Cluster) classifyHADBFailure() FailureKind {
+	total := c.params.HADBFailuresPerYear + c.params.HADBOSFailuresPerYear + c.params.HADBHWFailuresPerYear
+	u := c.sim.RNG().Float64() * total
+	switch {
+	case u < c.params.HADBFailuresPerYear:
+		return FailureProcess
+	case u < c.params.HADBFailuresPerYear+c.params.HADBOSFailuresPerYear:
+		return FailureOS
+	default:
+		return FailureHW
+	}
+}
+
+// reschedulePairTimers resamples the organic timers of the pair's active
+// nodes (acceleration level may have changed).
+func (c *Cluster) reschedulePairTimers(p *hadbPair) {
+	for slot, node := range p.nodes {
+		if node.active {
+			c.scheduleHADBFailure(p, slot)
+		}
+	}
+}
+
+// failHADB takes a node down and drives the mirrored-pair recovery
+// protocol: automatic restart for process/OS failures, spare-node repair
+// for hardware failures, catastrophic pair loss on imperfect recovery or
+// a second failure.
+func (c *Cluster) failHADB(p *hadbPair, slot int, kind FailureKind, injected bool) {
+	node := p.nodes[slot]
+	if !node.active || p.down {
+		return
+	}
+	node.active = false
+	node.version++
+	node.failedAt = c.sim.Now()
+	node.kind = kind
+	node.injected = injected
+	c.emit(Event{
+		Type: EventFailure, Component: ComponentHADB,
+		Target: fmt.Sprintf("hadb-%d/%d", p.id, slot), Kind: kind, Injected: injected,
+	})
+
+	companion := p.nodes[1-slot]
+	if !companion.active {
+		// Second failure in the pair: session data lost.
+		c.pairDown(p, kind, injected, node.failedAt)
+		return
+	}
+	// The companion-driven recovery may itself fail (latent faults, fault
+	// handler defects): fraction of imperfect recovery.
+	if c.sim.RNG().Float64() < c.params.FIR {
+		c.pairDown(p, kind, injected, node.failedAt)
+		return
+	}
+	c.stateChanged(ComponentHADB)
+	c.reschedulePairTimers(p) // surviving node now runs accelerated
+
+	switch kind {
+	case FailureHW:
+		c.startHWRepair(p, slot)
+	case FailureOS:
+		c.scheduleNodeRestart(p, slot, c.draw(c.timing.HADBOSReboot))
+	default:
+		c.scheduleNodeRestart(p, slot, c.draw(c.timing.HADBRestart))
+	}
+}
+
+// scheduleNodeRestart arms the automatic node restart (process or OS
+// failure): the node recovers the missed updates from its companion and
+// returns the pair to the mirrored configuration.
+func (c *Cluster) scheduleNodeRestart(p *hadbPair, slot int, after time.Duration) {
+	node := p.nodes[slot]
+	version := node.version
+	_ = c.sim.Schedule(after, func() {
+		if node.version != version || node.active || p.down {
+			return
+		}
+		c.activateNode(p, slot)
+	})
+}
+
+// startHWRepair runs the spare-node repair protocol: the companion copies
+// its data onto a spare, converting it to the new mirror; the dead host is
+// physically repaired and then returns to the spare pool. Without a spare
+// the node waits for physical repair and then performs the data copy
+// itself.
+func (c *Cluster) startHWRepair(p *hadbPair, slot int) {
+	node := p.nodes[slot]
+	version := node.version
+	copyTime := time.Duration(float64(c.draw(c.timing.HADBRepairPerGB)) * c.timing.NodeDataGB)
+	if c.spares > 0 {
+		c.spares--
+		c.emit(Event{Type: EventSpareConsumed, Component: ComponentHADB, Target: fmt.Sprintf("hadb-%d/%d", p.id, slot)})
+		_ = c.sim.Schedule(copyTime, func() {
+			if node.version != version || p.down {
+				return
+			}
+			// The spare is now the active mirror in this slot.
+			c.activateNode(p, slot)
+		})
+		// The failed host is repaired offline and re-enters the spare pool.
+		_ = c.sim.Schedule(c.draw(c.timing.HADBPhysicalRepair), func() {
+			c.spares++
+			c.emit(Event{Type: EventSpareReturned, Component: ComponentHADB, Target: fmt.Sprintf("hadb-%d/%d", p.id, slot)})
+		})
+		return
+	}
+	// No spare: wait for physical repair, then restore data from the
+	// companion.
+	_ = c.sim.Schedule(c.draw(c.timing.HADBPhysicalRepair)+copyTime, func() {
+		if node.version != version || p.down {
+			return
+		}
+		c.activateNode(p, slot)
+	})
+}
+
+// activateNode returns a node slot to active mirroring and records the
+// recovery measurement.
+func (c *Cluster) activateNode(p *hadbPair, slot int) {
+	node := p.nodes[slot]
+	node.active = true
+	c.emit(Event{
+		Type: EventRecovery, Component: ComponentHADB,
+		Target: fmt.Sprintf("hadb-%d/%d", p.id, slot), Kind: node.kind, Injected: node.injected,
+	})
+	c.recordRecovery(Recovery{
+		Component: ComponentHADB,
+		Kind:      node.kind,
+		Start:     node.failedAt,
+		Duration:  c.sim.Now() - node.failedAt,
+		Injected:  node.injected,
+		Success:   true,
+	})
+	c.stateChanged(ComponentHADB)
+	c.reschedulePairTimers(p)
+}
+
+// pairDown is the catastrophic double-node failure: the pair's fragment of
+// session data is lost and an operator must recreate the pair.
+func (c *Cluster) pairDown(p *hadbPair, kind FailureKind, injected bool, failedAt time.Duration) {
+	p.down = true
+	p.downAt = c.sim.Now()
+	p.maintenance = false
+	for _, n := range p.nodes {
+		n.active = false
+		n.version++
+	}
+	c.recordRecovery(Recovery{
+		Component: ComponentHADB,
+		Kind:      kind,
+		Start:     failedAt,
+		Injected:  injected,
+		Success:   false,
+	})
+	c.stateChanged(ComponentHADB)
+	_ = c.sim.Schedule(c.draw(c.timing.OperatorRestoreHADB), func() {
+		p.down = false
+		for _, n := range p.nodes {
+			n.active = true
+		}
+		c.stateChanged(ComponentHADB)
+		c.reschedulePairTimers(p)
+	})
+}
+
+// scheduleMaintenance arms the next scheduled maintenance event for a
+// pair: the serviced node goes offline for the switchover window, leaving
+// the pair on one (accelerated) node — a companion failure during the
+// window loses the pair, exactly as in the Figure 3 Maintenance state.
+func (c *Cluster) scheduleMaintenance(p *hadbPair) {
+	rate := c.params.MaintenancePerYear / 8760
+	_ = c.sim.Schedule(c.sim.ExponentialRate(rate), func() {
+		defer c.scheduleMaintenance(p)
+		if p.down || p.maintenance || p.activeCount() < 2 {
+			return // skip maintenance while the pair is degraded
+		}
+		p.maintenance = true
+		node := p.nodes[0]
+		node.active = false
+		node.version++
+		c.emit(Event{Type: EventMaintenanceStart, Component: ComponentHADB, Target: fmt.Sprintf("hadb-%d/0", p.id)})
+		c.stateChanged(ComponentHADB)
+		c.reschedulePairTimers(p)
+		_ = c.sim.Schedule(c.draw(c.timing.MaintenanceSwitchover), func() {
+			if p.down || !p.maintenance {
+				return
+			}
+			p.maintenance = false
+			node.active = true
+			c.emit(Event{Type: EventMaintenanceEnd, Component: ComponentHADB, Target: fmt.Sprintf("hadb-%d/0", p.id)})
+			c.stateChanged(ComponentHADB)
+			c.reschedulePairTimers(p)
+		})
+	})
+}

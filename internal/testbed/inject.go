@@ -1,0 +1,189 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fault is an injectable fault type, mirroring the paper's manual and
+// automated fault-injection campaigns (§3).
+type Fault int
+
+// Fault values.
+const (
+	// FaultProcessKill kills all processes of a node/instance at once
+	// ("simultaneously kill all processes in a node to simulate a full
+	// node failure").
+	FaultProcessKill Fault = iota + 1
+	// FaultRandomProcessKill kills one random process ("randomly kill one
+	// of the processes to simulate software bugs").
+	FaultRandomProcessKill
+	// FaultFastFail asks processes to terminate immediately ("fast fail
+	// scenarios").
+	FaultFastFail
+	// FaultNetworkCut unplugs the network cable: the component becomes
+	// unreachable until reconnection, which takes an OS-reboot-scale
+	// outage for the affected node.
+	FaultNetworkCut
+	// FaultPowerOff pulls host power: a hardware-class failure requiring
+	// repair (and spare reconstruction for HADB nodes).
+	FaultPowerOff
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultProcessKill:
+		return "process-kill"
+	case FaultRandomProcessKill:
+		return "random-process-kill"
+	case FaultFastFail:
+		return "fast-fail"
+	case FaultNetworkCut:
+		return "network-cut"
+	case FaultPowerOff:
+		return "power-off"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// Kind maps an injected fault to the failure class it manifests as.
+func (f Fault) Kind() (FailureKind, error) {
+	switch f {
+	case FaultProcessKill, FaultRandomProcessKill, FaultFastFail:
+		return FailureProcess, nil
+	case FaultNetworkCut:
+		return FailureOS, nil
+	case FaultPowerOff:
+		return FailureHW, nil
+	default:
+		return 0, fmt.Errorf("unknown fault %d: %w", int(f), ErrBadTarget)
+	}
+}
+
+// Faults lists all injectable fault types.
+func Faults() []Fault {
+	return []Fault{
+		FaultProcessKill, FaultRandomProcessKill, FaultFastFail,
+		FaultNetworkCut, FaultPowerOff,
+	}
+}
+
+// InjectAS injects a fault into AS instance id at the current virtual
+// time. The instance must exist and be up.
+func (c *Cluster) InjectAS(id int, f Fault) error {
+	if id < 0 || id >= len(c.as) {
+		return fmt.Errorf("AS instance %d of %d: %w", id, len(c.as), ErrBadTarget)
+	}
+	inst := c.as[id]
+	if !inst.up {
+		return fmt.Errorf("AS instance %d is already down: %w", id, ErrBadTarget)
+	}
+	kind, err := f.Kind()
+	if err != nil {
+		return err
+	}
+	c.failAS(inst, kind, true)
+	return nil
+}
+
+// InjectHADB injects a fault into the node in the given pair and slot.
+// The pair must exist and the node must be active.
+func (c *Cluster) InjectHADB(pair, slot int, f Fault) error {
+	if pair < 0 || pair >= len(c.pairs) {
+		return fmt.Errorf("HADB pair %d of %d: %w", pair, len(c.pairs), ErrBadTarget)
+	}
+	if slot < 0 || slot > 1 {
+		return fmt.Errorf("HADB node slot %d, want 0 or 1: %w", slot, ErrBadTarget)
+	}
+	p := c.pairs[pair]
+	if p.down {
+		return fmt.Errorf("HADB pair %d is down: %w", pair, ErrBadTarget)
+	}
+	if !p.nodes[slot].active {
+		return fmt.Errorf("HADB node %d/%d is not active: %w", pair, slot, ErrBadTarget)
+	}
+	kind, err := f.Kind()
+	if err != nil {
+		return err
+	}
+	c.failHADB(p, slot, kind, true)
+	return nil
+}
+
+// Snapshot reports the instantaneous component states — used by campaigns
+// to decide targets and verify recovery.
+type Snapshot struct {
+	// ASUp[i] reports whether AS instance i is serving.
+	ASUp []bool
+	// PairActiveNodes[i] is the number of active nodes in pair i (0–2).
+	PairActiveNodes []int
+	// PairDown[i] marks pairs lost and awaiting operator restore.
+	PairDown []bool
+	// Spares is the current spare-node pool size.
+	Spares int
+	// SystemUp is the availability predicate.
+	SystemUp bool
+}
+
+// Snapshot returns the current component states.
+func (c *Cluster) Snapshot() Snapshot {
+	s := Snapshot{
+		ASUp:            make([]bool, len(c.as)),
+		PairActiveNodes: make([]int, len(c.pairs)),
+		PairDown:        make([]bool, len(c.pairs)),
+		Spares:          c.spares,
+		SystemUp:        c.systemIsUp(),
+	}
+	for i, inst := range c.as {
+		s.ASUp[i] = inst.up
+	}
+	for i, p := range c.pairs {
+		s.PairActiveNodes[i] = p.activeCount()
+		s.PairDown[i] = p.down
+	}
+	return s
+}
+
+// ScheduleInjectAS arms a fault injection on an AS instance at an absolute
+// virtual time. If the target is down when the time arrives, the injection
+// is silently skipped (as a lab operator would skip an already-failed
+// node).
+func (c *Cluster) ScheduleInjectAS(at time.Duration, id int, f Fault) error {
+	if id < 0 || id >= len(c.as) {
+		return fmt.Errorf("AS instance %d of %d: %w", id, len(c.as), ErrBadTarget)
+	}
+	kind, err := f.Kind()
+	if err != nil {
+		return err
+	}
+	delay := at - c.sim.Now()
+	return c.sim.Schedule(delay, func() {
+		inst := c.as[id]
+		if inst.up {
+			c.failAS(inst, kind, true)
+		}
+	})
+}
+
+// ScheduleInjectHADB arms a fault injection on an HADB node at an absolute
+// virtual time, skipping silently if the node is not active then.
+func (c *Cluster) ScheduleInjectHADB(at time.Duration, pair, slot int, f Fault) error {
+	if pair < 0 || pair >= len(c.pairs) {
+		return fmt.Errorf("HADB pair %d of %d: %w", pair, len(c.pairs), ErrBadTarget)
+	}
+	if slot < 0 || slot > 1 {
+		return fmt.Errorf("HADB node slot %d, want 0 or 1: %w", slot, ErrBadTarget)
+	}
+	kind, err := f.Kind()
+	if err != nil {
+		return err
+	}
+	delay := at - c.sim.Now()
+	return c.sim.Schedule(delay, func() {
+		p := c.pairs[pair]
+		if !p.down && p.nodes[slot].active {
+			c.failHADB(p, slot, kind, true)
+		}
+	})
+}

@@ -1,0 +1,773 @@
+package testbed
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ctmc"
+	"repro/internal/estimate"
+	"repro/internal/jsas"
+)
+
+func newQuietCluster(t *testing.T, cfg jsas.Config, seed int64) *Cluster {
+	t.Helper()
+	c, err := New(Options{Config: cfg, Params: jsas.DefaultParams(), Seed: seed})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(Options{Config: jsas.Config{}, Params: jsas.DefaultParams()}); err == nil {
+		t.Error("bad config accepted")
+	}
+	bad := jsas.DefaultParams()
+	bad.FIR = -1
+	if _, err := New(Options{Config: jsas.Config1, Params: bad}); err == nil {
+		t.Error("bad params accepted")
+	}
+	badTiming := DefaultTiming()
+	badTiming.ASRestart = DurationRange{}
+	if _, err := New(Options{Config: jsas.Config1, Params: jsas.DefaultParams(), Timing: &badTiming}); err == nil {
+		t.Error("bad timing accepted")
+	}
+	if _, err := New(Options{Config: jsas.Config1, Params: jsas.DefaultParams(), RequestRatePerSecond: -1}); err == nil {
+		t.Error("negative request rate accepted")
+	}
+}
+
+func TestQuietClusterStaysUp(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 1)
+	if err := c.Run(30 * 24 * time.Hour); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := c.Stats()
+	if s.DownTime != 0 {
+		t.Errorf("downtime = %v, want 0 without failures", s.DownTime)
+	}
+	if s.Availability() != 1 {
+		t.Errorf("availability = %v, want 1", s.Availability())
+	}
+	if len(s.Outages) != 0 {
+		t.Errorf("outages = %d, want 0", len(s.Outages))
+	}
+}
+
+func TestInjectASProcessKillRecovers(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 2)
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectAS(0, FaultProcessKill); err != nil {
+		t.Fatalf("InjectAS: %v", err)
+	}
+	snap := c.Snapshot()
+	if snap.ASUp[0] {
+		t.Error("instance 0 still up after injection")
+	}
+	if !snap.SystemUp {
+		t.Error("system should survive a single AS failure")
+	}
+	if err := c.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	snap = c.Snapshot()
+	if !snap.ASUp[0] {
+		t.Error("instance 0 did not recover")
+	}
+	s := c.Stats()
+	if s.DownTime != 0 {
+		t.Errorf("single AS failure caused downtime %v", s.DownTime)
+	}
+	recs := s.RecoveryDurations(ComponentAS, FailureProcess)
+	if len(recs) != 1 {
+		t.Fatalf("recoveries = %d, want 1", len(recs))
+	}
+	// Restart 15–25 s plus health check 0–60 s.
+	if recs[0] < 15*time.Second || recs[0] > 85*time.Second {
+		t.Errorf("AS recovery = %v, want within [15s, 85s]", recs[0])
+	}
+	// Sessions failed over to the surviving instance.
+	if s.SessionFailovers != 0 {
+		t.Errorf("failovers = %d, want 0 (SessionsPerInstance unset)", s.SessionFailovers)
+	}
+}
+
+func TestSessionFailoverAccounting(t *testing.T) {
+	t.Parallel()
+	c, err := New(Options{
+		Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 3,
+		SessionsPerInstance: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectAS(1, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().SessionFailovers; got != 5000 {
+		t.Errorf("failovers = %d, want 5000", got)
+	}
+}
+
+func TestAllASDownIsAnOutageWithOperatorRestore(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 4)
+	if err := c.InjectAS(0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectAS(1, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshot().SystemUp {
+		t.Error("system up with all AS instances down")
+	}
+	if err := c.Run(3 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if !snap.ASUp[0] || !snap.ASUp[1] {
+		t.Error("operator restore did not bring all instances back")
+	}
+	s := c.Stats()
+	if len(s.Outages) != 1 {
+		t.Fatalf("outages = %d, want 1", len(s.Outages))
+	}
+	o := s.Outages[0]
+	if o.Cause != ComponentAS {
+		t.Errorf("cause = %v, want AS", o.Cause)
+	}
+	// Operator restore is 20–30 min.
+	if o.Duration() < 20*time.Minute || o.Duration() > 30*time.Minute {
+		t.Errorf("outage duration = %v, want 20–30 min", o.Duration())
+	}
+}
+
+func TestInjectHADBProcessKillRecovers(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 5)
+	if err := c.InjectHADB(0, 0, FaultProcessKill); err != nil {
+		t.Fatalf("InjectHADB: %v", err)
+	}
+	snap := c.Snapshot()
+	if snap.PairActiveNodes[0] != 1 {
+		t.Errorf("active nodes = %d, want 1", snap.PairActiveNodes[0])
+	}
+	if !snap.SystemUp {
+		t.Error("system should survive single HADB node failure")
+	}
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().PairActiveNodes[0]; got != 2 {
+		t.Errorf("active nodes after recovery = %d, want 2", got)
+	}
+	recs := c.Stats().RecoveryDurations(ComponentHADB, FailureProcess)
+	if len(recs) != 1 {
+		t.Fatalf("recoveries = %d, want 1", len(recs))
+	}
+	// Paper: measured restart around 40 s.
+	if recs[0] < 35*time.Second || recs[0] > 45*time.Second {
+		t.Errorf("HADB restart = %v, want 35–45 s", recs[0])
+	}
+}
+
+func TestInjectHADBPowerOffUsesSpare(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 6)
+	before := c.Snapshot().Spares
+	if err := c.InjectHADB(0, 1, FaultPowerOff); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Spares; got != before-1 {
+		t.Errorf("spares = %d, want %d (one consumed)", got, before-1)
+	}
+	// Repair copy ~12 min/GB.
+	if err := c.Run(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().PairActiveNodes[0]; got != 2 {
+		t.Errorf("active nodes = %d, want 2 after spare promotion", got)
+	}
+	// Physical repair returns the dead host to the pool (90–110 min).
+	if err := c.Run(4 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Spares; got != before {
+		t.Errorf("spares = %d, want %d after physical repair", got, before)
+	}
+	if c.Stats().DownTime != 0 {
+		t.Error("HW failure with spare should not cause downtime")
+	}
+}
+
+func TestInjectHADBHWWithoutSpare(t *testing.T) {
+	t.Parallel()
+	cfg := jsas.Config{ASInstances: 2, HADBPairs: 1, HADBSpares: 0}
+	c := newQuietCluster(t, cfg, 7)
+	if err := c.InjectHADB(0, 0, FaultPowerOff); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery requires physical repair (90–110 min) plus copy (~12 min):
+	// not yet recovered at 1 h …
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().PairActiveNodes[0]; got != 1 {
+		t.Errorf("active nodes at 1h = %d, want 1 (no spare)", got)
+	}
+	// … but recovered by 3 h.
+	if err := c.Run(3 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().PairActiveNodes[0]; got != 2 {
+		t.Errorf("active nodes at 3h = %d, want 2", got)
+	}
+}
+
+func TestDoubleNodeFailureLosesPair(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 8)
+	if err := c.InjectHADB(1, 0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectHADB(1, 1, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if !snap.PairDown[1] {
+		t.Error("pair not marked down after double failure")
+	}
+	if snap.SystemUp {
+		t.Error("system up with a pair down")
+	}
+	// Injecting into a down pair is rejected.
+	if err := c.InjectHADB(1, 0, FaultProcessKill); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("inject into down pair: err = %v", err)
+	}
+	// Operator restore 45–60 min.
+	if err := c.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	snap = c.Snapshot()
+	if snap.PairDown[1] || snap.PairActiveNodes[1] != 2 {
+		t.Error("pair not restored")
+	}
+	s := c.Stats()
+	if len(s.Outages) != 1 || s.Outages[0].Cause != ComponentHADB {
+		t.Fatalf("outages = %+v, want one HADB outage", s.Outages)
+	}
+	if d := s.Outages[0].Duration(); d < 45*time.Minute || d > time.Hour {
+		t.Errorf("restore took %v, want 45–60 min", d)
+	}
+	// The failed recovery is recorded as unsuccessful.
+	var unsuccessful int
+	for _, r := range s.Recoveries {
+		if !r.Success {
+			unsuccessful++
+		}
+	}
+	if unsuccessful != 1 {
+		t.Errorf("unsuccessful recoveries = %d, want 1", unsuccessful)
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 9)
+	if err := c.InjectAS(99, FaultProcessKill); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("bad AS id: err = %v", err)
+	}
+	if err := c.InjectHADB(99, 0, FaultProcessKill); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("bad pair: err = %v", err)
+	}
+	if err := c.InjectHADB(0, 5, FaultProcessKill); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("bad slot: err = %v", err)
+	}
+	if err := c.InjectAS(0, Fault(99)); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("bad fault: err = %v", err)
+	}
+	// Double injection on the same instance.
+	if err := c.InjectAS(0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectAS(0, FaultProcessKill); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("inject down instance: err = %v", err)
+	}
+}
+
+func TestFaultKindMapping(t *testing.T) {
+	t.Parallel()
+	want := map[Fault]FailureKind{
+		FaultProcessKill:       FailureProcess,
+		FaultRandomProcessKill: FailureProcess,
+		FaultFastFail:          FailureProcess,
+		FaultNetworkCut:        FailureOS,
+		FaultPowerOff:          FailureHW,
+	}
+	for f, k := range want {
+		got, err := f.Kind()
+		if err != nil || got != k {
+			t.Errorf("%v.Kind() = %v, %v; want %v", f, got, err, k)
+		}
+	}
+	if len(Faults()) != 5 {
+		t.Errorf("Faults() = %d, want 5", len(Faults()))
+	}
+}
+
+func TestRequestAccounting(t *testing.T) {
+	t.Parallel()
+	c, err := New(Options{
+		Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 10,
+		RequestRatePerSecond: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if math.Abs(s.RequestsServed-36000) > 1 {
+		t.Errorf("requests served = %.0f, want 36000", s.RequestsServed)
+	}
+	if s.RequestsFailed != 0 {
+		t.Errorf("requests failed = %.0f, want 0", s.RequestsFailed)
+	}
+	// Force a full outage and verify failures accrue.
+	if err := c.InjectAS(0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectAS(1, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(c.Now() + 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().RequestsFailed; got < 10*60*10/2 {
+		t.Errorf("requests failed = %.0f, want ≥ 3000 during outage", got)
+	}
+}
+
+func TestMaintenanceDegradesPair(t *testing.T) {
+	t.Parallel()
+	p := jsas.DefaultParams()
+	p.MaintenancePerYear = 8760 * 4 // ~4 events/hour so the test sees some
+	c, err := New(Options{Config: jsas.Config1, Params: p, Seed: 11, Maintenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDegraded := false
+	for i := 0; i < 200 && !sawDegraded; i++ {
+		if err := c.Run(c.Now() + time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		snap := c.Snapshot()
+		for _, n := range snap.PairActiveNodes {
+			if n == 1 {
+				sawDegraded = true
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Error("maintenance never degraded a pair")
+	}
+	// Maintenance alone must not cause downtime.
+	if c.Stats().DownTime != 0 {
+		t.Errorf("maintenance caused downtime %v", c.Stats().DownTime)
+	}
+}
+
+// TestOrganicLongevityRunIsStable mirrors the paper's 7-day stability runs:
+// with organic failures enabled at the paper's rates, a 7-day window
+// usually sees a few instance failures but no system outage at all
+// (system MTBF ≈ 10 years).
+func TestOrganicLongevityRunIsStable(t *testing.T) {
+	t.Parallel()
+	c, err := New(Options{
+		Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 12,
+		OrganicFailures: true, RequestRatePerSecond: 11.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(7 * 24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	// ~7 million requests per 7-day run (paper §3).
+	if s.RequestsServed < 6.9e6 {
+		t.Errorf("requests served = %.0f, want ≈ 7M", s.RequestsServed)
+	}
+	if s.Availability() < 0.999 {
+		t.Errorf("7-day availability = %v, suspiciously low", s.Availability())
+	}
+}
+
+// TestSimulatedAvailabilityMatchesModel cross-validates the testbed
+// against the analytic model: a long organic run of Config 1 must land
+// near the model's availability (99.99933%) — i.e. yearly downtime within
+// a factor ~2.5 of 3.5 min/yr given Monte-Carlo noise.
+func TestSimulatedAvailabilityMatchesModel(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("long cross-validation run")
+	}
+	// The testbed's measured-truth timings are faster than the model's
+	// conservative parameters; align them for the comparison.
+	p := jsas.DefaultParams()
+	tm := DefaultTiming()
+	tm.HADBRestart = Fixed(p.HADBRestartShort)
+	tm.HADBOSReboot = Fixed(p.HADBRestartLong)
+	tm.HADBRepairPerGB = Fixed(p.HADBRepair)
+	tm.NodeDataGB = 1
+	tm.OperatorRestoreHADB = Fixed(p.HADBRestore)
+	tm.ASRestart = Fixed(p.ASRestartShort / 2) // + mean health check ≈ 90 s total
+	tm.HealthCheckInterval = p.ASRestartShort  // uniform [0, 90 s], mean 45 s
+	tm.ASOSReboot = Fixed(15 * time.Minute)
+	tm.ASHWRepair = Fixed(100 * time.Minute)
+	tm.OperatorRestoreAS = Fixed(p.ASRestoreAll)
+	tm.MaintenanceSwitchover = Fixed(p.MaintenanceSwitchover)
+
+	c, err := New(Options{
+		Config: jsas.Config1, Params: p, Timing: &tm, Seed: 13,
+		OrganicFailures: true, Maintenance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// time.Duration caps at ~292 years; 250 years gives enough outage
+	// events (~25) for a factor-2.5 comparison.
+	const years = 250
+	if err := c.Run(years * 8760 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	ydPerYear := s.DownTime.Minutes() / years
+	model, err := jsas.Solve(jsas.Config1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := model.YearlyDowntimeMinutes/2.5, model.YearlyDowntimeMinutes*2.5
+	if ydPerYear < lo || ydPerYear > hi {
+		t.Errorf("simulated YD = %.2f min/yr, model %.2f (accept [%.2f, %.2f])",
+			ydPerYear, model.YearlyDowntimeMinutes, lo, hi)
+	}
+}
+
+func TestStatsCopies(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 14)
+	if err := c.InjectAS(0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if len(s.Recoveries) == 0 {
+		t.Fatal("no recoveries")
+	}
+	s.Recoveries[0].Duration = -1
+	if c.Stats().Recoveries[0].Duration == -1 {
+		t.Error("Stats exposes internal recovery slice")
+	}
+}
+
+func TestComponentAndKindStrings(t *testing.T) {
+	t.Parallel()
+	if ComponentAS.String() != "AS" || ComponentHADB.String() != "HADB" {
+		t.Error("component strings")
+	}
+	if FailureProcess.String() != "process" || FailureOS.String() != "os" || FailureHW.String() != "hw" {
+		t.Error("kind strings")
+	}
+	if Fault(42).String() == "" || Component(42).String() == "" || FailureKind(42).String() == "" {
+		t.Error("unknown enum strings should be diagnostic")
+	}
+}
+
+func TestObserverReceivesEvents(t *testing.T) {
+	t.Parallel()
+	var events []Event
+	c, err := New(Options{
+		Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 21,
+		Observer: func(e Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectHADB(0, 0, FaultPowerOff); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(5 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	want := map[EventType]bool{
+		EventFailure: false, EventRecovery: false,
+		EventSpareConsumed: false, EventSpareReturned: false,
+	}
+	for _, e := range events {
+		if _, ok := want[e.Type]; ok {
+			want[e.Type] = true
+		}
+		if e.Time < 0 {
+			t.Errorf("event with negative time: %+v", e)
+		}
+		if e.String() == "" {
+			t.Error("empty event string")
+		}
+	}
+	for typ, seen := range want {
+		if !seen {
+			t.Errorf("no %v event observed (events: %d)", typ, len(events))
+		}
+	}
+}
+
+func TestObserverOutageEvents(t *testing.T) {
+	t.Parallel()
+	var starts, ends int
+	c, err := New(Options{
+		Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 22,
+		Observer: func(e Event) {
+			switch e.Type {
+			case EventOutageStart:
+				starts++
+			case EventOutageEnd:
+				ends++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectHADB(0, 0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectHADB(0, 1, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(3 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if starts != 1 || ends != 1 {
+		t.Errorf("outage events = %d starts, %d ends; want 1,1", starts, ends)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	t.Parallel()
+	types := []EventType{
+		EventFailure, EventRecovery, EventOutageStart, EventOutageEnd,
+		EventSpareConsumed, EventSpareReturned, EventMaintenanceStart, EventMaintenanceEnd,
+	}
+	seen := map[string]bool{}
+	for _, typ := range types {
+		s := typ.String()
+		if s == "" || seen[s] {
+			t.Errorf("bad or duplicate string for %d: %q", int(typ), s)
+		}
+		seen[s] = true
+	}
+	if EventType(99).String() == "" {
+		t.Error("unknown event type string empty")
+	}
+}
+
+// TestPairLevelDowntimeMatchesModel isolates the HADB tier: with the AS
+// tier made effectively failure-free, long-run simulated downtime per pair
+// must approach the analytic Figure 3 pair model (~0.575 min/yr/pair).
+func TestPairLevelDowntimeMatchesModel(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("long cross-validation run")
+	}
+	p := jsas.DefaultParams()
+	p.ASFailuresPerYear = 1e-9
+	p.ASOSFailuresPerYear = 0
+	p.ASHWFailuresPerYear = 0
+	tm := DefaultTiming()
+	tm.HADBRestart = Fixed(p.HADBRestartShort)
+	tm.HADBOSReboot = Fixed(p.HADBRestartLong)
+	tm.HADBRepairPerGB = Fixed(p.HADBRepair)
+	tm.NodeDataGB = 1
+	tm.OperatorRestoreHADB = Fixed(p.HADBRestore)
+	tm.MaintenanceSwitchover = Fixed(p.MaintenanceSwitchover)
+	c, err := New(Options{
+		Config: jsas.Config1, Params: p, Timing: &tm, Seed: 31,
+		OrganicFailures: true, Maintenance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const years = 250
+	if err := c.Run(years * 8760 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	simYD := c.Stats().DownTime.Minutes() / years
+	pair, err := jsas.BuildHADBPair(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pair.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelYD := 2 * res.YearlyDowntimeMinutes // two pairs
+	if simYD < modelYD/3 || simYD > modelYD*3 {
+		t.Errorf("simulated HADB YD %.3f min/yr vs model %.3f (accept ×3)", simYD, modelYD)
+	}
+}
+
+// TestSessionRecoveryAccounting: the paper's session recovery time is
+// sub-second per session; a failover of 10,000 sessions accrues that much
+// aggregate response-time degradation.
+func TestSessionRecoveryAccounting(t *testing.T) {
+	t.Parallel()
+	c, err := New(Options{
+		Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 51,
+		SessionsPerInstance: 10000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectAS(0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	// Measured session recovery is 0.3–0.9 s per session.
+	if s.SessionRecoverySeconds < 10000*0.3 || s.SessionRecoverySeconds > 10000*0.9 {
+		t.Errorf("session recovery = %.0f session-seconds, want 3000–9000", s.SessionRecoverySeconds)
+	}
+	// A total outage (both down) adds no failover accounting for the
+	// second failure (no survivors to fail over to).
+	before := s.SessionRecoverySeconds
+	if err := c.InjectAS(1, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().SessionRecoverySeconds; got != before {
+		t.Errorf("no-survivor failure changed session recovery: %v → %v", before, got)
+	}
+}
+
+// TestScheduledInjections: a scripted scenario — three injections at fixed
+// virtual times — plays out without stepping loops.
+func TestScheduledInjections(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 61)
+	if err := c.ScheduleInjectAS(10*time.Minute, 0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScheduleInjectHADB(20*time.Minute, 0, 0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	// Scheduled against an already-down target: silently skipped.
+	if err := c.ScheduleInjectAS(10*time.Minute+time.Second, 0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if len(s.Recoveries) != 2 {
+		t.Fatalf("recoveries = %d, want 2 (duplicate skipped)", len(s.Recoveries))
+	}
+	if s.Recoveries[0].Start != 10*time.Minute {
+		t.Errorf("first injection at %v, want 10m", s.Recoveries[0].Start)
+	}
+	if s.Recoveries[1].Component != ComponentHADB || s.Recoveries[1].Start != 20*time.Minute {
+		t.Errorf("second recovery = %+v", s.Recoveries[1])
+	}
+	// Validation.
+	if err := c.ScheduleInjectAS(time.Hour, 99, FaultProcessKill); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("bad id: err = %v", err)
+	}
+	if err := c.ScheduleInjectHADB(time.Hour, 0, 7, FaultProcessKill); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("bad slot: err = %v", err)
+	}
+}
+
+// TestOrganicFailuresAreExponential closes the loop on the paper's §4
+// constant-failure-rate assumption: inter-failure times observed on the
+// simulated testbed fit an exponential at the configured rate.
+func TestOrganicFailuresAreExponential(t *testing.T) {
+	t.Parallel()
+	p := jsas.DefaultParams()
+	// Single AS instance with no HADB: a pure failure/restart process.
+	cfg := jsas.Config{ASInstances: 1}
+	c, err := New(Options{Config: cfg, Params: p, Seed: 62, OrganicFailures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100 * 8760 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	recs := c.Stats().Recoveries
+	if len(recs) < 100 {
+		t.Fatalf("only %d failures in 100 years", len(recs))
+	}
+	// Inter-failure times: from each recovery completion to next failure.
+	var inter []time.Duration
+	for i := 1; i < len(recs); i++ {
+		prevEnd := recs[i-1].Start + recs[i-1].Duration
+		gap := recs[i].Start - prevEnd
+		if gap > 0 {
+			inter = append(inter, gap)
+		}
+	}
+	fit, err := estimate.FitExponential(inter)
+	if err != nil {
+		t.Fatalf("FitExponential: %v", err)
+	}
+	// True rate: 52/yr ≈ 1/168.5 h.
+	wantMTBF := 8760.0 / 52
+	if math.Abs(fit.MTBFHours-wantMTBF) > 0.15*wantMTBF {
+		t.Errorf("fitted MTBF = %.1f h, want ~%.1f", fit.MTBFHours, wantMTBF)
+	}
+	if fit.KSPValue < 0.005 {
+		t.Errorf("KS p = %v: organic process rejected as exponential", fit.KSPValue)
+	}
+}
+
+func TestMiscAccessorsAndErrors(t *testing.T) {
+	t.Parallel()
+	c := newQuietCluster(t, jsas.Config1, 71)
+	if c.Sim() == nil {
+		t.Error("Sim() returned nil")
+	}
+	// Run into the past surfaces the kernel error.
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(time.Minute); err == nil {
+		t.Error("Run backwards accepted")
+	}
+	// Fresh stats have availability 1 by definition.
+	var empty Stats
+	if empty.Availability() != 1 {
+		t.Errorf("empty availability = %v, want 1", empty.Availability())
+	}
+	// Fault strings are distinct and diagnostic.
+	seen := map[string]bool{}
+	for _, f := range Faults() {
+		s := f.String()
+		if s == "" || seen[s] {
+			t.Errorf("fault string %q duplicated or empty", s)
+		}
+		seen[s] = true
+	}
+	// ConfigError formats its field.
+	ce := &ConfigError{Field: "ASRestart"}
+	if ce.Error() == "" || !strings.Contains(ce.Error(), "ASRestart") {
+		t.Errorf("ConfigError.Error() = %q", ce.Error())
+	}
+}

@@ -1,0 +1,128 @@
+// Package testbed simulates the paper's JSAS EE7 lab environment: a
+// cluster of Application Server instances fronted by a load balancer with
+// periodic health checks, backed by mirrored HADB node pairs with
+// automatic restart, spare-node repair, and operator restore. It is the
+// measurement substrate: longevity runs and fault-injection campaigns are
+// executed against it, and the measured recovery times and success counts
+// feed the estimators (package estimate) that produce the conservative
+// model parameters of Section 5.
+//
+// The simulator distinguishes the *measured truth* of the testbed (package
+// Timing: e.g. HADB restart ≈ 40 s, AS restart < 25 s) from the
+// *conservative model parameters* (jsas.Params: 1 min, 90 s) exactly as
+// the paper does.
+package testbed
+
+import "time"
+
+// Timing holds the ground-truth recovery behavior of the simulated
+// testbed, modeled on the measurements reported in Sections 3 and 5 of the
+// paper. Recovery durations are sampled uniformly from [Min, Max].
+type Timing struct {
+	// HADBRestart is the observed automatic restart after an HADB process
+	// failure (paper: "around 40 seconds").
+	HADBRestart DurationRange
+	// HADBOSReboot is the observed node OS reboot time (paper models 15
+	// minutes).
+	HADBOSReboot DurationRange
+	// HADBRepairPerGB is the observed data copy rate during spare repair
+	// (paper: "about 12 minutes to copy 1GB").
+	HADBRepairPerGB DurationRange
+	// NodeDataGB is the session data volume per HADB node (paper: within
+	// 1 GB).
+	NodeDataGB float64
+	// HADBPhysicalRepair is the time to physically repair a failed node
+	// host, after which it rejoins as a spare.
+	HADBPhysicalRepair DurationRange
+	// ASRestart is the observed AS instance process restart (paper:
+	// "less than 25 seconds").
+	ASRestart DurationRange
+	// ASOSReboot is the observed AS node OS reboot (paper: 15 minutes).
+	ASOSReboot DurationRange
+	// ASHWRepair is the AS node hardware repair time (paper field data:
+	// 100 minutes).
+	ASHWRepair DurationRange
+	// HealthCheckInterval is the load-balancer health check period
+	// (paper: 1 minute); a recovered instance is reinstated at the next
+	// check.
+	HealthCheckInterval time.Duration
+	// SessionRecovery is the observed per-session failover
+	// re-establishment time (paper: sub-second).
+	SessionRecovery DurationRange
+	// OperatorRestoreAS is the human intervention time to restart all AS
+	// instances after a total AS outage (paper models 30 minutes).
+	OperatorRestoreAS DurationRange
+	// OperatorRestoreHADB is the human intervention time to recreate a
+	// failed HADB pair (paper models 1 hour).
+	OperatorRestoreHADB DurationRange
+	// MaintenanceSwitchover is the observed switchover to a standby
+	// during scheduled maintenance (paper: 1 minute).
+	MaintenanceSwitchover DurationRange
+}
+
+// DurationRange is a closed interval recovery durations are drawn from.
+type DurationRange struct {
+	Min, Max time.Duration
+}
+
+// Fixed returns a degenerate range (deterministic duration).
+func Fixed(d time.Duration) DurationRange { return DurationRange{Min: d, Max: d} }
+
+// Valid reports whether the range is well-formed and positive.
+func (r DurationRange) Valid() bool { return r.Min > 0 && r.Max >= r.Min }
+
+// DefaultTiming returns the measured-truth behavior reported in the paper.
+func DefaultTiming() Timing {
+	return Timing{
+		HADBRestart:           DurationRange{35 * time.Second, 45 * time.Second},
+		HADBOSReboot:          DurationRange{10 * time.Minute, 15 * time.Minute},
+		HADBRepairPerGB:       DurationRange{11 * time.Minute, 13 * time.Minute},
+		NodeDataGB:            1.0,
+		HADBPhysicalRepair:    DurationRange{90 * time.Minute, 110 * time.Minute},
+		ASRestart:             DurationRange{15 * time.Second, 25 * time.Second},
+		ASOSReboot:            DurationRange{12 * time.Minute, 15 * time.Minute},
+		ASHWRepair:            DurationRange{90 * time.Minute, 110 * time.Minute},
+		HealthCheckInterval:   time.Minute,
+		SessionRecovery:       DurationRange{300 * time.Millisecond, 900 * time.Millisecond},
+		OperatorRestoreAS:     DurationRange{20 * time.Minute, 30 * time.Minute},
+		OperatorRestoreHADB:   DurationRange{45 * time.Minute, 60 * time.Minute},
+		MaintenanceSwitchover: DurationRange{45 * time.Second, 75 * time.Second},
+	}
+}
+
+// Validate checks the timing ranges.
+func (t Timing) Validate() error {
+	checks := []struct {
+		name string
+		ok   bool
+	}{
+		{"HADBRestart", t.HADBRestart.Valid()},
+		{"HADBOSReboot", t.HADBOSReboot.Valid()},
+		{"HADBRepairPerGB", t.HADBRepairPerGB.Valid()},
+		{"NodeDataGB > 0", t.NodeDataGB > 0},
+		{"HADBPhysicalRepair", t.HADBPhysicalRepair.Valid()},
+		{"ASRestart", t.ASRestart.Valid()},
+		{"ASOSReboot", t.ASOSReboot.Valid()},
+		{"ASHWRepair", t.ASHWRepair.Valid()},
+		{"HealthCheckInterval > 0", t.HealthCheckInterval > 0},
+		{"SessionRecovery", t.SessionRecovery.Valid()},
+		{"OperatorRestoreAS", t.OperatorRestoreAS.Valid()},
+		{"OperatorRestoreHADB", t.OperatorRestoreHADB.Valid()},
+		{"MaintenanceSwitchover", t.MaintenanceSwitchover.Valid()},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return &ConfigError{Field: c.name}
+		}
+	}
+	return nil
+}
+
+// ConfigError reports an invalid testbed configuration field.
+type ConfigError struct {
+	Field string
+}
+
+func (e *ConfigError) Error() string {
+	return "testbed: invalid configuration: " + e.Field
+}

@@ -1,0 +1,91 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventType classifies a trace event.
+type EventType int
+
+// EventType values.
+const (
+	// EventFailure marks a component failure (organic or injected).
+	EventFailure EventType = iota + 1
+	// EventRecovery marks a component returning to service.
+	EventRecovery
+	// EventOutageStart marks the system predicate going false.
+	EventOutageStart
+	// EventOutageEnd marks the system predicate returning true.
+	EventOutageEnd
+	// EventSpareConsumed marks a spare node being taken for repair.
+	EventSpareConsumed
+	// EventSpareReturned marks a repaired host rejoining the spare pool.
+	EventSpareReturned
+	// EventMaintenanceStart marks a scheduled switchover beginning.
+	EventMaintenanceStart
+	// EventMaintenanceEnd marks a switchover completing.
+	EventMaintenanceEnd
+)
+
+func (e EventType) String() string {
+	switch e {
+	case EventFailure:
+		return "failure"
+	case EventRecovery:
+		return "recovery"
+	case EventOutageStart:
+		return "outage-start"
+	case EventOutageEnd:
+		return "outage-end"
+	case EventSpareConsumed:
+		return "spare-consumed"
+	case EventSpareReturned:
+		return "spare-returned"
+	case EventMaintenanceStart:
+		return "maintenance-start"
+	case EventMaintenanceEnd:
+		return "maintenance-end"
+	default:
+		return fmt.Sprintf("event(%d)", int(e))
+	}
+}
+
+// Event is one entry in a cluster trace.
+type Event struct {
+	Time      time.Duration
+	Type      EventType
+	Component Component
+	// Target identifies the affected entity ("as-1", "hadb-0/1", "system").
+	Target string
+	// Kind is set for failures and recoveries.
+	Kind FailureKind
+	// Injected marks fault-injection events.
+	Injected bool
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%12s] %-17s %s", e.Time, e.Type, e.Target)
+	if e.Type == EventFailure || e.Type == EventRecovery {
+		s += fmt.Sprintf(" (%s", e.Kind)
+		if e.Injected {
+			s += ", injected"
+		}
+		s += ")"
+	}
+	return s
+}
+
+// Observer receives trace events as they happen. Observers run inline with
+// the simulation: keep them fast and do not call back into the cluster.
+type Observer func(Event)
+
+// emit delivers an event to the observer, if any.
+func (c *Cluster) emit(e Event) {
+	if c.opts.Observer == nil {
+		return
+	}
+	e.Time = c.sim.Now()
+	c.opts.Observer(e)
+}

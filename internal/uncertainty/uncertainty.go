@@ -1,0 +1,279 @@
+// Package uncertainty implements RAScad's Monte-Carlo uncertainty
+// analysis: model parameters that cannot be measured accurately (or vary
+// across customer sites) are sampled from user-defined ranges, the model
+// is solved per sample, and the resulting distribution of yearly downtime
+// is summarized with means and percentile confidence intervals (the
+// paper's Figures 7 and 8).
+package uncertainty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// ErrBadAnalysis is reported for invalid analysis specifications.
+var ErrBadAnalysis = errors.New("uncertainty: invalid analysis")
+
+// Range is a closed interval a parameter is sampled from.
+type Range struct {
+	Name      string
+	Low, High float64
+}
+
+// Validate checks the range.
+func (r Range) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("unnamed range: %w", ErrBadAnalysis)
+	}
+	if !(r.Low <= r.High) {
+		return fmt.Errorf("range %s: low %g > high %g: %w", r.Name, r.Low, r.High, ErrBadAnalysis)
+	}
+	return nil
+}
+
+// Sampler draws parameter vectors from the ranges.
+type Sampler int
+
+// Available samplers.
+const (
+	// SamplerUniform draws each parameter independently and uniformly —
+	// the sampling RAScad's uncertainty analysis performs.
+	SamplerUniform Sampler = iota + 1
+	// SamplerLatinHypercube stratifies each dimension into N bins and
+	// permutes them, giving lower estimator variance at equal cost.
+	SamplerLatinHypercube
+)
+
+func (s Sampler) String() string {
+	switch s {
+	case SamplerUniform:
+		return "uniform"
+	case SamplerLatinHypercube:
+		return "latin-hypercube"
+	default:
+		return fmt.Sprintf("sampler(%d)", int(s))
+	}
+}
+
+// Solver evaluates the model for one sampled parameter assignment and
+// returns the yearly downtime in minutes.
+type Solver func(assignment map[string]float64) (downtimeMinutes float64, err error)
+
+// Options configures an analysis run.
+type Options struct {
+	// Samples is the number of Monte-Carlo samples (paper: 1000).
+	Samples int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Sampler selects the sampling scheme; defaults to SamplerUniform.
+	Sampler Sampler
+	// Confidences lists the central CI masses to report
+	// (defaults to 0.80 and 0.90, as in the paper).
+	Confidences []float64
+	// Parallelism is the number of worker goroutines solving samples
+	// (default 1). Results are identical regardless of parallelism: the
+	// assignments are drawn up front and outputs keyed by sample index.
+	// The solver must be safe for concurrent use (the jsas solvers are).
+	Parallelism int
+}
+
+// Sample is one evaluated parameter snapshot.
+type Sample struct {
+	Assignment map[string]float64
+	// DowntimeMinutes is the solved yearly downtime.
+	DowntimeMinutes float64
+}
+
+// Result summarizes an uncertainty analysis.
+type Result struct {
+	Samples []Sample
+	// Downtimes is the raw downtime vector (minutes/year), in sample order.
+	Downtimes []float64
+	// Summary holds descriptive statistics of Downtimes.
+	Summary stats.Summary
+	// CIs maps confidence mass → central percentile interval.
+	CIs map[float64]stats.Interval
+}
+
+// FractionBelow returns the fraction of sampled systems with yearly
+// downtime strictly below m minutes (the paper: "over 80% of sampled
+// systems have yearly downtime less than 5.25 minutes").
+func (r *Result) FractionBelow(m float64) float64 {
+	return stats.FractionBelow(r.Downtimes, m)
+}
+
+// Run performs the analysis: draw Samples assignments from ranges, solve
+// each, and summarize.
+func Run(ranges []Range, solve Solver, opts Options) (*Result, error) {
+	if solve == nil {
+		return nil, fmt.Errorf("nil solver: %w", ErrBadAnalysis)
+	}
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("no parameter ranges: %w", ErrBadAnalysis)
+	}
+	seen := make(map[string]bool, len(ranges))
+	for _, r := range ranges {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("duplicate range %q: %w", r.Name, ErrBadAnalysis)
+		}
+		seen[r.Name] = true
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = 1000
+	}
+	if opts.Sampler == 0 {
+		opts.Sampler = SamplerUniform
+	}
+	if len(opts.Confidences) == 0 {
+		opts.Confidences = []float64{0.80, 0.90}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	unit, err := drawUnitSamples(rng, opts.Sampler, len(ranges), opts.Samples)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Samples:   make([]Sample, opts.Samples),
+		Downtimes: make([]float64, opts.Samples),
+		CIs:       make(map[float64]stats.Interval, len(opts.Confidences)),
+	}
+	for i := 0; i < opts.Samples; i++ {
+		assignment := make(map[string]float64, len(ranges))
+		for j, r := range ranges {
+			assignment[r.Name] = r.Low + (r.High-r.Low)*unit[i][j]
+		}
+		res.Samples[i] = Sample{Assignment: assignment}
+	}
+	if err := solveAll(res, solve, opts.Parallelism); err != nil {
+		return nil, err
+	}
+	res.Summary = stats.Summarize(res.Downtimes)
+	for _, c := range opts.Confidences {
+		ci, err := stats.PercentileCI(res.Downtimes, c)
+		if err != nil {
+			return nil, fmt.Errorf("confidence %g: %w", c, err)
+		}
+		res.CIs[c] = ci
+	}
+	return res, nil
+}
+
+// solveAll evaluates every pre-drawn sample, optionally across a worker
+// pool. Outputs are written by index, so the result is identical at any
+// parallelism level.
+func solveAll(res *Result, solve Solver, parallelism int) error {
+	n := len(res.Samples)
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			d, err := solve(res.Samples[i].Assignment)
+			if err != nil {
+				return fmt.Errorf("sample %d: %w", i, err)
+			}
+			res.Samples[i].DowntimeMinutes = d
+			res.Downtimes[i] = d
+		}
+		return nil
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	indices := make(chan int)
+	errs := make(chan error, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var firstErr error
+			for i := range indices {
+				if firstErr != nil {
+					continue // drain after failure
+				}
+				d, err := solve(res.Samples[i].Assignment)
+				if err != nil {
+					firstErr = fmt.Errorf("sample %d: %w", i, err)
+					continue
+				}
+				res.Samples[i].DowntimeMinutes = d
+				res.Downtimes[i] = d
+			}
+			errs <- firstErr
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drawUnitSamples produces samples×dims values in [0,1).
+func drawUnitSamples(rng *rand.Rand, s Sampler, dims, samples int) ([][]float64, error) {
+	out := make([][]float64, samples)
+	for i := range out {
+		out[i] = make([]float64, dims)
+	}
+	switch s {
+	case SamplerUniform:
+		for i := 0; i < samples; i++ {
+			for j := 0; j < dims; j++ {
+				out[i][j] = rng.Float64()
+			}
+		}
+	case SamplerLatinHypercube:
+		for j := 0; j < dims; j++ {
+			perm := rng.Perm(samples)
+			for i := 0; i < samples; i++ {
+				out[i][j] = (float64(perm[i]) + rng.Float64()) / float64(samples)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown sampler %v: %w", s, ErrBadAnalysis)
+	}
+	return out, nil
+}
+
+// SortedConfidences returns the result's CI keys in ascending order —
+// convenient for deterministic report rendering.
+func (r *Result) SortedConfidences() []float64 {
+	out := make([]float64, 0, len(r.CIs))
+	for c := range r.CIs {
+		out = append(out, c)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Correlations returns the Spearman rank correlation between each sampled
+// parameter and the downtime outcome — a global sensitivity measure drawn
+// from the Monte-Carlo sample itself (no extra solves), complementing the
+// local one-at-a-time importance analysis.
+func (r *Result) Correlations() map[string]float64 {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	out := make(map[string]float64)
+	for name := range r.Samples[0].Assignment {
+		xs := make([]float64, len(r.Samples))
+		for i, s := range r.Samples {
+			xs[i] = s.Assignment[name]
+		}
+		out[name] = stats.SpearmanRank(xs, r.Downtimes)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package uncertainty
+
+import (
+	"errors"
+	"testing"
+)
+
+// sumSolver returns downtime = sum of all sampled parameters.
+func sumSolver(assignment map[string]float64) (float64, error) {
+	var s float64
+	for _, v := range assignment {
+		s += v
+	}
+	return s, nil
+}
+
+func testRanges() []Range {
+	return []Range{
+		{Name: "a", Low: 0, High: 1},
+		{Name: "b", Low: 10, High: 20},
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	t.Parallel()
+	res, err := Run(testRanges(), sumSolver, Options{Samples: 500, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Samples) != 500 || len(res.Downtimes) != 500 {
+		t.Fatalf("samples = %d", len(res.Samples))
+	}
+	// Sum of uniforms on [0,1]+[10,20]: mean 15.5, range [10,21].
+	if res.Summary.Mean < 15 || res.Summary.Mean > 16 {
+		t.Errorf("mean = %v, want ~15.5", res.Summary.Mean)
+	}
+	if res.Summary.Min < 10 || res.Summary.Max > 21 {
+		t.Errorf("range = [%v, %v], want within [10, 21]", res.Summary.Min, res.Summary.Max)
+	}
+	// Default CIs present.
+	if _, ok := res.CIs[0.80]; !ok {
+		t.Error("missing 80% CI")
+	}
+	if _, ok := res.CIs[0.90]; !ok {
+		t.Error("missing 90% CI")
+	}
+	ci80, ci90 := res.CIs[0.80], res.CIs[0.90]
+	if ci90.Low > ci80.Low || ci90.High < ci80.High {
+		t.Errorf("90%% CI %v should contain 80%% CI %v", ci90, ci80)
+	}
+	// Assignments respect ranges.
+	for _, s := range res.Samples {
+		if s.Assignment["a"] < 0 || s.Assignment["a"] > 1 {
+			t.Fatalf("a out of range: %v", s.Assignment["a"])
+		}
+		if s.Assignment["b"] < 10 || s.Assignment["b"] > 20 {
+			t.Fatalf("b out of range: %v", s.Assignment["b"])
+		}
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	t.Parallel()
+	r1, err := Run(testRanges(), sumSolver, Options{Samples: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testRanges(), sumSolver, Options{Samples: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Downtimes {
+		if r1.Downtimes[i] != r2.Downtimes[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+	r3, err := Run(testRanges(), sumSolver, Options{Samples: 100, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range r1.Downtimes {
+		if r1.Downtimes[i] != r3.Downtimes[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical samples")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(testRanges(), nil, Options{}); !errors.Is(err, ErrBadAnalysis) {
+		t.Errorf("nil solver: err = %v", err)
+	}
+	if _, err := Run(nil, sumSolver, Options{}); !errors.Is(err, ErrBadAnalysis) {
+		t.Errorf("no ranges: err = %v", err)
+	}
+	if _, err := Run([]Range{{Name: "", Low: 0, High: 1}}, sumSolver, Options{}); !errors.Is(err, ErrBadAnalysis) {
+		t.Errorf("unnamed: err = %v", err)
+	}
+	if _, err := Run([]Range{{Name: "x", Low: 2, High: 1}}, sumSolver, Options{}); !errors.Is(err, ErrBadAnalysis) {
+		t.Errorf("inverted: err = %v", err)
+	}
+	dup := []Range{{Name: "x", Low: 0, High: 1}, {Name: "x", Low: 0, High: 1}}
+	if _, err := Run(dup, sumSolver, Options{}); !errors.Is(err, ErrBadAnalysis) {
+		t.Errorf("duplicate: err = %v", err)
+	}
+	failing := func(map[string]float64) (float64, error) { return 0, errors.New("boom") }
+	if _, err := Run(testRanges(), failing, Options{Samples: 3}); err == nil {
+		t.Error("solver failure should propagate")
+	}
+	if _, err := Run(testRanges(), sumSolver, Options{Sampler: Sampler(99)}); !errors.Is(err, ErrBadAnalysis) {
+		t.Errorf("unknown sampler: err = %v", err)
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	t.Parallel()
+	const n = 100
+	res, err := Run([]Range{{Name: "x", Low: 0, High: 1}}, sumSolver, Options{
+		Samples: n, Seed: 7, Sampler: SamplerLatinHypercube,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Exactly one sample per 1/n stratum.
+	seen := make([]bool, n)
+	for _, d := range res.Downtimes {
+		bin := int(d * n)
+		if bin == n {
+			bin = n - 1
+		}
+		if seen[bin] {
+			t.Fatalf("stratum %d sampled twice", bin)
+		}
+		seen[bin] = true
+	}
+}
+
+func TestLatinHypercubeLowerVariance(t *testing.T) {
+	t.Parallel()
+	// The LHS estimate of the mean of a monotone function has lower
+	// variance than plain uniform sampling. Compare spread of mean
+	// estimates across seeds.
+	ranges := []Range{{Name: "x", Low: 0, High: 1}, {Name: "y", Low: 0, High: 1}}
+	varOf := func(s Sampler) float64 {
+		var means []float64
+		for seed := int64(0); seed < 20; seed++ {
+			res, err := Run(ranges, sumSolver, Options{Samples: 50, Seed: seed, Sampler: s})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			means = append(means, res.Summary.Mean)
+		}
+		var m, v float64
+		for _, x := range means {
+			m += x
+		}
+		m /= float64(len(means))
+		for _, x := range means {
+			v += (x - m) * (x - m)
+		}
+		return v / float64(len(means)-1)
+	}
+	vu := varOf(SamplerUniform)
+	vl := varOf(SamplerLatinHypercube)
+	if vl >= vu {
+		t.Errorf("LHS variance %g should be below uniform %g", vl, vu)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	t.Parallel()
+	res := &Result{Downtimes: []float64{1, 2, 3, 4}}
+	if got := res.FractionBelow(2.5); got != 0.5 {
+		t.Errorf("FractionBelow = %v, want 0.5", got)
+	}
+}
+
+func TestSortedConfidences(t *testing.T) {
+	t.Parallel()
+	res, err := Run(testRanges(), sumSolver, Options{Samples: 10, Confidences: []float64{0.9, 0.5, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := res.SortedConfidences()
+	if len(cs) != 3 || cs[0] != 0.5 || cs[1] != 0.8 || cs[2] != 0.9 {
+		t.Errorf("SortedConfidences = %v", cs)
+	}
+}
+
+func TestSamplerString(t *testing.T) {
+	t.Parallel()
+	if SamplerUniform.String() != "uniform" {
+		t.Error("SamplerUniform.String()")
+	}
+	if SamplerLatinHypercube.String() != "latin-hypercube" {
+		t.Error("SamplerLatinHypercube.String()")
+	}
+	if Sampler(9).String() == "" {
+		t.Error("unknown sampler string empty")
+	}
+}
+
+// TestParallelMatchesSerial: parallelism must not change the result.
+func TestParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	serial, err := Run(testRanges(), sumSolver, Options{Samples: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(testRanges(), sumSolver, Options{Samples: 300, Seed: 5, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Downtimes {
+		if serial.Downtimes[i] != parallel.Downtimes[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, serial.Downtimes[i], parallel.Downtimes[i])
+		}
+	}
+	if serial.Summary != parallel.Summary {
+		t.Errorf("summaries differ: %+v vs %+v", serial.Summary, parallel.Summary)
+	}
+}
+
+// TestParallelPropagatesError: a solver failure surfaces from the pool.
+func TestParallelPropagatesError(t *testing.T) {
+	t.Parallel()
+	failing := func(a map[string]float64) (float64, error) {
+		if a["a"] > 0.5 {
+			return 0, errors.New("boom")
+		}
+		return a["a"], nil
+	}
+	if _, err := Run(testRanges(), failing, Options{Samples: 200, Seed: 6, Parallelism: 4}); err == nil {
+		t.Fatal("parallel run swallowed solver error")
+	}
+}
+
+// TestParallelismExceedingSamples clamps cleanly.
+func TestParallelismExceedingSamples(t *testing.T) {
+	t.Parallel()
+	res, err := Run(testRanges(), sumSolver, Options{Samples: 3, Seed: 7, Parallelism: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Downtimes) != 3 {
+		t.Errorf("samples = %d", len(res.Downtimes))
+	}
+}
+
+func TestCorrelationsOnSyntheticData(t *testing.T) {
+	t.Parallel()
+	// Downtime = a only: correlation with a is 1, with b ~0.
+	solver := func(m map[string]float64) (float64, error) { return m["a"], nil }
+	res, err := Run(testRanges(), solver, Options{Samples: 400, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := res.Correlations()
+	if corr["a"] < 0.999 {
+		t.Errorf("corr(a) = %v, want ~1", corr["a"])
+	}
+	if ab := corr["b"]; ab > 0.15 || ab < -0.15 {
+		t.Errorf("corr(b) = %v, want ~0", ab)
+	}
+	var empty Result
+	if empty.Correlations() != nil {
+		t.Error("empty result should give nil correlations")
+	}
+}

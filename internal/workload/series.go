@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/estimate"
+)
+
+// SeriesResult aggregates a campaign of repeated longevity runs — the
+// paper performed "multiple 7-day duration runs" and pooled the exposure
+// when bounding the failure rate.
+type SeriesResult struct {
+	Runs []*Result
+	// TotalExposure is the pooled instance exposure across runs.
+	TotalExposure time.Duration
+	// TotalFailures is the pooled AS failure count.
+	TotalFailures int
+	// TotalRequests is the pooled request count.
+	TotalRequests float64
+	// PooledBounds are the Equation (2) bounds over the pooled data; the
+	// pooled bound is tighter than any single run's.
+	PooledBounds []estimate.FailureRateBound
+}
+
+// RunSeries executes runs independent longevity tests (distinct seeds) and
+// pools their exposure for the failure-rate bound.
+func RunSeries(opts RunOptions, runs int) (*SeriesResult, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("runs = %d, want ≥ 1: %w", runs, ErrBadRun)
+	}
+	confidences := opts.Confidences
+	if len(confidences) == 0 {
+		confidences = []float64{0.95, 0.995}
+	}
+	out := &SeriesResult{}
+	for i := 0; i < runs; i++ {
+		runOpts := opts
+		runOpts.Seed = opts.Seed + int64(i)
+		res, err := Run(runOpts)
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", i+1, err)
+		}
+		out.Runs = append(out.Runs, res)
+		out.TotalExposure += res.InstanceExposure
+		out.TotalFailures += res.ASInstanceFailures
+		out.TotalRequests += res.RequestsServed
+	}
+	for _, conf := range confidences {
+		b, err := estimate.FailureRateUpperBound(out.TotalExposure, out.TotalFailures, conf)
+		if err != nil {
+			return nil, fmt.Errorf("pooled bound: %w", err)
+		}
+		out.PooledBounds = append(out.PooledBounds, b)
+	}
+	return out, nil
+}

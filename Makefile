@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench reproduce tables figures clean
+.PHONY: all build test race cover bench reproduce tables figures verify clean
 
 all: build test
 
@@ -15,6 +15,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Pre-merge verification: build, vet, the full test suite, and a
+# race-detector pass over the packages with concurrent hot paths (the
+# metrics registry, the Monte-Carlo worker pool, the HTTP handlers).
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/obs/... ./internal/uncertainty/... ./internal/httpapi/...
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

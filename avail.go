@@ -66,6 +66,10 @@ type (
 	State = ctmc.State
 	// SolveOptions selects and tunes the steady-state solver.
 	SolveOptions = ctmc.SolveOptions
+	// SolveDiagnostics records how a steady-state solve actually ran
+	// (method used, sweeps, residual, dense fallback, wall time); point
+	// SolveOptions.Diag at one to collect it.
+	SolveDiagnostics = ctmc.Diagnostics
 )
 
 // Reward layer types.

@@ -9,9 +9,11 @@
 // Endpoints:
 //
 //	GET  /healthz
+//	GET  /metrics               (Prometheus text; ?format=json for JSON)
 //	POST /v1/solve              (spec.Document)
 //	POST /v1/solve-hierarchy    (spec.HierDocument)
 //	GET  /v1/jsas?instances=4&pairs=4&spares=2
+//	GET  /v1/jsas/uncertainty?instances=2&pairs=2&samples=1000
 package main
 
 import (

@@ -11,6 +11,7 @@
 //	avail-solve -check model.json        # structural diagnosis
 //	avail-solve -uncertainty 1000 m.json # sample declared uncertain ranges
 //	avail-solve -example                 # print a sample model document
+//	avail-solve -stats model.json        # append solver diagnostics (stderr)
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/ctmc"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/uncertainty"
 )
@@ -60,8 +62,15 @@ func run(args []string) error {
 	check := fs.Bool("check", false, "print a structural diagnosis of the (flat) model instead of solving")
 	uncertaintyN := fs.Int("uncertainty", 0, "sample the document's declared uncertain ranges N times instead of a point solve")
 	seed := fs.Int64("seed", 2004, "seed for -uncertainty")
+	stats := fs.Bool("stats", false, "print solver diagnostics (method, sweeps, residual, wall time) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *stats {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nEngine metrics:")
+			_ = obs.Default().WriteSummary(os.Stderr)
+		}()
 	}
 	if *example {
 		return printExample()
@@ -113,9 +122,17 @@ func run(args []string) error {
 		fmt.Printf("Model %s:\n%s", doc.Name, m.Diagnose().Summary(m))
 		return nil
 	}
-	res, err := structure.Solve(ctmc.SolveOptions{})
+	var diag ctmc.Diagnostics
+	solveOpts := ctmc.SolveOptions{}
+	if *stats {
+		solveOpts.Diag = &diag
+	}
+	res, err := structure.Solve(solveOpts)
 	if err != nil {
 		return err
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "Solver diagnostics: %s\n", diag)
 	}
 	fmt.Printf("Model: %s (%d states, %d transitions)\n",
 		doc.Name, structure.Model().NumStates(), structure.Model().NumTransitions())

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	jsas-sweep [-config 1|2] [-from 0.5] [-to 3] [-steps 10] [-csv]
+//	jsas-sweep [-config 1|2] [-from 0.5] [-to 3] [-steps 10] [-csv] [-stats]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/jsas"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sensitivity"
 )
@@ -33,8 +34,15 @@ func run(args []string) error {
 	to := fs.Float64("to", 3.0, "sweep end")
 	steps := fs.Int("steps", 10, "number of sweep intervals")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	stats := fs.Bool("stats", false, "print engine metrics (solves, sweeps, latency) to stderr after the sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *stats {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nEngine metrics:")
+			_ = obs.Default().WriteSummary(os.Stderr)
+		}()
 	}
 	var cfg jsas.Config
 	switch *configNo {

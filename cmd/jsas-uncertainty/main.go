@@ -6,7 +6,7 @@
 // Usage:
 //
 //	jsas-uncertainty [-config 1|2] [-samples 1000] [-seed 2004]
-//	                 [-sampler uniform|lhs] [-scatter]
+//	                 [-sampler uniform|lhs] [-scatter] [-parallel N] [-stats]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/jsas"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/uncertainty"
@@ -37,6 +38,7 @@ func run(args []string) error {
 	samplerName := fs.String("sampler", "uniform", "sampling scheme: uniform or lhs")
 	scatter := fs.Bool("scatter", false, "emit the raw (snapshot, downtime) scatter series as CSV")
 	parallel := fs.Int("parallel", 1, "worker goroutines for the per-sample solves")
+	statsFlag := fs.Bool("stats", false, "print run diagnostics (per-sample latency, worker utilization, solver metrics) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +67,13 @@ func run(args []string) error {
 	)
 	if err != nil {
 		return err
+	}
+	if *statsFlag {
+		fmt.Fprintf(os.Stderr, "Run diagnostics: %s\n", res.Diag)
+		fmt.Fprintln(os.Stderr, "Engine metrics:")
+		if err := obs.Default().WriteSummary(os.Stderr); err != nil {
+			return err
+		}
 	}
 	if *scatter {
 		t := report.NewTable("", "snapshot", "yearly_downtime_minutes")

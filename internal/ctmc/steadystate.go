@@ -3,8 +3,10 @@ package ctmc
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -57,6 +59,63 @@ type SolveOptions struct {
 	// Tol/MaxIter are forwarded to the iterative solvers.
 	Tol     float64
 	MaxIter int
+	// Diag, if non-nil, receives a record of how the solve actually ran:
+	// the method finally used, iteration counts, the dense fallback, and
+	// wall time. It is filled on success and on failure.
+	Diag *Diagnostics
+}
+
+// Diagnostics reports what a steady-state solve actually did — the
+// observability needed to trust (and reproduce) the numbers: MethodAuto's
+// silent choices and fallbacks become visible here and in the obs
+// registry.
+type Diagnostics struct {
+	// Method is the algorithm that produced the returned vector (after
+	// any auto selection or dense fallback).
+	Method Method
+	// States is the chain size.
+	States int
+	// Iterations is the sweep count of the iterative solver (0 for a
+	// purely dense solve). After a dense fallback it retains the sweeps
+	// the failed iterative attempt consumed.
+	Iterations int
+	// FinalDiff is the iterative solver's last max-norm sweep-to-sweep
+	// change of the normalized iterate (0 for a purely dense solve).
+	FinalDiff float64
+	// DenseFallback marks that Gauss–Seidel failed to converge and
+	// MethodAuto retried with the dense LU solver.
+	DenseFallback bool
+	// Wall is the total solve wall time, including any fallback.
+	Wall time.Duration
+}
+
+// String renders a one-line summary for CLI --stats reports.
+func (d Diagnostics) String() string {
+	s := fmt.Sprintf("method=%v states=%d wall=%v", d.Method, d.States, d.Wall)
+	if d.Iterations > 0 {
+		s += fmt.Sprintf(" sweeps=%d final-diff=%.3g", d.Iterations, d.FinalDiff)
+	}
+	if d.DenseFallback {
+		s += " dense-fallback=true"
+	}
+	return s
+}
+
+// Solver metrics, reported to the default obs registry.
+var (
+	obsSolveSeconds  = obs.H("ctmc_solve_seconds", "steady-state solve wall time", obs.DurationBuckets)
+	obsSolveIters    = obs.H("ctmc_solve_iterations", "iterative solver sweeps per solve", obs.IterationBuckets)
+	obsDenseFallback = obs.C("ctmc_dense_fallback_total", "iterative solves that fell back to dense LU")
+	obsSolveErrors   = obs.C("ctmc_solve_errors_total", "steady-state solves that returned an error")
+	obsLastStates    = obs.G("ctmc_last_solve_states", "state count of the most recent solve")
+	obsLastResidual  = obs.G("ctmc_last_solve_residual", "final normalized max-norm change of the most recent iterative solve")
+)
+
+// obsSolvesTotal counts completed solves by the method that produced the
+// result.
+func obsSolvesTotal(m Method) *obs.Counter {
+	return obs.C("ctmc_solves_total", "completed steady-state solves by method",
+		fmt.Sprintf("method=%q", m))
 }
 
 // SteadyState computes the stationary distribution π with π·Q = 0, Σπ = 1.
@@ -68,6 +127,7 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 	if !m.IsIrreducible() {
 		return nil, fmt.Errorf("steady state undefined: %w", ErrNotIrreducible)
 	}
+	start := time.Now()
 	method := opts.Method
 	auto := method == 0 || method == MethodAuto
 	if auto {
@@ -77,17 +137,44 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 			method = MethodGaussSeidel
 		}
 	}
-	pi, err := m.steadyStateBy(method, opts)
+	var iter sparse.IterStats
+	fellBack := false
+	pi, err := m.steadyStateBy(method, opts, &iter)
 	if err != nil && auto && method == MethodGaussSeidel &&
 		errors.Is(err, sparse.ErrNoConvergence) && m.NumStates() <= denseFallbackLimit {
 		// Stiff chain defeated the iterative solver; fall back to the
 		// exact direct solve while it is still affordable.
-		return m.steadyStateDense()
+		fellBack = true
+		method = MethodDense
+		obsDenseFallback.Inc()
+		pi, err = m.steadyStateDense()
 	}
-	return pi, err
+	wall := time.Since(start)
+	if opts.Diag != nil {
+		*opts.Diag = Diagnostics{
+			Method:        method,
+			States:        m.NumStates(),
+			Iterations:    iter.Sweeps,
+			FinalDiff:     iter.FinalDiff,
+			DenseFallback: fellBack,
+			Wall:          wall,
+		}
+	}
+	obsLastStates.Set(float64(m.NumStates()))
+	obsSolveSeconds.Observe(wall.Seconds())
+	if iter.Sweeps > 0 {
+		obsSolveIters.Observe(float64(iter.Sweeps))
+		obsLastResidual.Set(iter.FinalDiff)
+	}
+	if err != nil {
+		obsSolveErrors.Inc()
+		return pi, err
+	}
+	obsSolvesTotal(method).Inc()
+	return pi, nil
 }
 
-func (m *Model) steadyStateBy(method Method, opts SolveOptions) ([]float64, error) {
+func (m *Model) steadyStateBy(method Method, opts SolveOptions, iter *sparse.IterStats) ([]float64, error) {
 	switch method {
 	case MethodDense:
 		return m.steadyStateDense()
@@ -96,7 +183,7 @@ func (m *Model) steadyStateBy(method Method, opts SolveOptions) ([]float64, erro
 		if err != nil {
 			return nil, err
 		}
-		pi, err := sparse.SteadyStateGaussSeidel(q, sparse.SteadyStateOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
+		pi, err := sparse.SteadyStateGaussSeidel(q, sparse.SteadyStateOptions{Tol: opts.Tol, MaxIter: opts.MaxIter, Stats: iter})
 		if err != nil {
 			return nil, fmt.Errorf("steady state: %w", err)
 		}
@@ -106,7 +193,7 @@ func (m *Model) steadyStateBy(method Method, opts SolveOptions) ([]float64, erro
 		if err != nil {
 			return nil, err
 		}
-		pi, err := sparse.SteadyStatePower(q, sparse.SteadyStateOptions{Tol: opts.Tol, MaxIter: opts.MaxIter})
+		pi, err := sparse.SteadyStatePower(q, sparse.SteadyStateOptions{Tol: opts.Tol, MaxIter: opts.MaxIter, Stats: iter})
 		if err != nil {
 			return nil, fmt.Errorf("steady state: %w", err)
 		}

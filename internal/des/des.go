@@ -46,11 +46,12 @@ func (h *eventHeap) Pop() any {
 // Sim is a single-threaded discrete-event simulator. The zero value is not
 // usable; construct with New.
 type Sim struct {
-	now     time.Duration
-	queue   eventHeap
-	seq     uint64
-	stopped bool
-	rng     *rand.Rand
+	now       time.Duration
+	queue     eventHeap
+	seq       uint64
+	processed uint64
+	stopped   bool
+	rng       *rand.Rand
 }
 
 // New creates a simulator with a deterministic RNG stream.
@@ -102,6 +103,7 @@ func (s *Sim) Run(until time.Duration) error {
 		}
 		heap.Pop(&s.queue)
 		s.now = next.at
+		s.processed++
 		next.fn()
 	}
 	if !s.stopped && s.now < until {
@@ -119,6 +121,11 @@ func (s *Sim) Stopped() bool { return s.stopped }
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return len(s.queue) }
+
+// Processed returns the total number of events executed so far — the
+// kernel-level measure of simulation work, exposed so drivers (package
+// testbed) can report it to the metrics layer.
+func (s *Sim) Processed() uint64 { return s.processed }
 
 // Exponential draws an exponentially distributed duration with the given
 // mean. A non-positive mean returns 0.
@@ -157,5 +164,15 @@ func (s *Sim) Uniform(lo, hi time.Duration) time.Duration {
 	if hi <= lo {
 		return lo
 	}
-	return lo + time.Duration(s.rng.Int63n(int64(hi-lo)+1))
+	span := int64(hi - lo)
+	if span == math.MaxInt64 {
+		// span+1 would overflow to a negative Int63n argument and panic.
+		// This happens for real inputs: Schedule and ExponentialRate park
+		// "effectively never" events at math.MaxInt64, so a range like
+		// [0, MaxInt64] reaches here. Draw over [0, MaxInt64) instead —
+		// one representable value short of inclusive, indistinguishable
+		// at nanosecond resolution.
+		return lo + time.Duration(s.rng.Int63())
+	}
+	return lo + time.Duration(s.rng.Int63n(span+1))
 }

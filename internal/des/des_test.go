@@ -295,3 +295,47 @@ func TestUniformDistributionKS(t *testing.T) {
 		t.Errorf("uniform generator rejected: D=%v p=%v", res.Statistic, res.PValue)
 	}
 }
+
+// TestUniformFullRange is the regression test for the Int63n overflow:
+// Uniform(0, MaxInt64) used to compute int64(hi-lo)+1 = MinInt64 and
+// panic inside rand.Int63n. The full-range case occurs in practice when a
+// bound comes from an "effectively never" horizon (Schedule's overflow
+// clamp or ExponentialRate with a vanishing rate).
+func TestUniformFullRange(t *testing.T) {
+	s := New(1)
+	horizon := time.Duration(math.MaxInt64)
+	for i := 0; i < 100; i++ {
+		d := s.Uniform(0, horizon)
+		if d < 0 || d > horizon {
+			t.Fatalf("Uniform(0, MaxInt64) = %v, out of range", d)
+		}
+	}
+	// Near-full ranges with a nonzero lower bound must also stay in range.
+	lo := -time.Duration(5)
+	d := s.Uniform(lo, horizon+lo)
+	if d < lo || d > horizon+lo {
+		t.Fatalf("Uniform(%v, %v) = %v, out of range", lo, horizon+lo, d)
+	}
+}
+
+// TestProcessedCountsEvents checks the kernel's event counter.
+func TestProcessedCountsEvents(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		if err := s.Schedule(time.Duration(i)*time.Second, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Processed(); got != 5 {
+		t.Fatalf("Processed = %d, want 5", got)
+	}
+	if err := s.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Processed(); got != 5 {
+		t.Fatalf("Processed after idle run = %d, want 5", got)
+	}
+}

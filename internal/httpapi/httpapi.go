@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/ctmc"
 	"repro/internal/jsas"
+	"repro/internal/obs"
 	"repro/internal/reward"
 	"repro/internal/spec"
 	"repro/internal/uncertainty"
@@ -78,6 +80,8 @@ type errorResponse struct {
 // NewHandler returns the service's HTTP handler:
 //
 //	GET  /healthz               liveness probe
+//	GET  /metrics               engine + request metrics (Prometheus text;
+//	                            ?format=json for the JSON snapshot)
 //	POST /v1/solve              flat spec.Document → SolveResponse
 //	POST /v1/solve-hierarchy    spec.HierDocument → HierSolveResponse
 //	GET  /v1/jsas               ?instances=&pairs=&spares= → JSASResponse
@@ -85,12 +89,56 @@ type errorResponse struct {
 //	                            UncertaintyResponse
 func NewHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", handleHealthz)
-	mux.HandleFunc("POST /v1/solve", handleSolve)
-	mux.HandleFunc("POST /v1/solve-hierarchy", handleSolveHierarchy)
-	mux.HandleFunc("GET /v1/jsas", handleJSAS)
-	mux.HandleFunc("GET /v1/jsas/uncertainty", handleJSASUncertainty)
+	mux.HandleFunc("GET /healthz", instrument("/healthz", handleHealthz))
+	mux.HandleFunc("GET /metrics", instrument("/metrics", handleMetrics))
+	mux.HandleFunc("POST /v1/solve", instrument("/v1/solve", handleSolve))
+	mux.HandleFunc("POST /v1/solve-hierarchy", instrument("/v1/solve-hierarchy", handleSolveHierarchy))
+	mux.HandleFunc("GET /v1/jsas", instrument("/v1/jsas", handleJSAS))
+	mux.HandleFunc("GET /v1/jsas/uncertainty", instrument("/v1/jsas/uncertainty", handleJSASUncertainty))
 	return mux
+}
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with per-route observability: request and
+// error counters plus a latency histogram, all in the default registry
+// (and therefore visible at GET /metrics).
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	label := fmt.Sprintf("route=%q", route)
+	requests := obs.C("httpapi_requests_total", "requests served by route", label)
+	errors4xx5xx := obs.C("httpapi_errors_total", "responses with status >= 400 by route", label)
+	latency := obs.H("httpapi_request_seconds", "request latency by route", obs.DurationBuckets, label)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		requests.Inc()
+		latency.Observe(time.Since(start).Seconds())
+		if rec.status >= 400 {
+			errors4xx5xx.Inc()
+		}
+	}
+}
+
+// handleMetrics serves the default obs registry: Prometheus text
+// exposition by default, the JSON snapshot with ?format=json.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.Default().WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WriteText(w)
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {

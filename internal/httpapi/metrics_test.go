@@ -1,0 +1,90 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsEndpointAfterSolve exercises a solve through the API and
+// then scrapes GET /metrics, asserting that solver metrics (from the
+// ctmc layer) and per-route request metrics appear in the Prometheus
+// text exposition.
+func TestMetricsEndpointAfterSolve(t *testing.T) {
+	if res, body := doRequest(t, http.MethodPost, "/v1/solve", flatModel); res.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d, body %s", res.StatusCode, body)
+	}
+	res, body := doRequest(t, http.MethodGet, "/metrics", "")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE ctmc_solves_total counter",
+		`ctmc_solves_total{method="dense"}`,
+		"# TYPE ctmc_solve_seconds histogram",
+		"ctmc_solve_seconds_count",
+		"# TYPE httpapi_requests_total counter",
+		`httpapi_requests_total{route="/v1/solve"}`,
+		"# TYPE httpapi_request_seconds histogram",
+		`httpapi_request_seconds_count{route="/v1/solve"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsEndpointUncertainty checks the Monte-Carlo metrics surface
+// after a /v1/jsas/uncertainty request.
+func TestMetricsEndpointUncertainty(t *testing.T) {
+	before := obs.C("uncertainty_samples_solved_total", "").Value()
+	if res, body := doRequest(t, http.MethodGet, "/v1/jsas/uncertainty?samples=5&seed=1", ""); res.StatusCode != http.StatusOK {
+		t.Fatalf("uncertainty status = %d, body %s", res.StatusCode, body)
+	}
+	if got := obs.C("uncertainty_samples_solved_total", "").Value(); got != before+5 {
+		t.Errorf("uncertainty_samples_solved_total advanced by %d, want 5", got-before)
+	}
+	_, body := doRequest(t, http.MethodGet, "/metrics", "")
+	for _, want := range []string{
+		"uncertainty_samples_solved_total",
+		"uncertainty_sample_solve_seconds_count",
+		"uncertainty_runs_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsJSONFormat checks the ?format=json snapshot parses and the
+// error counter tracks failed requests.
+func TestMetricsJSONFormat(t *testing.T) {
+	errsBefore := obs.C("httpapi_errors_total", "", `route="/v1/solve"`).Value()
+	if res, _ := doRequest(t, http.MethodPost, "/v1/solve", "{not json"); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad document accepted: %d", res.StatusCode)
+	}
+	if got := obs.C("httpapi_errors_total", "", `route="/v1/solve"`).Value(); got != errsBefore+1 {
+		t.Errorf("httpapi_errors_total advanced by %d, want 1", got-errsBefore)
+	}
+	res, body := doRequest(t, http.MethodGet, "/metrics?format=json", "")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("metrics json status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+	var snaps []obs.SeriesSnapshot
+	if err := json.Unmarshal(body, &snaps); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if len(snaps) == 0 {
+		t.Error("metrics JSON snapshot is empty")
+	}
+}

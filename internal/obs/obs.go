@@ -1,0 +1,429 @@
+// Package obs is a small, dependency-free metrics and diagnostics layer
+// for the modeling engine: atomic counters, gauges, and fixed-bucket
+// histograms collected in a registry that exports Prometheus-style text
+// and JSON. Every hot layer (sparse/ctmc solves, uncertainty runs, the
+// testbed DES, the HTTP API) reports here, so that numerical shortcuts —
+// dense fallbacks, slow convergence, worker starvation — are visible
+// instead of silent.
+//
+// The package is deliberately minimal: no external deps, no label maps
+// (label sets are pre-formatted strings), no exemplars. Metrics are
+// registered lazily and idempotently: the first call for a (name, labels)
+// pair creates the series, later calls return the same instance, so call
+// sites do not need package-level variables (though hot paths may keep
+// them to skip the registry lookup).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored: counters only
+// go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge (CAS loop; safe for concurrent use).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative-style buckets
+// (Prometheus semantics: bucket i counts observations ≤ Bounds[i], plus
+// an implicit +Inf bucket) and tracks the running sum and count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    Gauge          // atomic float accumulator
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Mean returns the mean observation (0 before the first observation).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Buckets returns the bucket upper bounds and their (non-cumulative)
+// counts; the final entry pairs +Inf with the overflow count.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	bounds := append(append([]float64(nil), h.bounds...), math.Inf(1))
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// kind discriminates the metric families in a registry.
+type kind int
+
+const (
+	kindCounter kind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	labels string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	kind   kind
+	help   string
+	bounds []float64 // histogram families only
+	series map[string]*series
+}
+
+// Registry holds metric families. The zero value is not usable; construct
+// with NewRegistry or use the process-wide Default registry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry the engine's packages
+// report into; the HTTP API serves it at GET /metrics.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// lookup finds or creates the family and series for (name, labels),
+// enforcing kind consistency. Labels must be pre-formatted Prometheus
+// pairs, e.g. `route="/v1/solve"` — or empty.
+func (r *Registry) lookup(name string, k kind, help, labels string, bounds []float64) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: k, help: help, bounds: bounds, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, f.kind, k))
+	}
+	s := f.series[labels]
+	if s == nil {
+		s = &series{labels: labels}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[labels] = s
+	}
+	return s
+}
+
+// Counter returns the named counter (creating it on first use). labels is
+// an optional pre-formatted Prometheus label set, e.g. `kind="hw"`.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.lookup(name, kindCounter, help, joinLabels(labels), nil).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.lookup(name, kindGauge, help, joinLabels(labels), nil).g
+}
+
+// Histogram returns the named histogram, creating it on first use with
+// the given bucket upper bounds (ignored on later calls).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return r.lookup(name, kindHistogram, help, joinLabels(labels), bounds).h
+}
+
+func joinLabels(labels []string) string {
+	var parts []string
+	for _, l := range labels {
+		if l != "" {
+			parts = append(parts, l)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Package-level conveniences targeting the Default registry.
+
+// C returns a counter from the default registry.
+func C(name, help string, labels ...string) *Counter {
+	return defaultRegistry.Counter(name, help, labels...)
+}
+
+// G returns a gauge from the default registry.
+func G(name, help string, labels ...string) *Gauge {
+	return defaultRegistry.Gauge(name, help, labels...)
+}
+
+// H returns a histogram from the default registry.
+func H(name, help string, bounds []float64, labels ...string) *Histogram {
+	return defaultRegistry.Histogram(name, help, bounds, labels...)
+}
+
+// DurationBuckets is a general-purpose latency bucket ladder in seconds,
+// spanning microsecond solves to multi-minute Monte-Carlo runs.
+var DurationBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 1, 5, 30, 120,
+}
+
+// IterationBuckets is a bucket ladder for solver sweep/iteration counts.
+var IterationBuckets = []float64{
+	1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000,
+}
+
+// sortedFamilies snapshots the families in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			if err := writeSeriesText(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeriesText(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels, ""), s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, s.labels, ""), formatFloat(s.g.Value()))
+		return err
+	case kindHistogram:
+		bounds, counts := s.h.Buckets()
+		var cum int64
+		for i, b := range bounds {
+			cum += counts[i]
+			le := formatFloat(b)
+			if math.IsInf(b, 1) {
+				le = "+Inf"
+			}
+			name := seriesName(f.name+"_bucket", s.labels, fmt.Sprintf("le=%q", le))
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name+"_sum", s.labels, ""), formatFloat(s.h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", s.labels, ""), s.h.Count())
+		return err
+	}
+	return nil
+}
+
+// seriesName renders name{labels,extra} with empty parts elided.
+func seriesName(name, labels, extra string) string {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all == "" {
+		return name
+	}
+	return name + "{" + all + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SeriesSnapshot is one exported time series, for JSON export and CLI
+// --stats reports.
+type SeriesSnapshot struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	Help   string  `json:"help,omitempty"`
+	Value  float64 `json:"value,omitempty"` // counters and gauges
+	// Histogram fields.
+	Count   int64     `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Snapshot returns every series in (name, labels) order.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	var out []SeriesSnapshot
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			snap := SeriesSnapshot{Name: f.name, Labels: s.labels, Kind: f.kind.String(), Help: f.help}
+			switch f.kind {
+			case kindCounter:
+				snap.Value = float64(s.c.Value())
+			case kindGauge:
+				snap.Value = s.g.Value()
+			case kindHistogram:
+				snap.Count = s.h.Count()
+				snap.Sum = s.h.Sum()
+				bounds, counts := s.h.Buckets()
+				// The +Inf bound does not survive JSON; export finite
+				// bounds and keep its count as the final bucket entry.
+				snap.Bounds = bounds[:len(bounds)-1]
+				snap.Buckets = counts
+			}
+			out = append(out, snap)
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the registry snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteSummary renders a compact human-readable report (for CLI --stats):
+// counters and gauges one per line, histograms with count/mean/max bucket.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			name := seriesName(f.name, s.labels, "")
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "  %-48s %d\n", name, s.c.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "  %-48s %g\n", name, s.g.Value())
+			case kindHistogram:
+				if s.h.Count() == 0 {
+					continue
+				}
+				_, err = fmt.Fprintf(w, "  %-48s count=%d mean=%.6g sum=%.6g\n",
+					name, s.h.Count(), s.h.Mean(), s.h.Sum())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

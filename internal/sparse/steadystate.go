@@ -13,13 +13,31 @@ var ErrNoConvergence = errors.New("sparse: iteration limit reached without conve
 // SteadyStateOptions tunes the iterative steady-state solvers.
 type SteadyStateOptions struct {
 	// Tol is the convergence tolerance on the max-norm change of the
-	// probability vector between sweeps. Defaults to 1e-12.
+	// *normalized* probability vector between sweeps: a solver reports
+	// convergence only when max_i |π_k[i] − π_{k−1}[i]| < Tol with both
+	// iterates normalized to sum 1. The change is measured after
+	// normalization, so Tol bounds the sweep-to-sweep movement of the
+	// distribution actually returned (not of an intermediate unnormalized
+	// iterate). Defaults to 1e-12.
 	Tol float64
 	// MaxIter bounds the number of sweeps. Defaults to 200000.
 	MaxIter int
 	// Relax is the SOR relaxation factor for Gauss–Seidel (1 = plain GS).
 	// Defaults to 1.
 	Relax float64
+	// Stats, if non-nil, receives iteration diagnostics: the solvers
+	// record the sweep count and final residual there on both success and
+	// ErrNoConvergence exhaustion.
+	Stats *IterStats
+}
+
+// IterStats reports how an iterative solve actually ran.
+type IterStats struct {
+	// Sweeps is the number of completed sweeps (matrix passes).
+	Sweeps int
+	// FinalDiff is the max-norm change of the normalized iterate over the
+	// last sweep — the quantity compared against Tol.
+	FinalDiff float64
 }
 
 func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
@@ -73,13 +91,12 @@ func SteadyStatePower(q *CSR, opts SteadyStateOptions) ([]float64, error) {
 	}
 	next := make([]float64, n)
 	scratch := make([]float64, n)
-	for iter := 0; iter < o.MaxIter; iter++ {
+	for iter := 1; iter <= o.MaxIter; iter++ {
 		// next = pi·P = pi + (pi·Q)/Λ
 		piQ, err := q.VecMul(pi, scratch)
 		if err != nil {
 			return nil, err
 		}
-		var diff float64
 		for i := 0; i < n; i++ {
 			v := pi[i] + piQ[i]/lambda
 			if v < 0 {
@@ -87,13 +104,21 @@ func SteadyStatePower(q *CSR, opts SteadyStateOptions) ([]float64, error) {
 			}
 			next[i] = v
 		}
+		// The convergence test compares normalized iterates: pi is already
+		// normalized (from the previous sweep or the uniform start), so
+		// diff measures the movement of the returned distribution.
 		normalizeInPlace(next)
+		var diff float64
 		for i := 0; i < n; i++ {
 			if d := math.Abs(next[i] - pi[i]); d > diff {
 				diff = d
 			}
 		}
 		pi, next = next, pi
+		if o.Stats != nil {
+			o.Stats.Sweeps = iter
+			o.Stats.FinalDiff = diff
+		}
 		if diff < o.Tol {
 			return pi, nil
 		}
@@ -123,8 +148,9 @@ func SteadyStateGaussSeidel(q *CSR, opts SteadyStateOptions) ([]float64, error) 
 	for i := range pi {
 		pi[i] = 1 / float64(n)
 	}
-	for iter := 0; iter < o.MaxIter; iter++ {
-		var diff float64
+	prev := make([]float64, n)
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		copy(prev, pi)
 		for j := 0; j < n; j++ {
 			if diag[j] == 0 {
 				continue // absorbing or isolated state: leave as-is
@@ -143,12 +169,24 @@ func SteadyStateGaussSeidel(q *CSR, opts SteadyStateOptions) ([]float64, error) 
 			if v < 0 {
 				v = 0
 			}
-			if d := math.Abs(v - pi[j]); d > diff {
-				diff = d
-			}
 			pi[j] = v
 		}
 		normalizeInPlace(pi)
+		// Convergence is judged on the normalized iterates (prev was left
+		// normalized by the previous sweep), so Tol bounds the change of
+		// the distribution actually returned. Measuring the raw in-sweep
+		// updates instead would apply Tol to an unnormalized vector whose
+		// scale drifts with the chain's structure.
+		var diff float64
+		for i := 0; i < n; i++ {
+			if d := math.Abs(pi[i] - prev[i]); d > diff {
+				diff = d
+			}
+		}
+		if o.Stats != nil {
+			o.Stats.Sweeps = iter
+			o.Stats.FinalDiff = diff
+		}
 		if diff < o.Tol {
 			return pi, nil
 		}

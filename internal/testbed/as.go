@@ -79,6 +79,7 @@ func (c *Cluster) failAS(inst *asInstance, kind FailureKind, injected bool) {
 		// are re-established from HADB (HTTP session failover); each pays
 		// one session-recovery interval of elevated response time.
 		c.sessionFailovers += c.opts.SessionsPerInstance
+		obsFailovers.Add(int64(c.opts.SessionsPerInstance))
 		c.sessionRecovery += float64(c.opts.SessionsPerInstance) *
 			c.draw(c.timing.SessionRecovery).Seconds()
 	}

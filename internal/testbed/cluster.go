@@ -256,7 +256,10 @@ func (c *Cluster) Sim() *des.Sim { return c.sim }
 
 // Run advances the cluster to the given virtual time.
 func (c *Cluster) Run(until time.Duration) error {
-	if err := c.sim.Run(until); err != nil {
+	before := c.sim.Processed()
+	err := c.sim.Run(until)
+	obsSimEvents.Add(int64(c.sim.Processed() - before))
+	if err != nil {
 		return fmt.Errorf("testbed: %w", err)
 	}
 	c.accountInterval()

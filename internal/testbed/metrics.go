@@ -1,0 +1,39 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Testbed metrics, reported to the default obs registry. The simulated
+// lab mirrors the paper's physical testbed, and these counters are its
+// operations console: how much simulation work ran, what was injected,
+// what failed, what recovered, and how often the system predicate went
+// false.
+var (
+	obsSimEvents = obs.C("testbed_events_total", "discrete-event kernel events processed")
+	obsInjected  = obs.C("testbed_injections_total", "fault injections performed")
+	obsFailovers = obs.C("testbed_session_failovers_total", "sessions migrated off failed AS instances")
+	obsOutages   = obs.C("testbed_outages_total", "system-level outages observed")
+)
+
+// obsRecordEvent mirrors every cluster trace event into the metrics
+// registry (independent of whether an Observer is attached).
+func obsRecordEvent(e Event) {
+	switch e.Type {
+	case EventFailure:
+		obs.C("testbed_failures_total", "component failures by tier and class",
+			fmt.Sprintf("component=%q", e.Component), fmt.Sprintf("kind=%q", e.Kind)).Inc()
+		if e.Injected {
+			obsInjected.Inc()
+		}
+	case EventRecovery:
+		obs.C("testbed_recoveries_total", "component recoveries (restarts, repairs, operator restores) by tier",
+			fmt.Sprintf("component=%q", e.Component)).Inc()
+	case EventOutageStart:
+		obsOutages.Inc()
+	case EventMaintenanceStart:
+		obs.C("testbed_maintenance_total", "scheduled maintenance switchovers started").Inc()
+	}
+}

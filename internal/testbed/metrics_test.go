@@ -1,0 +1,56 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/jsas"
+	"repro/internal/obs"
+)
+
+// TestClusterReportsObsMetrics drives a short fault-injection scenario
+// and checks that the testbed's counters in the default registry advance:
+// kernel events, injections, failures, recoveries, and session failovers.
+func TestClusterReportsObsMetrics(t *testing.T) {
+	events := obsSimEvents.Value()
+	injected := obsInjected.Value()
+	failovers := obsFailovers.Value()
+	failures := obs.C("testbed_failures_total", "", `component="AS"`, `kind="process"`).Value()
+	recoveries := obs.C("testbed_recoveries_total", "", `component="AS"`).Value()
+
+	c, err := New(Options{
+		Config:              jsas.Config1,
+		Params:              jsas.DefaultParams(),
+		Seed:                11,
+		SessionsPerInstance: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectAS(0, FaultProcessKill); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if len(st.Recoveries) == 0 {
+		t.Fatal("no recovery observed; scenario too short")
+	}
+
+	if got := obsSimEvents.Value(); got <= events {
+		t.Errorf("testbed_events_total did not advance (%d -> %d)", events, got)
+	}
+	if got := obsInjected.Value(); got != injected+1 {
+		t.Errorf("testbed_injections_total advanced by %d, want 1", got-injected)
+	}
+	if got := obsFailovers.Value(); got != failovers+500 {
+		t.Errorf("testbed_session_failovers_total advanced by %d, want 500", got-failovers)
+	}
+	if got := obs.C("testbed_failures_total", "", `component="AS"`, `kind="process"`).Value(); got != failures+1 {
+		t.Errorf("testbed_failures_total{AS,process} advanced by %d, want 1", got-failures)
+	}
+	if got := obs.C("testbed_recoveries_total", "", `component="AS"`).Value(); got != recoveries+1 {
+		t.Errorf("testbed_recoveries_total{AS} advanced by %d, want 1", got-recoveries)
+	}
+}

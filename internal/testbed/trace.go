@@ -81,11 +81,13 @@ func (e Event) String() string {
 // the simulation: keep them fast and do not call back into the cluster.
 type Observer func(Event)
 
-// emit delivers an event to the observer, if any.
+// emit records an event in the metrics registry and delivers it to the
+// observer, if any.
 func (c *Cluster) emit(e Event) {
+	e.Time = c.sim.Now()
+	obsRecordEvent(e)
 	if c.opts.Observer == nil {
 		return
 	}
-	e.Time = c.sim.Now()
 	c.opts.Observer(e)
 }

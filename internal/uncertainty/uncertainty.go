@@ -9,10 +9,14 @@ package uncertainty
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -98,7 +102,45 @@ type Result struct {
 	Summary stats.Summary
 	// CIs maps confidence mass → central percentile interval.
 	CIs map[float64]stats.Interval
+	// Diag records how the run performed (latency, utilization) for
+	// --stats reports; it does not affect the statistical results.
+	Diag RunDiagnostics
 }
+
+// RunDiagnostics reports the runtime behavior of one analysis.
+type RunDiagnostics struct {
+	// SamplesSolved is the number of per-sample solves performed.
+	SamplesSolved int
+	// Parallelism is the worker count actually used.
+	Parallelism int
+	// Wall is the end-to-end solve-phase duration.
+	Wall time.Duration
+	// SolveTotal is the summed duration of the individual solves; with
+	// Parallelism 1 it approximates Wall.
+	SolveTotal time.Duration
+	// MinSolve/MeanSolve/MaxSolve summarize per-sample solve latency.
+	MinSolve, MeanSolve, MaxSolve time.Duration
+	// Utilization is SolveTotal / (Wall × Parallelism): the fraction of
+	// worker-pool capacity spent inside the solver (1 = perfectly busy).
+	Utilization float64
+}
+
+// String renders a one-line summary for CLI --stats reports.
+func (d RunDiagnostics) String() string {
+	return fmt.Sprintf(
+		"samples=%d workers=%d wall=%v solve-latency(min/mean/max)=%v/%v/%v utilization=%.1f%%",
+		d.SamplesSolved, d.Parallelism, d.Wall.Round(time.Microsecond),
+		d.MinSolve.Round(time.Microsecond), d.MeanSolve.Round(time.Microsecond),
+		d.MaxSolve.Round(time.Microsecond), d.Utilization*100)
+}
+
+// Monte-Carlo metrics, reported to the default obs registry.
+var (
+	obsRuns          = obs.C("uncertainty_runs_total", "completed uncertainty analyses")
+	obsSamplesSolved = obs.C("uncertainty_samples_solved_total", "per-sample model solves performed")
+	obsSampleSeconds = obs.H("uncertainty_sample_solve_seconds", "per-sample solve latency", obs.DurationBuckets)
+	obsUtilization   = obs.G("uncertainty_worker_utilization", "solve-time share of worker-pool capacity in the most recent run")
+)
 
 // FractionBelow returns the fraction of sampled systems with yearly
 // downtime strictly below m minutes (the paper: "over 80% of sampled
@@ -163,49 +205,104 @@ func Run(ranges []Range, solve Solver, opts Options) (*Result, error) {
 		}
 		res.CIs[c] = ci
 	}
+	obsRuns.Inc()
 	return res, nil
 }
 
-// solveAll evaluates every pre-drawn sample, optionally across a worker
-// pool. Outputs are written by index, so the result is identical at any
-// parallelism level.
+// solveAll evaluates every pre-drawn sample across a worker pool (one
+// worker for parallelism ≤ 1). Outputs are written by index, so the
+// result is identical at any parallelism level. On failure the whole pool
+// stops promptly — a shared atomic records the lowest failing index seen,
+// and workers skip every sample above it — and the error returned is the
+// one from the lowest-indexed failing sample among those attempted, so
+// the reported error does not depend on goroutine scheduling.
 func solveAll(res *Result, solve Solver, parallelism int) error {
 	n := len(res.Samples)
-	if parallelism <= 1 {
-		for i := 0; i < n; i++ {
-			d, err := solve(res.Samples[i].Assignment)
-			if err != nil {
-				return fmt.Errorf("sample %d: %w", i, err)
-			}
-			res.Samples[i].DowntimeMinutes = d
-			res.Downtimes[i] = d
-		}
-		return nil
+	if parallelism < 1 {
+		parallelism = 1
 	}
 	if parallelism > n {
 		parallelism = n
 	}
+	start := time.Now()
+
+	// minFail is the lowest failing sample index observed so far
+	// (math.MaxInt64 while no failure); workers consult it to drain
+	// promptly. minErr (under mu) holds the matching error.
+	var (
+		minFail atomic.Int64
+		mu      sync.Mutex
+		minIdx  = -1
+		minErr  error
+	)
+	minFail.Store(math.MaxInt64)
+	recordFail := func(i int, err error) {
+		mu.Lock()
+		if minIdx == -1 || i < minIdx {
+			minIdx, minErr = i, err
+		}
+		mu.Unlock()
+		for {
+			cur := minFail.Load()
+			if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+
+	// Latency bookkeeping: per-worker locals merged at the end.
+	var (
+		solvedCount atomic.Int64
+		aggMu       sync.Mutex
+		aggTotal    time.Duration
+		aggMin      time.Duration = math.MaxInt64
+		aggMax      time.Duration
+	)
+
 	indices := make(chan int)
-	errs := make(chan error, parallelism)
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var firstErr error
+			var localTotal, localMin, localMax time.Duration
+			localMin = math.MaxInt64
 			for i := range indices {
-				if firstErr != nil {
-					continue // drain after failure
+				// Skip samples above the lowest known failure: everything
+				// below it still gets solved, so the failure ultimately
+				// reported is exactly the lowest-indexed one.
+				if int64(i) > minFail.Load() {
+					continue
 				}
+				t0 := time.Now()
 				d, err := solve(res.Samples[i].Assignment)
+				dt := time.Since(t0)
+				solvedCount.Add(1)
+				obsSamplesSolved.Inc()
+				obsSampleSeconds.Observe(dt.Seconds())
+				localTotal += dt
+				if dt < localMin {
+					localMin = dt
+				}
+				if dt > localMax {
+					localMax = dt
+				}
 				if err != nil {
-					firstErr = fmt.Errorf("sample %d: %w", i, err)
+					recordFail(i, err)
 					continue
 				}
 				res.Samples[i].DowntimeMinutes = d
 				res.Downtimes[i] = d
 			}
-			errs <- firstErr
+			aggMu.Lock()
+			aggTotal += localTotal
+			if localMin < aggMin {
+				aggMin = localMin
+			}
+			if localMax > aggMax {
+				aggMax = localMax
+			}
+			aggMu.Unlock()
 		}()
 	}
 	for i := 0; i < n; i++ {
@@ -213,11 +310,28 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 	}
 	close(indices)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
+
+	wall := time.Since(start)
+	solved := int(solvedCount.Load())
+	diag := RunDiagnostics{
+		SamplesSolved: solved,
+		Parallelism:   parallelism,
+		Wall:          wall,
+		SolveTotal:    aggTotal,
+		MaxSolve:      aggMax,
+	}
+	if solved > 0 {
+		diag.MinSolve = aggMin
+		diag.MeanSolve = aggTotal / time.Duration(solved)
+	}
+	if wall > 0 && parallelism > 0 {
+		diag.Utilization = float64(aggTotal) / (float64(wall) * float64(parallelism))
+	}
+	res.Diag = diag
+	obsUtilization.Set(diag.Utilization)
+
+	if minIdx >= 0 {
+		return fmt.Errorf("sample %d: %w", minIdx, minErr)
 	}
 	return nil
 }

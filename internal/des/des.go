@@ -165,13 +165,16 @@ func (s *Sim) Uniform(lo, hi time.Duration) time.Duration {
 		return lo
 	}
 	span := int64(hi - lo)
-	if span == math.MaxInt64 {
-		// span+1 would overflow to a negative Int63n argument and panic.
-		// This happens for real inputs: Schedule and ExponentialRate park
-		// "effectively never" events at math.MaxInt64, so a range like
-		// [0, MaxInt64] reaches here. Draw over [0, MaxInt64) instead —
-		// one representable value short of inclusive, indistinguishable
-		// at nanosecond resolution.
+	if span < 0 || span == math.MaxInt64 {
+		// Either span+1 would overflow to a negative Int63n argument and
+		// panic (span == MaxInt64), or hi-lo itself already wrapped
+		// negative because the true range exceeds MaxInt64 (negative lo
+		// with hi parked at the far horizon). Both happen for real
+		// inputs: Schedule and ExponentialRate park "effectively never"
+		// events at math.MaxInt64, so ranges like [0, MaxInt64] reach
+		// here. Draw over [lo, lo+MaxInt64) instead — the widest span a
+		// 63-bit draw can cover, indistinguishable at nanosecond
+		// resolution.
 		return lo + time.Duration(s.rng.Int63())
 	}
 	return lo + time.Duration(s.rng.Int63n(span+1))

@@ -316,6 +316,15 @@ func TestUniformFullRange(t *testing.T) {
 	if d < lo || d > horizon+lo {
 		t.Fatalf("Uniform(%v, %v) = %v, out of range", lo, horizon+lo, d)
 	}
+	// Ranges wider than MaxInt64 make hi-lo itself wrap negative (the
+	// MaxInt64 guard alone misses this); they must not panic and must
+	// stay within [lo, hi].
+	for i := 0; i < 100; i++ {
+		d := s.Uniform(lo, horizon-1)
+		if d < lo || d > horizon-1 {
+			t.Fatalf("Uniform(%v, %v) = %v, out of range", lo, horizon-1, d)
+		}
+	}
 }
 
 // TestProcessedCountsEvents checks the kernel's event counter.

@@ -261,31 +261,45 @@ var IterationBuckets = []float64{
 	1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000,
 }
 
-// sortedFamilies snapshots the families in name order.
-func (r *Registry) sortedFamilies() []*family {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		out = append(out, f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out
+// familyView is a point-in-time copy of one family's metadata and series
+// set. Renderers iterate views instead of the live family maps: lookup
+// inserts series (lazily, on hot paths) under the write lock, so touching
+// f.series after the registry lock is released would race with creation.
+type familyView struct {
+	name   string
+	kind   kind
+	help   string
+	series []*series
 }
 
-func (f *family) sortedSeries() []*series {
-	out := make([]*series, 0, len(f.series))
-	for _, s := range f.series {
-		out = append(out, s)
+// snapshotFamilies copies every family — including its series slice —
+// while holding the registry lock, then sorts by (name, labels). The
+// series values themselves stay live (their atomics are safe to read
+// concurrently); only the map iteration needs the lock.
+func (r *Registry) snapshotFamilies() []familyView {
+	r.mu.RLock()
+	out := make([]familyView, 0, len(r.families))
+	for _, f := range r.families {
+		fv := familyView{name: f.name, kind: f.kind, help: f.help,
+			series: make([]*series, 0, len(f.series))}
+		for _, s := range f.series {
+			fv.series = append(fv.series, s)
+		}
+		out = append(out, fv)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for i := range out {
+		s := out[i].series
+		sort.Slice(s, func(a, b int) bool { return s[a].labels < s[b].labels })
+	}
 	return out
 }
 
 // WriteText renders the registry in the Prometheus text exposition
 // format (version 0.0.4).
 func (r *Registry) WriteText(w io.Writer) error {
-	for _, f := range r.sortedFamilies() {
+	for _, f := range r.snapshotFamilies() {
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
 				return err
@@ -294,7 +308,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		for _, s := range f.sortedSeries() {
+		for _, s := range f.series {
 			if err := writeSeriesText(w, f, s); err != nil {
 				return err
 			}
@@ -303,7 +317,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-func writeSeriesText(w io.Writer, f *family, s *series) error {
+func writeSeriesText(w io.Writer, f familyView, s *series) error {
 	switch f.kind {
 	case kindCounter:
 		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, s.labels, ""), s.c.Value())
@@ -360,10 +374,13 @@ type SeriesSnapshot struct {
 	Labels string  `json:"labels,omitempty"`
 	Kind   string  `json:"kind"`
 	Help   string  `json:"help,omitempty"`
-	Value  float64 `json:"value,omitempty"` // counters and gauges
-	// Histogram fields.
-	Count   int64     `json:"count,omitempty"`
-	Sum     float64   `json:"sum,omitempty"`
+	// Value is the current counter or gauge value. Not omitempty: a
+	// metric legitimately at 0 must stay distinguishable from absent.
+	Value float64 `json:"value"`
+	// Histogram fields. Count and Sum are likewise always emitted so an
+	// empty histogram exports count=0 rather than dropping the fields.
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
 	Bounds  []float64 `json:"bounds,omitempty"`
 	Buckets []int64   `json:"buckets,omitempty"`
 }
@@ -371,8 +388,8 @@ type SeriesSnapshot struct {
 // Snapshot returns every series in (name, labels) order.
 func (r *Registry) Snapshot() []SeriesSnapshot {
 	var out []SeriesSnapshot
-	for _, f := range r.sortedFamilies() {
-		for _, s := range f.sortedSeries() {
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
 			snap := SeriesSnapshot{Name: f.name, Labels: s.labels, Kind: f.kind.String(), Help: f.help}
 			switch f.kind {
 			case kindCounter:
@@ -404,8 +421,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WriteSummary renders a compact human-readable report (for CLI --stats):
 // counters and gauges one per line, histograms with count/mean/max bucket.
 func (r *Registry) WriteSummary(w io.Writer) error {
-	for _, f := range r.sortedFamilies() {
-		for _, s := range f.sortedSeries() {
+	for _, f := range r.snapshotFamilies() {
+		for _, s := range f.series {
 			name := seriesName(f.name, s.labels, "")
 			var err error
 			switch f.kind {

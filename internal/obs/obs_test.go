@@ -3,9 +3,13 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -171,6 +175,57 @@ func TestConcurrentUpdates(t *testing.T) {
 	if sum != total {
 		t.Errorf("bucket counts sum to %d, want %d", sum, total)
 	}
+}
+
+// TestRenderDuringSeriesCreation reproduces the scrape-vs-first-use race:
+// series are created lazily on hot paths (a fresh label set per solver
+// method, per testbed component), so a GET /metrics render can overlap
+// the first lookup of a new series. Renderers must copy each family's
+// series set under the registry lock — under -race this test fails with
+// "concurrent map iteration and map write" if they iterate the live map.
+func TestRenderDuringSeriesCreation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("churn_total", "", `i="seed"`).Inc()
+	const creators = 4
+	var created atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < creators; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Fresh labels every iteration force new-series insertion
+				// into existing families while renders are in flight.
+				label := fmt.Sprintf("i=%q", strconv.Itoa(w*1_000_000+i))
+				r.Counter("churn_total", "", label).Inc()
+				r.Gauge("churn_level", "", label).Set(float64(i))
+				r.Histogram("churn_seconds", "", []float64{1, 10}, label).Observe(0.5)
+				created.Add(1)
+			}
+		}(w)
+	}
+	// Keep rendering until the creators have demonstrably run alongside
+	// the renders, so creation and iteration genuinely overlap rather
+	// than the renders finishing before the goroutines get scheduled.
+	for i := 0; i < 300 || created.Load() < 2000; i++ {
+		if err := r.WriteText(io.Discard); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if err := r.WriteSummary(io.Discard); err != nil {
+			t.Fatalf("WriteSummary: %v", err)
+		}
+		if snaps := r.Snapshot(); len(snaps) == 0 {
+			t.Fatal("Snapshot returned no series despite the seed counter")
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestKindMismatchPanics(t *testing.T) {

@@ -12,28 +12,71 @@ import (
 // what failed, what recovered, and how often the system predicate went
 // false.
 var (
-	obsSimEvents = obs.C("testbed_events_total", "discrete-event kernel events processed")
-	obsInjected  = obs.C("testbed_injections_total", "fault injections performed")
-	obsFailovers = obs.C("testbed_session_failovers_total", "sessions migrated off failed AS instances")
-	obsOutages   = obs.C("testbed_outages_total", "system-level outages observed")
+	obsSimEvents   = obs.C("testbed_events_total", "discrete-event kernel events processed")
+	obsInjected    = obs.C("testbed_injections_total", "fault injections performed")
+	obsFailovers   = obs.C("testbed_session_failovers_total", "sessions migrated off failed AS instances")
+	obsOutages     = obs.C("testbed_outages_total", "system-level outages observed")
+	obsMaintenance = obs.C("testbed_maintenance_total", "scheduled maintenance switchovers started")
+
+	// Per-(component, kind) counters are resolved once at init instead
+	// of per event: obsRecordEvent runs inline in the DES hot loop, and
+	// a longevity run emits millions of events — a registry lookup plus
+	// two fmt.Sprintf allocations each would dominate the loop and
+	// contend on the global registry mutex. Indexed by the enum values
+	// directly (both start at 1, so slot 0 is unused).
+	obsFailures  [int(ComponentHADB) + 1][int(FailureHW) + 1]*obs.Counter
+	obsRecovered [int(ComponentHADB) + 1]*obs.Counter
 )
+
+const (
+	failuresHelp   = "component failures by tier and class"
+	recoveriesHelp = "component recoveries (restarts, repairs, operator restores) by tier"
+)
+
+func init() {
+	for _, c := range []Component{ComponentAS, ComponentHADB} {
+		for _, k := range []FailureKind{FailureProcess, FailureOS, FailureHW} {
+			obsFailures[c][k] = obs.C("testbed_failures_total", failuresHelp,
+				fmt.Sprintf("component=%q", c), fmt.Sprintf("kind=%q", k))
+		}
+		obsRecovered[c] = obs.C("testbed_recoveries_total", recoveriesHelp,
+			fmt.Sprintf("component=%q", c))
+	}
+}
+
+// failureCounter returns the cached counter for known enum values and
+// falls back to a lazy registry lookup for out-of-range ones, so a future
+// component or failure class degrades to the slow path instead of an
+// index panic.
+func failureCounter(c Component, k FailureKind) *obs.Counter {
+	if int(c) > 0 && int(c) < len(obsFailures) && int(k) > 0 && int(k) < len(obsFailures[c]) {
+		return obsFailures[c][k]
+	}
+	return obs.C("testbed_failures_total", failuresHelp,
+		fmt.Sprintf("component=%q", c), fmt.Sprintf("kind=%q", k))
+}
+
+func recoveryCounter(c Component) *obs.Counter {
+	if int(c) > 0 && int(c) < len(obsRecovered) {
+		return obsRecovered[c]
+	}
+	return obs.C("testbed_recoveries_total", recoveriesHelp, fmt.Sprintf("component=%q", c))
+}
 
 // obsRecordEvent mirrors every cluster trace event into the metrics
 // registry (independent of whether an Observer is attached).
 func obsRecordEvent(e Event) {
 	switch e.Type {
 	case EventFailure:
-		obs.C("testbed_failures_total", "component failures by tier and class",
-			fmt.Sprintf("component=%q", e.Component), fmt.Sprintf("kind=%q", e.Kind)).Inc()
+		failureCounter(e.Component, e.Kind).Inc()
 		if e.Injected {
 			obsInjected.Inc()
 		}
 	case EventRecovery:
-		obs.C("testbed_recoveries_total", "component recoveries (restarts, repairs, operator restores) by tier",
-			fmt.Sprintf("component=%q", e.Component)).Inc()
+		recoveryCounter(e.Component).Inc()
 	case EventOutageStart:
 		obsOutages.Inc()
 	case EventMaintenanceStart:
-		obs.C("testbed_maintenance_total", "scheduled maintenance switchovers started").Inc()
+		obsMaintenance.Inc()
 	}
 }

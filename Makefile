@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench reproduce tables figures verify clean
+.PHONY: all build test race cover bench reproduce tables figures verify fmt-check trace-demo clean
 
 all: build test
 
@@ -16,14 +16,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Pre-merge verification: build, vet, the full test suite, and a
-# race-detector pass over the packages with concurrent hot paths (the
-# metrics registry, the Monte-Carlo worker pool, the HTTP handlers).
-verify:
+# gofmt cleanliness: fail listing any file that needs formatting.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; fi
+
+# Pre-merge verification: formatting, build, vet, the full test suite,
+# and a race-detector pass over the packages with concurrent hot paths
+# (the metrics registry, the flight recorder, the Monte-Carlo worker
+# pool, the DES testbed, the HTTP handlers).
+verify: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/uncertainty/... ./internal/httpapi/...
+	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/testbed/... ./internal/uncertainty/... ./internal/httpapi/...
+
+# Short traced fault-injection campaign: writes /tmp/jsas-trace.jsonl and
+# prints the reconstructed outage timeline and downtime decomposition.
+trace-demo:
+	$(GO) run ./cmd/jsas-faultinject -n 150 -seed 1 -fir 0.2 -trace /tmp/jsas-trace.jsonl
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -4,16 +4,20 @@
 //
 // Usage:
 //
-//	avail-server [-addr :8080]
+//	avail-server [-addr :8080] [-pprof]
 //
 // Endpoints:
 //
 //	GET  /healthz
-//	GET  /metrics               (Prometheus text; ?format=json for JSON)
+//	GET  /metrics               (Prometheus text; ?format=json or
+//	                             Accept: application/json for JSON)
 //	POST /v1/solve              (spec.Document)
 //	POST /v1/solve-hierarchy    (spec.HierDocument)
 //	GET  /v1/jsas?instances=4&pairs=4&spares=2
 //	GET  /v1/jsas/uncertainty?instances=2&pairs=2&samples=1000
+//	GET  /v1/traces             (flight-recorder trace IDs)
+//	GET  /v1/traces/{id}        (?format=chrome|timeline|jsonl)
+//	GET  /debug/pprof/          (only with -pprof)
 package main
 
 import (
@@ -37,12 +41,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("avail-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	withPprof := fs.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewHandler(),
+		Handler:           httpapi.NewHandler(httpapi.Options{PProf: *withPprof}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

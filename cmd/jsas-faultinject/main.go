@@ -6,9 +6,16 @@
 // Usage:
 //
 //	jsas-faultinject [-n 3287] [-seed 2004] [-fir 0] [-measure]
+//	                 [-trace out.jsonl]
+//
+// With -trace the campaign is recorded by the flight recorder: every
+// injection, component failure, recovery stage, and system outage becomes
+// a span in a JSONL stream, and the reconstructed per-failure-mode
+// downtime decomposition is printed after the campaign summary.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +26,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/jsas"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,17 +42,33 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 2004, "random seed")
 	fir := fs.Float64("fir", 0, "ground-truth fraction of imperfect recovery in the simulated testbed")
 	measure := fs.Bool("measure", false, "print measured recovery-time summaries per fault class")
+	traceOut := fs.String("trace", "", "record the campaign as a JSONL flight-recorder trace at this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	params := jsas.DefaultParams()
 	params.FIR = *fir
+	var (
+		rec       *trace.Recorder
+		traceFile *os.File
+		traceBuf  *bufio.Writer
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		traceBuf = bufio.NewWriter(f)
+		rec = trace.New(trace.Config{Capacity: trace.Unbounded, Sink: traceBuf})
+	}
 	fmt.Printf("Running %d fault injections against a simulated %s testbed...\n\n", *n, jsas.Config1)
 	rep, err := faultinject.Run(faultinject.Options{
 		Config:     jsas.Config1,
 		Params:     params,
 		Seed:       *seed,
 		Injections: *n,
+		Trace:      rec,
 	})
 	if err != nil {
 		return err
@@ -96,6 +120,26 @@ func run(args []string) error {
 		if err := mt.Render(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if rec != nil {
+		if err := rec.SinkErr(); err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		if err := traceBuf.Flush(); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		spans := rec.Spans()
+		fmt.Printf("\nFlight-recorder trace: %d spans written to %s\n\n", len(spans), *traceOut)
+		decomp := trace.AnalyzeOutages(spans)
+		if err := decomp.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("  simulator downtime accounting: %s over %s (trace decomposition %s)\n",
+			rep.Stats.DownTime.Round(time.Millisecond), rep.Stats.UpTime+rep.Stats.DownTime,
+			decomp.TotalDowntime.Round(time.Millisecond))
 	}
 	return nil
 }

@@ -7,10 +7,11 @@
 // Usage:
 //
 //	jsas-longevity [-days 7] [-profile marketplace|nile] [-seed 1]
-//	               [-organic] [-print-config]
+//	               [-organic] [-print-config] [-trace out.jsonl]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/jsas"
 	"repro/internal/report"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -35,6 +37,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	organic := fs.Bool("organic", false, "enable organic failures at the model's rates")
 	printConfig := fs.Bool("print-config", false, "print the Table 1 test environment and exit")
+	traceOut := fs.String("trace", "", "record the run as a JSONL flight-recorder trace at this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +53,20 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("profile %q: want marketplace or nile", *profileName)
 	}
+	var (
+		rec       *trace.Recorder
+		traceFile *os.File
+		traceBuf  *bufio.Writer
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		traceBuf = bufio.NewWriter(f)
+		rec = trace.New(trace.Config{Capacity: trace.Unbounded, Sink: traceBuf})
+	}
 	res, err := workload.Run(workload.RunOptions{
 		Config:          jsas.Config1,
 		Params:          jsas.DefaultParams(),
@@ -57,6 +74,7 @@ func run(args []string) error {
 		Duration:        time.Duration(*days) * 24 * time.Hour,
 		Seed:            *seed,
 		OrganicFailures: *organic,
+		Trace:           rec,
 	})
 	if err != nil {
 		return err
@@ -74,6 +92,22 @@ func run(args []string) error {
 		perDay := b.PerHour * 24
 		fmt.Printf("  at %.1f%% confidence: λ ≤ %.4f/day (1 per %.1f days; %.1f/year)\n",
 			b.Confidence*100, perDay, 1/perDay, b.PerYear)
+	}
+	if rec != nil {
+		if err := rec.SinkErr(); err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		if err := traceBuf.Flush(); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		spans := rec.Spans()
+		fmt.Printf("\nFlight-recorder trace: %d spans written to %s\n\n", len(spans), *traceOut)
+		if err := trace.AnalyzeOutages(spans).WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -7,15 +7,24 @@
 //
 //	jsas-report [-instances 2] [-pairs 2] [-spares 2] [-samples 1000]
 //	            [-seed 2004] [-o report.md]
+//	jsas-report -trace campaign.jsonl [-chrome out.json] [-o report.md]
+//
+// The second form renders a flight-recorder JSONL trace (from
+// jsas-faultinject/jsas-longevity -trace) instead of running the model
+// assessment: the reconstructed outage timeline and per-failure-mode
+// downtime decomposition as Markdown, plus an optional Chrome
+// trace_event export (-chrome) loadable in Perfetto or chrome://tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/assess"
 	"repro/internal/jsas"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,8 +42,16 @@ func run(args []string) error {
 	samples := fs.Int("samples", 1000, "uncertainty analysis samples")
 	seed := fs.Int64("seed", 2004, "uncertainty analysis seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	traceIn := fs.String("trace", "", "render this flight-recorder JSONL trace instead of running the assessment")
+	chromeOut := fs.String("chrome", "", "with -trace: also write a Chrome trace_event JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceIn == "" && *chromeOut != "" {
+		return fmt.Errorf("-chrome requires -trace")
+	}
+	if *traceIn != "" {
+		return renderTrace(*traceIn, *chromeOut, *out)
 	}
 	rep, err := assess.Run(assess.Request{
 		Config: jsas.Config{
@@ -63,4 +80,59 @@ func run(args []string) error {
 		w = f
 	}
 	return rep.WriteMarkdown(w)
+}
+
+// renderTrace reads a JSONL span stream and writes the Markdown outage
+// report (and optionally a Chrome trace_event export).
+func renderTrace(path, chromePath, outPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	spans, err := trace.ReadJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no spans", path)
+	}
+	if chromePath != "" {
+		cf, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		err = trace.WriteChromeTrace(cf, spans)
+		if cerr := cf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	if _, err := fmt.Fprintf(w, "# Flight-recorder trace report\n\n%d span(s) from `%s`.\n\n", len(spans), path); err != nil {
+		return err
+	}
+	if err := trace.AnalyzeOutages(spans).WriteMarkdown(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "## Timeline\n\n```\n"); err != nil {
+		return err
+	}
+	if err := trace.WriteTimeline(w, spans); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "```\n")
+	return err
 }

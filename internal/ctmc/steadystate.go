@@ -8,6 +8,7 @@ import (
 	"repro/internal/numeric"
 	"repro/internal/obs"
 	"repro/internal/sparse"
+	"repro/internal/trace"
 )
 
 // Method selects a steady-state solution algorithm.
@@ -127,7 +128,10 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 	if !m.IsIrreducible() {
 		return nil, fmt.Errorf("steady state undefined: %w", ErrNotIrreducible)
 	}
-	start := time.Now()
+	timer := obs.StartTimer(obsSolveSeconds)
+	span := trace.Default().Start("ctmc.solve", nil,
+		trace.String(trace.AttrTrack, "solver"),
+		trace.Int("states", int64(m.NumStates())))
 	method := opts.Method
 	auto := method == 0 || method == MethodAuto
 	if auto {
@@ -149,7 +153,12 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 		obsDenseFallback.Inc()
 		pi, err = m.steadyStateDense()
 	}
-	wall := time.Since(start)
+	wall := timer.Stop()
+	span.Attr(
+		trace.String("method", method.String()),
+		trace.Int("iterations", int64(iter.Sweeps)),
+		trace.Bool("error", err != nil))
+	span.End()
 	if opts.Diag != nil {
 		*opts.Diag = Diagnostics{
 			Method:        method,
@@ -161,7 +170,6 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 		}
 	}
 	obsLastStates.Set(float64(m.NumStates()))
-	obsSolveSeconds.Observe(wall.Seconds())
 	if iter.Sweeps > 0 {
 		obsSolveIters.Observe(float64(iter.Sweeps))
 		obsLastResidual.Set(iter.FinalDiff)

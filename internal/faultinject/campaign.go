@@ -14,6 +14,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/jsas"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 )
 
 // ErrBadCampaign is reported for invalid campaign options.
@@ -46,6 +47,10 @@ type Options struct {
 	// Confidences for the Equation (1) coverage bounds (default 0.95 and
 	// 0.995).
 	Confidences []float64
+	// Trace, if set, records the campaign as a span tree (sim-time): one
+	// campaign root, one span per injection, and — via the testbed tracer —
+	// component failure / recovery-stage / outage spans beneath each.
+	Trace *trace.Recorder
 }
 
 // Injection records one experiment.
@@ -74,6 +79,10 @@ type Report struct {
 	// RecoveryTimes collects per-(component/fault-class) observed
 	// recovery durations for the §5 parameter estimates.
 	RecoveryTimes map[string][]time.Duration
+	// Stats is the cluster's own availability accounting for the campaign
+	// run — the ground truth the trace-based decomposition is checked
+	// against.
+	Stats testbed.Stats
 }
 
 // SuccessRate returns the fraction of injections that recovered.
@@ -115,11 +124,25 @@ func Run(opts Options) (*Report, error) {
 	if opts.Config.HADBPairs == 0 && opts.ASFraction < 1 {
 		return nil, fmt.Errorf("campaign needs HADB pairs or ASFraction=1: %w", ErrBadCampaign)
 	}
+	var (
+		tracer   *testbed.Tracer
+		root     *trace.Active
+		observer testbed.Observer
+	)
+	if opts.Trace != nil {
+		root = opts.Trace.StartAt(trace.SpanCampaign, 0, nil,
+			trace.String(trace.AttrTrack, "campaign"),
+			trace.Int("injections", int64(opts.Injections)),
+			trace.Int("seed", opts.Seed))
+		tracer = testbed.NewTracer(opts.Trace, root)
+		observer = tracer.Observe
+	}
 	cluster, err := testbed.New(testbed.Options{
-		Config: opts.Config,
-		Params: opts.Params,
-		Timing: opts.Timing,
-		Seed:   opts.Seed,
+		Config:   opts.Config,
+		Params:   opts.Params,
+		Timing:   opts.Timing,
+		Seed:     opts.Seed,
+		Observer: observer,
 		// Organic failures off: every failure is an injection.
 	})
 	if err != nil {
@@ -137,12 +160,25 @@ func Run(opts Options) (*Report, error) {
 		}
 		fault := opts.Faults[rng.Intn(len(opts.Faults))]
 		inj := Injection{At: cluster.Now(), Fault: fault}
+		kind, err := fault.Kind()
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: injection %d: %w", i, err)
+		}
 		// Count closed-or-open outages before injecting: an injection that
 		// opens an outage must not count it as pre-existing.
 		outagesBefore := len(cluster.Stats().Outages)
+		injSpan := opts.Trace.StartAt(trace.SpanInjection, inj.At, root,
+			trace.String(trace.AttrTrack, "campaign"),
+			trace.Int(trace.AttrIndex, int64(i)),
+			trace.String(trace.AttrFault, fault.String()),
+			trace.String(trace.AttrKind, kind.String()))
+		if tracer != nil {
+			tracer.SetParent(injSpan)
+		}
 		if rng.Float64() < opts.ASFraction {
 			id := rng.Intn(opts.Config.ASInstances)
 			inj.Target = fmt.Sprintf("as-%d", id)
+			injSpan.Attr(trace.String(trace.AttrComponent, testbed.ComponentAS.String()))
 			if err := cluster.InjectAS(id, fault); err != nil {
 				return nil, fmt.Errorf("faultinject: injection %d: %w", i, err)
 			}
@@ -150,6 +186,7 @@ func Run(opts Options) (*Report, error) {
 			pair := rng.Intn(opts.Config.HADBPairs)
 			slot := rng.Intn(2)
 			inj.Target = fmt.Sprintf("hadb-%d/%d", pair, slot)
+			injSpan.Attr(trace.String(trace.AttrComponent, testbed.ComponentHADB.String()))
 			if err := cluster.InjectHADB(pair, slot, fault); err != nil {
 				return nil, fmt.Errorf("faultinject: injection %d: %w", i, err)
 			}
@@ -169,9 +206,22 @@ func Run(opts Options) (*Report, error) {
 		if inj.Recovered {
 			rep.Successes++
 		}
+		injSpan.Attr(
+			trace.String(trace.AttrTarget, inj.Target),
+			trace.Bool(trace.AttrMultiNode, inj.MultiNode),
+			trace.Bool(trace.AttrRecovered, inj.Recovered))
+		if tracer != nil {
+			tracer.SetParent(root)
+		}
+		injSpan.EndAt(cluster.Now())
 		rep.ByFault[fault]++
 		rep.Injections = append(rep.Injections, inj)
 	}
+	if tracer != nil {
+		tracer.Close(cluster.Now())
+		root.EndAt(cluster.Now())
+	}
+	rep.Stats = cluster.Stats()
 	// Collect the recovery-time samples for parameter estimation.
 	for _, rec := range cluster.Stats().Recoveries {
 		if !rec.Success {

@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/jsas"
+	"repro/internal/trace"
+)
+
+// tracedCampaign runs a seeded campaign with the flight recorder attached
+// (imperfect recovery on, so some injections escalate to system outages)
+// and returns the report plus the JSONL stream the -trace flag would have
+// written.
+func tracedCampaign(t *testing.T, seed int64) (*Report, []byte) {
+	t.Helper()
+	var sink bytes.Buffer
+	rec := trace.New(trace.Config{Capacity: trace.Unbounded, Sink: &sink})
+	p := jsas.DefaultParams()
+	p.FIR = 0.2
+	rep, err := Run(Options{
+		Config:     jsas.Config1,
+		Params:     p,
+		Seed:       seed,
+		Injections: 150,
+		Trace:      rec,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := rec.SinkErr(); err != nil {
+		t.Fatalf("trace sink: %v", err)
+	}
+	return rep, sink.Bytes()
+}
+
+// TestTraceReconstructsSimulatorAccounting is the acceptance check for the
+// flight recorder: the outage timeline reconstructed from the JSONL trace
+// must contain every outage the simulator recorded, and the per-mode
+// downtime decomposition must total exactly the cluster's own DownTime
+// accounting.
+func TestTraceReconstructsSimulatorAccounting(t *testing.T) {
+	t.Parallel()
+	rep, jsonl := tracedCampaign(t, 1)
+	if len(rep.Stats.Outages) == 0 {
+		t.Fatal("campaign produced no outages; the reconstruction check is vacuous")
+	}
+
+	spans, err := trace.ReadJSONL(bytes.NewReader(jsonl))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	decomp := trace.AnalyzeOutages(spans)
+
+	if got, want := len(decomp.Outages), len(rep.Stats.Outages); got != want {
+		t.Fatalf("reconstructed %d outages, simulator recorded %d", got, want)
+	}
+	// Both lists are in start order; every interval must match the
+	// simulator's (sim-time is exact int64 nanoseconds — no tolerance
+	// needed on the endpoints).
+	for i, o := range decomp.Outages {
+		sim := rep.Stats.Outages[i]
+		if o.Start != sim.Start || o.End != sim.End {
+			t.Errorf("outage %d: trace [%v, %v], simulator [%v, %v]",
+				i, o.Start, o.End, sim.Start, sim.End)
+		}
+		if o.Cause != sim.Cause.String() {
+			t.Errorf("outage %d: trace cause %q, simulator %q", i, o.Cause, sim.Cause)
+		}
+		if o.Injection == 0 {
+			t.Errorf("outage %d: no causal injection span (all campaign outages are injected)", i)
+		}
+	}
+
+	const tol = time.Microsecond
+	if diff := decomp.TotalDowntime - rep.Stats.DownTime; diff < -tol || diff > tol {
+		t.Errorf("trace downtime %v != simulator downtime %v (diff %v)",
+			decomp.TotalDowntime, rep.Stats.DownTime, diff)
+	}
+	// The per-mode decomposition partitions the total.
+	var byMode time.Duration
+	for _, m := range decomp.Modes {
+		byMode += m.Downtime
+	}
+	if byMode+decomp.UnattributedDowntime != decomp.TotalDowntime {
+		t.Errorf("mode downtimes %v + unattributed %v != total %v",
+			byMode, decomp.UnattributedDowntime, decomp.TotalDowntime)
+	}
+	if decomp.UnattributedDowntime != 0 {
+		t.Errorf("unattributed downtime %v in a fully-injected campaign", decomp.UnattributedDowntime)
+	}
+	// Every injection shows up in the mode rows.
+	var injections int
+	for _, m := range decomp.Modes {
+		injections += m.Injections
+	}
+	if injections != len(rep.Injections) {
+		t.Errorf("decomposition counts %d injections, campaign ran %d", injections, len(rep.Injections))
+	}
+}
+
+// TestTraceDeterministicAcrossRuns is the regression test for observer /
+// recorder ordering: two same-seed campaigns must produce byte-identical
+// JSONL streams. Any map-iteration or scheduling nondeterminism in the
+// tracer shows up here as a diff.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	t.Parallel()
+	_, first := tracedCampaign(t, 11)
+	_, second := tracedCampaign(t, 11)
+	if len(first) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !bytes.Equal(first, second) {
+		a := bytes.Split(first, []byte("\n"))
+		b := bytes.Split(second, []byte("\n"))
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("same-seed traces diverge at line %d:\n  %s\n  %s", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("same-seed traces differ in length: %d vs %d lines", len(a), len(b))
+	}
+}

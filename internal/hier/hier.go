@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ctmc"
 	"repro/internal/reward"
+	"repro/internal/trace"
 )
 
 // Common errors.
@@ -112,10 +113,20 @@ type Options struct {
 // reduced to (λ_eq, μ_eq) and bound into a copy of params for the parent
 // build. The input params map is not modified.
 func Evaluate(c *Component, params Params, opts Options) (*Evaluation, error) {
-	return evaluate(c, params, opts, make(map[*Component]bool))
+	name := "hierarchy"
+	if c != nil {
+		name = c.name
+	}
+	span := trace.Default().Start("hier.evaluate", nil,
+		trace.String(trace.AttrTrack, "solver"),
+		trace.String("root", name))
+	ev, err := evaluate(c, params, opts, make(map[*Component]bool), span)
+	span.Attr(trace.Bool("error", err != nil))
+	span.End()
+	return ev, err
 }
 
-func evaluate(c *Component, params Params, opts Options, visiting map[*Component]bool) (*Evaluation, error) {
+func evaluate(c *Component, params Params, opts Options, visiting map[*Component]bool, parent *trace.Active) (*Evaluation, error) {
 	if c == nil {
 		return nil, fmt.Errorf("nil component: %w", ErrBadComponent)
 	}
@@ -128,10 +139,15 @@ func evaluate(c *Component, params Params, opts Options, visiting map[*Component
 	visiting[c] = true
 	defer delete(visiting, c)
 
+	span := trace.Default().Start("hier.component", parent,
+		trace.String(trace.AttrTrack, "solver"),
+		trace.String("component", c.name))
+	defer span.End()
+
 	env := params.Clone()
 	ev := &Evaluation{Name: c.name}
 	for _, b := range c.children {
-		childEv, err := evaluate(b.child, params, opts, visiting)
+		childEv, err := evaluate(b.child, params, opts, visiting, span)
 		if err != nil {
 			return nil, err
 		}

@@ -8,14 +8,16 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
-	"time"
+	"strings"
 
 	"repro/internal/ctmc"
 	"repro/internal/jsas"
 	"repro/internal/obs"
 	"repro/internal/reward"
 	"repro/internal/spec"
+	"repro/internal/trace"
 	"repro/internal/uncertainty"
 )
 
@@ -77,17 +79,37 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// Options configures optional handler features.
+type Options struct {
+	// PProf mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/. Off by default: the profiler exposes stacks and heap
+	// contents and belongs behind an explicit operator opt-in.
+	PProf bool
+}
+
 // NewHandler returns the service's HTTP handler:
 //
 //	GET  /healthz               liveness probe
 //	GET  /metrics               engine + request metrics (Prometheus text;
-//	                            ?format=json for the JSON snapshot)
+//	                            ?format=json or Accept: application/json
+//	                            for the JSON snapshot)
 //	POST /v1/solve              flat spec.Document → SolveResponse
 //	POST /v1/solve-hierarchy    spec.HierDocument → HierSolveResponse
 //	GET  /v1/jsas               ?instances=&pairs=&spares= → JSASResponse
 //	GET  /v1/jsas/uncertainty   ?instances=&pairs=&samples=&seed= →
 //	                            UncertaintyResponse
-func NewHandler() http.Handler {
+//	GET  /v1/traces             trace IDs retained by the flight recorder
+//	GET  /v1/traces/{id}        one trace's spans (JSON; ?format=chrome
+//	                            for Chrome trace_event, ?format=timeline
+//	                            for plain text, ?format=jsonl)
+//
+// With Options.PProf the net/http/pprof endpoints are mounted at
+// /debug/pprof/.
+func NewHandler(opts ...Options) http.Handler {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", instrument("/healthz", handleHealthz))
 	mux.HandleFunc("GET /metrics", instrument("/metrics", handleMetrics))
@@ -95,6 +117,15 @@ func NewHandler() http.Handler {
 	mux.HandleFunc("POST /v1/solve-hierarchy", instrument("/v1/solve-hierarchy", handleSolveHierarchy))
 	mux.HandleFunc("GET /v1/jsas", instrument("/v1/jsas", handleJSAS))
 	mux.HandleFunc("GET /v1/jsas/uncertainty", instrument("/v1/jsas/uncertainty", handleJSASUncertainty))
+	mux.HandleFunc("GET /v1/traces", instrument("/v1/traces", handleTraceList))
+	mux.HandleFunc("GET /v1/traces/{id}", instrument("/v1/traces/id", handleTraceGet))
+	if o.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -118,27 +149,116 @@ func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	errors4xx5xx := obs.C("httpapi_errors_total", "responses with status >= 400 by route", label)
 	latency := obs.H("httpapi_request_seconds", "request latency by route", obs.DurationBuckets, label)
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		defer obs.Since(latency)()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		requests.Inc()
-		latency.Observe(time.Since(start).Seconds())
 		if rec.status >= 400 {
 			errors4xx5xx.Inc()
 		}
 	}
 }
 
+// metricsFormatHelp is the 406 body listing the supported representations.
+const metricsFormatHelp = "unsupported metrics format; supported: Prometheus text " +
+	"(default; Accept: text/plain) and JSON (?format=json or Accept: application/json)"
+
+// metricsFormat resolves the requested /metrics representation from the
+// ?format override and the Accept header. It returns "text", "json", or
+// "" for an unsatisfiable request.
+func metricsFormat(r *http.Request) string {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		return "json"
+	case "text", "prometheus":
+		return "text"
+	case "":
+	default:
+		return ""
+	}
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return "text"
+	}
+	jsonOK, textOK, wildcard := false, false, false
+	for _, part := range strings.Split(accept, ",") {
+		switch strings.TrimSpace(strings.SplitN(part, ";", 2)[0]) {
+		case "application/json", "application/*":
+			jsonOK = true
+		case "text/plain", "text/*":
+			textOK = true
+		case "*/*", "":
+			wildcard = true
+		}
+	}
+	switch {
+	case textOK, wildcard:
+		return "text"
+	case jsonOK:
+		return "json"
+	}
+	return ""
+}
+
 // handleMetrics serves the default obs registry: Prometheus text
-// exposition by default, the JSON snapshot with ?format=json.
+// exposition by default, the JSON snapshot for ?format=json or
+// Accept: application/json, 406 for anything else.
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "json" {
+	switch metricsFormat(r) {
+	case "json":
 		w.Header().Set("Content-Type", "application/json")
 		_ = obs.Default().WriteJSON(w)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.Default().WriteText(w)
+	default:
+		writeError(w, http.StatusNotAcceptable, errors.New(metricsFormatHelp))
+	}
+}
+
+// handleTraceList reports the trace IDs currently retained by the
+// process-wide flight recorder.
+func handleTraceList(w http.ResponseWriter, _ *http.Request) {
+	ids := trace.Default().TraceIDs()
+	if ids == nil {
+		ids = []trace.SpanID{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":  ids,
+		"dropped": trace.Default().Dropped(),
+	})
+}
+
+// handleTraceGet serves one trace's spans: JSON array by default,
+// Chrome trace_event with ?format=chrome, plain-text timeline with
+// ?format=timeline, JSONL with ?format=jsonl.
+func handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("trace id: want an integer, got %q", r.PathValue("id")))
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = obs.Default().WriteText(w)
+	spans := trace.Default().TraceSpans(trace.SpanID(id))
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("trace %d not found", id))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, spans)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChromeTrace(w, spans)
+	case "timeline":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = trace.WriteTimeline(w, spans)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = trace.WriteJSONL(w, spans)
+	default:
+		writeError(w, http.StatusNotAcceptable,
+			fmt.Errorf("unsupported trace format %q; supported: json, chrome, timeline, jsonl", format))
+	}
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -370,10 +370,10 @@ func formatFloat(v float64) string {
 // SeriesSnapshot is one exported time series, for JSON export and CLI
 // --stats reports.
 type SeriesSnapshot struct {
-	Name   string  `json:"name"`
-	Labels string  `json:"labels,omitempty"`
-	Kind   string  `json:"kind"`
-	Help   string  `json:"help,omitempty"`
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Kind   string `json:"kind"`
+	Help   string `json:"help,omitempty"`
 	// Value is the current counter or gauge value. Not omitempty: a
 	// metric legitimately at 0 must stay distinguishable from absent.
 	Value float64 `json:"value"`

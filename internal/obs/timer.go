@@ -1,0 +1,35 @@
+package obs
+
+import "time"
+
+// Timer measures one operation's wall time into a seconds histogram,
+// replacing the hand-rolled start/`time.Since` pairs at call sites.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer starts timing against h (which may be nil).
+func StartTimer(h *Histogram) Timer {
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop observes the elapsed time in seconds and returns it, so callers
+// that also need the duration (diagnostics, trace spans) measure it once.
+// Stopping more than once observes more than once.
+func (t Timer) Stop() time.Duration {
+	d := time.Since(t.start)
+	if t.h != nil {
+		t.h.Observe(d.Seconds())
+	}
+	return d
+}
+
+// Since observes the elapsed time into h when the returned function runs —
+// the one-liner form:
+//
+//	defer obs.Since(h)()
+func Since(h *Histogram) func() {
+	t := StartTimer(h)
+	return func() { t.Stop() }
+}

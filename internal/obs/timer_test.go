@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerObservesIntoHistogram(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	h := reg.Histogram("op_seconds", "", DurationBuckets)
+	timer := StartTimer(h)
+	d := timer.Stop()
+	if d < 0 {
+		t.Fatalf("elapsed = %v", d)
+	}
+	if got := h.Count(); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+}
+
+func TestTimerNilHistogram(t *testing.T) {
+	t.Parallel()
+	timer := StartTimer(nil)
+	if d := timer.Stop(); d < 0 {
+		t.Errorf("elapsed = %v", d)
+	}
+}
+
+func TestSinceDeferPattern(t *testing.T) {
+	t.Parallel()
+	reg := NewRegistry()
+	h := reg.Histogram("op_seconds", "", DurationBuckets)
+	func() {
+		defer Since(h)()
+		time.Sleep(time.Millisecond)
+	}()
+	if got := h.Count(); got != 1 {
+		t.Errorf("count = %d, want 1", got)
+	}
+	if h.Sum() <= 0 {
+		t.Errorf("sum = %v, want > 0 after a 1ms sleep", h.Sum())
+	}
+}

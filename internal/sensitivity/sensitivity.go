@@ -6,6 +6,8 @@ package sensitivity
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // ErrBadSweep is reported for invalid sweep specifications.
@@ -37,15 +39,26 @@ func Sweep(from, to float64, steps int, solve Solver) ([]Point, error) {
 	if from >= to {
 		return nil, fmt.Errorf("empty range [%g, %g]: %w", from, to, ErrBadSweep)
 	}
+	span := trace.Default().Start("sensitivity.sweep", nil,
+		trace.String(trace.AttrTrack, "solver"),
+		trace.Int("steps", int64(steps)))
 	points := make([]Point, 0, steps+1)
 	for i := 0; i <= steps; i++ {
 		v := from + (to-from)*float64(i)/float64(steps)
+		ps := trace.Default().Start("sensitivity.point", span,
+			trace.String(trace.AttrTrack, "solver"),
+			trace.Int(trace.AttrIndex, int64(i)),
+			trace.Float("value", v))
 		a, d, err := solve(v)
+		ps.End()
 		if err != nil {
+			span.Attr(trace.Bool("error", true))
+			span.End()
 			return nil, fmt.Errorf("sweep at %g: %w", v, err)
 		}
 		points = append(points, Point{Value: v, Availability: a, YearlyDowntimeMinutes: d})
 	}
+	span.End()
 	return points, nil
 }
 

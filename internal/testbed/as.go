@@ -117,6 +117,15 @@ func (c *Cluster) scheduleASRecovery(inst *asInstance) {
 	// uniformly distributed within the check interval.
 	detection := c.sim.Uniform(0, c.timing.HealthCheckInterval)
 	version := inst.version
+	_ = c.sim.Schedule(base, func() {
+		if inst.version != version || inst.up {
+			return
+		}
+		c.emit(Event{
+			Type: EventRepairDone, Component: ComponentAS,
+			Target: fmt.Sprintf("as-%d", inst.id), Kind: inst.pendingKind, Injected: inst.injected,
+		})
+	})
 	_ = c.sim.Schedule(base+detection, func() {
 		if inst.version != version || inst.up {
 			return

@@ -182,6 +182,10 @@ func (c *Cluster) pairDown(p *hadbPair, kind FailureKind, injected bool, failedA
 		n.active = false
 		n.version++
 	}
+	c.emit(Event{
+		Type: EventPairDown, Component: ComponentHADB,
+		Target: fmt.Sprintf("hadb-%d", p.id), Kind: kind, Injected: injected,
+	})
 	c.recordRecovery(Recovery{
 		Component: ComponentHADB,
 		Kind:      kind,
@@ -195,6 +199,10 @@ func (c *Cluster) pairDown(p *hadbPair, kind FailureKind, injected bool, failedA
 		for _, n := range p.nodes {
 			n.active = true
 		}
+		c.emit(Event{
+			Type: EventPairRestore, Component: ComponentHADB,
+			Target: fmt.Sprintf("hadb-%d", p.id),
+		})
 		c.stateChanged(ComponentHADB)
 		c.reschedulePairTimers(p)
 	})

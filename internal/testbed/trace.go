@@ -26,6 +26,16 @@ const (
 	EventMaintenanceStart
 	// EventMaintenanceEnd marks a switchover completing.
 	EventMaintenanceEnd
+	// EventRepairDone marks a failed component finishing repair
+	// (restart/reboot/replacement) while still awaiting load-balancer
+	// reinstatement — the boundary between the restore and reinstate
+	// stages of an AS recovery.
+	EventRepairDone
+	// EventPairDown marks a catastrophic HADB pair loss (double failure
+	// or imperfect recovery): session data gone, operator restore needed.
+	EventPairDown
+	// EventPairRestore marks the operator recreating a lost pair.
+	EventPairRestore
 )
 
 func (e EventType) String() string {
@@ -46,6 +56,12 @@ func (e EventType) String() string {
 		return "maintenance-start"
 	case EventMaintenanceEnd:
 		return "maintenance-end"
+	case EventRepairDone:
+		return "repair-done"
+	case EventPairDown:
+		return "pair-down"
+	case EventPairRestore:
+		return "pair-restore"
 	default:
 		return fmt.Sprintf("event(%d)", int(e))
 	}

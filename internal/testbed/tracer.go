@@ -1,0 +1,185 @@
+package testbed
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Tracer converts cluster Observer events into flight-recorder spans: a
+// component failure becomes a span from the failure to full reinstatement
+// (with restore/reinstate stage children for AS instances), a system
+// outage becomes a span on the "system" track, and spare repairs,
+// maintenance windows, and catastrophic pair losses become spans on their
+// own tracks. Wire its Observe method as (or from) the cluster Observer.
+//
+// All span timestamps are taken from the events' virtual times, so the
+// trace is in sim-time and two same-seed runs produce byte-identical JSONL
+// streams (every close-many operation iterates targets in sorted order —
+// map iteration never reaches the recorder).
+type Tracer struct {
+	rec    *trace.Recorder
+	parent *trace.Active
+
+	failures map[string]*trace.Active // target → open failure span
+	stages   map[string]*trace.Active // target → open stage span
+	spares   map[string]*trace.Active // target → open spare-repair span
+	maint    map[string]*trace.Active // target → open maintenance span
+	pairs    map[string]*trace.Active // pair target → open pair-down span
+	outage   *trace.Active
+}
+
+// NewTracer creates a tracer recording into rec, parenting new spans to
+// parent (typically the campaign/run root span; may be nil).
+func NewTracer(rec *trace.Recorder, parent *trace.Active) *Tracer {
+	return &Tracer{
+		rec:      rec,
+		parent:   parent,
+		failures: map[string]*trace.Active{},
+		stages:   map[string]*trace.Active{},
+		spares:   map[string]*trace.Active{},
+		maint:    map[string]*trace.Active{},
+		pairs:    map[string]*trace.Active{},
+	}
+}
+
+// SetParent switches the span new events are parented to — campaigns call
+// this with each injection span, so the component/outage spans an
+// injection causes hang off it in the trace tree.
+func (t *Tracer) SetParent(parent *trace.Active) { t.parent = parent }
+
+// Observe is the cluster Observer hook.
+func (t *Tracer) Observe(e Event) {
+	target := e.Target
+	switch e.Type {
+	case EventFailure:
+		sp := t.rec.StartAt(trace.SpanFailure, e.Time, t.parent,
+			trace.String(trace.AttrTrack, target),
+			trace.String(trace.AttrComponent, e.Component.String()),
+			trace.String(trace.AttrTarget, target),
+			trace.String(trace.AttrKind, e.Kind.String()),
+			trace.Bool(trace.AttrInjected, e.Injected))
+		t.failures[target] = sp
+		if e.Component == ComponentAS {
+			t.stages[target] = t.rec.StartAt(trace.SpanRestore, e.Time, sp,
+				trace.String(trace.AttrTrack, target),
+				trace.String(trace.AttrKind, e.Kind.String()))
+		}
+	case EventRepairDone:
+		if st := t.stages[target]; st != nil {
+			st.EndAt(e.Time)
+			delete(t.stages, target)
+		}
+		if sp := t.failures[target]; sp != nil {
+			t.stages[target] = t.rec.StartAt(trace.SpanReinstate, e.Time, sp,
+				trace.String(trace.AttrTrack, target))
+		}
+	case EventRecovery:
+		if target == "as-all" {
+			// Operator restore after a total AS outage reinstates every
+			// instance at once; close all pending AS spans.
+			t.closeComponent(ComponentAS, e.Time)
+			return
+		}
+		if st := t.stages[target]; st != nil {
+			st.EndAt(e.Time)
+			delete(t.stages, target)
+		}
+		if sp := t.failures[target]; sp != nil {
+			sp.EndAt(e.Time)
+			delete(t.failures, target)
+		}
+	case EventOutageStart:
+		t.outage = t.rec.StartAt(trace.SpanOutage, e.Time, t.parent,
+			trace.String(trace.AttrTrack, "system"),
+			trace.String(trace.AttrCause, e.Component.String()))
+	case EventOutageEnd:
+		t.outage.EndAt(e.Time)
+		t.outage = nil
+	case EventSpareConsumed:
+		t.spares[target] = t.rec.StartAt(trace.SpanSpare, e.Time, t.parent,
+			trace.String(trace.AttrTrack, "spare:"+target),
+			trace.String(trace.AttrTarget, target))
+	case EventSpareReturned:
+		if sp := t.spares[target]; sp != nil {
+			sp.EndAt(e.Time)
+			delete(t.spares, target)
+		}
+	case EventMaintenanceStart:
+		t.maint[target] = t.rec.StartAt(trace.SpanMaint, e.Time, t.parent,
+			trace.String(trace.AttrTrack, target),
+			trace.String(trace.AttrTarget, target))
+	case EventMaintenanceEnd:
+		if sp := t.maint[target]; sp != nil {
+			sp.EndAt(e.Time)
+			delete(t.maint, target)
+		}
+	case EventPairDown:
+		t.pairs[target] = t.rec.StartAt(trace.SpanPairDown, e.Time, t.parent,
+			trace.String(trace.AttrTrack, target),
+			trace.String(trace.AttrTarget, target),
+			trace.String(trace.AttrComponent, e.Component.String()),
+			trace.String(trace.AttrKind, e.Kind.String()),
+			trace.Bool(trace.AttrInjected, e.Injected))
+		// The pair's node recoveries are escalated to the operator
+		// restore; mark their failure spans.
+		for _, node := range t.sortedTargets(t.failures, target+"/") {
+			t.failures[node].Attr(trace.Bool(trace.AttrEscalated, true))
+		}
+	case EventPairRestore:
+		if sp := t.pairs[target]; sp != nil {
+			sp.EndAt(e.Time)
+			delete(t.pairs, target)
+		}
+		// Operator restore reinstates both nodes together.
+		for _, node := range t.sortedTargets(t.failures, target+"/") {
+			t.failures[node].EndAt(e.Time)
+			delete(t.failures, node)
+		}
+	}
+}
+
+// closeComponent ends every pending failure/stage span of one tier, in
+// sorted target order.
+func (t *Tracer) closeComponent(c Component, at time.Duration) {
+	prefix := strings.ToLower(c.String()) + "-"
+	for _, target := range t.sortedTargets(t.stages, prefix) {
+		t.stages[target].EndAt(at)
+		delete(t.stages, target)
+	}
+	for _, target := range t.sortedTargets(t.failures, prefix) {
+		t.failures[target].EndAt(at)
+		delete(t.failures, target)
+	}
+}
+
+// sortedTargets returns the map keys with the given prefix, sorted — the
+// deterministic iteration order every close-many path must use.
+func (t *Tracer) sortedTargets(m map[string]*trace.Active, prefix string) []string {
+	var out []string
+	for k := range m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close force-ends every span still open (in sorted order), marking them
+// Open. Call when the run stops; the close time should be the cluster's
+// final virtual time so totals line up with Stats().
+func (t *Tracer) Close(at time.Duration) {
+	for _, m := range []map[string]*trace.Active{t.stages, t.failures, t.spares, t.maint, t.pairs} {
+		for _, target := range t.sortedTargets(m, "") {
+			m[target].EndOpenAt(at)
+			delete(m, target)
+		}
+	}
+	if t.outage != nil {
+		t.outage.EndOpenAt(at)
+		t.outage = nil
+	}
+}

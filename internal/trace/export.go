@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// encodeJSONL writes one span as a single JSON line.
+func encodeJSONL(w io.Writer, sp Span) error {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteJSONL renders spans in the canonical JSONL format, one span per
+// line, in the given order.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	for _, sp := range spans {
+		if err := encodeJSONL(w, sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes a JSONL span stream. Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal([]byte(text), &sp); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// sortSpans orders spans for display: by start time, longer (enclosing)
+// spans first among equal starts, then by ID for full determinism.
+func sortSpans(spans []Span) []Span {
+	out := append([]Span(nil), spans...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].End != out[j].End {
+			return out[i].End > out[j].End
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// AttrTrack names the attribute that assigns a span to a display track
+// (a Chrome trace "thread"). Spans without it fall back to a per-trace
+// track.
+const AttrTrack = "track"
+
+// chromeEvent is one Chrome trace_event entry (the subset we emit:
+// complete "X" events plus "M" metadata naming the tracks).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON object format of the trace_event spec.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders spans in the Chrome trace_event JSON object
+// format, loadable in chrome://tracing and Perfetto. Spans are emitted as
+// complete ("X") events. Each display track (the span's "track" attribute,
+// or its trace ID) becomes one or more tids; a span that would partially
+// overlap the spans already on its track's lane is bumped to an overflow
+// lane, so events on any single tid always nest properly.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	ordered := sortSpans(spans)
+
+	// laneKey → open-interval stack used for nesting checks.
+	type lane struct {
+		tid   int
+		stack []Span
+	}
+	lanesByTrack := map[string][]*lane{}
+	var trackOrder []string
+	nextTid := 1
+	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	tidNames := map[int]string{}
+
+	for _, sp := range ordered {
+		track := sp.AttrString(AttrTrack)
+		if track == "" {
+			track = fmt.Sprintf("trace-%d", sp.Trace)
+		}
+		lanes := lanesByTrack[track]
+		if lanes == nil {
+			trackOrder = append(trackOrder, track)
+		}
+		var target *lane
+		for _, ln := range lanes {
+			// Pop intervals this span no longer falls inside.
+			st := ln.stack
+			for len(st) > 0 && sp.Start >= st[len(st)-1].End {
+				st = st[:len(st)-1]
+			}
+			ln.stack = st
+			if len(st) == 0 || sp.End <= st[len(st)-1].End {
+				target = ln
+				break
+			}
+		}
+		if target == nil {
+			target = &lane{tid: nextTid}
+			nextTid++
+			name := track
+			if len(lanes) > 0 {
+				name = fmt.Sprintf("%s (overflow %d)", track, len(lanes))
+			}
+			tidNames[target.tid] = name
+			lanesByTrack[track] = append(lanes, target)
+		}
+		target.stack = append(target.stack, sp)
+
+		args := map[string]any{"id": uint64(sp.ID), "trace": uint64(sp.Trace)}
+		if sp.Parent != 0 {
+			args["parent"] = uint64(sp.Parent)
+		}
+		if sp.Open {
+			args["open"] = true
+		}
+		for _, a := range sp.Attrs {
+			if a.Key != AttrTrack {
+				args[a.Key] = a.Value()
+			}
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start) / 1e3, // ns → µs
+			Dur:  float64(sp.End-sp.Start) / 1e3,
+			Pid:  1,
+			Tid:  target.tid,
+			Args: args,
+		})
+	}
+
+	// Name the tracks, in first-appearance order for determinism.
+	var meta []chromeEvent
+	for _, track := range trackOrder {
+		for _, ln := range lanesByTrack[track] {
+			meta = append(meta, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: ln.tid,
+				Args: map[string]any{"name": tidNames[ln.tid]},
+			})
+		}
+	}
+	file.TraceEvents = append(meta, file.TraceEvents...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}
+
+// WriteTimeline renders a plain-text timeline: one line per span, indented
+// by tree depth, ordered by start time within each trace.
+func WriteTimeline(w io.Writer, spans []Span) error {
+	ordered := sortSpans(spans)
+	depth := map[SpanID]int{}
+	byID := map[SpanID]Span{}
+	for _, sp := range ordered {
+		byID[sp.ID] = sp
+	}
+	depthOf := func(sp Span) int {
+		if d, ok := depth[sp.ID]; ok {
+			return d
+		}
+		d := 0
+		for cur := sp; cur.Parent != 0; {
+			p, ok := byID[cur.Parent]
+			if !ok {
+				break
+			}
+			d++
+			cur = p
+		}
+		depth[sp.ID] = d
+		return d
+	}
+	for _, sp := range ordered {
+		attrs := make([]string, 0, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			if a.Key == AttrTrack {
+				continue
+			}
+			attrs = append(attrs, a.String())
+		}
+		suffix := ""
+		if len(attrs) > 0 {
+			suffix = "  " + strings.Join(attrs, " ")
+		}
+		if sp.Open {
+			suffix += "  [open]"
+		}
+		_, err := fmt.Fprintf(w, "[%14s] %s%-24s %10s%s\n",
+			time.Duration(sp.Start), strings.Repeat("  ", depthOf(sp)), sp.Name,
+			sp.Duration().Round(time.Millisecond), suffix)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

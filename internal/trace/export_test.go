@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleSpans builds a small campaign-shaped trace exercising every
+// attribute type, a parent chain, an overlapping second track, and an
+// open span.
+func sampleSpans() []Span {
+	rec := New(Config{Capacity: Unbounded})
+	root := rec.StartAt(SpanCampaign, 0, nil,
+		String(AttrTrack, "campaign"), Int("seed", 11), Bool("organic", false))
+	inj := rec.StartAt(SpanInjection, time.Second, root,
+		String(AttrTrack, "campaign"), String(AttrFault, "process-kill"), Float("weight", 0.5))
+	fail := rec.StartAt(SpanFailure, 2*time.Second, inj,
+		String(AttrTrack, "as-0"), String(AttrComponent, "AS"), String(AttrKind, "process"))
+	rec.StartAt(SpanRestore, 2*time.Second, fail, String(AttrTrack, "as-0")).
+		EndAt(20 * time.Second)
+	rec.StartAt(SpanReinstate, 20*time.Second, fail, String(AttrTrack, "as-0")).
+		EndAt(50 * time.Second)
+	fail.EndAt(50 * time.Second)
+	// Second failure overlapping the first on another track.
+	rec.StartAt(SpanFailure, 10*time.Second, inj,
+		String(AttrTrack, "as-1"), String(AttrComponent, "AS"), String(AttrKind, "os")).
+		EndAt(40 * time.Second)
+	out := rec.StartAt(SpanOutage, 10*time.Second, inj,
+		String(AttrTrack, "system"), String(AttrCause, "AS"))
+	out.EndOpenAt(45 * time.Second)
+	inj.EndAt(50 * time.Second)
+	root.EndAt(60 * time.Second)
+	return rec.Spans()
+}
+
+// TestJSONLRoundTripLossless asserts decode→re-encode is byte-identical:
+// the JSONL stream is the canonical archival format, so nothing may be
+// lost or reordered through a read/write cycle.
+func TestJSONLRoundTripLossless(t *testing.T) {
+	t.Parallel()
+	spans := sampleSpans()
+	var first bytes.Buffer
+	if err := WriteJSONL(&first, spans); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	decoded, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(decoded) != len(spans) {
+		t.Fatalf("decoded %d spans, want %d", len(decoded), len(spans))
+	}
+	var second bytes.Buffer
+	if err := WriteJSONL(&second, decoded); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("JSONL round-trip is lossy:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+func TestReadJSONLSkipsBlanksReportsBadLines(t *testing.T) {
+	t.Parallel()
+	spans, err := ReadJSONL(strings.NewReader(
+		"\n{\"trace\":1,\"id\":1,\"name\":\"a\",\"start\":0,\"end\":5}\n\n"))
+	if err != nil || len(spans) != 1 {
+		t.Fatalf("spans, err = %v, %v; want one span", spans, err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"id\":1}\nnot json\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Errorf("bad line error = %v, want line 2 mention", err)
+	}
+}
+
+// TestChromeTraceSchema is the golden schema check for the Chrome
+// trace_event export: the output must be valid JSON in the object format,
+// every event a complete "X" or metadata "M" phase, and the X events on
+// any single tid must nest properly (an event starting inside another on
+// the same lane must also end inside it), which is what chrome://tracing
+// and Perfetto require to render a sane flame view.
+func TestChromeTraceSchema(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+
+	type interval struct{ start, end float64 }
+	byTid := map[int][]interval{}
+	named := map[int]bool{}
+	for i, ev := range file.TraceEvents {
+		if ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d missing ts/pid/tid: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Errorf("event %d: metadata name = %q", i, ev.Name)
+			}
+			if _, ok := ev.Args["name"].(string); !ok {
+				t.Errorf("event %d: thread_name without args.name", i)
+			}
+			named[*ev.Tid] = true
+		case "X":
+			if *ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("event %d: negative ts/dur: %+v", i, ev)
+			}
+			if _, ok := ev.Args["id"]; !ok {
+				t.Errorf("event %d: X event without span id arg", i)
+			}
+			byTid[*ev.Tid] = append(byTid[*ev.Tid], interval{*ev.Ts, *ev.Ts + ev.Dur})
+		default:
+			t.Errorf("event %d: unsupported phase %q", i, ev.Ph)
+		}
+	}
+	for tid, ivs := range byTid {
+		if !named[tid] {
+			t.Errorf("tid %d has events but no thread_name metadata", tid)
+		}
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].start != ivs[j].start {
+				return ivs[i].start < ivs[j].start
+			}
+			return ivs[i].end > ivs[j].end
+		})
+		var stack []interval
+		for _, iv := range ivs {
+			for len(stack) > 0 && iv.start >= stack[len(stack)-1].end {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && iv.end > stack[len(stack)-1].end {
+				t.Errorf("tid %d: event [%v,%v] partially overlaps enclosing [%v,%v]",
+					tid, iv.start, iv.end, stack[len(stack)-1].start, stack[len(stack)-1].end)
+			}
+			stack = append(stack, iv)
+		}
+	}
+}
+
+// TestChromeTraceOverflowLanes forces two same-track spans that partially
+// overlap and asserts they land on different tids (the overflow lane).
+func TestChromeTraceOverflowLanes(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{})
+	rec.StartAt("a", 0, nil, String(AttrTrack, "x")).EndAt(10)
+	rec.StartAt("b", 5, nil, String(AttrTrack, "x")).EndAt(15) // overlaps a, not nested
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec.Spans()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[int]bool{}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "X" {
+			tids[ev.Tid] = true
+		}
+	}
+	if len(tids) != 2 {
+		t.Errorf("partially-overlapping spans share %d tid(s), want 2 lanes", len(tids))
+	}
+}
+
+func TestTimelineOutput(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, sampleSpans()); err != nil {
+		t.Fatalf("WriteTimeline: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{SpanCampaign, SpanInjection, SpanFailure, SpanRestore,
+		SpanReinstate, SpanOutage, "[open]", "seed=11", "cause=AS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// The injection line is indented one level under the campaign.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, SpanInjection) && !strings.Contains(line, "]   injection") {
+			t.Errorf("injection not indented under campaign: %q", line)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span names and attribute keys of the testbed/campaign vocabulary. The
+// trace package owns the vocabulary (it is shared by the recorders in
+// internal/testbed and internal/faultinject and by this analyzer) so the
+// analyzer stays dependency-free.
+const (
+	SpanCampaign  = "campaign"  // one fault-injection campaign (root)
+	SpanLongevity = "longevity" // one longevity run (root)
+	SpanInjection = "injection" // one injection experiment
+	SpanOutage    = "outage"    // system predicate false
+	SpanFailure   = "failure"   // component failure → reinstatement
+	SpanRestore   = "restore"   // repair stage (restart/reboot/replace)
+	SpanReinstate = "reinstate" // LB health-check reinstatement lag
+	SpanSpare     = "spare-repair"
+	SpanMaint     = "maintenance"
+	SpanPairDown  = "pair-down" // catastrophic HADB pair loss
+
+	AttrComponent = "component"
+	AttrKind      = "kind"
+	AttrTarget    = "target"
+	AttrFault     = "fault"
+	AttrCause     = "cause"
+	AttrInjected  = "injected"
+	AttrIndex     = "index"
+	AttrRecovered = "recovered"
+	AttrMultiNode = "multi-node"
+	AttrEscalated = "escalated"
+)
+
+// ModeKey identifies a failure mode: the tier that failed and the failure
+// class (process, os, hw).
+type ModeKey struct {
+	Component string
+	Kind      string
+}
+
+func (k ModeKey) String() string { return k.Component + "/" + k.Kind }
+
+// OutageInterval is one reconstructed system-level outage.
+type OutageInterval struct {
+	Trace     SpanID
+	Span      SpanID
+	Injection SpanID // causal injection span (0 for organic runs)
+	// Cause is the tier whose failure made the system unavailable.
+	Cause string
+	// Kind is the failure class attributed from the causal injection (or
+	// the latest matching component failure span); "unknown" if neither.
+	Kind  string
+	Fault string
+	Start time.Duration
+	End   time.Duration
+	// Open marks an outage still in progress when the trace closed.
+	Open bool
+}
+
+// Duration returns the outage length.
+func (o OutageInterval) Duration() time.Duration { return o.End - o.Start }
+
+// ModeDecomposition aggregates one failure mode's contribution — the
+// repo-native row of the paper's Tables 2–4.
+type ModeDecomposition struct {
+	Mode ModeKey
+	// Injections counts injection experiments of this mode.
+	Injections int
+	// Failures counts component failure spans of this mode.
+	Failures int
+	// RecoveryTotal sums the component failure-span durations (failure to
+	// full reinstatement); RecoveryMean is the per-failure average.
+	RecoveryTotal time.Duration
+	RecoveryMean  time.Duration
+	// Stages sums the stage-span durations within this mode's failure
+	// spans (restore, reinstate). A failure span with no stage children
+	// contributes its whole duration to "restore".
+	Stages map[string]time.Duration
+	// Outages counts system-level outages attributed to this mode and
+	// Downtime sums their durations — the mode's share of unavailability.
+	Outages  int
+	Downtime time.Duration
+}
+
+// OutageReport is the reconstructed timeline decomposition of one trace
+// stream.
+type OutageReport struct {
+	// Outages lists every reconstructed outage interval, in start order.
+	Outages []OutageInterval
+	// Modes aggregates per failure mode, sorted by (component, kind).
+	Modes []ModeDecomposition
+	// TotalDowntime is the summed outage time; it equals the simulator's
+	// own down-time accounting when the trace covers the whole run.
+	TotalDowntime time.Duration
+	// UnattributedDowntime is outage time whose failure mode could not be
+	// determined (also included in TotalDowntime).
+	UnattributedDowntime time.Duration
+	// Horizon is the latest span end seen — the observed run length.
+	Horizon time.Duration
+}
+
+// ModeDowntime returns the summed per-mode downtime map.
+func (r *OutageReport) ModeDowntime() map[ModeKey]time.Duration {
+	out := make(map[ModeKey]time.Duration, len(r.Modes))
+	for _, m := range r.Modes {
+		if m.Downtime > 0 || m.Outages > 0 {
+			out[m.Mode] = m.Downtime
+		}
+	}
+	return out
+}
+
+// AnalyzeOutages reconstructs the outage timeline and the per-failure-mode
+// downtime decomposition from a span stream (typically a campaign or
+// longevity trace).
+func AnalyzeOutages(spans []Span) *OutageReport {
+	byID := make(map[SpanID]Span, len(spans))
+	var failures, stages, outages, injections []Span
+	rep := &OutageReport{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+		if sp.End > int64(rep.Horizon) {
+			rep.Horizon = time.Duration(sp.End)
+		}
+		switch sp.Name {
+		case SpanFailure:
+			failures = append(failures, sp)
+		case SpanRestore, SpanReinstate:
+			stages = append(stages, sp)
+		case SpanOutage:
+			outages = append(outages, sp)
+		case SpanInjection:
+			injections = append(injections, sp)
+		}
+	}
+
+	modes := map[ModeKey]*ModeDecomposition{}
+	mode := func(k ModeKey) *ModeDecomposition {
+		m := modes[k]
+		if m == nil {
+			m = &ModeDecomposition{Mode: k, Stages: map[string]time.Duration{}}
+			modes[k] = m
+		}
+		return m
+	}
+
+	for _, sp := range injections {
+		mode(ModeKey{sp.AttrString(AttrComponent), sp.AttrString(AttrKind)}).Injections++
+	}
+	stagesByParent := map[SpanID][]Span{}
+	for _, sp := range stages {
+		stagesByParent[sp.Parent] = append(stagesByParent[sp.Parent], sp)
+	}
+	for _, sp := range failures {
+		m := mode(ModeKey{sp.AttrString(AttrComponent), sp.AttrString(AttrKind)})
+		m.Failures++
+		m.RecoveryTotal += sp.Duration()
+		children := stagesByParent[sp.ID]
+		if len(children) == 0 {
+			m.Stages[SpanRestore] += sp.Duration()
+			continue
+		}
+		for _, st := range children {
+			m.Stages[st.Name] += st.Duration()
+		}
+	}
+
+	// Attribute each outage to a failure mode: prefer the causal injection
+	// span (ancestor), else the latest failure span of the causing
+	// component that starts at or before the outage.
+	for _, sp := range outages {
+		o := OutageInterval{
+			Trace: sp.Trace, Span: sp.ID,
+			Cause: sp.AttrString(AttrCause),
+			Start: time.Duration(sp.Start), End: time.Duration(sp.End),
+			Open: sp.Open, Kind: "unknown",
+		}
+		for cur := sp; cur.Parent != 0; {
+			p, ok := byID[cur.Parent]
+			if !ok {
+				break
+			}
+			if p.Name == SpanInjection {
+				o.Injection = p.ID
+				o.Fault = p.AttrString(AttrFault)
+				o.Kind = p.AttrString(AttrKind)
+				break
+			}
+			cur = p
+		}
+		if o.Kind == "unknown" || o.Kind == "" {
+			var best *Span
+			for i := range failures {
+				f := &failures[i]
+				if f.AttrString(AttrComponent) != o.Cause || f.Start > sp.Start {
+					continue
+				}
+				if best == nil || f.Start > best.Start {
+					best = f
+				}
+			}
+			if best != nil {
+				o.Kind = best.AttrString(AttrKind)
+			}
+		}
+		rep.Outages = append(rep.Outages, o)
+		rep.TotalDowntime += o.Duration()
+		if o.Cause == "" || o.Kind == "unknown" || o.Kind == "" {
+			rep.UnattributedDowntime += o.Duration()
+			continue
+		}
+		m := mode(ModeKey{o.Cause, o.Kind})
+		m.Outages++
+		m.Downtime += o.Duration()
+	}
+	sort.Slice(rep.Outages, func(i, j int) bool {
+		if rep.Outages[i].Start != rep.Outages[j].Start {
+			return rep.Outages[i].Start < rep.Outages[j].Start
+		}
+		return rep.Outages[i].Span < rep.Outages[j].Span
+	})
+
+	for _, m := range modes {
+		if m.Failures > 0 {
+			m.RecoveryMean = m.RecoveryTotal / time.Duration(m.Failures)
+		}
+		rep.Modes = append(rep.Modes, *m)
+	}
+	sort.Slice(rep.Modes, func(i, j int) bool {
+		a, b := rep.Modes[i].Mode, rep.Modes[j].Mode
+		if a.Component != b.Component {
+			return a.Component < b.Component
+		}
+		return a.Kind < b.Kind
+	})
+	return rep
+}
+
+// stageOrder fixes the stage column order in reports.
+var stageOrder = []string{SpanRestore, SpanReinstate}
+
+// stageSummary renders a mode's stage totals as "restore=40s reinstate=30s".
+func stageSummary(stages map[string]time.Duration) string {
+	var parts []string
+	for _, name := range stageOrder {
+		if d, ok := stages[name]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%s", name, d.Round(time.Millisecond)))
+		}
+	}
+	var rest []string
+	for name := range stages {
+		known := false
+		for _, k := range stageOrder {
+			if name == k {
+				known = true
+			}
+		}
+		if !known {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		parts = append(parts, fmt.Sprintf("%s=%s", name, stages[name].Round(time.Millisecond)))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// WriteText renders the decomposition as a fixed-width table plus an
+// outage list — the CLI view of the paper's Tables 2–4.
+func (r *OutageReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Downtime decomposition (horizon %s, %d outage(s), total downtime %s):\n",
+		r.Horizon.Round(time.Second), len(r.Outages), r.TotalDowntime.Round(time.Millisecond)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-14s %6s %6s %8s %12s %12s   %s\n",
+		"mode", "inject", "fails", "outages", "downtime", "mean rec.", "recovery stages"); err != nil {
+		return err
+	}
+	for _, m := range r.Modes {
+		if _, err := fmt.Fprintf(w, "  %-14s %6d %6d %8d %12s %12s   %s\n",
+			m.Mode, m.Injections, m.Failures, m.Outages,
+			m.Downtime.Round(time.Millisecond), m.RecoveryMean.Round(time.Millisecond),
+			stageSummary(m.Stages)); err != nil {
+			return err
+		}
+	}
+	if r.UnattributedDowntime > 0 {
+		if _, err := fmt.Fprintf(w, "  %-14s %6s %6s %8s %12s\n",
+			"(unattributed)", "-", "-", "-", r.UnattributedDowntime.Round(time.Millisecond)); err != nil {
+			return err
+		}
+	}
+	for _, o := range r.Outages {
+		open := ""
+		if o.Open {
+			open = " [open]"
+		}
+		if _, err := fmt.Fprintf(w, "  outage at %-14s cause=%s kind=%s duration=%s%s\n",
+			o.Start.Round(time.Millisecond), o.Cause, o.Kind,
+			o.Duration().Round(time.Millisecond), open); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the decomposition as a Markdown section (used by
+// jsas-report).
+func (r *OutageReport) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("## Downtime decomposition\n\n")
+	fmt.Fprintf(&b, "Observed horizon %s; %d outage(s); total downtime **%s**.\n\n",
+		r.Horizon.Round(time.Second), len(r.Outages), r.TotalDowntime.Round(time.Millisecond))
+	b.WriteString("| Failure mode | Injections | Failures | Outages | Downtime | Mean recovery | Stages |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, m := range r.Modes {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %s | %s | %s |\n",
+			m.Mode, m.Injections, m.Failures, m.Outages,
+			m.Downtime.Round(time.Millisecond), m.RecoveryMean.Round(time.Millisecond),
+			stageSummary(m.Stages))
+	}
+	if r.UnattributedDowntime > 0 {
+		fmt.Fprintf(&b, "| (unattributed) | - | - | - | %s | - | - |\n",
+			r.UnattributedDowntime.Round(time.Millisecond))
+	}
+	b.WriteByte('\n')
+	if len(r.Outages) > 0 {
+		b.WriteString("| Outage start | Cause | Kind | Duration |\n|---|---|---|---|\n")
+		for _, o := range r.Outages {
+			dur := o.Duration().Round(time.Millisecond).String()
+			if o.Open {
+				dur += " (open)"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
+				o.Start.Round(time.Millisecond), o.Cause, o.Kind, dur)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// campaignTrace hand-builds the span tree of a two-injection campaign:
+// an AS process kill with restore+reinstate stages and a system outage,
+// then an HADB hardware failure with no stage children and no outage.
+func campaignTrace() []Span {
+	rec := New(Config{Capacity: Unbounded})
+	root := rec.StartAt(SpanCampaign, 0, nil, String(AttrTrack, "campaign"))
+
+	inj0 := rec.StartAt(SpanInjection, time.Minute, root,
+		String(AttrFault, "process-kill"), String(AttrKind, "process"),
+		String(AttrComponent, "AS"))
+	fail := rec.StartAt(SpanFailure, time.Minute, inj0,
+		String(AttrComponent, "AS"), String(AttrKind, "process"))
+	rec.StartAt(SpanRestore, time.Minute, fail).EndAt(time.Minute + 25*time.Second)
+	rec.StartAt(SpanReinstate, time.Minute+25*time.Second, fail).
+		EndAt(time.Minute + 85*time.Second)
+	out := rec.StartAt(SpanOutage, time.Minute+5*time.Second, inj0,
+		String(AttrCause, "AS"))
+	out.EndAt(time.Minute + 35*time.Second)
+	fail.EndAt(time.Minute + 85*time.Second)
+	inj0.EndAt(time.Minute + 85*time.Second)
+
+	inj1 := rec.StartAt(SpanInjection, 10*time.Minute, root,
+		String(AttrFault, "power-off"), String(AttrKind, "hw"),
+		String(AttrComponent, "HADB"))
+	rec.StartAt(SpanFailure, 10*time.Minute, inj1,
+		String(AttrComponent, "HADB"), String(AttrKind, "hw")).
+		EndAt(10*time.Minute + 40*time.Second)
+	inj1.EndAt(10*time.Minute + 40*time.Second)
+
+	root.EndAt(11 * time.Minute)
+	return rec.Spans()
+}
+
+func TestAnalyzeOutagesDecomposition(t *testing.T) {
+	t.Parallel()
+	rep := AnalyzeOutages(campaignTrace())
+
+	if len(rep.Outages) != 1 {
+		t.Fatalf("outages = %d, want 1", len(rep.Outages))
+	}
+	o := rep.Outages[0]
+	if o.Cause != "AS" || o.Kind != "process" || o.Fault != "process-kill" {
+		t.Errorf("outage attribution = %+v, want AS/process via injection ancestor", o)
+	}
+	if o.Duration() != 30*time.Second {
+		t.Errorf("outage duration = %v, want 30s", o.Duration())
+	}
+	if rep.TotalDowntime != 30*time.Second || rep.UnattributedDowntime != 0 {
+		t.Errorf("downtime = %v (unattributed %v), want 30s / 0",
+			rep.TotalDowntime, rep.UnattributedDowntime)
+	}
+	if rep.Horizon != 11*time.Minute {
+		t.Errorf("horizon = %v, want 11m", rep.Horizon)
+	}
+
+	if len(rep.Modes) != 2 {
+		t.Fatalf("modes = %d, want 2 (AS/process, HADB/hw)", len(rep.Modes))
+	}
+	as, hadb := rep.Modes[0], rep.Modes[1]
+	if as.Mode != (ModeKey{"AS", "process"}) || hadb.Mode != (ModeKey{"HADB", "hw"}) {
+		t.Fatalf("mode order = %v, %v", as.Mode, hadb.Mode)
+	}
+	if as.Injections != 1 || as.Failures != 1 || as.Outages != 1 || as.Downtime != 30*time.Second {
+		t.Errorf("AS mode = %+v", as)
+	}
+	if as.RecoveryMean != 85*time.Second {
+		t.Errorf("AS mean recovery = %v, want 85s", as.RecoveryMean)
+	}
+	if as.Stages[SpanRestore] != 25*time.Second || as.Stages[SpanReinstate] != 60*time.Second {
+		t.Errorf("AS stages = %v, want restore=25s reinstate=60s", as.Stages)
+	}
+	// A failure span without stage children books its whole duration as
+	// restore time.
+	if hadb.Stages[SpanRestore] != 40*time.Second {
+		t.Errorf("HADB stages = %v, want restore=40s", hadb.Stages)
+	}
+	if hadb.Outages != 0 || hadb.Downtime != 0 {
+		t.Errorf("HADB mode charged downtime: %+v", hadb)
+	}
+
+	md := rep.ModeDowntime()
+	if md[ModeKey{"AS", "process"}] != 30*time.Second || len(md) != 1 {
+		t.Errorf("ModeDowntime = %v", md)
+	}
+}
+
+// TestAnalyzeOutagesFallbackAttribution covers an outage with no injection
+// ancestor (organic run): the kind comes from the latest failure span of
+// the causing component that started at or before the outage.
+func TestAnalyzeOutagesFallbackAttribution(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{})
+	run := rec.StartAt(SpanLongevity, 0, nil)
+	rec.StartAt(SpanFailure, time.Minute, run,
+		String(AttrComponent, "HADB"), String(AttrKind, "os")).EndAt(2 * time.Minute)
+	rec.StartAt(SpanFailure, 3*time.Minute, run,
+		String(AttrComponent, "HADB"), String(AttrKind, "hw")).EndAt(5 * time.Minute)
+	out := rec.StartAt(SpanOutage, 4*time.Minute, run, String(AttrCause, "HADB"))
+	out.EndAt(4*time.Minute + 30*time.Second)
+	run.EndAt(6 * time.Minute)
+
+	rep := AnalyzeOutages(rec.Spans())
+	if len(rep.Outages) != 1 {
+		t.Fatalf("outages = %d, want 1", len(rep.Outages))
+	}
+	if got := rep.Outages[0].Kind; got != "hw" {
+		t.Errorf("fallback kind = %q, want hw (latest failure at/before outage)", got)
+	}
+	if rep.UnattributedDowntime != 0 {
+		t.Errorf("unattributed = %v, want 0", rep.UnattributedDowntime)
+	}
+}
+
+func TestAnalyzeOutagesUnattributed(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{})
+	rec.StartAt(SpanOutage, time.Minute, nil).EndAt(2 * time.Minute)
+	rep := AnalyzeOutages(rec.Spans())
+	if rep.UnattributedDowntime != time.Minute || rep.TotalDowntime != time.Minute {
+		t.Errorf("downtime = %v, unattributed = %v, want both 1m",
+			rep.TotalDowntime, rep.UnattributedDowntime)
+	}
+}
+
+func TestOutageReportRenderers(t *testing.T) {
+	t.Parallel()
+	rep := AnalyzeOutages(campaignTrace())
+	var text, md bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for _, want := range []string{"Downtime decomposition", "AS/process", "HADB/hw",
+		"restore=25s reinstate=1m0s", "cause=AS"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+	if err := rep.WriteMarkdown(&md); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	for _, want := range []string{"## Downtime decomposition", "| AS/process |",
+		"| Outage start |"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown report missing %q:\n%s", want, md.String())
+		}
+	}
+}

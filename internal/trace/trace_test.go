@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchy(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{Capacity: Unbounded})
+	root := rec.StartAt("campaign", 0, nil, Int("seed", 7))
+	child := rec.StartAt("injection", time.Second, root)
+	grand := rec.StartAt("failure", 2*time.Second, child, String(AttrComponent, "AS"))
+	grand.EndAt(3 * time.Second)
+	child.EndAt(4 * time.Second)
+	root.EndAt(5 * time.Second)
+
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	// Completion order: innermost first.
+	if spans[0].Name != "failure" || spans[1].Name != "injection" || spans[2].Name != "campaign" {
+		t.Fatalf("completion order wrong: %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	for _, sp := range spans {
+		if sp.Trace != root.ID() {
+			t.Errorf("%s: trace = %d, want root %d", sp.Name, sp.Trace, root.ID())
+		}
+	}
+	if spans[0].Parent != child.ID() || spans[1].Parent != root.ID() || spans[2].Parent != 0 {
+		t.Errorf("parent links wrong: %d %d %d", spans[0].Parent, spans[1].Parent, spans[2].Parent)
+	}
+	if got := spans[1].Duration(); got != 3*time.Second {
+		t.Errorf("injection duration = %v, want 3s", got)
+	}
+	if c, ok := spans[0].Attr(AttrComponent); !ok || c.Str != "AS" {
+		t.Errorf("component attr = %+v, %v", c, ok)
+	}
+	if ids := rec.TraceIDs(); len(ids) != 1 || ids[0] != root.ID() {
+		t.Errorf("TraceIDs = %v, want [%d]", ids, root.ID())
+	}
+	if got := rec.TraceSpans(root.ID()); len(got) != 3 {
+		t.Errorf("TraceSpans = %d spans, want 3", len(got))
+	}
+}
+
+func TestBoundedRingOverwrites(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{Capacity: 3})
+	for i := 0; i < 5; i++ {
+		sp := rec.StartAt("op", time.Duration(i), nil, Int("i", int64(i)))
+		sp.EndAt(time.Duration(i + 1))
+	}
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	// Oldest first: ops 2, 3, 4 survive.
+	for i, sp := range spans {
+		a, _ := sp.Attr("i")
+		if a.Int != int64(i+2) {
+			t.Errorf("slot %d holds op %d, want %d", i, a.Int, i+2)
+		}
+	}
+	if got := rec.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+}
+
+func TestSinkReceivesEverySpan(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	rec := New(Config{Capacity: 1, Sink: &buf}) // ring smaller than span count
+	for i := 0; i < 4; i++ {
+		rec.StartAt("op", time.Duration(i), nil).EndAt(time.Duration(i + 1))
+	}
+	spans, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(spans) != 4 {
+		t.Errorf("sink got %d spans, want all 4 despite capacity 1", len(spans))
+	}
+	if err := rec.SinkErr(); err != nil {
+		t.Errorf("SinkErr = %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestSinkErrSticks(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{Sink: failWriter{}})
+	rec.StartAt("op", 0, nil).EndAt(1)
+	if err := rec.SinkErr(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("SinkErr = %v, want disk full", err)
+	}
+}
+
+func TestNilRecorderAndActiveAreNoOps(t *testing.T) {
+	t.Parallel()
+	var rec *Recorder
+	sp := rec.Start("op", nil)
+	if sp != nil {
+		t.Fatal("nil recorder returned a span")
+	}
+	// All Active methods must tolerate nil.
+	sp.Attr(Int("x", 1))
+	sp.End()
+	sp.EndAt(time.Second)
+	sp.EndOpenAt(time.Second)
+	if sp.ID() != 0 || sp.TraceID() != 0 {
+		t.Error("nil Active has nonzero IDs")
+	}
+	if rec.Spans() != nil || rec.Dropped() != 0 || rec.SinkErr() != nil {
+		t.Error("nil recorder reported data")
+	}
+}
+
+func TestEndTwiceAndClamping(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{})
+	sp := rec.StartAt("op", 5*time.Second, nil)
+	sp.EndAt(2 * time.Second) // before start: clamped
+	sp.EndAt(9 * time.Second) // second End ignored
+	spans := rec.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1 (End twice must record once)", len(spans))
+	}
+	if spans[0].End != spans[0].Start {
+		t.Errorf("end = %d, want clamped to start %d", spans[0].End, spans[0].Start)
+	}
+}
+
+func TestEndOpenAtMarksSpan(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{})
+	rec.StartAt("outage", time.Second, nil).EndOpenAt(3 * time.Second)
+	spans := rec.Spans()
+	if len(spans) != 1 || !spans[0].Open {
+		t.Fatalf("want one Open span, got %+v", spans)
+	}
+}
+
+func TestAttrHelpersRoundTrip(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		attr Attr
+		want any
+	}{
+		{String("s", "x"), "x"},
+		{Int("i", -3), int64(-3)},
+		{Float("f", 2.5), 2.5},
+		{Bool("b", true), true},
+	}
+	for _, c := range cases {
+		if got := c.attr.Value(); got != c.want {
+			t.Errorf("%s: Value() = %v (%T), want %v", c.attr.Key, got, got, c.want)
+		}
+	}
+	if s := Int("iters", 12).String(); s != "iters=12" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDefaultRecorderWallClock(t *testing.T) {
+	// Not parallel: uses the shared default recorder.
+	sp := Default().Start("test.op", nil)
+	sp.End()
+	var found bool
+	for _, s := range Default().Spans() {
+		if s.ID == sp.ID() {
+			found = true
+			if s.End < s.Start {
+				t.Errorf("wall-clock span ends before it starts: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Error("default recorder did not retain the span")
+	}
+}

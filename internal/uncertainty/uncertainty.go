@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // ErrBadAnalysis is reported for invalid analysis specifications.
@@ -224,6 +225,10 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 	if parallelism > n {
 		parallelism = n
 	}
+	runSpan := trace.Default().Start("uncertainty.run", nil,
+		trace.String(trace.AttrTrack, "solver"),
+		trace.Int("samples", int64(n)),
+		trace.Int("parallelism", int64(parallelism)))
 	start := time.Now()
 
 	// minFail is the lowest failing sample index observed so far
@@ -263,7 +268,7 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			var localTotal, localMin, localMax time.Duration
 			localMin = math.MaxInt64
@@ -274,12 +279,15 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 				if int64(i) > minFail.Load() {
 					continue
 				}
-				t0 := time.Now()
+				sampleTimer := obs.StartTimer(obsSampleSeconds)
+				sp := trace.Default().Start("uncertainty.sample", runSpan,
+					trace.String(trace.AttrTrack, fmt.Sprintf("worker-%d", worker)),
+					trace.Int(trace.AttrIndex, int64(i)))
 				d, err := solve(res.Samples[i].Assignment)
-				dt := time.Since(t0)
+				dt := sampleTimer.Stop()
+				sp.End()
 				solvedCount.Add(1)
 				obsSamplesSolved.Inc()
-				obsSampleSeconds.Observe(dt.Seconds())
 				localTotal += dt
 				if dt < localMin {
 					localMin = dt
@@ -303,7 +311,7 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 				aggMax = localMax
 			}
 			aggMu.Unlock()
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		indices <- i
@@ -312,6 +320,8 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 	wg.Wait()
 
 	wall := time.Since(start)
+	runSpan.Attr(trace.Int("solved", solvedCount.Load()))
+	runSpan.End()
 	solved := int(solvedCount.Load())
 	diag := RunDiagnostics{
 		SamplesSolved: solved,

@@ -14,6 +14,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/jsas"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 )
 
 // ErrBadRun is reported for invalid longevity-run options.
@@ -115,6 +116,9 @@ type RunOptions struct {
 	// Confidences for the Equation (2) failure-rate bounds (defaults to
 	// 0.95 and 0.995, as in the paper).
 	Confidences []float64
+	// Trace, if set, records the run as a sim-time span tree: one longevity
+	// root span with component failure / recovery / outage spans beneath it.
+	Trace *trace.Recorder
 }
 
 // Result summarizes a longevity run.
@@ -153,6 +157,19 @@ func Run(opts RunOptions) (*Result, error) {
 	if gb := NodeDataGB(opts.Config, opts.Profile); gb > 0 {
 		timing.NodeDataGB = gb
 	}
+	var (
+		tracer   *testbed.Tracer
+		root     *trace.Active
+		observer testbed.Observer
+	)
+	if opts.Trace != nil {
+		root = opts.Trace.StartAt(trace.SpanLongevity, 0, nil,
+			trace.String(trace.AttrTrack, "longevity"),
+			trace.String("profile", opts.Profile.Name),
+			trace.Int("seed", opts.Seed))
+		tracer = testbed.NewTracer(opts.Trace, root)
+		observer = tracer.Observe
+	}
 	cluster, err := testbed.New(testbed.Options{
 		Config:               opts.Config,
 		Params:               opts.Params,
@@ -162,12 +179,17 @@ func Run(opts RunOptions) (*Result, error) {
 		Maintenance:          false, // stability runs exclude scheduled maintenance
 		RequestRatePerSecond: opts.Profile.EffectiveRate(),
 		SessionsPerInstance:  opts.Profile.SessionsPerInstance,
+		Observer:             observer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
 	if err := cluster.Run(opts.Duration); err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if tracer != nil {
+		tracer.Close(cluster.Now())
+		root.EndAt(cluster.Now())
 	}
 	stats := cluster.Stats()
 	res := &Result{

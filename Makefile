@@ -22,14 +22,17 @@ fmt-check:
 		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; fi
 
 # Pre-merge verification: formatting, build, vet, the full test suite,
-# and a race-detector pass over the packages with concurrent hot paths
-# (the metrics registry, the flight recorder, the Monte-Carlo worker
-# pool, the DES testbed, the HTTP handlers).
+# a race-detector pass over the packages with concurrent hot paths (the
+# metrics registry, the flight recorder, the solver workspaces, the
+# sweep/Monte-Carlo worker pools, the DES testbed, the HTTP handlers),
+# and a benchmark smoke run (1 iteration each) to catch bit-rot in the
+# bench harness.
 verify: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/testbed/... ./internal/uncertainty/... ./internal/httpapi/...
+	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/httpapi/...
+	$(GO) run ./cmd/bench-record -bench 'Table2|SteadyStateGS200|SweepParallel' -benchtime 1x -out /tmp/bench-smoke.json
 
 # Short traced fault-injection campaign: writes /tmp/jsas-trace.jsonl and
 # prints the reconstructed outage timeline and downtime decomposition.
@@ -41,9 +44,11 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # One benchmark iteration per table/figure: regenerates the paper's rows
-# as b.ReportMetric values.
+# as b.ReportMetric values, and records the repeated-solve benchmarks to
+# BENCH_PR3.json as the machine-readable performance baseline.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table' -benchtime 20x -out BENCH_PR3.json
 
 # Full paper reproduction to stdout.
 reproduce:

@@ -70,7 +70,14 @@ type (
 	// (method used, sweeps, residual, dense fallback, wall time); point
 	// SolveOptions.Diag at one to collect it.
 	SolveDiagnostics = ctmc.Diagnostics
+	// Solver is a reusable solve context (scratch storage + warm-start
+	// cache) for repeated solves. Not safe for concurrent use: keep one
+	// per goroutine. Set SolveOptions.Solver to thread it through solves.
+	Solver = ctmc.Solver
 )
+
+// NewSolver returns an empty reusable solve context.
+func NewSolver() *Solver { return ctmc.NewSolver() }
 
 // Reward layer types.
 type (
@@ -110,6 +117,8 @@ type (
 	UncertaintyResult = uncertainty.Result
 	// SweepPoint is one sample of a parametric sweep.
 	SweepPoint = sensitivity.Point
+	// SweepOptions tunes how a sweep is driven (worker parallelism).
+	SweepOptions = sensitivity.SweepOptions
 	// ModelDocument is the declarative JSON model format.
 	ModelDocument = spec.Document
 )
@@ -181,6 +190,12 @@ func RunUncertainty(cfg Config, p Params, opts UncertaintyOptions) (*Uncertainty
 // toHours] (the paper's Figures 5/6).
 func SweepTstartLong(cfg Config, p Params, fromHours, toHours float64, steps int) ([]SweepPoint, error) {
 	return sensitivity.Sweep(fromHours, toHours, steps, jsas.TstartLongSweepSolver(cfg, p))
+}
+
+// SweepTstartLongWith is SweepTstartLong with driver options (parallel
+// point evaluation; results are identical at any parallelism).
+func SweepTstartLongWith(cfg Config, p Params, fromHours, toHours float64, steps int, opts SweepOptions) ([]SweepPoint, error) {
+	return sensitivity.SweepWith(fromHours, toHours, steps, jsas.TstartLongSweepSolver(cfg, p), opts)
 }
 
 // FailureRateBound is a one-sided upper confidence bound on a failure rate.

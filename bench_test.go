@@ -84,6 +84,18 @@ func benchmarkSweep(b *testing.B, cfg Config) {
 func BenchmarkFigure5SweepConfig1(b *testing.B) { benchmarkSweep(b, Config1) }
 func BenchmarkFigure6SweepConfig2(b *testing.B) { benchmarkSweep(b, Config2) }
 
+// BenchmarkSweepParallel4Config1 drives the Figure 5 sweep through the
+// parallel driver (compare with BenchmarkFigure5SweepConfig1; the outputs
+// are identical at any parallelism).
+func BenchmarkSweepParallel4Config1(b *testing.B) {
+	p := DefaultParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepTstartLongWith(Config1, p, 0.5, 3.0, 10, SweepOptions{Parallelism: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Figures 7 and 8 (uncertainty analysis, 1000 samples) ---
 
 func benchmarkUncertainty(b *testing.B, cfg Config) {
@@ -202,6 +214,26 @@ func BenchmarkSteadyStateGS50(b *testing.B)     { benchmarkSteadyState(b, 50, ct
 func BenchmarkSteadyStateGS200(b *testing.B)    { benchmarkSteadyState(b, 200, ctmc.MethodGaussSeidel) }
 func BenchmarkSteadyStateGS400(b *testing.B)    { benchmarkSteadyState(b, 400, ctmc.MethodGaussSeidel) }
 func BenchmarkSteadyStatePower200(b *testing.B) { benchmarkSteadyState(b, 200, ctmc.MethodPower) }
+
+// BenchmarkSteadyStateGSWarm200 measures the repeated-solve fast path: the
+// same chain solved through one Solver, so every iteration after the first
+// reuses the cached generator/transpose, the iteration workspace, and a
+// warm start from the previous π (compare with BenchmarkSteadyStateGS200,
+// which pays cold-start cost every iteration).
+func BenchmarkSteadyStateGSWarm200(b *testing.B) {
+	m := randomChain(b, 200)
+	s := ctmc.NewSolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SteadyState(m, ctmc.SolveOptions{Method: ctmc.MethodGaussSeidel, Tol: 1e-10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Solves > 1 {
+		b.ReportMetric(float64(st.WarmSweeps)/float64(st.Solves-1), "warm-sweeps/solve")
+	}
+}
 
 // --- Ablation: hierarchical abstraction vs flat product model ---
 

@@ -1,0 +1,140 @@
+// Command bench-record runs a benchmark selection and records the parsed
+// results as JSON, giving the repository a machine-readable performance
+// baseline (e.g. BENCH_PR3.json) that later changes can be compared
+// against with plain tooling instead of eyeballing `go test -bench` text.
+//
+// Usage:
+//
+//	bench-record [-bench regex] [-pkg ./...] [-benchtime 2x] [-count 1] [-out BENCH.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name including the GOMAXPROCS suffix
+	// (e.g. "BenchmarkTable2Config1-4").
+	Name string `json:"name"`
+	// Iterations is the b.N the harness settled on.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "value unit" pair on the line
+	// (B/op, allocs/op, and custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the JSON document bench-record writes.
+type File struct {
+	// GeneratedAt is the RFC 3339 recording time.
+	GeneratedAt string `json:"generated_at"`
+	// GoCommand echoes the exact benchmark invocation.
+	GoCommand string `json:"go_command"`
+	// Results lists the parsed benchmark lines in run order.
+	Results []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-record:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bench-record", flag.ContinueOnError)
+	bench := fs.String("bench", ".", "benchmark selection regex (go test -bench)")
+	pkg := fs.String("pkg", ".", "package pattern to benchmark")
+	benchtime := fs.String("benchtime", "", "per-benchmark budget (go test -benchtime), e.g. 2x or 100ms")
+	count := fs.Int("count", 1, "repetitions per benchmark (go test -count)")
+	out := fs.String("out", "BENCH.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime", *benchtime)
+	}
+	goArgs = append(goArgs, *pkg)
+	cmd := exec.Command("go", goArgs...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	fmt.Fprintln(os.Stderr, "bench-record: running go", strings.Join(goArgs, " "))
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(goArgs, " "), err)
+	}
+	results, err := parseBench(&stdout)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", *bench)
+	}
+	doc := File{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoCommand:   "go " + strings.Join(goArgs, " "),
+		Results:     results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench-record: wrote %d results to %s\n", len(results), *out)
+	return nil
+}
+
+// parseBench extracts benchmark lines from standard `go test -bench`
+// output. A line has the shape
+//
+//	BenchmarkName-8   123   4567 ns/op   8 B/op   2 allocs/op   1.5 extra-unit
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBench(r *bytes.Buffer) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = v
+			} else {
+				res.Metrics[unit] = v
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}

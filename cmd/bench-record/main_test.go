@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := bytes.NewBufferString(`goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable2Config1-4   	   16246	     70171 ns/op	         4.463 YD-min/yr	        99.99 avail-%
+BenchmarkSparseMatVec-4    	   10000	     12345 ns/op	     512 B/op	       3 allocs/op
+PASS
+ok  	repro	1.234s
+`)
+	results, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkTable2Config1-4" || r.Iterations != 16246 || r.NsPerOp != 70171 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if r.Metrics["YD-min/yr"] != 4.463 || r.Metrics["avail-%"] != 99.99 {
+		t.Fatalf("custom metrics = %v", r.Metrics)
+	}
+	if results[1].Metrics["B/op"] != 512 || results[1].Metrics["allocs/op"] != 3 {
+		t.Fatalf("mem metrics = %v", results[1].Metrics)
+	}
+}
+
+func TestParseBenchSkipsMalformed(t *testing.T) {
+	out := bytes.NewBufferString(`BenchmarkBroken-4 not-a-number 1 ns/op
+Benchmark 1
+random text
+`)
+	results, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("parsed %d results from malformed input, want 0", len(results))
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	jsas-sweep [-config 1|2] [-from 0.5] [-to 3] [-steps 10] [-csv] [-stats]
+//	jsas-sweep [-config 1|2] [-from 0.5] [-to 3] [-steps 10] [-parallel N] [-csv] [-stats]
 package main
 
 import (
@@ -33,6 +33,7 @@ func run(args []string) error {
 	from := fs.Float64("from", 0.5, "sweep start (hours for Tstart_long, per-year for rates, fraction for FIR)")
 	to := fs.Float64("to", 3.0, "sweep end")
 	steps := fs.Int("steps", 10, "number of sweep intervals")
+	parallel := fs.Int("parallel", 1, "worker goroutines evaluating sweep points (results are identical at any setting)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	stats := fs.Bool("stats", false, "print engine metrics (solves, sweeps, latency) to stderr after the sweep")
 	if err := fs.Parse(args); err != nil {
@@ -53,7 +54,9 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("config %d: want 1 or 2", *configNo)
 	}
-	points, err := sensitivity.Sweep(*from, *to, *steps, jsas.SweepSolver(cfg, jsas.DefaultParams(), *param))
+	points, err := sensitivity.SweepWith(*from, *to, *steps,
+		jsas.SweepSolver(cfg, jsas.DefaultParams(), *param),
+		sensitivity.SweepOptions{Parallelism: *parallel})
 	if err != nil {
 		return err
 	}

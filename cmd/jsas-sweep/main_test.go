@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"testing"
+)
 
 func TestRunConfig1(t *testing.T) {
 	if err := run([]string{"-config", "1", "-steps", "4"}); err != nil {
@@ -35,5 +39,49 @@ func TestRunSweepOtherParam(t *testing.T) {
 func TestRunSweepUnknownParam(t *testing.T) {
 	if err := run([]string{"-param", "bogus", "-steps", "2"}); err == nil {
 		t.Fatal("bogus parameter accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return string(out)
+}
+
+// TestRunParallelOutputIdentical checks the acceptance criterion that the
+// sweep output is bit-identical between -parallel 1 and -parallel N.
+func TestRunParallelOutputIdentical(t *testing.T) {
+	args := []string{"-config", "1", "-steps", "8", "-csv"}
+	serial := captureStdout(t, func() error { return run(append([]string{"-parallel", "1"}, args...)) })
+	parallel := captureStdout(t, func() error { return run(append([]string{"-parallel", "4"}, args...)) })
+	if serial != parallel {
+		t.Fatalf("outputs differ:\n-- parallel 1 --\n%s\n-- parallel 4 --\n%s", serial, parallel)
+	}
+	if serial == "" {
+		t.Fatal("empty sweep output")
+	}
+}
+
+func TestRunBadParallel(t *testing.T) {
+	// Parallelism below 1 is clamped to a serial sweep, not rejected.
+	if err := run([]string{"-config", "1", "-steps", "2", "-parallel", "0"}); err != nil {
+		t.Fatalf("run -parallel 0: %v", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/numeric"
 	"repro/internal/sparse"
@@ -41,12 +42,28 @@ type Transition struct {
 
 // Model is an immutable CTMC: a finite state space with exponential
 // transition rates. Build one with a Builder.
+//
+// Immutability makes the derived structures below safe to compute once
+// and share: the sparse generator (and its transpose) and the
+// irreducibility verdict are cached on first use, so the repeated solves
+// of parametric sweeps and Monte-Carlo sampling pay assembly cost once
+// per model rather than once per solve.
 type Model struct {
 	names       []string
 	index       map[string]State
 	transitions []Transition
 	// outgoing[s] lists indices into transitions, sorted by target.
 	outgoing [][]int
+
+	// Lazily cached derived structures (see SparseGenerator,
+	// SparseGeneratorTransposed, IsIrreducible). The sync.Once guards make
+	// concurrent first use safe; the cached values are immutable after.
+	genOnce sync.Once
+	genQ    *sparse.CSR
+	genQT   *sparse.CSR
+	genErr  error
+	irrOnce sync.Once
+	irr     bool
 }
 
 // Builder accumulates states and transitions and produces a validated Model.
@@ -109,33 +126,50 @@ func (b *Builder) Build() (*Model, error) {
 	if len(b.names) == 0 {
 		return nil, fmt.Errorf("model has no states: %w", ErrBadModel)
 	}
-	merged := make(map[[2]State]float64)
-	for _, tr := range b.transitions {
-		merged[[2]State{tr.From, tr.To}] += tr.Rate
+	// Sort a copy of the transitions by (from, to) and merge adjacent
+	// duplicates by summing rates. Sort-and-merge over a slice beats the
+	// obvious map accumulation on the hot model-(re)build path that
+	// sweeps and Monte-Carlo sampling exercise per evaluation.
+	sorted := append([]Transition(nil), b.transitions...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].From != sorted[j].From {
+			return sorted[i].From < sorted[j].From
+		}
+		return sorted[i].To < sorted[j].To
+	})
+	merged := sorted[:0]
+	for _, tr := range sorted {
+		if n := len(merged); n > 0 && merged[n-1].From == tr.From && merged[n-1].To == tr.To {
+			merged[n-1].Rate += tr.Rate
+			continue
+		}
+		merged = append(merged, tr)
 	}
 	m := &Model{
 		names:       append([]string(nil), b.names...),
 		index:       make(map[string]State, len(b.names)),
-		transitions: make([]Transition, 0, len(merged)),
+		transitions: merged,
 		outgoing:    make([][]int, len(b.names)),
 	}
 	for name, s := range b.index {
 		m.index[name] = s
 	}
-	keys := make([][2]State, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, k)
+	// Count then fill: the outgoing index lists stay sorted by target
+	// because the transitions themselves are.
+	counts := make([]int, len(b.names))
+	for _, tr := range m.transitions {
+		counts[tr.From]++
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+	idxBuf := make([]int, len(m.transitions))
+	for s, c := range counts {
+		if c == 0 {
+			continue
 		}
-		return keys[i][1] < keys[j][1]
-	})
-	for _, k := range keys {
-		idx := len(m.transitions)
-		m.transitions = append(m.transitions, Transition{From: k[0], To: k[1], Rate: merged[k]})
-		m.outgoing[k[0]] = append(m.outgoing[k[0]], idx)
+		m.outgoing[s] = idxBuf[:0:c]
+		idxBuf = idxBuf[c:]
+	}
+	for idx, tr := range m.transitions {
+		m.outgoing[tr.From] = append(m.outgoing[tr.From], idx)
 	}
 	return m, nil
 }
@@ -209,7 +243,23 @@ func (m *Model) Generator() *numeric.Matrix {
 }
 
 // SparseGenerator assembles Q in CSR form for the iterative solvers.
+// The CSR (and its transpose) is assembled once and cached — the model is
+// immutable — so repeated solves of the same chain skip reassembly.
+// Callers must treat the returned matrix as shared and read-only.
 func (m *Model) SparseGenerator() (*sparse.CSR, error) {
+	m.genOnce.Do(m.assembleSparseGenerator)
+	return m.genQ, m.genErr
+}
+
+// SparseGeneratorTransposed returns the cached transpose Qᵀ, which the
+// Gauss–Seidel solver sweeps for column access. Like SparseGenerator, the
+// result is shared and read-only.
+func (m *Model) SparseGeneratorTransposed() (*sparse.CSR, error) {
+	m.genOnce.Do(m.assembleSparseGenerator)
+	return m.genQT, m.genErr
+}
+
+func (m *Model) assembleSparseGenerator() {
 	n := m.NumStates()
 	entries := make([]sparse.Entry, 0, len(m.transitions)+n)
 	diag := make([]float64, n)
@@ -222,7 +272,10 @@ func (m *Model) SparseGenerator() (*sparse.CSR, error) {
 			entries = append(entries, sparse.Entry{Row: i, Col: i, Val: d})
 		}
 	}
-	return sparse.NewCSR(n, n, entries)
+	m.genQ, m.genErr = sparse.NewCSR(n, n, entries)
+	if m.genErr == nil {
+		m.genQT = m.genQ.Transpose()
+	}
 }
 
 // Reachable returns the set of states reachable from start following
@@ -245,25 +298,73 @@ func (m *Model) Reachable(start State) map[State]bool {
 }
 
 // IsIrreducible reports whether every state can reach every other state.
+// The verdict is computed once and cached (the model is immutable), so
+// the per-solve irreducibility guard in SteadyState is free on repeated
+// solves of the same chain.
 func (m *Model) IsIrreducible() bool {
+	m.irrOnce.Do(func() { m.irr = m.computeIrreducible() })
+	return m.irr
+}
+
+// computeIrreducible checks strong connectivity via forward reachability
+// from state 0 on G and on Gᵀ, walking the transition list directly — no
+// intermediate reverse model is materialized.
+func (m *Model) computeIrreducible() bool {
 	n := m.NumStates()
 	if n == 0 {
 		return false
 	}
-	// Strong connectivity via forward reachability from 0 on G and on Gᵀ.
-	if len(m.Reachable(0)) != n {
+	// Forward sweep over the existing outgoing adjacency.
+	seen := make([]bool, n)
+	stack := make([]State, 1, n)
+	stack[0] = 0
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, idx := range m.outgoing[s] {
+			if t := m.transitions[idx].To; !seen[t] {
+				seen[t] = true
+				count++
+				stack = append(stack, t)
+			}
+		}
+	}
+	if count != n {
 		return false
 	}
-	rev := NewBuilder()
-	for _, name := range m.names {
-		rev.State(name)
-	}
+	// Backward sweep over a flat reverse adjacency built by counting sort.
+	counts := make([]int, n+1)
 	for _, tr := range m.transitions {
-		rev.Transition(tr.To, tr.From, tr.Rate)
+		counts[tr.To+1]++
 	}
-	rm, err := rev.Build()
-	if err != nil {
-		return false
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
 	}
-	return len(rm.Reachable(0)) == n
+	incoming := make([]State, len(m.transitions))
+	cursor := append([]int(nil), counts[:n]...)
+	for _, tr := range m.transitions {
+		incoming[cursor[tr.To]] = tr.From
+		cursor[tr.To]++
+	}
+	for i := range seen {
+		seen[i] = false
+	}
+	stack = stack[:1]
+	stack[0] = 0
+	seen[0] = true
+	count = 1
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for k := counts[s]; k < counts[s+1]; k++ {
+			if t := incoming[k]; !seen[t] {
+				seen[t] = true
+				count++
+				stack = append(stack, t)
+			}
+		}
+	}
+	return count == n
 }

@@ -60,6 +60,12 @@ type SolveOptions struct {
 	// Tol/MaxIter are forwarded to the iterative solvers.
 	Tol     float64
 	MaxIter int
+	// Solver, if non-nil, supplies the reusable solve context — scratch
+	// vectors, dense assembly/factorization storage, and the warm-start
+	// cache — for repeated solves (sweeps, Monte-Carlo, hierarchies).
+	// A Solver is not safe for concurrent use: share one per worker, not
+	// per run. A nil Solver allocates per solve (the one-shot path).
+	Solver *Solver
 	// Diag, if non-nil, receives a record of how the solve actually ran:
 	// the method finally used, iteration counts, the dense fallback, and
 	// wall time. It is filled on success and on failure.
@@ -83,6 +89,14 @@ type Diagnostics struct {
 	// FinalDiff is the iterative solver's last max-norm sweep-to-sweep
 	// change of the normalized iterate (0 for a purely dense solve).
 	FinalDiff float64
+	// Residual is the verified balance-equation residual ‖πQ‖∞ of the
+	// returned iterative solve. It is 0 when the result came from the
+	// dense solver (including after a dense fallback): the dense path is
+	// direct, so no iterative residual describes the returned vector.
+	Residual float64
+	// WarmStart reports whether the iterative solve was seeded from a
+	// previously computed stationary distribution (see Solver).
+	WarmStart bool
 	// DenseFallback marks that Gauss–Seidel failed to converge and
 	// MethodAuto retried with the dense LU solver.
 	DenseFallback bool
@@ -95,6 +109,12 @@ func (d Diagnostics) String() string {
 	s := fmt.Sprintf("method=%v states=%d wall=%v", d.Method, d.States, d.Wall)
 	if d.Iterations > 0 {
 		s += fmt.Sprintf(" sweeps=%d final-diff=%.3g", d.Iterations, d.FinalDiff)
+	}
+	if d.Residual > 0 {
+		s += fmt.Sprintf(" residual=%.3g", d.Residual)
+	}
+	if d.WarmStart {
+		s += " warm-start=true"
 	}
 	if d.DenseFallback {
 		s += " dense-fallback=true"
@@ -109,14 +129,30 @@ var (
 	obsDenseFallback = obs.C("ctmc_dense_fallback_total", "iterative solves that fell back to dense LU")
 	obsSolveErrors   = obs.C("ctmc_solve_errors_total", "steady-state solves that returned an error")
 	obsLastStates    = obs.G("ctmc_last_solve_states", "state count of the most recent solve")
-	obsLastResidual  = obs.G("ctmc_last_solve_residual", "final normalized max-norm change of the most recent iterative solve")
+	obsLastResidual  = obs.G("ctmc_last_solve_residual", "verified residual ‖πQ‖∞ of the most recent solve (0 after a dense solve)")
+	obsWarmStarts    = obs.C("ctmc_warm_start_solves_total", "iterative solves seeded from a cached stationary distribution")
 )
+
+// obsSolvesByMethod pre-resolves the per-method solve counters so the hot
+// solve path does not format a label per call.
+var obsSolvesByMethod = map[Method]*obs.Counter{
+	MethodDense:       newSolvesCounter(MethodDense),
+	MethodGaussSeidel: newSolvesCounter(MethodGaussSeidel),
+	MethodPower:       newSolvesCounter(MethodPower),
+}
+
+func newSolvesCounter(m Method) *obs.Counter {
+	return obs.C("ctmc_solves_total", "completed steady-state solves by method",
+		fmt.Sprintf("method=%q", m))
+}
 
 // obsSolvesTotal counts completed solves by the method that produced the
 // result.
 func obsSolvesTotal(m Method) *obs.Counter {
-	return obs.C("ctmc_solves_total", "completed steady-state solves by method",
-		fmt.Sprintf("method=%q", m))
+	if c, ok := obsSolvesByMethod[m]; ok {
+		return c
+	}
+	return newSolvesCounter(m)
 }
 
 // SteadyState computes the stationary distribution π with π·Q = 0, Σπ = 1.
@@ -151,7 +187,7 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 		fellBack = true
 		method = MethodDense
 		obsDenseFallback.Inc()
-		pi, err = m.steadyStateDense()
+		pi, err = m.steadyStateDense(opts.Solver)
 	}
 	wall := timer.Stop()
 	span.Attr(
@@ -159,12 +195,21 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 		trace.Int("iterations", int64(iter.Sweeps)),
 		trace.Bool("error", err != nil))
 	span.End()
+	// A dense-produced result has no iterative residual: report 0 so the
+	// diagnostics (and the gauge below) never show a stale value from an
+	// earlier or abandoned iterative attempt next to a dense solve.
+	residual := iter.Residual
+	if method == MethodDense {
+		residual = 0
+	}
 	if opts.Diag != nil {
 		*opts.Diag = Diagnostics{
 			Method:        method,
 			States:        m.NumStates(),
 			Iterations:    iter.Sweeps,
 			FinalDiff:     iter.FinalDiff,
+			Residual:      residual,
+			WarmStart:     iter.WarmStart,
 			DenseFallback: fellBack,
 			Wall:          wall,
 		}
@@ -172,26 +217,42 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 	obsLastStates.Set(float64(m.NumStates()))
 	if iter.Sweeps > 0 {
 		obsSolveIters.Observe(float64(iter.Sweeps))
-		obsLastResidual.Set(iter.FinalDiff)
 	}
+	if iter.WarmStart {
+		obsWarmStarts.Inc()
+	}
+	obsLastResidual.Set(residual)
 	if err != nil {
 		obsSolveErrors.Inc()
 		return pi, err
 	}
+	opts.Solver.noteSolve(m, pi, iter)
 	obsSolvesTotal(method).Inc()
 	return pi, nil
 }
 
 func (m *Model) steadyStateBy(method Method, opts SolveOptions, iter *sparse.IterStats) ([]float64, error) {
+	s := opts.Solver
 	switch method {
 	case MethodDense:
-		return m.steadyStateDense()
+		return m.steadyStateDense(s)
 	case MethodGaussSeidel:
 		q, err := m.SparseGenerator()
 		if err != nil {
 			return nil, err
 		}
-		pi, err := sparse.SteadyStateGaussSeidel(q, sparse.SteadyStateOptions{Tol: opts.Tol, MaxIter: opts.MaxIter, Stats: iter})
+		qt, err := m.SparseGeneratorTransposed()
+		if err != nil {
+			return nil, err
+		}
+		pi, err := sparse.SteadyStateGaussSeidel(q, sparse.SteadyStateOptions{
+			Tol:        opts.Tol,
+			MaxIter:    opts.MaxIter,
+			Stats:      iter,
+			Transposed: qt,
+			Workspace:  s.workspace(),
+			X0:         s.warmStart(m),
+		})
 		if err != nil {
 			return nil, fmt.Errorf("steady state: %w", err)
 		}
@@ -201,7 +262,13 @@ func (m *Model) steadyStateBy(method Method, opts SolveOptions, iter *sparse.Ite
 		if err != nil {
 			return nil, err
 		}
-		pi, err := sparse.SteadyStatePower(q, sparse.SteadyStateOptions{Tol: opts.Tol, MaxIter: opts.MaxIter, Stats: iter})
+		pi, err := sparse.SteadyStatePower(q, sparse.SteadyStateOptions{
+			Tol:       opts.Tol,
+			MaxIter:   opts.MaxIter,
+			Stats:     iter,
+			Workspace: s.workspace(),
+			X0:        s.warmStart(m),
+		})
 		if err != nil {
 			return nil, fmt.Errorf("steady state: %w", err)
 		}
@@ -212,29 +279,32 @@ func (m *Model) steadyStateBy(method Method, opts SolveOptions, iter *sparse.Ite
 }
 
 // steadyStateDense solves Qᵀπᵀ = 0 with the normalization Σπ = 1 replacing
-// the last (redundant) balance equation.
-func (m *Model) steadyStateDense() ([]float64, error) {
+// the last (redundant) balance equation. A non-nil Solver supplies the
+// assembly and factorization storage so repeated solves allocate nothing.
+func (m *Model) steadyStateDense(s *Solver) ([]float64, error) {
 	n := m.NumStates()
-	q := m.Generator()
-	// Build A = Qᵀ with the final row replaced by all-ones; b = e_n.
-	a := numeric.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			a.Set(i, j, q.At(j, i))
-		}
+	a, b, x, lu := s.denseScratch(n)
+	// Assemble A = Qᵀ directly from the transition list — no intermediate
+	// dense Q. Entries landing on row n−1 are overwritten below when that
+	// (redundant) balance row becomes the normalization row.
+	for _, tr := range m.transitions {
+		a.Add(int(tr.To), int(tr.From), tr.Rate)
+		a.Add(int(tr.From), int(tr.From), -tr.Rate)
 	}
 	for j := 0; j < n; j++ {
 		a.Set(n-1, j, 1)
 	}
-	b := make([]float64, n)
 	b[n-1] = 1
-	pi, err := numeric.SolveLinear(a, b)
-	if err != nil {
+	if err := lu.FactorFrom(a); err != nil {
 		if errors.Is(err, numeric.ErrSingular) {
 			return nil, fmt.Errorf("balance equations singular: %w", ErrNotIrreducible)
 		}
 		return nil, fmt.Errorf("steady state: %w", err)
 	}
+	if err := lu.SolveInto(x, b); err != nil {
+		return nil, fmt.Errorf("steady state: %w", err)
+	}
+	pi := append([]float64(nil), x...)
 	// Round-off can leave tiny negatives on near-degenerate chains.
 	for i := range pi {
 		if pi[i] < 0 && pi[i] > -1e-12 {

@@ -106,6 +106,11 @@ func (e *Evaluation) Find(name string) *Evaluation {
 
 // Options configures an evaluation.
 type Options struct {
+	// Solve is threaded to every submodel solve. When Solve.Solver is nil,
+	// Evaluate installs a fresh ctmc.Solver for the duration of the call so
+	// the submodels of one hierarchy share scratch storage and warm starts;
+	// callers running many evaluations (sweeps, Monte-Carlo workers) should
+	// supply their own per-worker Solver to carry that reuse across calls.
 	Solve ctmc.SolveOptions
 }
 
@@ -113,6 +118,9 @@ type Options struct {
 // reduced to (λ_eq, μ_eq) and bound into a copy of params for the parent
 // build. The input params map is not modified.
 func Evaluate(c *Component, params Params, opts Options) (*Evaluation, error) {
+	if opts.Solve.Solver == nil {
+		opts.Solve.Solver = ctmc.NewSolver()
+	}
 	name := "hierarchy"
 	if c != nil {
 		name = c.name

@@ -2,6 +2,7 @@ package jsas
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ctmc"
 	"repro/internal/hier"
@@ -104,14 +105,31 @@ func buildTopModel(cfg Config, env hier.Params) (*reward.Structure, error) {
 	return reward.Binary(m, downNames...)
 }
 
+// solverPool recycles solve contexts across Solve calls. The JSAS chains
+// are tiny but solved in bulk (tables, sweeps, Monte-Carlo sampling), so
+// reusing the dense scratch and warm-start caches removes nearly all
+// per-solve allocation. Each borrowed Solver is used by one goroutine at a
+// time, which is exactly the contract ctmc.Solver requires.
+var solverPool = sync.Pool{New: func() any { return ctmc.NewSolver() }}
+
 // Solve evaluates the full hierarchy for a configuration and returns the
-// system-level measures.
+// system-level measures. It draws a pooled solve context; callers that
+// manage their own (e.g. per-worker) contexts should use SolveWith.
 func Solve(cfg Config, p Params) (*SystemResult, error) {
+	s := solverPool.Get().(*ctmc.Solver)
+	defer solverPool.Put(s)
+	return SolveWith(cfg, p, s)
+}
+
+// SolveWith evaluates the full hierarchy for a configuration using the
+// caller-supplied solve context (which must not be shared across
+// goroutines; pass nil to allocate per solve).
+func SolveWith(cfg Config, p Params, s *ctmc.Solver) (*SystemResult, error) {
 	top, err := Components(cfg, p)
 	if err != nil {
 		return nil, err
 	}
-	ev, err := hier.Evaluate(top, nil, hier.Options{})
+	ev, err := hier.Evaluate(top, nil, hier.Options{Solve: ctmc.SolveOptions{Solver: s}})
 	if err != nil {
 		return nil, fmt.Errorf("solve %v: %w", cfg, err)
 	}

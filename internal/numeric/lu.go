@@ -10,24 +10,52 @@ import (
 type LU struct {
 	lu    *Matrix
 	pivot []int
+	scale []float64
 	sign  int // +1/-1, parity of the permutation; 0 if singular
 }
 
 // Factor computes the LU factorization of a (which is not modified).
 // A numerically singular matrix yields ErrSingular.
 func Factor(a *Matrix) (*LU, error) {
+	f := &LU{}
+	if err := f.FactorFrom(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorFrom computes the LU factorization of a into f, reusing f's
+// existing storage when the capacity suffices. a is not modified. This is
+// the allocation-free path for repeated dense solves of same-sized
+// systems (sweeps, Monte-Carlo sampling): a zero LU works, and each call
+// overwrites the previous factorization.
+func (f *LU) FactorFrom(a *Matrix) error {
 	if a.Rows() != a.Cols() {
-		return nil, fmt.Errorf("Factor: matrix is %dx%d, want square: %w", a.Rows(), a.Cols(), ErrShape)
+		return fmt.Errorf("Factor: matrix is %dx%d, want square: %w", a.Rows(), a.Cols(), ErrShape)
 	}
 	n := a.Rows()
-	f := &LU{lu: a.Clone(), pivot: make([]int, n), sign: 1}
+	if f.lu == nil {
+		f.lu = NewMatrix(n, n)
+	} else {
+		f.lu.Reshape(n, n)
+	}
+	copy(f.lu.data, a.data)
+	if cap(f.pivot) < n {
+		f.pivot = make([]int, n)
+	}
+	f.pivot = f.pivot[:n]
+	f.sign = 1
+	if cap(f.scale) < n {
+		f.scale = make([]float64, n)
+	}
+	f.scale = f.scale[:n]
 	lu := f.lu
 	for i := range f.pivot {
 		f.pivot[i] = i
 	}
 	// Scaled partial pivoting keeps the factorization stable for the badly
 	// scaled generators availability models produce (rates span 1e-7..1e2).
-	scale := make([]float64, n)
+	scale := f.scale
 	for i := 0; i < n; i++ {
 		var mx float64
 		for _, v := range lu.Row(i) {
@@ -36,7 +64,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if mx == 0 {
-			return nil, fmt.Errorf("row %d is zero: %w", i, ErrSingular)
+			return fmt.Errorf("row %d is zero: %w", i, ErrSingular)
 		}
 		scale[i] = 1 / mx
 	}
@@ -50,7 +78,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if p < 0 || lu.At(p, k) == 0 {
-			return nil, fmt.Errorf("pivot %d: %w", k, ErrSingular)
+			return fmt.Errorf("pivot %d: %w", k, ErrSingular)
 		}
 		if p != k {
 			rp, rk := lu.Row(p), lu.Row(k)
@@ -74,16 +102,28 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A·x = b for x. b is not modified.
 func (f *LU) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.lu.Rows())
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A·x = b into the caller-provided x (the allocation-free
+// companion of Solve). x and b must both have length n; they may not alias.
+func (f *LU) SolveInto(x, b []float64) error {
 	n := f.lu.Rows()
 	if len(b) != n {
-		return nil, fmt.Errorf("Solve: rhs length %d, want %d: %w", len(b), n, ErrShape)
+		return fmt.Errorf("Solve: rhs length %d, want %d: %w", len(b), n, ErrShape)
 	}
-	x := make([]float64, n)
+	if len(x) != n {
+		return fmt.Errorf("Solve: solution length %d, want %d: %w", len(x), n, ErrShape)
+	}
 	// Apply permutation.
 	for i, p := range f.pivot {
 		x[i] = b[p]
@@ -106,7 +146,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = s / row[i]
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factored matrix.

@@ -6,6 +6,9 @@ package sensitivity
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -27,9 +30,25 @@ type Point struct {
 // (availability, yearly downtime minutes).
 type Solver func(value float64) (availability, downtimeMinutes float64, err error)
 
+// SweepOptions tunes how a sweep is driven. The zero value is a serial
+// sweep.
+type SweepOptions struct {
+	// Parallelism is the number of worker goroutines evaluating sweep
+	// points (default 1). The results are identical at any parallelism:
+	// points are written by index, and on failure the error reported is the
+	// one from the lowest-indexed failing point. The solver must be safe
+	// for concurrent use (the jsas solvers are).
+	Parallelism int
+}
+
 // Sweep evaluates solve at steps+1 evenly spaced values across [from, to]
 // (inclusive). steps must be ≥ 1 and from < to.
 func Sweep(from, to float64, steps int, solve Solver) ([]Point, error) {
+	return SweepWith(from, to, steps, solve, SweepOptions{})
+}
+
+// SweepWith is Sweep with driver options (parallel evaluation).
+func SweepWith(from, to float64, steps int, solve Solver, opts SweepOptions) ([]Point, error) {
 	if solve == nil {
 		return nil, fmt.Errorf("nil solver: %w", ErrBadSweep)
 	}
@@ -39,24 +58,89 @@ func Sweep(from, to float64, steps int, solve Solver) ([]Point, error) {
 	if from >= to {
 		return nil, fmt.Errorf("empty range [%g, %g]: %w", from, to, ErrBadSweep)
 	}
+	n := steps + 1
+	parallelism := opts.Parallelism
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > n {
+		parallelism = n
+	}
 	span := trace.Default().Start("sensitivity.sweep", nil,
 		trace.String(trace.AttrTrack, "solver"),
-		trace.Int("steps", int64(steps)))
-	points := make([]Point, 0, steps+1)
-	for i := 0; i <= steps; i++ {
-		v := from + (to-from)*float64(i)/float64(steps)
-		ps := trace.Default().Start("sensitivity.point", span,
-			trace.String(trace.AttrTrack, "solver"),
-			trace.Int(trace.AttrIndex, int64(i)),
-			trace.Float("value", v))
-		a, d, err := solve(v)
-		ps.End()
-		if err != nil {
-			span.Attr(trace.Bool("error", true))
-			span.End()
-			return nil, fmt.Errorf("sweep at %g: %w", v, err)
+		trace.Int("steps", int64(steps)),
+		trace.Int("parallelism", int64(parallelism)))
+
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = from + (to-from)*float64(i)/float64(steps)
+	}
+	points := make([]Point, n)
+
+	// Failure bookkeeping mirrors uncertainty.solveAll: a shared atomic
+	// holds the lowest failing index seen so workers drain promptly, and
+	// the error finally returned is the one from the lowest-indexed failing
+	// point among those attempted — independent of goroutine scheduling.
+	var (
+		minFail atomic.Int64
+		mu      sync.Mutex
+		minIdx  = -1
+		minErr  error
+	)
+	minFail.Store(math.MaxInt64)
+	recordFail := func(i int, err error) {
+		mu.Lock()
+		if minIdx == -1 || i < minIdx {
+			minIdx, minErr = i, err
 		}
-		points = append(points, Point{Value: v, Availability: a, YearlyDowntimeMinutes: d})
+		mu.Unlock()
+		for {
+			cur := minFail.Load()
+			if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			track := "solver"
+			if parallelism > 1 {
+				track = fmt.Sprintf("worker-%d", worker)
+			}
+			for i := range indices {
+				if int64(i) > minFail.Load() {
+					continue
+				}
+				v := values[i]
+				ps := trace.Default().Start("sensitivity.point", span,
+					trace.String(trace.AttrTrack, track),
+					trace.Int(trace.AttrIndex, int64(i)),
+					trace.Float("value", v))
+				a, d, err := solve(v)
+				ps.End()
+				if err != nil {
+					recordFail(i, err)
+					continue
+				}
+				points[i] = Point{Value: v, Availability: a, YearlyDowntimeMinutes: d}
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	if minIdx >= 0 {
+		span.Attr(trace.Bool("error", true))
+		span.End()
+		return nil, fmt.Errorf("sweep at %g: %w", values[minIdx], minErr)
 	}
 	span.End()
 	return points, nil

@@ -142,18 +142,37 @@ func (m *CSR) VecMul(x []float64, out []float64) ([]float64, error) {
 	return out, nil
 }
 
-// Transpose returns the transposed matrix.
+// Transpose returns the transposed matrix. It runs in O(nnz + rows + cols)
+// with a two-pass counting scheme: the source is already coalesced and
+// sorted, so no re-sorting or revalidation is needed, and scattering the
+// entries in row order leaves every transposed row sorted by column.
 func (m *CSR) Transpose() *CSR {
-	entries := make([]Entry, 0, m.NNZ())
+	nnz := m.NNZ()
+	t := &CSR{
+		rows:   m.cols,
+		cols:   m.rows,
+		rowPtr: make([]int, m.cols+1),
+		colIdx: make([]int, nnz),
+		vals:   make([]float64, nnz),
+	}
+	// Pass 1: count the entries landing in each transposed row.
+	for _, c := range m.colIdx {
+		t.rowPtr[c+1]++
+	}
+	for r := 0; r < t.rows; r++ {
+		t.rowPtr[r+1] += t.rowPtr[r]
+	}
+	// Pass 2: scatter. next[c] is the write cursor into transposed row c.
+	next := make([]int, t.rows)
+	copy(next, t.rowPtr[:t.rows])
 	for i := 0; i < m.rows; i++ {
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-			entries = append(entries, Entry{Row: m.colIdx[k], Col: i, Val: m.vals[k]})
+			c := m.colIdx[k]
+			p := next[c]
+			next[c]++
+			t.colIdx[p] = i
+			t.vals[p] = m.vals[k]
 		}
-	}
-	t, err := NewCSR(m.cols, m.rows, entries)
-	if err != nil {
-		// Unreachable: entries come from a valid matrix.
-		panic(fmt.Sprintf("sparse: transpose: %v", err))
 	}
 	return t
 }

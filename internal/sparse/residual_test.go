@@ -1,0 +1,193 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestResidualRejectsPrematureDiffConvergence is the regression test for
+// the acceptance bug where the sweep-to-sweep diff alone decided
+// convergence: with heavy under-relaxation every sweep moves the iterate
+// by less than Tol long before the balance equations hold, so the old
+// solver returned a far-from-stationary vector as "converged". The
+// residual check must keep iterating and report ErrNoConvergence at the
+// budget instead.
+func TestResidualRejectsPrematureDiffConvergence(t *testing.T) {
+	t.Parallel()
+	q, _ := stiffChain(t)
+	var st IterStats
+	_, err := SteadyStateGaussSeidel(q, SteadyStateOptions{
+		Tol:     5e-2, // loose: the crawling iterate passes this immediately
+		Relax:   1e-6, // each sweep barely moves the iterate
+		MaxIter: 50,
+		Stats:   &st,
+	})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence (diff test alone must not accept)", err)
+	}
+	if st.FinalDiff >= 5e-2 {
+		t.Fatalf("final diff %g >= Tol; the premature-acceptance scenario did not materialize", st.FinalDiff)
+	}
+	if st.Residual <= 0 {
+		t.Fatalf("stats = %+v, want a positive recorded residual", st)
+	}
+	if st.Sweeps != 50 {
+		t.Fatalf("sweeps = %d, want the full budget of 50", st.Sweeps)
+	}
+}
+
+// TestAcceptedSolveHasSmallResidual checks the complementary direction: a
+// solve that is accepted must carry a verified residual within the
+// acceptance bound relative to the chain's largest exit rate.
+func TestAcceptedSolveHasSmallResidual(t *testing.T) {
+	t.Parallel()
+	q, _ := stiffChain(t)
+	maxExit := 0.0
+	for i := 0; i < q.Rows(); i++ {
+		if d := -q.At(i, i); d > maxExit {
+			maxExit = d
+		}
+	}
+	for _, m := range []string{"gs", "power"} {
+		var st IterStats
+		var err error
+		switch m {
+		case "gs":
+			_, err = SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12, Stats: &st})
+		case "power":
+			_, err = SteadyStatePower(q, SteadyStateOptions{Tol: 1e-13, MaxIter: 5_000_000, Stats: &st})
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if st.Residual <= 0 || st.Residual > 1e-8*maxExit {
+			t.Fatalf("%s: residual = %g, want in (0, %g]", m, st.Residual, 1e-8*maxExit)
+		}
+	}
+}
+
+// TestWarmStartConvergesFasterToSameAnswer seeds a second solve with the
+// first solve's result and checks it (a) is flagged as warm, (b) needs
+// strictly fewer sweeps, and (c) lands on the same distribution.
+func TestWarmStartConvergesFasterToSameAnswer(t *testing.T) {
+	t.Parallel()
+	q, exact := stiffChain(t)
+	var cold IterStats
+	pi, err := SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12, Stats: &cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStart {
+		t.Fatalf("cold solve flagged as warm: %+v", cold)
+	}
+	var warm IterStats
+	pi2, err := SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12, Stats: &warm, X0: pi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStart {
+		t.Fatalf("warm solve not flagged: %+v", warm)
+	}
+	if warm.Sweeps >= cold.Sweeps {
+		t.Fatalf("warm start took %d sweeps, cold took %d — expected fewer", warm.Sweeps, cold.Sweeps)
+	}
+	for i := range pi2 {
+		if d := math.Abs(pi2[i] - exact[i]); d > 1e-8 {
+			t.Fatalf("warm pi[%d] = %g, exact %g (|Δ| = %g)", i, pi2[i], exact[i], d)
+		}
+	}
+}
+
+// TestWarmStartRejectsUnusableSeeds feeds each category of bad X0 and
+// checks the solver falls back to the cold uniform start (and still
+// converges to the right answer).
+func TestWarmStartRejectsUnusableSeeds(t *testing.T) {
+	t.Parallel()
+	q, exact := stiffChain(t)
+	n := q.Rows()
+	bad := map[string][]float64{
+		"wrong-length": make([]float64, n+1),
+		"nan":          {math.NaN(), 1, 1, 1, 1},
+		"inf":          {math.Inf(1), 1, 1, 1, 1},
+		"zero-mass":    make([]float64, n),
+		"negative":     {-1, -1, -1, -1, -1},
+	}
+	for name, x0 := range bad {
+		var st IterStats
+		pi, err := SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12, Stats: &st, X0: x0})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.WarmStart {
+			t.Fatalf("%s: unusable seed flagged as warm start", name)
+		}
+		for i := range pi {
+			if d := math.Abs(pi[i] - exact[i]); d > 1e-8 {
+				t.Fatalf("%s: pi[%d] off by %g", name, i, d)
+			}
+		}
+	}
+}
+
+// TestTransposedOptionMatchesInternal verifies that supplying a cached Qᵀ
+// yields the exact result of letting Gauss–Seidel transpose internally,
+// and that a wrong-shaped transpose is rejected.
+func TestTransposedOptionMatchesInternal(t *testing.T) {
+	t.Parallel()
+	q, _ := stiffChain(t)
+	want, err := SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12, Transposed: q.Transpose()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pi[%d]: cached-transpose %g != internal %g", i, got[i], want[i])
+		}
+	}
+	wrong, err := NewCSR(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12, Transposed: wrong}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape for mismatched transpose", err)
+	}
+}
+
+// TestWorkspaceReuseKeepsResultsIdentical drives repeated solves through
+// one Workspace and checks each returns a fresh vector bit-identical to a
+// workspace-free solve — i.e. the scratch reuse never leaks state between
+// solves or aliases returned slices.
+func TestWorkspaceReuseKeepsResultsIdentical(t *testing.T) {
+	t.Parallel()
+	var ws Workspace
+	rng := rand.New(rand.NewSource(7))
+	var prev []float64
+	for round := 0; round < 5; round++ {
+		birth := []float64{2e-5 * (1 + rng.Float64()), 1e-4, 3e-3, 0.5}
+		death := []float64{4, 90 * (1 + rng.Float64()), 2, 600}
+		q := birthDeath(t, birth, death)
+		want, err := SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SteadyStateGaussSeidel(q, SteadyStateOptions{Tol: 1e-12, Workspace: &ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: workspace solve differs at %d: %g != %g", round, i, got[i], want[i])
+			}
+		}
+		if prev != nil && &prev[0] == &got[0] {
+			t.Fatal("workspace solve returned an aliased result slice")
+		}
+		prev = got
+	}
+}

@@ -20,11 +20,32 @@ type SteadyStateOptions struct {
 	// distribution actually returned (not of an intermediate unnormalized
 	// iterate). Defaults to 1e-12.
 	Tol float64
+	// ResidualTol is the acceptance tolerance on the relative residual
+	// ‖πQ‖∞ / Λ, where Λ is the largest exit rate of the chain. The
+	// sweep-to-sweep diff alone can pass while the iterate is still far
+	// from stationarity (e.g. slowly-converging stiff chains, heavily
+	// under-relaxed sweeps), so a solver accepts only when BOTH the diff
+	// and the residual tests hold; otherwise it keeps sweeping and reports
+	// ErrNoConvergence at the iteration limit. Defaults to 1e-8.
+	ResidualTol float64
 	// MaxIter bounds the number of sweeps. Defaults to 200000.
 	MaxIter int
 	// Relax is the SOR relaxation factor for Gauss–Seidel (1 = plain GS).
 	// Defaults to 1.
 	Relax float64
+	// X0, if non-nil, seeds the iteration with a warm start (a normalized
+	// copy is taken; the slice is not modified). An unusable seed — wrong
+	// length, non-finite, or non-positive mass — silently falls back to
+	// the uniform cold start. Stats.WarmStart records what happened.
+	X0 []float64
+	// Transposed, if non-nil, must be the transpose of the generator
+	// passed to the solver; Gauss–Seidel then skips computing its own.
+	// Callers solving one chain repeatedly (sweeps, Monte-Carlo) cache it
+	// once (see ctmc.Model.SparseGeneratorTransposed).
+	Transposed *CSR
+	// Workspace, if non-nil, provides reusable scratch buffers so
+	// repeated solves do not reallocate. Not safe for concurrent use.
+	Workspace *Workspace
 	// Stats, if non-nil, receives iteration diagnostics: the solvers
 	// record the sweep count and final residual there on both success and
 	// ErrNoConvergence exhaustion.
@@ -38,11 +59,21 @@ type IterStats struct {
 	// FinalDiff is the max-norm change of the normalized iterate over the
 	// last sweep — the quantity compared against Tol.
 	FinalDiff float64
+	// Residual is the final ‖πQ‖∞ — the true balance-equation residual
+	// verified against ResidualTol·Λ before a solve is accepted. It is
+	// recorded on success and on ErrNoConvergence exhaustion.
+	Residual float64
+	// WarmStart reports whether the iteration was seeded from
+	// SteadyStateOptions.X0 (false when no usable seed was supplied).
+	WarmStart bool
 }
 
 func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
 	if o.Tol <= 0 {
 		o.Tol = 1e-12
+	}
+	if o.ResidualTol <= 0 {
+		o.ResidualTol = 1e-8
 	}
 	if o.MaxIter <= 0 {
 		o.MaxIter = 200000
@@ -51,6 +82,63 @@ func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
 		o.Relax = 1
 	}
 	return o
+}
+
+// seedIterate fills pi with a normalized copy of x0 if usable (matching
+// length, finite, positive mass after clamping round-off negatives) and
+// reports whether it did; otherwise pi is left untouched.
+func seedIterate(pi, x0 []float64) bool {
+	if len(x0) != len(pi) {
+		return false
+	}
+	var sum float64
+	for _, v := range x0 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		if v > 0 {
+			sum += v
+		}
+	}
+	if sum <= 0 {
+		return false
+	}
+	inv := 1 / sum
+	for i, v := range x0 {
+		if v < 0 {
+			v = 0
+		}
+		pi[i] = v * inv
+	}
+	return true
+}
+
+// uniformIterate fills pi with the uniform distribution.
+func uniformIterate(pi []float64) {
+	u := 1 / float64(len(pi))
+	for i := range pi {
+		pi[i] = u
+	}
+}
+
+// residualInf computes the balance-equation residual ‖πQ‖∞ using scratch
+// for the intermediate product.
+func residualInf(q *CSR, pi, scratch []float64) float64 {
+	out, err := q.VecMul(pi, scratch)
+	if err != nil {
+		// Unreachable: pi is sized to the (square) generator.
+		panic(fmt.Sprintf("sparse: residual: %v", err))
+	}
+	var r float64
+	for _, v := range out {
+		if v < 0 {
+			v = -v
+		}
+		if v > r {
+			r = v
+		}
+	}
+	return r
 }
 
 // SteadyStatePower computes the stationary distribution π of the CTMC with
@@ -67,30 +155,39 @@ func SteadyStatePower(q *CSR, opts SteadyStateOptions) ([]float64, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("empty generator: %w", ErrShape)
 	}
+	ws := o.Workspace
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.grow(n)
 	// Uniformization constant: strictly above the max exit rate so the DTMC
 	// is aperiodic even for deterministic-looking structures.
-	var lambda float64
+	var maxExit float64
 	for i := 0; i < n; i++ {
 		d := -q.At(i, i)
-		if d > lambda {
-			lambda = d
+		if d > maxExit {
+			maxExit = d
 		}
 	}
-	if lambda == 0 {
+	if maxExit == 0 {
 		// No transitions at all: every distribution is stationary; return uniform.
 		pi := make([]float64, n)
-		for i := range pi {
-			pi[i] = 1 / float64(n)
+		uniformIterate(pi)
+		if o.Stats != nil {
+			*o.Stats = IterStats{}
 		}
 		return pi, nil
 	}
-	lambda *= 1.05
-	pi := make([]float64, n)
-	for i := range pi {
-		pi[i] = 1 / float64(n)
+	lambda := maxExit * 1.05
+	pi, next, scratch := ws.pi, ws.next, ws.scratch
+	warm := seedIterate(pi, o.X0)
+	if !warm {
+		uniformIterate(pi)
 	}
-	next := make([]float64, n)
-	scratch := make([]float64, n)
+	if o.Stats != nil {
+		*o.Stats = IterStats{WarmStart: warm}
+	}
+	var resid float64
 	for iter := 1; iter <= o.MaxIter; iter++ {
 		// next = pi·P = pi + (pi·Q)/Λ
 		piQ, err := q.VecMul(pi, scratch)
@@ -105,8 +202,8 @@ func SteadyStatePower(q *CSR, opts SteadyStateOptions) ([]float64, error) {
 			next[i] = v
 		}
 		// The convergence test compares normalized iterates: pi is already
-		// normalized (from the previous sweep or the uniform start), so
-		// diff measures the movement of the returned distribution.
+		// normalized (from the previous sweep or the start), so diff
+		// measures the movement of the returned distribution.
 		normalizeInPlace(next)
 		var diff float64
 		for i := 0; i < n; i++ {
@@ -120,16 +217,29 @@ func SteadyStatePower(q *CSR, opts SteadyStateOptions) ([]float64, error) {
 			o.Stats.FinalDiff = diff
 		}
 		if diff < o.Tol {
-			return pi, nil
+			// The diff alone can pass while the chain is still drifting;
+			// accept only once the true residual confirms stationarity.
+			resid = residualInf(q, pi, scratch)
+			if o.Stats != nil {
+				o.Stats.Residual = resid
+			}
+			if resid <= o.ResidualTol*maxExit {
+				return append([]float64(nil), pi...), nil
+			}
 		}
 	}
-	return nil, fmt.Errorf("power iteration after %d sweeps: %w", o.MaxIter, ErrNoConvergence)
+	resid = residualInf(q, pi, scratch)
+	if o.Stats != nil {
+		o.Stats.Residual = resid
+	}
+	return nil, fmt.Errorf("power iteration after %d sweeps (residual %.3g): %w", o.MaxIter, resid, ErrNoConvergence)
 }
 
 // SteadyStateGaussSeidel computes the stationary distribution of generator Q
 // by Gauss–Seidel (optionally SOR) sweeps on the balance equations
 // πQ = 0 rewritten per-state as π_j = Σ_{i≠j} π_i q_ij / (−q_jj).
-// It operates on the transposed generator for column access.
+// It operates on the transposed generator for column access; pass
+// Options.Transposed to reuse a cached Qᵀ across repeated solves.
 func SteadyStateGaussSeidel(q *CSR, opts SteadyStateOptions) ([]float64, error) {
 	if q.Rows() != q.Cols() {
 		return nil, fmt.Errorf("generator is %dx%d, want square: %w", q.Rows(), q.Cols(), ErrShape)
@@ -139,16 +249,35 @@ func SteadyStateGaussSeidel(q *CSR, opts SteadyStateOptions) ([]float64, error) 
 	if n == 0 {
 		return nil, fmt.Errorf("empty generator: %w", ErrShape)
 	}
-	qt := q.Transpose() // row j of qt holds incoming rates q_ij for state j
-	diag := make([]float64, n)
+	qt := o.Transposed
+	if qt == nil {
+		qt = q.Transpose() // row j of qt holds incoming rates q_ij for state j
+	} else if qt.Rows() != n || qt.Cols() != n {
+		return nil, fmt.Errorf("transposed generator is %dx%d, want %dx%d: %w",
+			qt.Rows(), qt.Cols(), n, n, ErrShape)
+	}
+	ws := o.Workspace
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.grow(n)
+	diag := ws.diag
+	var maxExit float64
 	for j := 0; j < n; j++ {
 		diag[j] = -q.At(j, j)
+		if diag[j] > maxExit {
+			maxExit = diag[j]
+		}
 	}
-	pi := make([]float64, n)
-	for i := range pi {
-		pi[i] = 1 / float64(n)
+	pi, prev, scratch := ws.pi, ws.prev, ws.scratch
+	warm := seedIterate(pi, o.X0)
+	if !warm {
+		uniformIterate(pi)
 	}
-	prev := make([]float64, n)
+	if o.Stats != nil {
+		*o.Stats = IterStats{WarmStart: warm}
+	}
+	var resid float64
 	for iter := 1; iter <= o.MaxIter; iter++ {
 		copy(prev, pi)
 		for j := 0; j < n; j++ {
@@ -188,10 +317,24 @@ func SteadyStateGaussSeidel(q *CSR, opts SteadyStateOptions) ([]float64, error) 
 			o.Stats.FinalDiff = diff
 		}
 		if diff < o.Tol {
-			return pi, nil
+			// The sweep-to-sweep diff is necessary but not sufficient: an
+			// under-relaxed or slowly-converging sweep can move less than
+			// Tol per sweep while ‖πQ‖∞ is still large. Accept only when
+			// the true residual confirms the balance equations hold.
+			resid = residualInf(q, pi, scratch)
+			if o.Stats != nil {
+				o.Stats.Residual = resid
+			}
+			if maxExit == 0 || resid <= o.ResidualTol*maxExit {
+				return append([]float64(nil), pi...), nil
+			}
 		}
 	}
-	return nil, fmt.Errorf("gauss-seidel after %d sweeps: %w", o.MaxIter, ErrNoConvergence)
+	resid = residualInf(q, pi, scratch)
+	if o.Stats != nil {
+		o.Stats.Residual = resid
+	}
+	return nil, fmt.Errorf("gauss-seidel after %d sweeps (residual %.3g): %w", o.MaxIter, resid, ErrNoConvergence)
 }
 
 func normalizeInPlace(v []float64) {

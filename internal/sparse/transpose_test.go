@@ -1,0 +1,93 @@
+package sparse
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestTransposeEquivalence cross-checks the counting transpose against a
+// brute-force element comparison on shapes that exercise its edge cases:
+// duplicate triplets (coalesced upstream), empty rows and columns,
+// non-square matrices, and the empty matrix.
+func TestTransposeEquivalence(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name       string
+		rows, cols int
+		entries    []Entry
+	}{
+		{"empty", 3, 4, nil},
+		{"single", 1, 1, []Entry{{0, 0, 2}}},
+		{"duplicates", 3, 3, []Entry{{0, 1, 1}, {0, 1, 2}, {2, 0, 5}, {2, 0, -1}}},
+		{"empty-rows-cols", 4, 5, []Entry{{1, 3, 7}, {3, 0, 2}}},
+		{"wide", 2, 6, []Entry{{0, 5, 1}, {0, 0, 2}, {1, 3, 3}}},
+		{"tall", 6, 2, []Entry{{5, 0, 1}, {0, 1, 2}, {3, 1, 3}}},
+	}
+	for _, tc := range cases {
+		m, err := NewCSR(tc.rows, tc.cols, tc.entries)
+		if err != nil {
+			t.Fatalf("%s: NewCSR: %v", tc.name, err)
+		}
+		tr := m.Transpose()
+		if tr.Rows() != tc.cols || tr.Cols() != tc.rows {
+			t.Fatalf("%s: shape = %dx%d, want %dx%d", tc.name, tr.Rows(), tr.Cols(), tc.cols, tc.rows)
+		}
+		if tr.NNZ() != m.NNZ() {
+			t.Fatalf("%s: NNZ = %d, want %d", tc.name, tr.NNZ(), m.NNZ())
+		}
+		for i := 0; i < tc.rows; i++ {
+			for j := 0; j < tc.cols; j++ {
+				if m.At(i, j) != tr.At(j, i) {
+					t.Fatalf("%s: At(%d,%d) = %g, transpose At(%d,%d) = %g",
+						tc.name, i, j, m.At(i, j), j, i, tr.At(j, i))
+				}
+			}
+		}
+		assertRowsSorted(t, tc.name, tr)
+	}
+}
+
+// TestTransposeRandomRoundTrip fuzzes rectangular matrices and checks that
+// transposing twice reproduces the original structure exactly and that the
+// transposed rows stay column-sorted (At's binary search depends on it).
+func TestTransposeRandomRoundTrip(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		nnz := rng.Intn(rows * cols * 2) // duplicates likely
+		entries := make([]Entry, nnz)
+		for k := range entries {
+			entries[k] = Entry{rng.Intn(rows), rng.Intn(cols), 1 + rng.Float64()}
+		}
+		m, err := NewCSR(rows, cols, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := m.Transpose()
+		assertRowsSorted(t, "transpose", tr)
+		back := tr.Transpose()
+		if back.Rows() != m.Rows() || back.Cols() != m.Cols() || back.NNZ() != m.NNZ() {
+			t.Fatalf("round trip changed shape/nnz: %dx%d/%d vs %dx%d/%d",
+				back.Rows(), back.Cols(), back.NNZ(), m.Rows(), m.Cols(), m.NNZ())
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if m.At(i, j) != back.At(i, j) {
+					t.Fatalf("round trip changed (%d,%d): %g vs %g", i, j, back.At(i, j), m.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func assertRowsSorted(t *testing.T, name string, m *CSR) {
+	t.Helper()
+	for i := 0; i < m.Rows(); i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		if !sort.IntsAreSorted(m.colIdx[lo:hi]) {
+			t.Fatalf("%s: row %d columns not sorted: %v", name, i, m.colIdx[lo:hi])
+		}
+	}
+}

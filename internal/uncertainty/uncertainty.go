@@ -110,16 +110,24 @@ type Result struct {
 
 // RunDiagnostics reports the runtime behavior of one analysis.
 type RunDiagnostics struct {
-	// SamplesSolved is the number of per-sample solves performed.
+	// SamplesSolved is the number of per-sample solves that succeeded.
+	// Failed solves are counted in SamplesFailed, not here: mixing them in
+	// would inflate the apparent throughput of a failing run and bias the
+	// latency summary with error-path timings.
 	SamplesSolved int
+	// SamplesFailed is the number of per-sample solves that returned an
+	// error (0 on a clean run).
+	SamplesFailed int
 	// Parallelism is the worker count actually used.
 	Parallelism int
 	// Wall is the end-to-end solve-phase duration.
 	Wall time.Duration
-	// SolveTotal is the summed duration of the individual solves; with
-	// Parallelism 1 it approximates Wall.
+	// SolveTotal is the summed duration of all solve attempts, successes
+	// and failures alike — the pool's total busy time, which is what
+	// Utilization is computed from. With Parallelism 1 it approximates Wall.
 	SolveTotal time.Duration
-	// MinSolve/MeanSolve/MaxSolve summarize per-sample solve latency.
+	// MinSolve/MeanSolve/MaxSolve summarize the solve latency of
+	// successful samples only.
 	MinSolve, MeanSolve, MaxSolve time.Duration
 	// Utilization is SolveTotal / (Wall × Parallelism): the fraction of
 	// worker-pool capacity spent inside the solver (1 = perfectly busy).
@@ -128,17 +136,22 @@ type RunDiagnostics struct {
 
 // String renders a one-line summary for CLI --stats reports.
 func (d RunDiagnostics) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"samples=%d workers=%d wall=%v solve-latency(min/mean/max)=%v/%v/%v utilization=%.1f%%",
 		d.SamplesSolved, d.Parallelism, d.Wall.Round(time.Microsecond),
 		d.MinSolve.Round(time.Microsecond), d.MeanSolve.Round(time.Microsecond),
 		d.MaxSolve.Round(time.Microsecond), d.Utilization*100)
+	if d.SamplesFailed > 0 {
+		s += fmt.Sprintf(" failed=%d", d.SamplesFailed)
+	}
+	return s
 }
 
 // Monte-Carlo metrics, reported to the default obs registry.
 var (
 	obsRuns          = obs.C("uncertainty_runs_total", "completed uncertainty analyses")
-	obsSamplesSolved = obs.C("uncertainty_samples_solved_total", "per-sample model solves performed")
+	obsSamplesSolved = obs.C("uncertainty_samples_solved_total", "per-sample model solves that succeeded")
+	obsSampleFailed  = obs.C("uncertainty_sample_failures_total", "per-sample model solves that returned an error")
 	obsSampleSeconds = obs.H("uncertainty_sample_solve_seconds", "per-sample solve latency", obs.DurationBuckets)
 	obsUtilization   = obs.G("uncertainty_worker_utilization", "solve-time share of worker-pool capacity in the most recent run")
 )
@@ -255,13 +268,18 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 		}
 	}
 
-	// Latency bookkeeping: per-worker locals merged at the end.
+	// Latency bookkeeping: per-worker locals merged at the end. Busy time
+	// (SolveTotal) covers every attempt — that is the pool utilization —
+	// while the min/mean/max latency summary covers successes only, so a
+	// fast-failing error path cannot masquerade as good solve latency.
 	var (
-		solvedCount atomic.Int64
-		aggMu       sync.Mutex
-		aggTotal    time.Duration
-		aggMin      time.Duration = math.MaxInt64
-		aggMax      time.Duration
+		okCount   atomic.Int64
+		failCount atomic.Int64
+		aggMu     sync.Mutex
+		aggBusy   time.Duration
+		aggOK     time.Duration
+		aggMin    time.Duration = math.MaxInt64
+		aggMax    time.Duration
 	)
 
 	indices := make(chan int)
@@ -270,7 +288,7 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			var localTotal, localMin, localMax time.Duration
+			var localBusy, localOK, localMin, localMax time.Duration
 			localMin = math.MaxInt64
 			for i := range indices {
 				// Skip samples above the lowest known failure: everything
@@ -286,24 +304,28 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 				d, err := solve(res.Samples[i].Assignment)
 				dt := sampleTimer.Stop()
 				sp.End()
-				solvedCount.Add(1)
+				localBusy += dt
+				if err != nil {
+					failCount.Add(1)
+					obsSampleFailed.Inc()
+					recordFail(i, err)
+					continue
+				}
+				okCount.Add(1)
 				obsSamplesSolved.Inc()
-				localTotal += dt
+				localOK += dt
 				if dt < localMin {
 					localMin = dt
 				}
 				if dt > localMax {
 					localMax = dt
 				}
-				if err != nil {
-					recordFail(i, err)
-					continue
-				}
 				res.Samples[i].DowntimeMinutes = d
 				res.Downtimes[i] = d
 			}
 			aggMu.Lock()
-			aggTotal += localTotal
+			aggBusy += localBusy
+			aggOK += localOK
 			if localMin < aggMin {
 				aggMin = localMin
 			}
@@ -320,22 +342,25 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 	wg.Wait()
 
 	wall := time.Since(start)
-	runSpan.Attr(trace.Int("solved", solvedCount.Load()))
+	runSpan.Attr(
+		trace.Int("solved", okCount.Load()),
+		trace.Int("failed", failCount.Load()))
 	runSpan.End()
-	solved := int(solvedCount.Load())
+	solved := int(okCount.Load())
 	diag := RunDiagnostics{
 		SamplesSolved: solved,
+		SamplesFailed: int(failCount.Load()),
 		Parallelism:   parallelism,
 		Wall:          wall,
-		SolveTotal:    aggTotal,
+		SolveTotal:    aggBusy,
 		MaxSolve:      aggMax,
 	}
 	if solved > 0 {
 		diag.MinSolve = aggMin
-		diag.MeanSolve = aggTotal / time.Duration(solved)
+		diag.MeanSolve = aggOK / time.Duration(solved)
 	}
 	if wall > 0 && parallelism > 0 {
-		diag.Utilization = float64(aggTotal) / (float64(wall) * float64(parallelism))
+		diag.Utilization = float64(aggBusy) / (float64(wall) * float64(parallelism))
 	}
 	res.Diag = diag
 	obsUtilization.Set(diag.Utilization)

@@ -23,15 +23,16 @@ fmt-check:
 
 # Pre-merge verification: formatting, build, vet, the full test suite,
 # a race-detector pass over the packages with concurrent hot paths (the
-# metrics registry, the flight recorder, the solver workspaces, the
-# sweep/Monte-Carlo worker pools, the DES testbed, the HTTP handlers),
-# and a benchmark smoke run (1 iteration each) to catch bit-rot in the
-# bench harness.
+# metrics registry, the flight recorder, the shared worker pool, the
+# solver workspaces, the sweep/Monte-Carlo drivers, the replicated
+# measurement campaigns, the DES testbed, the HTTP handlers), and a
+# benchmark smoke run (1 iteration each) to catch bit-rot in the bench
+# harness.
 verify: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/httpapi/...
+	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/...
 	$(GO) run ./cmd/bench-record -bench 'Table2|SteadyStateGS200|SweepParallel' -benchtime 1x -out /tmp/bench-smoke.json
 
 # Short traced fault-injection campaign: writes /tmp/jsas-trace.jsonl and
@@ -44,11 +45,14 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # One benchmark iteration per table/figure: regenerates the paper's rows
-# as b.ReportMetric values, and records the repeated-solve benchmarks to
-# BENCH_PR3.json as the machine-readable performance baseline.
+# as b.ReportMetric values, and records the repeated-solve and replicated
+# measurement benchmarks as machine-readable performance baselines
+# (BENCH_PR3.json for the solver side, BENCH_PR4.json for the measurement
+# side).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table' -benchtime 20x -out BENCH_PR3.json
+	$(GO) run ./cmd/bench-record -bench 'Campaign(Unsharded|Replicated)|LongevitySeries' -benchtime 10x -out BENCH_PR4.json
 
 # Full paper reproduction to stdout.
 reproduce:

@@ -161,6 +161,62 @@ func BenchmarkFaultInjectionCampaign(b *testing.B) {
 	b.ReportMetric(rate*100, "recovery-%")
 }
 
+// benchmarkCampaignReplicated runs a 2000-injection campaign sharded over
+// the given replica count at the given worker count. Unsharded vs the
+// replicated variants measures the wall-clock win of replicated
+// measurement (sharding alone already wins: per-replica clusters keep the
+// per-injection stats snapshots small); Serial vs Parallel4 isolates the
+// multi-core speedup. The merged reports are identical by construction.
+func benchmarkCampaignReplicated(b *testing.B, replicas, parallelism int) {
+	b.Helper()
+	p := DefaultParams()
+	p.FIR = 0
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		rep, err := faultinject.RunReplicated(faultinject.ReplicatedOptions{
+			Options: faultinject.Options{
+				Config: Config1, Params: p, Seed: int64(i), Injections: 2000,
+			},
+			Replicas:    replicas,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = rep.SuccessRate()
+	}
+	b.ReportMetric(rate*100, "recovery-%")
+}
+
+func BenchmarkCampaignUnsharded(b *testing.B)           { benchmarkCampaignReplicated(b, 1, 1) }
+func BenchmarkCampaignReplicatedSerial(b *testing.B)    { benchmarkCampaignReplicated(b, 4, 1) }
+func BenchmarkCampaignReplicatedParallel4(b *testing.B) { benchmarkCampaignReplicated(b, 4, 4) }
+
+// benchmarkLongevitySeries runs 4 × 7-day longevity runs at the given
+// worker count (paper: "multiple 7-day duration runs", pooled).
+func benchmarkLongevitySeries(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.RunSeriesWith(workload.SeriesOptions{
+			Run: workload.RunOptions{
+				Config:          Config1,
+				Params:          DefaultParams(),
+				Profile:         workload.Marketplace(),
+				Duration:        7 * 24 * time.Hour,
+				Seed:            int64(i),
+				OrganicFailures: true, // event-rich runs, so timing reflects simulation work
+			},
+			Runs:        4,
+			Parallelism: parallelism,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLongevitySeriesSerial(b *testing.B)    { benchmarkLongevitySeries(b, 1) }
+func BenchmarkLongevitySeriesParallel4(b *testing.B) { benchmarkLongevitySeries(b, 4) }
+
 // --- Ablation: dense LU vs iterative steady-state solvers ---
 
 func randomChain(b *testing.B, n int) *ctmc.Model {

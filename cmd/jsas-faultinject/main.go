@@ -6,12 +6,17 @@
 // Usage:
 //
 //	jsas-faultinject [-n 3287] [-seed 2004] [-fir 0] [-measure]
-//	                 [-trace out.jsonl]
+//	                 [-replicas 1] [-parallel 0] [-trace out.jsonl]
 //
 // With -trace the campaign is recorded by the flight recorder: every
 // injection, component failure, recovery stage, and system outage becomes
 // a span in a JSONL stream, and the reconstructed per-failure-mode
 // downtime decomposition is printed after the campaign summary.
+//
+// With -replicas R the injections are sharded across R independent
+// replica clusters running concurrently (-parallel caps the workers) and
+// the reports are pooled; the output is identical for every -parallel
+// value, and -replicas 1 is exactly the serial campaign.
 package main
 
 import (
@@ -42,6 +47,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 2004, "random seed")
 	fir := fs.Float64("fir", 0, "ground-truth fraction of imperfect recovery in the simulated testbed")
 	measure := fs.Bool("measure", false, "print measured recovery-time summaries per fault class")
+	replicas := fs.Int("replicas", 1, "shard the campaign across this many independent replica clusters")
+	parallel := fs.Int("parallel", 0, "max replicas running concurrently (0 = one worker per replica)")
 	traceOut := fs.String("trace", "", "record the campaign as a JSONL flight-recorder trace at this path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,16 +69,30 @@ func run(args []string) error {
 		traceBuf = bufio.NewWriter(f)
 		rec = trace.New(trace.Config{Capacity: trace.Unbounded, Sink: traceBuf})
 	}
-	fmt.Printf("Running %d fault injections against a simulated %s testbed...\n\n", *n, jsas.Config1)
-	rep, err := faultinject.Run(faultinject.Options{
-		Config:     jsas.Config1,
-		Params:     params,
-		Seed:       *seed,
-		Injections: *n,
-		Trace:      rec,
+	fmt.Printf("Running %d fault injections against a simulated %s testbed...\n", *n, jsas.Config1)
+	if *replicas > 1 {
+		fmt.Printf("Sharding across %d independent replica clusters.\n", *replicas)
+	}
+	fmt.Println()
+	rep, runErr := faultinject.RunReplicated(faultinject.ReplicatedOptions{
+		Options: faultinject.Options{
+			Config:     jsas.Config1,
+			Params:     params,
+			Seed:       *seed,
+			Injections: *n,
+			Trace:      rec,
+		},
+		Replicas:    *replicas,
+		Parallelism: *parallel,
 	})
-	if err != nil {
-		return err
+	if runErr != nil {
+		if rep == nil || len(rep.Injections) == 0 {
+			return runErr
+		}
+		// Completed injections survive a mid-campaign failure: report the
+		// partial campaign, then exit non-zero below.
+		fmt.Fprintf(os.Stderr, "jsas-faultinject: warning: %v\n", runErr)
+		fmt.Printf("Campaign incomplete: reporting the %d completed injection(s).\n\n", len(rep.Injections))
 	}
 	fmt.Printf("Injections: %d   Successful recoveries: %d (%.2f%%)\n",
 		len(rep.Injections), rep.Successes, rep.SuccessRate()*100)
@@ -141,5 +162,5 @@ func run(args []string) error {
 			rep.Stats.DownTime.Round(time.Millisecond), rep.Stats.UpTime+rep.Stats.DownTime,
 			decomp.TotalDowntime.Round(time.Millisecond))
 	}
-	return nil
+	return runErr
 }

@@ -20,8 +20,17 @@ func TestRunWithGroundTruthFIR(t *testing.T) {
 	}
 }
 
+func TestRunReplicated(t *testing.T) {
+	if err := run([]string{"-n", "24", "-replicas", "3", "-parallel", "2"}); err != nil {
+		t.Fatalf("run -replicas: %v", err)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-n", "0"}); err == nil {
 		t.Fatal("zero injections accepted")
+	}
+	if err := run([]string{"-n", "5", "-replicas", "-2"}); err == nil {
+		t.Fatal("negative replicas accepted")
 	}
 }

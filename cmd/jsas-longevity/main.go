@@ -7,7 +7,14 @@
 // Usage:
 //
 //	jsas-longevity [-days 7] [-profile marketplace|nile] [-seed 1]
-//	               [-organic] [-print-config] [-trace out.jsonl]
+//	               [-organic] [-replicas 1] [-parallel 0]
+//	               [-print-config] [-trace out.jsonl]
+//
+// With -replicas R the tool runs a series of R independent longevity runs
+// (seeds seed..seed+R-1, concurrently up to -parallel workers, as the
+// paper pooled "multiple 7-day duration runs") and reports the pooled
+// Equation (2) bounds; the output is identical for every -parallel value,
+// and -replicas 1 is exactly the single serial run.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/estimate"
 	"repro/internal/jsas"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -36,6 +44,8 @@ func run(args []string) error {
 	profileName := fs.String("profile", "marketplace", "benchmark profile: marketplace or nile")
 	seed := fs.Int64("seed", 1, "random seed")
 	organic := fs.Bool("organic", false, "enable organic failures at the model's rates")
+	replicas := fs.Int("replicas", 1, "run a series of this many independent longevity runs and pool the exposure")
+	parallel := fs.Int("parallel", 0, "max runs executing concurrently (0 = one worker per run)")
 	printConfig := fs.Bool("print-config", false, "print the Table 1 test environment and exit")
 	traceOut := fs.String("trace", "", "record the run as a JSONL flight-recorder trace at this path")
 	if err := fs.Parse(args); err != nil {
@@ -67,7 +77,7 @@ func run(args []string) error {
 		traceBuf = bufio.NewWriter(f)
 		rec = trace.New(trace.Config{Capacity: trace.Unbounded, Sink: traceBuf})
 	}
-	res, err := workload.Run(workload.RunOptions{
+	runOpts := workload.RunOptions{
 		Config:          jsas.Config1,
 		Params:          jsas.DefaultParams(),
 		Profile:         profile,
@@ -75,23 +85,27 @@ func run(args []string) error {
 		Seed:            *seed,
 		OrganicFailures: *organic,
 		Trace:           rec,
-	})
-	if err != nil {
-		return err
 	}
-	fmt.Printf("Longevity run: %s on %s for %d day(s) (load factor %.0f%%)\n\n",
-		profile.Name, res.Config, *days, profile.LoadFactor*100)
-	fmt.Printf("Requests served: %.0f\n", res.RequestsServed)
-	fmt.Printf("Requests failed: %.0f\n", res.RequestsFailed)
-	fmt.Printf("Observed availability: %.6f%%\n", res.Availability*100)
-	fmt.Printf("AS instance failures: %d   System outages: %d\n",
-		res.ASInstanceFailures, res.SystemOutages)
-	fmt.Printf("\nEquation (2) failure-rate upper bounds (exposure %.0f instance-days, %d failure(s)):\n",
-		res.InstanceExposure.Hours()/24, res.ASInstanceFailures)
-	for _, b := range res.RateBounds {
-		perDay := b.PerHour * 24
-		fmt.Printf("  at %.1f%% confidence: λ ≤ %.4f/day (1 per %.1f days; %.1f/year)\n",
-			b.Confidence*100, perDay, 1/perDay, b.PerYear)
+	var runErr error
+	if *replicas > 1 {
+		// A partial series still reports (and still flushes the trace
+		// below); runErr makes the exit status reflect the failure.
+		runErr = runSeries(runOpts, *replicas, *parallel, *days)
+	} else {
+		res, err := workload.Run(runOpts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Longevity run: %s on %s for %d day(s) (load factor %.0f%%)\n\n",
+			profile.Name, res.Config, *days, profile.LoadFactor*100)
+		fmt.Printf("Requests served: %.0f\n", res.RequestsServed)
+		fmt.Printf("Requests failed: %.0f\n", res.RequestsFailed)
+		fmt.Printf("Observed availability: %.6f%%\n", res.Availability*100)
+		fmt.Printf("AS instance failures: %d   System outages: %d\n",
+			res.ASInstanceFailures, res.SystemOutages)
+		fmt.Printf("\nEquation (2) failure-rate upper bounds (exposure %.0f instance-days, %d failure(s)):\n",
+			res.InstanceExposure.Hours()/24, res.ASInstanceFailures)
+		printRateBounds(res.RateBounds)
 	}
 	if rec != nil {
 		if err := rec.SinkErr(); err != nil {
@@ -109,7 +123,47 @@ func run(args []string) error {
 			return err
 		}
 	}
-	return nil
+	return runErr
+}
+
+// runSeries executes and reports a replicated longevity series: replicas
+// independent runs pooled for the Equation (2) bound, as the paper pooled
+// its repeated 7-day runs.
+func runSeries(runOpts workload.RunOptions, replicas, parallel, days int) error {
+	series, runErr := workload.RunSeriesWith(workload.SeriesOptions{
+		Run:         runOpts,
+		Runs:        replicas,
+		Parallelism: parallel,
+	})
+	if runErr != nil {
+		if series == nil || len(series.Runs) == 0 {
+			return runErr
+		}
+		fmt.Fprintf(os.Stderr, "jsas-longevity: warning: %v\n", runErr)
+		fmt.Printf("Series incomplete: pooling the %d completed run(s).\n\n", len(series.Runs))
+	}
+	fmt.Printf("Longevity series: %s on %s, %d × %d-day runs (load factor %.0f%%)\n\n",
+		runOpts.Profile.Name, runOpts.Config, replicas, days, runOpts.Profile.LoadFactor*100)
+	totalOutages := 0
+	for i, r := range series.Runs {
+		fmt.Printf("  run %d: %.0f requests, availability %.6f%%, %d AS failure(s), %d outage(s)\n",
+			i+1, r.RequestsServed, r.Availability*100, r.ASInstanceFailures, r.SystemOutages)
+		totalOutages += r.SystemOutages
+	}
+	fmt.Printf("\nPooled: %.0f requests, %d AS instance failure(s), %d system outage(s)\n",
+		series.TotalRequests, series.TotalFailures, totalOutages)
+	fmt.Printf("\nEquation (2) failure-rate upper bounds (pooled exposure %.0f instance-days, %d failure(s)):\n",
+		series.TotalExposure.Hours()/24, series.TotalFailures)
+	printRateBounds(series.PooledBounds)
+	return runErr
+}
+
+func printRateBounds(bounds []estimate.FailureRateBound) {
+	for _, b := range bounds {
+		perDay := b.PerHour * 24
+		fmt.Printf("  at %.1f%% confidence: λ ≤ %.4f/day (1 per %.1f days; %.1f/year)\n",
+			b.Confidence*100, perDay, 1/perDay, b.PerYear)
+	}
 }
 
 // renderTable1 prints the paper's Table 1 test environment layout.

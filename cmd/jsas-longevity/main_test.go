@@ -14,6 +14,12 @@ func TestRunNileOrganic(t *testing.T) {
 	}
 }
 
+func TestRunSeriesReplicated(t *testing.T) {
+	if err := run([]string{"-days", "1", "-replicas", "3", "-parallel", "2", "-organic"}); err != nil {
+		t.Fatalf("run -replicas: %v", err)
+	}
+}
+
 func TestRunPrintConfig(t *testing.T) {
 	if err := run([]string{"-print-config"}); err != nil {
 		t.Fatalf("run -print-config: %v", err)

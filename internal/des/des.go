@@ -89,6 +89,17 @@ func (s *Sim) Schedule(delay time.Duration, fn func()) error {
 	return nil
 }
 
+// NextEventAt returns the virtual time of the earliest pending event and
+// whether one exists. Campaign drivers use it to advance the simulation
+// event-by-event — measured intervals (e.g. recovery times) are then exact
+// to the simulator's clock instead of quantized to a polling step.
+func (s *Sim) NextEventAt() (time.Duration, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
 // Run processes events in time order until the virtual clock would pass
 // until, the queue drains, or Stop is called. The clock is left at until
 // (or at the stop/drain time if earlier events stopped it).

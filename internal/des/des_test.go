@@ -348,3 +348,34 @@ func TestProcessedCountsEvents(t *testing.T) {
 		t.Fatalf("Processed after idle run = %d, want 5", got)
 	}
 }
+
+func TestNextEventAt(t *testing.T) {
+	t.Parallel()
+	sim := New(1)
+	if _, ok := sim.NextEventAt(); ok {
+		t.Fatal("empty queue reported a next event")
+	}
+	if err := sim.Schedule(5*time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Schedule(2*time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	at, ok := sim.NextEventAt()
+	if !ok || at != 2*time.Second {
+		t.Fatalf("NextEventAt = %v, %v; want 2s, true", at, ok)
+	}
+	if err := sim.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	at, ok = sim.NextEventAt()
+	if !ok || at != 5*time.Second {
+		t.Fatalf("after draining to 3s: NextEventAt = %v, %v; want 5s, true", at, ok)
+	}
+	if err := sim.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sim.NextEventAt(); ok {
+		t.Fatal("drained queue reported a next event")
+	}
+}

@@ -4,6 +4,10 @@
 // cuts, power pulls) on AS instances and HADB nodes, single- and
 // multi-node (never both nodes of a pair), each followed by a recovery
 // verdict. The campaign report feeds the Equation (1) coverage estimator.
+//
+// Run drives one cluster serially, as the paper's rig did; RunReplicated
+// shards a campaign across independent replica clusters and pools the
+// results (replicated.go).
 package faultinject
 
 import (
@@ -13,12 +17,35 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/jsas"
+	"repro/internal/obs"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
 
 // ErrBadCampaign is reported for invalid campaign options.
 var ErrBadCampaign = errors.New("faultinject: invalid campaign")
+
+// Campaign metrics, reported to the default obs registry.
+var (
+	obsInjections      = obs.C("faultinject_injections_total", "fault injections performed")
+	obsReplicaFailures = obs.C("faultinject_replica_failures_total", "campaign replicas that failed mid-run")
+)
+
+// Fraction returns a pointer to v, for the Options fraction fields. The
+// fields are pointers so that an explicit 0 (an HADB-only campaign, or a
+// campaign with multi-node injections disabled) is distinguishable from
+// "unset, use the default".
+func Fraction(v float64) *float64 { return &v }
+
+// Default fraction values used when the corresponding Options field is nil.
+const (
+	// DefaultASFraction is the default probability an injection targets an
+	// AS instance (the automated campaign focused on HADB).
+	DefaultASFraction = 0.3
+	// DefaultMultiNodeFraction is the default probability an HADB
+	// injection simultaneously hits a second node in a different pair.
+	DefaultMultiNodeFraction = 0.1
+)
 
 // Options configures a campaign.
 type Options struct {
@@ -33,13 +60,16 @@ type Options struct {
 	// Faults restricts the taxonomy (empty = all fault types).
 	Faults []testbed.Fault
 	// ASFraction is the probability an injection targets an AS instance
-	// rather than an HADB node (default 0.3 — the automated campaign
-	// focused on HADB).
-	ASFraction float64
+	// rather than an HADB node. nil means DefaultASFraction (0.3); set an
+	// explicit value with Fraction — Fraction(0) requests an HADB-only
+	// campaign, Fraction(1) an AS-only one.
+	ASFraction *float64
 	// MultiNodeFraction is the probability an HADB injection
 	// simultaneously hits a second node in a *different* pair (paper:
-	// "multi-node (not in a pair) failures were induced"). Default 0.1.
-	MultiNodeFraction float64
+	// "multi-node (not in a pair) failures were induced"). nil means
+	// DefaultMultiNodeFraction (0.1); Fraction(0) disables multi-node
+	// injections entirely.
+	MultiNodeFraction *float64
 	// RecoveryTimeout bounds how long the campaign waits for full cluster
 	// health after an injection before declaring the recovery failed.
 	// Default 4 h (covers HW physical repair).
@@ -51,6 +81,22 @@ type Options struct {
 	// campaign root, one span per injection, and — via the testbed tracer —
 	// component failure / recovery-stage / outage spans beneath each.
 	Trace *trace.Recorder
+}
+
+// asFraction resolves the AS-target probability.
+func (o Options) asFraction() float64 {
+	if o.ASFraction == nil {
+		return DefaultASFraction
+	}
+	return *o.ASFraction
+}
+
+// multiNodeFraction resolves the multi-node probability.
+func (o Options) multiNodeFraction() float64 {
+	if o.MultiNodeFraction == nil {
+		return DefaultMultiNodeFraction
+	}
+	return *o.MultiNodeFraction
 }
 
 // Injection records one experiment.
@@ -70,18 +116,23 @@ type Injection struct {
 type Report struct {
 	Config     jsas.Config
 	Injections []Injection
+	// Replicas is the number of independent replica clusters pooled into
+	// this report (1 for a serial campaign).
+	Replicas int
 	// Successes counts recoveries with no system outage.
 	Successes int
 	// ByFault counts injections per fault type.
 	ByFault map[testbed.Fault]int
-	// CoverageBounds holds the Equation (1) bounds at each confidence.
+	// CoverageBounds holds the Equation (1) bounds at each confidence,
+	// computed over the pooled injection counts.
 	CoverageBounds []estimate.CoverageBound
 	// RecoveryTimes collects per-(component/fault-class) observed
 	// recovery durations for the §5 parameter estimates.
 	RecoveryTimes map[string][]time.Duration
 	// Stats is the cluster's own availability accounting for the campaign
 	// run — the ground truth the trace-based decomposition is checked
-	// against.
+	// against. For a replicated report it is the per-replica Stats merged
+	// with testbed.Stats.Merge.
 	Stats testbed.Stats
 }
 
@@ -96,21 +147,23 @@ func (r *Report) SuccessRate() float64 {
 // Run executes a campaign on a fresh cluster. Injections are performed
 // sequentially: the campaign waits for full health (or the timeout)
 // between experiments, as the paper's rigs did.
+//
+// If the cluster fails to settle (or an injection cannot be placed)
+// mid-campaign, Run returns the partial Report — every completed
+// injection, with stats, recovery-time samples, and Equation (1) bounds
+// computed over the completed portion — alongside the error, so a long
+// campaign never loses finished work to one stuck recovery.
 func Run(opts Options) (*Report, error) {
 	if opts.Injections <= 0 {
 		return nil, fmt.Errorf("injections = %d: %w", opts.Injections, ErrBadCampaign)
 	}
-	if opts.ASFraction < 0 || opts.ASFraction > 1 {
-		return nil, fmt.Errorf("ASFraction = %g: %w", opts.ASFraction, ErrBadCampaign)
+	asFraction := opts.asFraction()
+	if asFraction < 0 || asFraction > 1 {
+		return nil, fmt.Errorf("ASFraction = %g: %w", asFraction, ErrBadCampaign)
 	}
-	if opts.ASFraction == 0 {
-		opts.ASFraction = 0.3
-	}
-	if opts.MultiNodeFraction < 0 || opts.MultiNodeFraction > 1 {
-		return nil, fmt.Errorf("MultiNodeFraction = %g: %w", opts.MultiNodeFraction, ErrBadCampaign)
-	}
-	if opts.MultiNodeFraction == 0 {
-		opts.MultiNodeFraction = 0.1
+	multiNodeFraction := opts.multiNodeFraction()
+	if multiNodeFraction < 0 || multiNodeFraction > 1 {
+		return nil, fmt.Errorf("MultiNodeFraction = %g: %w", multiNodeFraction, ErrBadCampaign)
 	}
 	if opts.RecoveryTimeout <= 0 {
 		opts.RecoveryTimeout = 4 * time.Hour
@@ -121,7 +174,7 @@ func Run(opts Options) (*Report, error) {
 	if len(opts.Confidences) == 0 {
 		opts.Confidences = []float64{0.95, 0.995}
 	}
-	if opts.Config.HADBPairs == 0 && opts.ASFraction < 1 {
+	if opts.Config.HADBPairs == 0 && asFraction < 1 {
 		return nil, fmt.Errorf("campaign needs HADB pairs or ASFraction=1: %w", ErrBadCampaign)
 	}
 	var (
@@ -151,18 +204,22 @@ func Run(opts Options) (*Report, error) {
 	rng := cluster.Sim().RNG()
 	rep := &Report{
 		Config:        opts.Config,
+		Replicas:      1,
 		ByFault:       make(map[testbed.Fault]int),
 		RecoveryTimes: make(map[string][]time.Duration),
 	}
+	var runErr error
 	for i := 0; i < opts.Injections; i++ {
 		if err := waitHealthy(cluster, opts.RecoveryTimeout); err != nil {
-			return nil, fmt.Errorf("faultinject: cluster did not settle before injection %d: %w", i, err)
+			runErr = fmt.Errorf("faultinject: cluster did not settle before injection %d: %w", i, err)
+			break
 		}
 		fault := opts.Faults[rng.Intn(len(opts.Faults))]
 		inj := Injection{At: cluster.Now(), Fault: fault}
 		kind, err := fault.Kind()
 		if err != nil {
-			return nil, fmt.Errorf("faultinject: injection %d: %w", i, err)
+			runErr = fmt.Errorf("faultinject: injection %d: %w", i, err)
+			break
 		}
 		// Count closed-or-open outages before injecting: an injection that
 		// opens an outage must not count it as pre-existing.
@@ -175,12 +232,14 @@ func Run(opts Options) (*Report, error) {
 		if tracer != nil {
 			tracer.SetParent(injSpan)
 		}
-		if rng.Float64() < opts.ASFraction {
+		if rng.Float64() < asFraction {
 			id := rng.Intn(opts.Config.ASInstances)
 			inj.Target = fmt.Sprintf("as-%d", id)
 			injSpan.Attr(trace.String(trace.AttrComponent, testbed.ComponentAS.String()))
 			if err := cluster.InjectAS(id, fault); err != nil {
-				return nil, fmt.Errorf("faultinject: injection %d: %w", i, err)
+				injSpan.EndAt(cluster.Now())
+				runErr = fmt.Errorf("faultinject: injection %d: %w", i, err)
+				break
 			}
 		} else {
 			pair := rng.Intn(opts.Config.HADBPairs)
@@ -188,13 +247,17 @@ func Run(opts Options) (*Report, error) {
 			inj.Target = fmt.Sprintf("hadb-%d/%d", pair, slot)
 			injSpan.Attr(trace.String(trace.AttrComponent, testbed.ComponentHADB.String()))
 			if err := cluster.InjectHADB(pair, slot, fault); err != nil {
-				return nil, fmt.Errorf("faultinject: injection %d: %w", i, err)
+				injSpan.EndAt(cluster.Now())
+				runErr = fmt.Errorf("faultinject: injection %d: %w", i, err)
+				break
 			}
 			// Multi-node: a simultaneous second injection in another pair.
-			if opts.Config.HADBPairs > 1 && rng.Float64() < opts.MultiNodeFraction {
+			if opts.Config.HADBPairs > 1 && rng.Float64() < multiNodeFraction {
 				other := (pair + 1 + rng.Intn(opts.Config.HADBPairs-1)) % opts.Config.HADBPairs
 				if err := cluster.InjectHADB(other, rng.Intn(2), fault); err != nil {
-					return nil, fmt.Errorf("faultinject: injection %d (multi-node): %w", i, err)
+					injSpan.EndAt(cluster.Now())
+					runErr = fmt.Errorf("faultinject: injection %d (multi-node): %w", i, err)
+					break
 				}
 				inj.MultiNode = true
 			}
@@ -216,6 +279,7 @@ func Run(opts Options) (*Report, error) {
 		injSpan.EndAt(cluster.Now())
 		rep.ByFault[fault]++
 		rep.Injections = append(rep.Injections, inj)
+		obsInjections.Inc()
 	}
 	if tracer != nil {
 		tracer.Close(cluster.Now())
@@ -230,20 +294,25 @@ func Run(opts Options) (*Report, error) {
 		key := fmt.Sprintf("%s/%s", rec.Component, rec.Kind)
 		rep.RecoveryTimes[key] = append(rep.RecoveryTimes[key], rec.Duration)
 	}
-	for _, conf := range opts.Confidences {
-		b, err := estimate.CoverageLowerBound(len(rep.Injections), rep.Successes, conf)
-		if err != nil {
-			return nil, fmt.Errorf("faultinject: %w", err)
+	if len(rep.Injections) > 0 {
+		for _, conf := range opts.Confidences {
+			b, err := estimate.CoverageLowerBound(len(rep.Injections), rep.Successes, conf)
+			if err != nil {
+				return rep, fmt.Errorf("faultinject: %w", err)
+			}
+			rep.CoverageBounds = append(rep.CoverageBounds, b)
 		}
-		rep.CoverageBounds = append(rep.CoverageBounds, b)
 	}
-	return rep, nil
+	return rep, runErr
 }
 
-// waitHealthy advances the simulation in steps until every component is
-// serving, or the timeout elapses.
+// waitHealthy advances the simulation event-by-event until every component
+// is serving, or the timeout elapses. Advancing on event boundaries (not a
+// fixed polling step) makes the measured recovery times exact to the
+// simulator's clock — a fixed step would quantize every
+// Injection.RecoveryTime up to one step above truth, biasing the §5
+// recovery-time estimates.
 func waitHealthy(c *testbed.Cluster, timeout time.Duration) error {
-	const step = 5 * time.Second
 	deadline := c.Now() + timeout
 	for {
 		if healthy(c.Snapshot()) {
@@ -252,7 +321,20 @@ func waitHealthy(c *testbed.Cluster, timeout time.Duration) error {
 		if c.Now() >= deadline {
 			return fmt.Errorf("not healthy after %v: %w", timeout, ErrBadCampaign)
 		}
-		if err := c.Run(c.Now() + step); err != nil {
+		next, ok := c.Sim().NextEventAt()
+		if !ok || next > deadline {
+			// Health only changes on events; none can arrive in time.
+			// Advance to the deadline (charging the unhealthy wait to the
+			// availability accounting) and report the timeout.
+			if err := c.Run(deadline); err != nil {
+				return err
+			}
+			if healthy(c.Snapshot()) {
+				return nil
+			}
+			return fmt.Errorf("not healthy after %v: %w", timeout, ErrBadCampaign)
+		}
+		if err := c.Run(next); err != nil {
 			return err
 		}
 	}

@@ -125,7 +125,7 @@ func TestImperfectRecoveryDetected(t *testing.T) {
 		Params:     p,
 		Seed:       7,
 		Injections: 150,
-		ASFraction: 0.01, // focus on HADB where FIR applies
+		ASFraction: Fraction(0.01), // focus on HADB where FIR applies
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -143,14 +143,14 @@ func TestCampaignValidation(t *testing.T) {
 	if _, err := Run(Options{Config: jsas.Config1, Params: perfectParams(), Injections: 0}); !errors.Is(err, ErrBadCampaign) {
 		t.Errorf("0 injections: err = %v", err)
 	}
-	if _, err := Run(Options{Config: jsas.Config1, Params: perfectParams(), Injections: 1, ASFraction: 2}); !errors.Is(err, ErrBadCampaign) {
+	if _, err := Run(Options{Config: jsas.Config1, Params: perfectParams(), Injections: 1, ASFraction: Fraction(2)}); !errors.Is(err, ErrBadCampaign) {
 		t.Errorf("bad fraction: err = %v", err)
 	}
-	if _, err := Run(Options{Config: jsas.Config1, Params: perfectParams(), Injections: 1, MultiNodeFraction: -1}); !errors.Is(err, ErrBadCampaign) {
+	if _, err := Run(Options{Config: jsas.Config1, Params: perfectParams(), Injections: 1, MultiNodeFraction: Fraction(-1)}); !errors.Is(err, ErrBadCampaign) {
 		t.Errorf("bad multi fraction: err = %v", err)
 	}
 	noHADB := jsas.Config{ASInstances: 2}
-	if _, err := Run(Options{Config: noHADB, Params: perfectParams(), Injections: 1, ASFraction: 0.5}); !errors.Is(err, ErrBadCampaign) {
+	if _, err := Run(Options{Config: noHADB, Params: perfectParams(), Injections: 1, ASFraction: Fraction(0.5)}); !errors.Is(err, ErrBadCampaign) {
 		t.Errorf("no pairs: err = %v", err)
 	}
 	if _, err := Run(Options{Config: jsas.Config{}, Params: perfectParams(), Injections: 1}); err == nil {
@@ -165,7 +165,7 @@ func TestCampaignASOnly(t *testing.T) {
 		Params:     perfectParams(),
 		Seed:       3,
 		Injections: 20,
-		ASFraction: 1,
+		ASFraction: Fraction(1),
 		Faults:     []testbed.Fault{testbed.FaultProcessKill},
 	})
 	if err != nil {
@@ -187,6 +187,111 @@ func TestCampaignASOnly(t *testing.T) {
 	for _, d := range samples {
 		if d > 90*time.Second {
 			t.Errorf("AS recovery %v exceeds 90 s budget", d)
+		}
+	}
+}
+
+// TestCampaignExplicitZeroASFraction: Fraction(0) means HADB-only, not
+// "unset, use the 0.3 default". Before the pointer fields, an explicit 0
+// silently became the default and AS targets leaked into the campaign.
+func TestCampaignExplicitZeroASFraction(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Options{
+		Config:     jsas.Config1,
+		Params:     perfectParams(),
+		Seed:       5,
+		Injections: 80,
+		ASFraction: Fraction(0),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, inj := range rep.Injections {
+		if inj.Target[:5] != "hadb-" {
+			t.Fatalf("ASFraction=Fraction(0) campaign targeted %q", inj.Target)
+		}
+	}
+}
+
+// TestCampaignExplicitZeroMultiNode: Fraction(0) disables multi-node
+// injections; previously an explicit 0 silently became the 0.1 default.
+func TestCampaignExplicitZeroMultiNode(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Options{
+		Config:            jsas.Config1,
+		Params:            perfectParams(),
+		Seed:              5,
+		Injections:        120,
+		ASFraction:        Fraction(0), // all HADB, maximizing multi-node chances
+		MultiNodeFraction: Fraction(0),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, inj := range rep.Injections {
+		if inj.MultiNode {
+			t.Fatalf("injection %d is multi-node despite MultiNodeFraction=Fraction(0)", i)
+		}
+	}
+}
+
+// TestCampaignPartialReportOnError: a campaign that fails mid-run (here a
+// recovery timeout far below the true recovery time) returns the completed
+// injections rather than discarding them with the error.
+func TestCampaignPartialReportOnError(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Options{
+		Config:          jsas.Config1,
+		Params:          perfectParams(),
+		Seed:            9,
+		Injections:      10,
+		RecoveryTimeout: time.Second, // every recovery takes tens of seconds
+	})
+	if err == nil {
+		t.Fatal("expected a settle error with a 1 s recovery timeout")
+	}
+	if !errors.Is(err, ErrBadCampaign) {
+		t.Fatalf("err = %v, want ErrBadCampaign in chain", err)
+	}
+	if rep == nil {
+		t.Fatal("partial report discarded on error")
+	}
+	if len(rep.Injections) == 0 || len(rep.Injections) >= 10 {
+		t.Fatalf("partial injections = %d, want in (0, 10)", len(rep.Injections))
+	}
+	if len(rep.CoverageBounds) != 2 {
+		t.Fatalf("partial report bounds = %d, want 2 (over completed portion)", len(rep.CoverageBounds))
+	}
+	if rep.Stats.UpTime+rep.Stats.DownTime <= 0 {
+		t.Error("partial report missing cluster stats")
+	}
+}
+
+// TestRecoveryTimeExact pins a known injection's measured recovery time to
+// the timing constants: with a fixed 20 s AS restart and a negligible
+// health-check interval, RecoveryTime must be 20 s to simulator precision.
+// The old waitHealthy polled on a 5 s step, quantizing this up to 25 s.
+func TestRecoveryTimeExact(t *testing.T) {
+	t.Parallel()
+	timing := testbed.DefaultTiming()
+	timing.ASRestart = testbed.Fixed(20 * time.Second)
+	timing.HealthCheckInterval = time.Nanosecond
+	rep, err := Run(Options{
+		Config:     jsas.Config{ASInstances: 2},
+		Params:     perfectParams(),
+		Timing:     &timing,
+		Seed:       4,
+		Injections: 5,
+		ASFraction: Fraction(1),
+		Faults:     []testbed.Fault{testbed.FaultProcessKill},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, inj := range rep.Injections {
+		// restart (exact 20 s) + detection delay uniform in [0, 1 ns].
+		if inj.RecoveryTime < 20*time.Second || inj.RecoveryTime > 20*time.Second+2*time.Nanosecond {
+			t.Errorf("injection %d recovery = %v, want 20 s (+≤2 ns detection)", i, inj.RecoveryTime)
 		}
 	}
 }

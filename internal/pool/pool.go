@@ -1,0 +1,106 @@
+// Package pool provides the deterministic index-keyed worker pool shared
+// by the engine's fan-out drivers: Monte-Carlo uncertainty runs, parametric
+// sweeps, replicated fault-injection campaigns, and longevity series. Work
+// items are identified by their index in [0, n); outputs are written by
+// index by the caller's closure, so results are identical at any
+// parallelism level, and the error ultimately reported is the one from the
+// lowest-indexed failing item among those attempted — independent of
+// goroutine scheduling.
+package pool
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes one Run.
+type Options struct {
+	// Workers is the number of worker goroutines (min 1; capped at the
+	// item count).
+	Workers int
+	// ContinueOnError keeps dispatching every remaining index after a
+	// failure. Replicated measurement wants this: each replica is an
+	// independent experiment, so one stuck replica must not discard the
+	// others. Off (the default), indices above the lowest known failing
+	// index are skipped so the pool drains promptly — the solver-sweep
+	// behavior, where a failure invalidates the whole result.
+	ContinueOnError bool
+}
+
+// Run executes fn(worker, index) for every index in [0, n) across a fixed
+// pool of workers. worker identifies the executing goroutine in
+// [0, workers): callers use it to keep per-worker scratch (solver
+// workspaces, latency accumulators) without locking, since one worker
+// never runs two items concurrently.
+//
+// Run returns the error from the lowest-indexed failing item attempted
+// (nil if every item succeeded). With Workers ≤ 1 items run serially in
+// index order on a single worker goroutine, so a one-worker Run is
+// behaviorally identical to a plain loop.
+func Run(n int, opts Options, fn func(worker, index int) error) error {
+	if n <= 0 || fn == nil {
+		return nil
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// minFail is the lowest failing index observed so far (math.MaxInt64
+	// while no failure); workers consult it to drain promptly unless
+	// ContinueOnError. minErr (under mu) holds the matching error.
+	var (
+		minFail atomic.Int64
+		mu      sync.Mutex
+		minIdx  = -1
+		minErr  error
+	)
+	minFail.Store(math.MaxInt64)
+	recordFail := func(i int, err error) {
+		mu.Lock()
+		if minIdx == -1 || i < minIdx {
+			minIdx, minErr = i, err
+		}
+		mu.Unlock()
+		for {
+			cur := minFail.Load()
+			if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range indices {
+				// Skip items above the lowest known failure: everything
+				// below it still gets run, so the failure ultimately
+				// reported is exactly the lowest-indexed one.
+				if !opts.ContinueOnError && int64(i) > minFail.Load() {
+					continue
+				}
+				if err := fn(worker, i); err != nil {
+					recordFail(i, err)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	if minIdx >= 0 {
+		return minErr
+	}
+	return nil
+}

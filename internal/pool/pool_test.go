@@ -1,0 +1,119 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		counts := make([]atomic.Int64, n)
+		err := Run(n, Options{Workers: workers}, func(_, i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndNil(t *testing.T) {
+	t.Parallel()
+	if err := Run(0, Options{}, func(_, _ int) error { return errors.New("x") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	if err := Run(5, Options{}, nil); err != nil {
+		t.Errorf("nil fn: %v", err)
+	}
+}
+
+// TestRunReportsLowestIndexedError: regardless of which worker fails
+// first, the error returned is the one from the lowest failing index.
+func TestRunReportsLowestIndexedError(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 2, 8} {
+		err := Run(50, Options{Workers: workers}, func(_, i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Errorf("workers=%d: err = %v, want the failure at index 3", workers, err)
+		}
+	}
+}
+
+// TestRunContinueOnErrorRunsEverything: with ContinueOnError every index
+// still executes, and the lowest-indexed error is reported.
+func TestRunContinueOnErrorRunsEverything(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 4} {
+		n := 40
+		var ran atomic.Int64
+		err := Run(n, Options{Workers: workers, ContinueOnError: true}, func(_, i int) error {
+			ran.Add(1)
+			if i == 5 || i == 20 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if got := ran.Load(); got != int64(n) {
+			t.Errorf("workers=%d: ran %d of %d items", workers, got, n)
+		}
+		if err == nil || err.Error() != "item 5 failed" {
+			t.Errorf("workers=%d: err = %v, want the failure at index 5", workers, err)
+		}
+	}
+}
+
+// TestRunSerialOrder: one worker visits indices in order, like a plain loop.
+func TestRunSerialOrder(t *testing.T) {
+	t.Parallel()
+	var seen []int
+	_ = Run(20, Options{Workers: 1}, func(_, i int) error {
+		seen = append(seen, i)
+		return nil
+	})
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial order violated at %d: %v", i, seen)
+		}
+	}
+}
+
+// TestRunWorkerConfinement: a worker id is never active twice at once, so
+// per-worker scratch needs no locking.
+func TestRunWorkerConfinement(t *testing.T) {
+	t.Parallel()
+	const workers = 4
+	var mu sync.Mutex
+	active := make(map[int]bool, workers)
+	err := Run(200, Options{Workers: workers}, func(w, _ int) error {
+		mu.Lock()
+		if active[w] {
+			mu.Unlock()
+			return fmt.Errorf("worker %d re-entered", w)
+		}
+		active[w] = true
+		mu.Unlock()
+		mu.Lock()
+		active[w] = false
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,10 +6,8 @@ package sensitivity
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/pool"
 	"repro/internal/trace"
 )
 
@@ -77,70 +75,32 @@ func SweepWith(from, to float64, steps int, solve Solver, opts SweepOptions) ([]
 	}
 	points := make([]Point, n)
 
-	// Failure bookkeeping mirrors uncertainty.solveAll: a shared atomic
-	// holds the lowest failing index seen so workers drain promptly, and
-	// the error finally returned is the one from the lowest-indexed failing
-	// point among those attempted — independent of goroutine scheduling.
-	var (
-		minFail atomic.Int64
-		mu      sync.Mutex
-		minIdx  = -1
-		minErr  error
-	)
-	minFail.Store(math.MaxInt64)
-	recordFail := func(i int, err error) {
-		mu.Lock()
-		if minIdx == -1 || i < minIdx {
-			minIdx, minErr = i, err
+	// The shared deterministic index-keyed pool (internal/pool) writes
+	// points by index and, on failure, drains promptly while reporting the
+	// error from the lowest-indexed failing point among those attempted —
+	// independent of goroutine scheduling.
+	err := pool.Run(n, pool.Options{Workers: parallelism}, func(worker, i int) error {
+		track := "solver"
+		if parallelism > 1 {
+			track = fmt.Sprintf("worker-%d", worker)
 		}
-		mu.Unlock()
-		for {
-			cur := minFail.Load()
-			if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
-				return
-			}
+		v := values[i]
+		ps := trace.Default().Start("sensitivity.point", span,
+			trace.String(trace.AttrTrack, track),
+			trace.Int(trace.AttrIndex, int64(i)),
+			trace.Float("value", v))
+		a, d, err := solve(v)
+		ps.End()
+		if err != nil {
+			return fmt.Errorf("sweep at %g: %w", v, err)
 		}
-	}
-
-	indices := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			track := "solver"
-			if parallelism > 1 {
-				track = fmt.Sprintf("worker-%d", worker)
-			}
-			for i := range indices {
-				if int64(i) > minFail.Load() {
-					continue
-				}
-				v := values[i]
-				ps := trace.Default().Start("sensitivity.point", span,
-					trace.String(trace.AttrTrack, track),
-					trace.Int(trace.AttrIndex, int64(i)),
-					trace.Float("value", v))
-				a, d, err := solve(v)
-				ps.End()
-				if err != nil {
-					recordFail(i, err)
-					continue
-				}
-				points[i] = Point{Value: v, Availability: a, YearlyDowntimeMinutes: d}
-			}
-		}(w)
-	}
-	for i := 0; i < n; i++ {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
-
-	if minIdx >= 0 {
+		points[i] = Point{Value: v, Availability: a, YearlyDowntimeMinutes: d}
+		return nil
+	})
+	if err != nil {
 		span.Attr(trace.Bool("error", true))
 		span.End()
-		return nil, fmt.Errorf("sweep at %g: %w", values[minIdx], minErr)
+		return nil, err
 	}
 	span.End()
 	return points, nil

@@ -29,15 +29,25 @@ func (s Stats) AvailabilityCI(confidence float64) (stats.Interval, error) {
 	// end of outage i−1 to the end of outage i. Unavailability is the
 	// ratio estimator E[down_i]/E[cycle_i]; its standard error follows the
 	// delta method for ratio estimators.
-	n := len(s.Outages)
-	downs := make([]float64, n)
-	cycles := make([]float64, n)
+	downs := make([]float64, 0, len(s.Outages)+1)
+	cycles := make([]float64, 0, len(s.Outages)+1)
 	prevEnd := time.Duration(0)
-	for i, o := range s.Outages {
-		downs[i] = o.Duration().Hours()
-		cycles[i] = (o.End - prevEnd).Hours()
+	for _, o := range s.Outages {
+		downs = append(downs, o.Duration().Hours())
+		cycles = append(cycles, (o.End - prevEnd).Hours())
 		prevEnd = o.End
 	}
+	// Include the trailing partial cycle (standard ratio-estimator
+	// treatment): the healthy tail after the final outage carries zero
+	// downtime but real exposure. Dropping it would bias the estimated
+	// unavailability upward on long-tail histories (the common shape of a
+	// stability run) and detach the interval from Availability(), which
+	// does count that tail.
+	if tail := total - prevEnd; tail > 0 {
+		downs = append(downs, 0)
+		cycles = append(cycles, tail.Hours())
+	}
+	n := len(downs)
 	meanDown := mean(downs)
 	meanCycle := mean(cycles)
 	if meanCycle == 0 {

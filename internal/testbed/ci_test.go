@@ -58,6 +58,91 @@ func TestAvailabilityCICoversModel(t *testing.T) {
 	}
 }
 
+// TestAvailabilityCIBracketsPointOnLongTail is the regression test for
+// the trailing-cycle bug: the renewal cycles used to end at the final
+// outage's End, so a long healthy tail — the common case in stability
+// runs — was dropped from the exposure, inflating estimated unavailability
+// until the CI no longer contained the point estimate.
+func TestAvailabilityCIBracketsPointOnLongTail(t *testing.T) {
+	t.Parallel()
+	s := Stats{
+		UpTime:   997 * time.Hour,
+		DownTime: 3 * time.Hour,
+		Outages: []Outage{
+			{Start: 10 * time.Hour, End: 11 * time.Hour, Cause: ComponentHADB},
+			{Start: 30 * time.Hour, End: 31 * time.Hour, Cause: ComponentHADB},
+			{Start: 50 * time.Hour, End: 51 * time.Hour, Cause: ComponentAS},
+		},
+	}
+	point := s.Availability() // 0.997: 3 h down over 1000 h
+	ci, err := s.AvailabilityCI(0.95)
+	if err != nil {
+		t.Fatalf("AvailabilityCI: %v", err)
+	}
+	if point < ci.Low || point > ci.High {
+		t.Errorf("point estimate %v outside CI (%v, %v) — trailing up-time dropped?",
+			point, ci.Low, ci.High)
+	}
+	if ci.Low >= ci.High {
+		t.Errorf("degenerate CI (%v, %v)", ci.Low, ci.High)
+	}
+
+	// Without the tail (history ends at the last outage) the old and new
+	// treatments coincide: the interval must still bracket the point.
+	noTail := Stats{
+		UpTime:   48 * time.Hour,
+		DownTime: 3 * time.Hour,
+		Outages:  s.Outages,
+	}
+	point = noTail.Availability()
+	ci, err = noTail.AvailabilityCI(0.95)
+	if err != nil {
+		t.Fatalf("AvailabilityCI: %v", err)
+	}
+	if point < ci.Low || point > ci.High {
+		t.Errorf("no-tail point %v outside CI (%v, %v)", point, ci.Low, ci.High)
+	}
+}
+
+func TestStatsMergePoolsAccounting(t *testing.T) {
+	t.Parallel()
+	a := Stats{
+		UpTime: 10 * time.Hour, DownTime: time.Hour,
+		RequestsServed: 100, RequestsFailed: 5,
+		SessionFailovers: 2, SessionRecoverySeconds: 1.5,
+		Outages:    []Outage{{Start: 1 * time.Hour, End: 2 * time.Hour, Cause: ComponentAS}},
+		Recoveries: []Recovery{{Component: ComponentAS, Kind: FailureProcess, Success: true}},
+	}
+	b := Stats{
+		UpTime: 20 * time.Hour, DownTime: 2 * time.Hour,
+		RequestsServed: 200, RequestsFailed: 10,
+		SessionFailovers: 3, SessionRecoverySeconds: 2.5,
+		Outages:    []Outage{{Start: 5 * time.Hour, End: 7 * time.Hour, Cause: ComponentHADB}},
+		Recoveries: []Recovery{{Component: ComponentHADB, Kind: FailureHW, Success: false}},
+	}
+	m := a.Merge(b)
+	if m.UpTime != 30*time.Hour || m.DownTime != 3*time.Hour {
+		t.Errorf("merged durations = %v/%v", m.UpTime, m.DownTime)
+	}
+	if m.RequestsServed != 300 || m.RequestsFailed != 15 {
+		t.Errorf("merged requests = %v/%v", m.RequestsServed, m.RequestsFailed)
+	}
+	if m.SessionFailovers != 5 || m.SessionRecoverySeconds != 4 {
+		t.Errorf("merged failovers = %d/%v", m.SessionFailovers, m.SessionRecoverySeconds)
+	}
+	if len(m.Outages) != 2 || m.Outages[0].Cause != ComponentAS || m.Outages[1].Cause != ComponentHADB {
+		t.Errorf("merged outages = %+v", m.Outages)
+	}
+	if len(m.Recoveries) != 2 {
+		t.Errorf("merged recoveries = %+v", m.Recoveries)
+	}
+	// Merge must not alias the inputs' slices.
+	m.Outages[0].Cause = ComponentHADB
+	if a.Outages[0].Cause != ComponentAS {
+		t.Error("Merge aliased the receiver's Outages slice")
+	}
+}
+
 func TestAvailabilityCIDegenerateCases(t *testing.T) {
 	t.Parallel()
 	var empty Stats

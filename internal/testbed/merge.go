@@ -1,0 +1,28 @@
+package testbed
+
+// Merge pools another cluster's measurements into a copy of s, returning
+// the combined Stats. Replicated campaigns and longevity series use it to
+// aggregate per-replica accounting into one report: durations, request
+// counters, and failover totals add; outage and recovery records
+// concatenate in the order given (callers merge replicas by ascending
+// replica index, keeping the result deterministic).
+//
+// The merged Outages list interleaves independent virtual timelines, so
+// time-ordered analyses of a single run — AvailabilityCI's renewal cycles
+// in particular — are only meaningful on per-replica Stats, not on a
+// merged one. Ratio quantities (Availability) and totals remain exact.
+func (s Stats) Merge(o Stats) Stats {
+	merged := Stats{
+		UpTime:                 s.UpTime + o.UpTime,
+		DownTime:               s.DownTime + o.DownTime,
+		RequestsServed:         s.RequestsServed + o.RequestsServed,
+		RequestsFailed:         s.RequestsFailed + o.RequestsFailed,
+		SessionFailovers:       s.SessionFailovers + o.SessionFailovers,
+		SessionRecoverySeconds: s.SessionRecoverySeconds + o.SessionRecoverySeconds,
+	}
+	merged.Outages = make([]Outage, 0, len(s.Outages)+len(o.Outages))
+	merged.Outages = append(append(merged.Outages, s.Outages...), o.Outages...)
+	merged.Recoveries = make([]Recovery, 0, len(s.Recoveries)+len(o.Recoveries))
+	merged.Recoveries = append(append(merged.Recoveries, s.Recoveries...), o.Recoveries...)
+	return merged
+}

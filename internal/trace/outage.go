@@ -34,6 +34,9 @@ const (
 	AttrRecovered = "recovered"
 	AttrMultiNode = "multi-node"
 	AttrEscalated = "escalated"
+	// AttrReplica tags every span of one replica's timeline in a merged
+	// replicated-measurement trace (see TagReplica).
+	AttrReplica = "replica"
 )
 
 // ModeKey identifies a failure mode: the tier that failed and the failure
@@ -197,7 +200,10 @@ func AnalyzeOutages(spans []Span) *OutageReport {
 			var best *Span
 			for i := range failures {
 				f := &failures[i]
-				if f.AttrString(AttrComponent) != o.Cause || f.Start > sp.Start {
+				// Same trace only: a merged replicated stream interleaves
+				// independent timelines, and a failure span from another
+				// replica must not attribute this replica's outage.
+				if f.Trace != sp.Trace || f.AttrString(AttrComponent) != o.Cause || f.Start > sp.Start {
 					continue
 				}
 				if best == nil || f.Start > best.Start {

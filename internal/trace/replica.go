@@ -1,0 +1,31 @@
+package trace
+
+import "fmt"
+
+// TagReplica returns a copy of spans labeled as replica r's timeline in a
+// merged replicated-measurement trace: every span gains an AttrReplica
+// integer attribute, and its display track is prefixed with "r<r>/" so
+// renderers keep each replica's components on distinct tracks. The input
+// spans are not modified. Pair with Recorder.Import:
+//
+//	merged.Import(trace.TagReplica(replicaRec.Spans(), i))
+func TagReplica(spans []Span, r int) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	prefix := fmt.Sprintf("r%d/", r)
+	out := make([]Span, len(spans))
+	for i, sp := range spans {
+		attrs := make([]Attr, 0, len(sp.Attrs)+1)
+		for _, a := range sp.Attrs {
+			if a.Key == AttrTrack && a.Type == TypeString {
+				a.Str = prefix + a.Str
+			}
+			attrs = append(attrs, a)
+		}
+		attrs = append(attrs, Int(AttrReplica, int64(r)))
+		sp.Attrs = attrs
+		out[i] = sp
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// buildReplicaTrace records a tiny campaign-shaped trace: a root, an
+// injection, a failure under the injection, and an outage under the
+// injection.
+func buildReplicaTrace(t *testing.T) []Span {
+	t.Helper()
+	rec := New(Config{Capacity: Unbounded})
+	root := rec.StartAt(SpanCampaign, 0, nil, String(AttrTrack, "campaign"))
+	inj := rec.StartAt(SpanInjection, time.Second, root,
+		String(AttrTrack, "campaign"),
+		String(AttrComponent, "HADB"), String(AttrKind, "process"),
+		String(AttrFault, "process-kill"))
+	rec.StartAt(SpanFailure, time.Second, inj,
+		String(AttrTrack, "hadb-0/0"),
+		String(AttrComponent, "HADB"), String(AttrKind, "process")).
+		EndAt(40 * time.Second)
+	rec.StartAt(SpanOutage, 2*time.Second, inj,
+		String(AttrTrack, "system"), String(AttrCause, "HADB")).
+		EndAt(10 * time.Second)
+	inj.EndAt(41 * time.Second)
+	root.EndAt(time.Minute)
+	return rec.Spans()
+}
+
+func TestTagReplicaAddsAttrAndTrackPrefix(t *testing.T) {
+	t.Parallel()
+	orig := buildReplicaTrace(t)
+	tagged := TagReplica(orig, 3)
+	if len(tagged) != len(orig) {
+		t.Fatalf("tagged %d spans, want %d", len(tagged), len(orig))
+	}
+	for i, sp := range tagged {
+		a, ok := sp.Attr(AttrReplica)
+		if !ok || a.Int != 3 {
+			t.Errorf("span %d: replica attr = %+v, want 3", i, a)
+		}
+		if tr := sp.AttrString(AttrTrack); tr[:3] != "r3/" {
+			t.Errorf("span %d: track %q missing r3/ prefix", i, tr)
+		}
+	}
+	// Inputs untouched.
+	for i, sp := range orig {
+		if _, ok := sp.Attr(AttrReplica); ok {
+			t.Errorf("input span %d gained a replica attr", i)
+		}
+		if tr := sp.AttrString(AttrTrack); len(tr) >= 3 && tr[:3] == "r3/" {
+			t.Errorf("input span %d track mutated to %q", i, tr)
+		}
+	}
+	if TagReplica(nil, 1) != nil {
+		t.Error("TagReplica(nil) != nil")
+	}
+}
+
+// TestImportMergesReplicasDeterministically: importing two replica dumps
+// yields distinct remapped ID spaces, preserved parent links, and an
+// analyzable merged stream; per-replica outage attribution survives.
+func TestImportMergesReplicasDeterministically(t *testing.T) {
+	t.Parallel()
+	r0 := buildReplicaTrace(t)
+	r1 := buildReplicaTrace(t)
+
+	merged := New(Config{Capacity: Unbounded})
+	merged.Import(TagReplica(r0, 0))
+	merged.Import(TagReplica(r1, 1))
+	spans := merged.Spans()
+	if len(spans) != len(r0)+len(r1) {
+		t.Fatalf("merged %d spans, want %d", len(spans), len(r0)+len(r1))
+	}
+
+	// IDs unique; parent links resolve within the merged set (or are 0).
+	byID := map[SpanID]Span{}
+	for _, sp := range spans {
+		if _, dup := byID[sp.ID]; dup {
+			t.Fatalf("duplicate span ID %d after import", sp.ID)
+		}
+		byID[sp.ID] = sp
+	}
+	traces := map[SpanID]int64{}
+	for _, sp := range spans {
+		if sp.Parent != 0 {
+			p, ok := byID[sp.Parent]
+			if !ok {
+				t.Fatalf("span %d parent %d not in merged set", sp.ID, sp.Parent)
+			}
+			if p.Trace != sp.Trace {
+				t.Fatalf("span %d crosses traces: %d vs parent %d", sp.ID, sp.Trace, p.Trace)
+			}
+		}
+		rep, _ := sp.Attr(AttrReplica)
+		if prev, seen := traces[sp.Trace]; seen && prev != rep.Int {
+			t.Fatalf("trace %d spans two replicas (%d and %d)", sp.Trace, prev, rep.Int)
+		}
+		traces[sp.Trace] = rep.Int
+	}
+	if len(traces) != 2 {
+		t.Fatalf("merged stream has %d traces, want 2", len(traces))
+	}
+
+	// The outage analyzer still reconstructs both replicas' timelines:
+	// one outage per replica, each attributed via its own injection.
+	rep := AnalyzeOutages(spans)
+	if len(rep.Outages) != 2 {
+		t.Fatalf("reconstructed %d outages, want 2", len(rep.Outages))
+	}
+	for i, o := range rep.Outages {
+		if o.Injection == 0 {
+			t.Errorf("outage %d lost its causal injection after merge", i)
+		}
+		if o.Kind != "process" || o.Cause != "HADB" {
+			t.Errorf("outage %d attribution = %s/%s, want HADB/process", i, o.Cause, o.Kind)
+		}
+	}
+	if rep.TotalDowntime != 16*time.Second {
+		t.Errorf("merged downtime = %v, want 16s (2 × 8s)", rep.TotalDowntime)
+	}
+
+	// New native spans allocate above the imported watermark.
+	sp := merged.StartAt("post", 0, nil)
+	for id := range byID {
+		if sp.ID() == id {
+			t.Fatalf("native span reused imported ID %d", id)
+		}
+	}
+}

@@ -263,6 +263,10 @@ func (a *Active) EndOpenAt(at time.Duration) {
 func (r *Recorder) record(sp Span) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.recordLocked(sp)
+}
+
+func (r *Recorder) recordLocked(sp Span) {
 	if r.capacity == Unbounded {
 		r.ring = append(r.ring, sp)
 	} else if len(r.ring) < r.capacity {
@@ -277,6 +281,39 @@ func (r *Recorder) record(sp Span) {
 	if r.sink != nil && r.sinkErr == nil {
 		r.sinkErr = encodeJSONL(r.sink, sp)
 	}
+}
+
+// Import appends completed spans from another recorder, remapping span,
+// parent, and trace IDs past this recorder's current ID watermark so the
+// imported tree cannot collide with native spans. Spans are recorded in
+// the order given (and streamed to the sink in that order), so importing
+// per-replica recorders by ascending replica index yields a deterministic
+// merged stream regardless of how the replicas were scheduled. Parent
+// links internal to the imported set are preserved; a parent ID not
+// present in the set is remapped blindly, so import whole recorder dumps,
+// not filtered subsets.
+func (r *Recorder) Import(spans []Span) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	base := r.nextID
+	var maxID SpanID
+	for _, sp := range spans {
+		if sp.ID > maxID {
+			maxID = sp.ID
+		}
+		sp.ID += base
+		if sp.Trace != 0 {
+			sp.Trace += base
+		}
+		if sp.Parent != 0 {
+			sp.Parent += base
+		}
+		r.recordLocked(sp)
+	}
+	r.nextID = base + maxID
 }
 
 // Spans returns the retained spans in completion order (oldest first).

@@ -12,11 +12,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -223,13 +223,13 @@ func Run(ranges []Range, solve Solver, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// solveAll evaluates every pre-drawn sample across a worker pool (one
-// worker for parallelism ≤ 1). Outputs are written by index, so the
-// result is identical at any parallelism level. On failure the whole pool
-// stops promptly — a shared atomic records the lowest failing index seen,
-// and workers skip every sample above it — and the error returned is the
-// one from the lowest-indexed failing sample among those attempted, so
-// the reported error does not depend on goroutine scheduling.
+// solveAll evaluates every pre-drawn sample across the shared
+// deterministic index-keyed worker pool (one worker for parallelism ≤ 1).
+// Outputs are written by index, so the result is identical at any
+// parallelism level. On failure the whole pool stops promptly and the
+// error returned is the one from the lowest-indexed failing sample among
+// those attempted, so the reported error does not depend on goroutine
+// scheduling (see internal/pool).
 func solveAll(res *Result, solve Solver, parallelism int) error {
 	n := len(res.Samples)
 	if parallelism < 1 {
@@ -244,102 +244,68 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 		trace.Int("parallelism", int64(parallelism)))
 	start := time.Now()
 
-	// minFail is the lowest failing sample index observed so far
-	// (math.MaxInt64 while no failure); workers consult it to drain
-	// promptly. minErr (under mu) holds the matching error.
-	var (
-		minFail atomic.Int64
-		mu      sync.Mutex
-		minIdx  = -1
-		minErr  error
-	)
-	minFail.Store(math.MaxInt64)
-	recordFail := func(i int, err error) {
-		mu.Lock()
-		if minIdx == -1 || i < minIdx {
-			minIdx, minErr = i, err
-		}
-		mu.Unlock()
-		for {
-			cur := minFail.Load()
-			if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
-				return
-			}
-		}
-	}
-
-	// Latency bookkeeping: per-worker locals merged at the end. Busy time
-	// (SolveTotal) covers every attempt — that is the pool utilization —
-	// while the min/mean/max latency summary covers successes only, so a
-	// fast-failing error path cannot masquerade as good solve latency.
+	// Latency bookkeeping: per-worker locals merged at the end (a pool
+	// worker never runs two samples concurrently, so the slots are
+	// race-free). Busy time (SolveTotal) covers every attempt — that is
+	// the pool utilization — while the min/mean/max latency summary covers
+	// successes only, so a fast-failing error path cannot masquerade as
+	// good solve latency.
 	var (
 		okCount   atomic.Int64
 		failCount atomic.Int64
-		aggMu     sync.Mutex
-		aggBusy   time.Duration
-		aggOK     time.Duration
-		aggMin    time.Duration = math.MaxInt64
-		aggMax    time.Duration
+		busy      = make([]time.Duration, parallelism)
+		okTime    = make([]time.Duration, parallelism)
+		minTime   = make([]time.Duration, parallelism)
+		maxTime   = make([]time.Duration, parallelism)
 	)
+	for w := range minTime {
+		minTime[w] = math.MaxInt64
+	}
 
-	indices := make(chan int)
-	var wg sync.WaitGroup
+	poolErr := pool.Run(n, pool.Options{Workers: parallelism}, func(worker, i int) error {
+		sampleTimer := obs.StartTimer(obsSampleSeconds)
+		sp := trace.Default().Start("uncertainty.sample", runSpan,
+			trace.String(trace.AttrTrack, fmt.Sprintf("worker-%d", worker)),
+			trace.Int(trace.AttrIndex, int64(i)))
+		d, err := solve(res.Samples[i].Assignment)
+		dt := sampleTimer.Stop()
+		sp.End()
+		busy[worker] += dt
+		if err != nil {
+			failCount.Add(1)
+			obsSampleFailed.Inc()
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
+		okCount.Add(1)
+		obsSamplesSolved.Inc()
+		okTime[worker] += dt
+		if dt < minTime[worker] {
+			minTime[worker] = dt
+		}
+		if dt > maxTime[worker] {
+			maxTime[worker] = dt
+		}
+		res.Samples[i].DowntimeMinutes = d
+		res.Downtimes[i] = d
+		return nil
+	})
+
+	var (
+		aggBusy time.Duration
+		aggOK   time.Duration
+		aggMin  time.Duration = math.MaxInt64
+		aggMax  time.Duration
+	)
 	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			var localBusy, localOK, localMin, localMax time.Duration
-			localMin = math.MaxInt64
-			for i := range indices {
-				// Skip samples above the lowest known failure: everything
-				// below it still gets solved, so the failure ultimately
-				// reported is exactly the lowest-indexed one.
-				if int64(i) > minFail.Load() {
-					continue
-				}
-				sampleTimer := obs.StartTimer(obsSampleSeconds)
-				sp := trace.Default().Start("uncertainty.sample", runSpan,
-					trace.String(trace.AttrTrack, fmt.Sprintf("worker-%d", worker)),
-					trace.Int(trace.AttrIndex, int64(i)))
-				d, err := solve(res.Samples[i].Assignment)
-				dt := sampleTimer.Stop()
-				sp.End()
-				localBusy += dt
-				if err != nil {
-					failCount.Add(1)
-					obsSampleFailed.Inc()
-					recordFail(i, err)
-					continue
-				}
-				okCount.Add(1)
-				obsSamplesSolved.Inc()
-				localOK += dt
-				if dt < localMin {
-					localMin = dt
-				}
-				if dt > localMax {
-					localMax = dt
-				}
-				res.Samples[i].DowntimeMinutes = d
-				res.Downtimes[i] = d
-			}
-			aggMu.Lock()
-			aggBusy += localBusy
-			aggOK += localOK
-			if localMin < aggMin {
-				aggMin = localMin
-			}
-			if localMax > aggMax {
-				aggMax = localMax
-			}
-			aggMu.Unlock()
-		}(w)
+		aggBusy += busy[w]
+		aggOK += okTime[w]
+		if minTime[w] < aggMin {
+			aggMin = minTime[w]
+		}
+		if maxTime[w] > aggMax {
+			aggMax = maxTime[w]
+		}
 	}
-	for i := 0; i < n; i++ {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
 
 	wall := time.Since(start)
 	runSpan.Attr(
@@ -365,10 +331,7 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 	res.Diag = diag
 	obsUtilization.Set(diag.Utilization)
 
-	if minIdx >= 0 {
-		return fmt.Errorf("sample %d: %w", minIdx, minErr)
-	}
-	return nil
+	return poolErr
 }
 
 // drawUnitSamples produces samples×dims values in [0,1).

@@ -1,16 +1,21 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/estimate"
+	"repro/internal/pool"
+	"repro/internal/trace"
 )
 
 // SeriesResult aggregates a campaign of repeated longevity runs — the
 // paper performed "multiple 7-day duration runs" and pooled the exposure
 // when bounding the failure rate.
 type SeriesResult struct {
+	// Runs holds the completed runs in series order. When some runs failed
+	// (see the joined error), their slots are simply absent.
 	Runs []*Result
 	// TotalExposure is the pooled instance exposure across runs.
 	TotalExposure time.Duration
@@ -23,35 +28,96 @@ type SeriesResult struct {
 	PooledBounds []estimate.FailureRateBound
 }
 
-// RunSeries executes runs independent longevity tests (distinct seeds) and
-// pools their exposure for the failure-rate bound.
+// SeriesOptions configures a longevity series.
+type SeriesOptions struct {
+	// Run is the per-run configuration; run i uses seed Run.Seed + i, the
+	// series' long-standing convention.
+	Run RunOptions
+	// Runs is the number of independent longevity runs (paper: multiple
+	// 7-day runs).
+	Runs int
+	// Parallelism caps how many runs execute concurrently (0 = one worker
+	// per run). The series result is identical for every value: runs are
+	// pooled in series order, never in completion order.
+	Parallelism int
+}
+
+// RunSeries executes runs independent longevity tests (distinct seeds)
+// serially and pools their exposure for the failure-rate bound. It is
+// RunSeriesWith with no parallelism.
 func RunSeries(opts RunOptions, runs int) (*SeriesResult, error) {
-	if runs <= 0 {
-		return nil, fmt.Errorf("runs = %d, want ≥ 1: %w", runs, ErrBadRun)
+	return RunSeriesWith(SeriesOptions{Run: opts, Runs: runs, Parallelism: 1})
+}
+
+// RunSeriesWith executes a longevity series, optionally running the
+// independent runs concurrently. Each run gets a fresh cluster; pooling in
+// series (seed) order makes the result independent of Parallelism.
+//
+// When opts.Run.Trace is set and Runs > 1, each run records into its own
+// recorder and the streams are merged into opts.Run.Trace in series order,
+// tagged with trace.AttrReplica (a single run records directly, exactly as
+// Run does). A run that fails does not abort the series: completed runs
+// are still pooled, and the failures are returned errors.Join-ed in series
+// order alongside the partial result.
+func RunSeriesWith(opts SeriesOptions) (*SeriesResult, error) {
+	if opts.Runs <= 0 {
+		return nil, fmt.Errorf("runs = %d, want ≥ 1: %w", opts.Runs, ErrBadRun)
 	}
-	confidences := opts.Confidences
+	confidences := opts.Run.Confidences
 	if len(confidences) == 0 {
 		confidences = []float64{0.95, 0.995}
 	}
+	results := make([]*Result, opts.Runs)
+	errs := make([]error, opts.Runs)
+	recs := make([]*trace.Recorder, opts.Runs)
+	splitTrace := opts.Run.Trace != nil && opts.Runs > 1
+	_ = pool.Run(opts.Runs, pool.Options{Workers: opts.Parallelism, ContinueOnError: true},
+		func(_, i int) error {
+			runOpts := opts.Run
+			runOpts.Seed = opts.Run.Seed + int64(i)
+			if splitTrace {
+				recs[i] = trace.New(trace.Config{Capacity: trace.Unbounded})
+				runOpts.Trace = recs[i]
+			}
+			res, err := Run(runOpts)
+			if err != nil {
+				errs[i] = fmt.Errorf("run %d: %w", i+1, err)
+				return errs[i]
+			}
+			results[i] = res
+			return nil
+		})
+	if splitTrace {
+		for i, rc := range recs {
+			if rc != nil {
+				opts.Run.Trace.Import(trace.TagReplica(rc.Spans(), i))
+			}
+		}
+	}
 	out := &SeriesResult{}
-	for i := 0; i < runs; i++ {
-		runOpts := opts
-		runOpts.Seed = opts.Seed + int64(i)
-		res, err := Run(runOpts)
-		if err != nil {
-			return nil, fmt.Errorf("run %d: %w", i+1, err)
+	for _, res := range results {
+		if res == nil {
+			continue
 		}
 		out.Runs = append(out.Runs, res)
 		out.TotalExposure += res.InstanceExposure
 		out.TotalFailures += res.ASInstanceFailures
 		out.TotalRequests += res.RequestsServed
 	}
-	for _, conf := range confidences {
-		b, err := estimate.FailureRateUpperBound(out.TotalExposure, out.TotalFailures, conf)
-		if err != nil {
-			return nil, fmt.Errorf("pooled bound: %w", err)
+	if out.TotalExposure > 0 {
+		for _, conf := range confidences {
+			b, err := estimate.FailureRateUpperBound(out.TotalExposure, out.TotalFailures, conf)
+			if err != nil {
+				return out, fmt.Errorf("pooled bound: %w", err)
+			}
+			out.PooledBounds = append(out.PooledBounds, b)
 		}
-		out.PooledBounds = append(out.PooledBounds, b)
 	}
-	return out, nil
+	var joined []error
+	for _, e := range errs {
+		if e != nil {
+			joined = append(joined, e)
+		}
+	}
+	return out, errors.Join(joined...)
 }

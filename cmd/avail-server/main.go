@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	avail-server [-addr :8080] [-pprof]
+//	avail-server [-addr :8080] [-pprof] [-max-inflight N] [-shutdown-timeout 10s]
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -shutdown-timeout before exiting;
+// connections still open at the deadline are force-closed.
 //
 // Endpoints:
 //
@@ -21,39 +25,84 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/httpapi"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "avail-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("avail-server", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
+	maxInflight := fs.Int("max-inflight", 0,
+		"max concurrent solve requests before shedding with 429 (0 = unlimited)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
+		"how long to drain in-flight requests after SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           httpapi.NewHandler(httpapi.Options{PProf: *withPprof}),
+		Handler: httpapi.NewHandler(httpapi.Options{
+			PProf:       *withPprof,
+			MaxInflight: *maxInflight,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
-	log.Printf("avail-server listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("avail-server listening on %s", ln.Addr())
+	return serve(ctx, srv, ln, *shutdownTimeout)
+}
+
+// serve runs srv on ln until ctx is canceled, then drains: the listener
+// closes immediately (no new connections), in-flight requests get up to
+// timeout to finish, and anything still open at the deadline is
+// force-closed. A graceful drain returns nil — shutdown on signal is the
+// intended exit, not an error.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, timeout time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+	}
+	log.Printf("avail-server: shutting down, draining in-flight requests (up to %v)", timeout)
+	sctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		// The drain deadline passed with requests still running: close
+		// their connections (canceling the request contexts, which aborts
+		// the solves) rather than hang forever.
+		_ = srv.Close()
+		return fmt.Errorf("drain timed out after %v: %w", timeout, err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
 		return err
 	}
 	return nil

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer runs serve() on an ephemeral port and returns the base URL,
+// the cancel that triggers shutdown, and the channel carrying serve's
+// return value.
+func startServer(t *testing.T, h http.Handler, drain time.Duration) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &http.Server{Handler: h}
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, srv, ln, drain) }()
+	return "http://" + ln.Addr().String(), cancel, done
+}
+
+// TestServeDrainsInflightRequests: SIGTERM-style cancellation lets an
+// in-flight request finish and then exits cleanly.
+func TestServeDrainsInflightRequests(t *testing.T) {
+	t.Parallel()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "drained-ok")
+	})
+	url, cancel, done := startServer(t, h, 5*time.Second)
+
+	type result struct {
+		body string
+		err  error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(url + "/")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		resc <- result{body: string(b), err: err}
+	}()
+
+	<-entered
+	cancel() // the signal arrives while the request is in flight
+	// Give the shutdown a moment to start, then let the handler finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after a clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.body != "drained-ok" {
+		t.Errorf("in-flight response = %q, want drained-ok", r.body)
+	}
+}
+
+// TestServeDrainTimeoutForcesClose: a request that outlives the drain
+// deadline is force-closed and serve reports the timeout.
+func TestServeDrainTimeoutForcesClose(t *testing.T) {
+	t.Parallel()
+	entered := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-r.Context().Done() // holds until the connection is torn down
+	})
+	url, cancel, done := startServer(t, h, 50*time.Millisecond)
+
+	go func() {
+		resp, err := http.Get(url + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	<-entered
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "drain timed out") {
+			t.Fatalf("serve = %v, want a drain-timeout error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve hung past the drain deadline")
+	}
+}
+
+// TestServeExitsOnListenerError: serve returns the Serve error when the
+// listener dies without a cancellation.
+func TestServeExitsOnListenerError(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.NewServeMux()}
+	done := make(chan error, 1)
+	go func() { done <- serve(context.Background(), srv, ln, time.Second) }()
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("serve returned nil after the listener died")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not notice the dead listener")
+	}
+}
+
+// TestRunRejectsBadFlags: flag errors surface instead of starting a
+// server.
+func TestRunRejectsBadFlags(t *testing.T) {
+	t.Parallel()
+	if err := run(context.Background(), []string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:-1"}); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}

@@ -21,10 +21,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/estimate"
@@ -35,13 +38,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM stops the campaign between injections; the
+	// completed injections are still reported (partial-campaign path).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "jsas-faultinject:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("jsas-faultinject", flag.ContinueOnError)
 	n := fs.Int("n", 3287, "number of fault injections")
 	seed := fs.Int64("seed", 2004, "random seed")
@@ -74,7 +81,7 @@ func run(args []string) error {
 		fmt.Printf("Sharding across %d independent replica clusters.\n", *replicas)
 	}
 	fmt.Println()
-	rep, runErr := faultinject.RunReplicated(faultinject.ReplicatedOptions{
+	rep, runErr := faultinject.RunReplicatedCtx(ctx, faultinject.ReplicatedOptions{
 		Options: faultinject.Options{
 			Config:     jsas.Config1,
 			Params:     params,

@@ -1,36 +1,39 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunSmallCampaign(t *testing.T) {
-	if err := run([]string{"-n", "25"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "25"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWithMeasure(t *testing.T) {
-	if err := run([]string{"-n", "25", "-measure"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "25", "-measure"}); err != nil {
 		t.Fatalf("run -measure: %v", err)
 	}
 }
 
 func TestRunWithGroundTruthFIR(t *testing.T) {
-	if err := run([]string{"-n", "25", "-fir", "0.05"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "25", "-fir", "0.05"}); err != nil {
 		t.Fatalf("run -fir: %v", err)
 	}
 }
 
 func TestRunReplicated(t *testing.T) {
-	if err := run([]string{"-n", "24", "-replicas", "3", "-parallel", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "24", "-replicas", "3", "-parallel", "2"}); err != nil {
 		t.Fatalf("run -replicas: %v", err)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-n", "0"}); err == nil {
+	if err := run(context.Background(), []string{"-n", "0"}); err == nil {
 		t.Fatal("zero injections accepted")
 	}
-	if err := run([]string{"-n", "5", "-replicas", "-2"}); err == nil {
+	if err := run(context.Background(), []string{"-n", "5", "-replicas", "-2"}); err == nil {
 		t.Fatal("negative replicas accepted")
 	}
 }

@@ -19,9 +19,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/estimate"
@@ -32,13 +35,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM stops the simulation at chunk granularity; a
+	// replicated series still pools and reports its completed runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "jsas-longevity:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("jsas-longevity", flag.ContinueOnError)
 	days := fs.Int("days", 7, "run length in days")
 	profileName := fs.String("profile", "marketplace", "benchmark profile: marketplace or nile")
@@ -90,9 +97,9 @@ func run(args []string) error {
 	if *replicas > 1 {
 		// A partial series still reports (and still flushes the trace
 		// below); runErr makes the exit status reflect the failure.
-		runErr = runSeries(runOpts, *replicas, *parallel, *days)
+		runErr = runSeries(ctx, runOpts, *replicas, *parallel, *days)
 	} else {
-		res, err := workload.Run(runOpts)
+		res, err := workload.RunCtx(ctx, runOpts)
 		if err != nil {
 			return err
 		}
@@ -129,8 +136,8 @@ func run(args []string) error {
 // runSeries executes and reports a replicated longevity series: replicas
 // independent runs pooled for the Equation (2) bound, as the paper pooled
 // its repeated 7-day runs.
-func runSeries(runOpts workload.RunOptions, replicas, parallel, days int) error {
-	series, runErr := workload.RunSeriesWith(workload.SeriesOptions{
+func runSeries(ctx context.Context, runOpts workload.RunOptions, replicas, parallel, days int) error {
+	series, runErr := workload.RunSeriesWithCtx(ctx, workload.SeriesOptions{
 		Run:         runOpts,
 		Runs:        replicas,
 		Parallelism: parallel,

@@ -1,33 +1,36 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunShort(t *testing.T) {
-	if err := run([]string{"-days", "1"}); err != nil {
+	if err := run(context.Background(), []string{"-days", "1"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunNileOrganic(t *testing.T) {
-	if err := run([]string{"-days", "1", "-profile", "nile", "-organic"}); err != nil {
+	if err := run(context.Background(), []string{"-days", "1", "-profile", "nile", "-organic"}); err != nil {
 		t.Fatalf("run nile: %v", err)
 	}
 }
 
 func TestRunSeriesReplicated(t *testing.T) {
-	if err := run([]string{"-days", "1", "-replicas", "3", "-parallel", "2", "-organic"}); err != nil {
+	if err := run(context.Background(), []string{"-days", "1", "-replicas", "3", "-parallel", "2", "-organic"}); err != nil {
 		t.Fatalf("run -replicas: %v", err)
 	}
 }
 
 func TestRunPrintConfig(t *testing.T) {
-	if err := run([]string{"-print-config"}); err != nil {
+	if err := run(context.Background(), []string{"-print-config"}); err != nil {
 		t.Fatalf("run -print-config: %v", err)
 	}
 }
 
 func TestRunBadProfile(t *testing.T) {
-	if err := run([]string{"-profile", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-profile", "bogus"}); err == nil {
 		t.Fatal("bogus profile accepted")
 	}
 }

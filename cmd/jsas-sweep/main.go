@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/jsas"
 	"repro/internal/obs"
@@ -19,13 +22,16 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancels the sweep at sweep-point granularity.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "jsas-sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("jsas-sweep", flag.ContinueOnError)
 	configNo := fs.Int("config", 1, "paper configuration to sweep (1 or 2)")
 	param := fs.String("param", jsas.ParamTstartLong,
@@ -54,7 +60,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("config %d: want 1 or 2", *configNo)
 	}
-	points, err := sensitivity.SweepWith(*from, *to, *steps,
+	points, err := sensitivity.SweepWithCtx(ctx, *from, *to, *steps,
 		jsas.SweepSolver(cfg, jsas.DefaultParams(), *param),
 		sensitivity.SweepOptions{Parallelism: *parallel})
 	if err != nil {

@@ -1,43 +1,44 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"testing"
 )
 
 func TestRunConfig1(t *testing.T) {
-	if err := run([]string{"-config", "1", "-steps", "4"}); err != nil {
+	if err := run(context.Background(), []string{"-config", "1", "-steps", "4"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunConfig2CSV(t *testing.T) {
-	if err := run([]string{"-config", "2", "-steps", "4", "-csv"}); err != nil {
+	if err := run(context.Background(), []string{"-config", "2", "-steps", "4", "-csv"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunBadConfig(t *testing.T) {
-	if err := run([]string{"-config", "3"}); err == nil {
+	if err := run(context.Background(), []string{"-config", "3"}); err == nil {
 		t.Fatal("config 3 accepted")
 	}
 }
 
 func TestRunBadRange(t *testing.T) {
-	if err := run([]string{"-from", "3", "-to", "1"}); err == nil {
+	if err := run(context.Background(), []string{"-from", "3", "-to", "1"}); err == nil {
 		t.Fatal("reversed range accepted")
 	}
 }
 
 func TestRunSweepOtherParam(t *testing.T) {
-	if err := run([]string{"-param", "La_as", "-from", "10", "-to", "50", "-steps", "4"}); err != nil {
+	if err := run(context.Background(), []string{"-param", "La_as", "-from", "10", "-to", "50", "-steps", "4"}); err != nil {
 		t.Fatalf("run -param La_as: %v", err)
 	}
 }
 
 func TestRunSweepUnknownParam(t *testing.T) {
-	if err := run([]string{"-param", "bogus", "-steps", "2"}); err == nil {
+	if err := run(context.Background(), []string{"-param", "bogus", "-steps", "2"}); err == nil {
 		t.Fatal("bogus parameter accepted")
 	}
 }
@@ -69,8 +70,8 @@ func captureStdout(t *testing.T, fn func() error) string {
 // sweep output is bit-identical between -parallel 1 and -parallel N.
 func TestRunParallelOutputIdentical(t *testing.T) {
 	args := []string{"-config", "1", "-steps", "8", "-csv"}
-	serial := captureStdout(t, func() error { return run(append([]string{"-parallel", "1"}, args...)) })
-	parallel := captureStdout(t, func() error { return run(append([]string{"-parallel", "4"}, args...)) })
+	serial := captureStdout(t, func() error { return run(context.Background(), append([]string{"-parallel", "1"}, args...)) })
+	parallel := captureStdout(t, func() error { return run(context.Background(), append([]string{"-parallel", "4"}, args...)) })
 	if serial != parallel {
 		t.Fatalf("outputs differ:\n-- parallel 1 --\n%s\n-- parallel 4 --\n%s", serial, parallel)
 	}
@@ -81,7 +82,7 @@ func TestRunParallelOutputIdentical(t *testing.T) {
 
 func TestRunBadParallel(t *testing.T) {
 	// Parallelism below 1 is clamped to a serial sweep, not rejected.
-	if err := run([]string{"-config", "1", "-steps", "2", "-parallel", "0"}); err != nil {
+	if err := run(context.Background(), []string{"-config", "1", "-steps", "2", "-parallel", "0"}); err != nil {
 		t.Fatalf("run -parallel 0: %v", err)
 	}
 }

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro/internal/jsas"
 	"repro/internal/obs"
@@ -24,13 +27,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancels the Monte-Carlo run at pool-task
+	// granularity instead of leaving workers running.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "jsas-uncertainty:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("jsas-uncertainty", flag.ContinueOnError)
 	configNo := fs.Int("config", 1, "paper configuration to analyze (1 or 2)")
 	samples := fs.Int("samples", 1000, "number of Monte-Carlo samples")
@@ -60,7 +67,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("sampler %q: want uniform or lhs", *samplerName)
 	}
-	res, err := uncertainty.Run(
+	res, err := uncertainty.RunCtx(ctx,
 		jsas.PaperUncertaintyRanges(),
 		jsas.UncertaintySolver(cfg, jsas.DefaultParams()),
 		uncertainty.Options{Samples: *samples, Seed: *seed, Sampler: sampler, Parallelism: *parallel},

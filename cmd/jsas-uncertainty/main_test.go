@@ -1,36 +1,39 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunConfig1(t *testing.T) {
-	if err := run([]string{"-config", "1", "-samples", "50"}); err != nil {
+	if err := run(context.Background(), []string{"-config", "1", "-samples", "50"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunConfig2LHS(t *testing.T) {
-	if err := run([]string{"-config", "2", "-samples", "50", "-sampler", "lhs"}); err != nil {
+	if err := run(context.Background(), []string{"-config", "2", "-samples", "50", "-sampler", "lhs"}); err != nil {
 		t.Fatalf("run lhs: %v", err)
 	}
 }
 
 func TestRunScatter(t *testing.T) {
-	if err := run([]string{"-samples", "20", "-scatter"}); err != nil {
+	if err := run(context.Background(), []string{"-samples", "20", "-scatter"}); err != nil {
 		t.Fatalf("run -scatter: %v", err)
 	}
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run([]string{"-config", "9"}); err == nil {
+	if err := run(context.Background(), []string{"-config", "9"}); err == nil {
 		t.Fatal("config 9 accepted")
 	}
-	if err := run([]string{"-sampler", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"-sampler", "bogus"}); err == nil {
 		t.Fatal("bogus sampler accepted")
 	}
 }
 
 func TestRunParallel(t *testing.T) {
-	if err := run([]string{"-samples", "100", "-parallel", "4"}); err != nil {
+	if err := run(context.Background(), []string{"-samples", "100", "-parallel", "4"}); err != nil {
 		t.Fatalf("run -parallel: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package ctmc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -57,6 +58,14 @@ const denseFallbackLimit = 4000
 // SolveOptions configures SteadyState.
 type SolveOptions struct {
 	Method Method
+	// Ctx, if non-nil, makes the solve cancelable: it is checked before
+	// the solve starts and every few sweeps inside the iterative solvers,
+	// so a stuck Gauss–Seidel loop aborts promptly with an error wrapping
+	// context.Canceled (or DeadlineExceeded) — distinct from
+	// sparse.ErrNoConvergence. The dense LU path is not interruptible
+	// mid-factorization; it only checks the context up front (dense
+	// chains are small by construction, see denseThreshold).
+	Ctx context.Context
 	// Tol/MaxIter are forwarded to the iterative solvers.
 	Tol     float64
 	MaxIter int
@@ -131,6 +140,8 @@ var (
 	obsLastStates    = obs.G("ctmc_last_solve_states", "state count of the most recent solve")
 	obsLastResidual  = obs.G("ctmc_last_solve_residual", "verified residual ‖πQ‖∞ of the most recent solve (0 after a dense solve)")
 	obsWarmStarts    = obs.C("ctmc_warm_start_solves_total", "iterative solves seeded from a cached stationary distribution")
+	obsCancellations = obs.C("solver_cancellations_total",
+		"engine runs aborted by context cancellation", `layer="ctmc"`)
 )
 
 // obsSolvesByMethod pre-resolves the per-method solve counters so the hot
@@ -163,6 +174,12 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 	}
 	if !m.IsIrreducible() {
 		return nil, fmt.Errorf("steady state undefined: %w", ErrNotIrreducible)
+	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			obsCancellations.Inc()
+			return nil, fmt.Errorf("steady state canceled: %w", err)
+		}
 	}
 	timer := obs.StartTimer(obsSolveSeconds)
 	span := trace.Default().Start("ctmc.solve", nil,
@@ -224,6 +241,9 @@ func (m *Model) SteadyState(opts SolveOptions) ([]float64, error) {
 	obsLastResidual.Set(residual)
 	if err != nil {
 		obsSolveErrors.Inc()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			obsCancellations.Inc()
+		}
 		return pi, err
 	}
 	opts.Solver.noteSolve(m, pi, iter)
@@ -246,6 +266,7 @@ func (m *Model) steadyStateBy(method Method, opts SolveOptions, iter *sparse.Ite
 			return nil, err
 		}
 		pi, err := sparse.SteadyStateGaussSeidel(q, sparse.SteadyStateOptions{
+			Ctx:        opts.Ctx,
 			Tol:        opts.Tol,
 			MaxIter:    opts.MaxIter,
 			Stats:      iter,
@@ -263,6 +284,7 @@ func (m *Model) steadyStateBy(method Method, opts SolveOptions, iter *sparse.Ite
 			return nil, err
 		}
 		pi, err := sparse.SteadyStatePower(q, sparse.SteadyStateOptions{
+			Ctx:       opts.Ctx,
 			Tol:       opts.Tol,
 			MaxIter:   opts.MaxIter,
 			Stats:     iter,

@@ -11,6 +11,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -152,8 +153,21 @@ func (r *Report) SuccessRate() float64 {
 // mid-campaign, Run returns the partial Report — every completed
 // injection, with stats, recovery-time samples, and Equation (1) bounds
 // computed over the completed portion — alongside the error, so a long
-// campaign never loses finished work to one stuck recovery.
+// campaign never loses finished work to one stuck recovery. It is RunCtx
+// with a background context.
 func Run(opts Options) (*Report, error) {
+	return RunCtx(context.Background(), opts)
+}
+
+// RunCtx is Run with cancellation: the context is checked between
+// injections, so a canceled campaign stops within one experiment and
+// returns the partial Report (completed injections, stats, and bounds
+// over the completed portion) alongside an error wrapping ctx.Err() —
+// the same partial-work contract as a mid-campaign failure.
+func RunCtx(ctx context.Context, opts Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Injections <= 0 {
 		return nil, fmt.Errorf("injections = %d: %w", opts.Injections, ErrBadCampaign)
 	}
@@ -210,6 +224,10 @@ func Run(opts Options) (*Report, error) {
 	}
 	var runErr error
 	for i := 0; i < opts.Injections; i++ {
+		if err := ctx.Err(); err != nil {
+			runErr = fmt.Errorf("faultinject: campaign canceled before injection %d: %w", i, err)
+			break
+		}
 		if err := waitHealthy(cluster, opts.RecoveryTimeout); err != nil {
 			runErr = fmt.Errorf("faultinject: cluster did not settle before injection %d: %w", i, err)
 			break

@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/jsas"
+)
+
+// afterNCtx cancels after a fixed number of Err() calls, giving a
+// deterministic mid-campaign cancellation (RunCtx checks once per
+// injection). The campaign loop is single-goroutine, so the plain
+// counter is safe.
+type afterNCtx struct {
+	context.Context
+	calls, after int
+}
+
+func (c *afterNCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCtxCanceledMidCampaign: cancellation between injections keeps
+// the completed prefix — the same partial-Report contract as a
+// mid-campaign failure — and reports an error wrapping ctx.Err().
+func TestRunCtxCanceledMidCampaign(t *testing.T) {
+	t.Parallel()
+	ctx := &afterNCtx{Context: context.Background(), after: 5}
+	rep, err := RunCtx(ctx, Options{
+		Config:     jsas.Config1,
+		Params:     perfectParams(),
+		Seed:       1,
+		Injections: 60,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("canceled campaign returned no Report; want the completed prefix")
+	}
+	if got := len(rep.Injections); got != 5 {
+		t.Errorf("completed injections = %d, want 5 (canceled before the 6th)", got)
+	}
+}
+
+// TestRunReplicatedCtxCanceled: a pre-canceled replicated campaign
+// reports the cancellation; completed replicas (none here) are pooled.
+func TestRunReplicatedCtxCanceled(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunReplicatedCtx(ctx, ReplicatedOptions{
+		Options: Options{
+			Config:     jsas.Config1,
+			Params:     perfectParams(),
+			Seed:       1,
+			Injections: 40,
+		},
+		Replicas: 4,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxLiveMatchesRun: a live context reproduces Run exactly — the
+// cancellation checks must not perturb the deterministic experiment
+// sequence.
+func TestRunCtxLiveMatchesRun(t *testing.T) {
+	t.Parallel()
+	opts := Options{
+		Config:     jsas.Config1,
+		Params:     perfectParams(),
+		Seed:       3,
+		Injections: 30,
+	}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Injections) != len(b.Injections) || a.Successes != b.Successes {
+		t.Errorf("RunCtx(background) diverged from Run: %d/%d vs %d/%d",
+			len(b.Injections), b.Successes, len(a.Injections), a.Successes)
+	}
+}

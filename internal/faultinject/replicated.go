@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -86,8 +87,21 @@ func ReplicaSeed(seed int64, r int) int64 {
 // A replica that fails mid-campaign contributes its completed injections
 // to the pool and surfaces as a *ReplicaError (multiple failures are
 // errors.Join-ed in replica order); the partial merged Report is returned
-// alongside the error.
+// alongside the error. It is RunReplicatedCtx with a background context.
 func RunReplicated(opts ReplicatedOptions) (*Report, error) {
+	return RunReplicatedCtx(context.Background(), opts)
+}
+
+// RunReplicatedCtx is RunReplicated with cancellation. A canceled ctx
+// stops dispatching replicas and interrupts running ones between
+// injections; every completed injection — from finished and interrupted
+// replicas alike — is still pooled into the merged Report, with the
+// interrupted replicas' cancellations surfacing as *ReplicaError values
+// wrapping ctx.Err().
+func RunReplicatedCtx(ctx context.Context, opts ReplicatedOptions) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	replicas := opts.Replicas
 	if replicas == 0 {
 		replicas = 1
@@ -96,7 +110,7 @@ func RunReplicated(opts ReplicatedOptions) (*Report, error) {
 		return nil, fmt.Errorf("replicas = %d: %w", opts.Replicas, ErrBadCampaign)
 	}
 	if replicas == 1 {
-		return Run(opts.Options)
+		return RunCtx(ctx, opts.Options)
 	}
 	if opts.Injections <= 0 {
 		return nil, fmt.Errorf("injections = %d: %w", opts.Injections, ErrBadCampaign)
@@ -112,7 +126,7 @@ func RunReplicated(opts ReplicatedOptions) (*Report, error) {
 	errs := make([]error, replicas)
 	recs := make([]*trace.Recorder, replicas)
 	// ContinueOnError: a stuck replica must not discard the others' work.
-	_ = pool.Run(replicas, pool.Options{Workers: opts.Parallelism, ContinueOnError: true},
+	poolErr := pool.Run(ctx, replicas, pool.Options{Workers: opts.Parallelism, ContinueOnError: true},
 		func(_, i int) error {
 			ropts := opts.Options
 			ropts.Injections = share
@@ -124,7 +138,7 @@ func RunReplicated(opts ReplicatedOptions) (*Report, error) {
 				recs[i] = trace.New(trace.Config{Capacity: trace.Unbounded})
 				ropts.Trace = recs[i]
 			}
-			rep, err := Run(ropts)
+			rep, err := RunCtx(ctx, ropts)
 			reports[i] = rep
 			if err != nil {
 				completed := 0
@@ -152,7 +166,18 @@ func RunReplicated(opts ReplicatedOptions) (*Report, error) {
 	for _, e := range errs {
 		if e != nil {
 			joined = append(joined, e)
+			if e == poolErr {
+				// The pool reports the lowest-indexed replica error; it is
+				// already in the per-replica list.
+				poolErr = nil
+			}
 		}
+	}
+	if poolErr != nil {
+		// Cancellation with no per-replica error (replicas skipped before
+		// starting) must still surface, or a canceled campaign would read
+		// as complete.
+		joined = append(joined, fmt.Errorf("faultinject: campaign canceled: %w", poolErr))
 	}
 	return merged, errors.Join(joined...)
 }

@@ -1,0 +1,47 @@
+package hier
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestEvaluateCtxCanceled: a canceled evaluation aborts before building
+// and names the component it stopped at.
+func TestEvaluateCtxCanceled(t *testing.T) {
+	t.Parallel()
+	child := NewComponent("child", twoStateBuilder("la", "mu"))
+	parent := NewComponent("parent", twoStateBuilder("cla", "mu")).Use(child, "cla", "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EvaluateCtx(ctx, parent, Params{"la": 0.01, "mu": 1}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "canceled at") {
+		t.Errorf("error %q does not name the component", err)
+	}
+}
+
+// TestEvaluateCtxLiveMatchesEvaluate: a live context yields the same
+// result tree as the background-context API.
+func TestEvaluateCtxLiveMatchesEvaluate(t *testing.T) {
+	t.Parallel()
+	build := func() *Component {
+		child := NewComponent("child", twoStateBuilder("la", "mu"))
+		return NewComponent("parent", twoStateBuilder("cla", "mu")).Use(child, "cla", "")
+	}
+	params := Params{"la": 0.01, "mu": 1}
+	a, err := Evaluate(build(), params, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateCtx(context.Background(), build(), params, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Availability != b.Result.Availability {
+		t.Errorf("availability diverged: %v vs %v", b.Result.Availability, a.Result.Availability)
+	}
+}

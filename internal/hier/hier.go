@@ -6,6 +6,7 @@
 package hier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -116,10 +117,23 @@ type Options struct {
 
 // Evaluate solves the hierarchy rooted at c bottom-up: children first, each
 // reduced to (λ_eq, μ_eq) and bound into a copy of params for the parent
-// build. The input params map is not modified.
+// build. The input params map is not modified. It is EvaluateCtx with a
+// background context.
 func Evaluate(c *Component, params Params, opts Options) (*Evaluation, error) {
+	return EvaluateCtx(context.Background(), c, params, opts)
+}
+
+// EvaluateCtx is Evaluate with cancellation: the context is checked
+// before each component build and threaded into every submodel solve (via
+// ctmc.SolveOptions.Ctx), so a canceled evaluation aborts within one
+// component — or mid-solve, at the iterative solvers' check granularity —
+// returning an error wrapping ctx.Err().
+func EvaluateCtx(ctx context.Context, c *Component, params Params, opts Options) (*Evaluation, error) {
 	if opts.Solve.Solver == nil {
 		opts.Solve.Solver = ctmc.NewSolver()
+	}
+	if opts.Solve.Ctx == nil {
+		opts.Solve.Ctx = ctx
 	}
 	name := "hierarchy"
 	if c != nil {
@@ -128,15 +142,20 @@ func Evaluate(c *Component, params Params, opts Options) (*Evaluation, error) {
 	span := trace.Default().Start("hier.evaluate", nil,
 		trace.String(trace.AttrTrack, "solver"),
 		trace.String("root", name))
-	ev, err := evaluate(c, params, opts, make(map[*Component]bool), span)
+	ev, err := evaluate(ctx, c, params, opts, make(map[*Component]bool), span)
 	span.Attr(trace.Bool("error", err != nil))
 	span.End()
 	return ev, err
 }
 
-func evaluate(c *Component, params Params, opts Options, visiting map[*Component]bool, parent *trace.Active) (*Evaluation, error) {
+func evaluate(ctx context.Context, c *Component, params Params, opts Options, visiting map[*Component]bool, parent *trace.Active) (*Evaluation, error) {
 	if c == nil {
 		return nil, fmt.Errorf("nil component: %w", ErrBadComponent)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("hier: evaluation canceled at %q: %w", c.name, err)
+		}
 	}
 	if c.build == nil {
 		return nil, fmt.Errorf("component %q has no build function: %w", c.name, ErrBadComponent)
@@ -155,7 +174,7 @@ func evaluate(c *Component, params Params, opts Options, visiting map[*Component
 	env := params.Clone()
 	ev := &Evaluation{Name: c.name}
 	for _, b := range c.children {
-		childEv, err := evaluate(b.child, params, opts, visiting, span)
+		childEv, err := evaluate(ctx, b.child, params, opts, visiting, span)
 		if err != nil {
 			return nil, err
 		}

@@ -85,6 +85,13 @@ type Options struct {
 	// /debug/pprof/. Off by default: the profiler exposes stacks and heap
 	// contents and belongs behind an explicit operator opt-in.
 	PProf bool
+	// MaxInflight caps how many solve requests (the /v1/* compute
+	// endpoints) run concurrently; requests beyond the cap are shed with
+	// 429 + Retry-After instead of queueing. 0 (the default) means
+	// unlimited. Liveness and observability endpoints (/healthz,
+	// /metrics, /v1/traces) are never shed — an overloaded server must
+	// stay diagnosable.
+	MaxInflight int
 }
 
 // NewHandler returns the service's HTTP handler:
@@ -110,15 +117,19 @@ func NewHandler(opts ...Options) http.Handler {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	// Every route gets panic containment inside its instrumentation (so a
+	// panic is counted both as a panic and as a 500); the compute routes
+	// additionally share one load-shedding semaphore.
+	shed := limiter(o.MaxInflight)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", instrument("/healthz", handleHealthz))
-	mux.HandleFunc("GET /metrics", instrument("/metrics", handleMetrics))
-	mux.HandleFunc("POST /v1/solve", instrument("/v1/solve", handleSolve))
-	mux.HandleFunc("POST /v1/solve-hierarchy", instrument("/v1/solve-hierarchy", handleSolveHierarchy))
-	mux.HandleFunc("GET /v1/jsas", instrument("/v1/jsas", handleJSAS))
-	mux.HandleFunc("GET /v1/jsas/uncertainty", instrument("/v1/jsas/uncertainty", handleJSASUncertainty))
-	mux.HandleFunc("GET /v1/traces", instrument("/v1/traces", handleTraceList))
-	mux.HandleFunc("GET /v1/traces/{id}", instrument("/v1/traces/id", handleTraceGet))
+	mux.HandleFunc("GET /healthz", instrument("/healthz", recovered(handleHealthz)))
+	mux.HandleFunc("GET /metrics", instrument("/metrics", recovered(handleMetrics)))
+	mux.HandleFunc("POST /v1/solve", instrument("/v1/solve", recovered(shed(handleSolve))))
+	mux.HandleFunc("POST /v1/solve-hierarchy", instrument("/v1/solve-hierarchy", recovered(shed(handleSolveHierarchy))))
+	mux.HandleFunc("GET /v1/jsas", instrument("/v1/jsas", recovered(shed(handleJSAS))))
+	mux.HandleFunc("GET /v1/jsas/uncertainty", instrument("/v1/jsas/uncertainty", recovered(shed(handleJSASUncertainty))))
+	mux.HandleFunc("GET /v1/traces", instrument("/v1/traces", recovered(handleTraceList)))
+	mux.HandleFunc("GET /v1/traces/{id}", instrument("/v1/traces/id", recovered(handleTraceGet)))
 	if o.PProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -129,15 +140,24 @@ func NewHandler(opts ...Options) http.Handler {
 	return mux
 }
 
-// statusRecorder captures the response status for error accounting.
+// statusRecorder captures the response status for error accounting, and
+// whether the response has started — the panic-recovery middleware can
+// only substitute a 500 while nothing is on the wire yet.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true // implicit 200 on first write
+	return r.ResponseWriter.Write(p)
 }
 
 // instrument wraps a handler with per-route observability: request and
@@ -150,6 +170,8 @@ func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	latency := obs.H("httpapi_request_seconds", "request latency by route", obs.DurationBuckets, label)
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer obs.Since(latency)()
+		obsInflight.Add(1)
+		defer obsInflight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		requests.Inc()
@@ -268,6 +290,11 @@ func handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func handleSolve(w http.ResponseWriter, r *http.Request) {
 	doc, err := spec.Parse(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		if bodyTooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("model document exceeds %d bytes", maxBodyBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -276,7 +303,10 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := structure.Solve(ctmc.SolveOptions{})
+	// The solve derives from the request context: a client that
+	// disconnects mid-solve cancels the work instead of leaving it
+	// running to completion for nobody.
+	res, err := structure.Solve(ctmc.SolveOptions{Ctx: r.Context()})
 	if err != nil {
 		writeError(w, statusForSolveError(err), err)
 		return
@@ -306,10 +336,15 @@ func solveResponse(name string, s *reward.Structure, res *reward.Result) SolveRe
 func handleSolveHierarchy(w http.ResponseWriter, r *http.Request) {
 	doc, err := spec.ParseHier(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		if bodyTooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("hierarchy document exceeds %d bytes", maxBodyBytes))
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ev, err := doc.Solve(nil)
+	ev, err := doc.SolveCtx(r.Context(), nil)
 	if err != nil {
 		writeError(w, statusForSolveError(err), err)
 		return
@@ -335,16 +370,16 @@ func handleJSAS(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	cfg := jsas.Config{}
 	var err error
-	if cfg.ASInstances, err = intParam(q.Get("instances"), 2); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("instances: %w", err))
+	if cfg.ASInstances, err = boundedIntParam("instances", q.Get("instances"), 2, 1, maxInstances); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if cfg.HADBPairs, err = intParam(q.Get("pairs"), 2); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("pairs: %w", err))
+	if cfg.HADBPairs, err = boundedIntParam("pairs", q.Get("pairs"), 2, 0, maxPairs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if cfg.HADBSpares, err = intParam(q.Get("spares"), 2); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("spares: %w", err))
+	if cfg.HADBSpares, err = boundedIntParam("spares", q.Get("spares"), 2, 0, maxSpares); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	res, err := jsas.Solve(cfg, jsas.DefaultParams())
@@ -368,29 +403,33 @@ func handleJSAS(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// maxUncertaintySamples bounds per-request Monte-Carlo work.
-const maxUncertaintySamples = 20000
+// Work bounds on the parameterized endpoints: each unit expands the state
+// space (instances/pairs/spares) or multiplies solves (samples), so an
+// unbounded query parameter is an unbounded CPU grant to any client. The
+// caps sit far above the paper's configurations (≤ 8 instances, ≤ 4
+// pairs) while keeping worst-case requests small.
+const (
+	maxInstances          = 64
+	maxPairs              = 64
+	maxSpares             = 64
+	maxUncertaintySamples = 20000
+)
 
 func handleJSASUncertainty(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	cfg := jsas.Config{HADBSpares: 2}
 	var err error
-	if cfg.ASInstances, err = intParam(q.Get("instances"), 2); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("instances: %w", err))
+	if cfg.ASInstances, err = boundedIntParam("instances", q.Get("instances"), 2, 1, maxInstances); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if cfg.HADBPairs, err = intParam(q.Get("pairs"), 2); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("pairs: %w", err))
+	if cfg.HADBPairs, err = boundedIntParam("pairs", q.Get("pairs"), 2, 0, maxPairs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	samples, err := intParam(q.Get("samples"), 1000)
+	samples, err := boundedIntParam("samples", q.Get("samples"), 1000, 1, maxUncertaintySamples)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("samples: %w", err))
-		return
-	}
-	if samples <= 0 || samples > maxUncertaintySamples {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("samples %d outside (0, %d]", samples, maxUncertaintySamples))
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	seed64, err := intParam(q.Get("seed"), 2004)
@@ -398,7 +437,7 @@ func handleJSASUncertainty(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("seed: %w", err))
 		return
 	}
-	res, err := uncertainty.Run(
+	res, err := uncertainty.RunCtx(r.Context(),
 		jsas.PaperUncertaintyRanges(),
 		jsas.UncertaintySolver(cfg, jsas.DefaultParams()),
 		uncertainty.Options{Samples: samples, Seed: int64(seed64)},
@@ -408,7 +447,7 @@ func handleJSASUncertainty(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, statusForSolveError(err), err)
 		return
 	}
 	ci80 := res.CIs[0.80]
@@ -437,14 +476,18 @@ func intParam(s string, def int) (int, error) {
 	return v, nil
 }
 
-// statusForSolveError maps model-domain failures to 422 (the document was
-// well-formed but unsolvable) and everything else to 500.
-func statusForSolveError(err error) int {
-	if errors.Is(err, ctmc.ErrNotIrreducible) || errors.Is(err, ctmc.ErrBadModel) ||
-		errors.Is(err, spec.ErrBadSpec) {
-		return http.StatusUnprocessableEntity
+// boundedIntParam parses a query parameter that sizes server-side work,
+// rejecting values outside [min, max] so a single request cannot demand
+// an arbitrarily large model or sample count.
+func boundedIntParam(name, s string, def, min, max int) (int, error) {
+	v, err := intParam(s, def)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", name, err)
 	}
-	return http.StatusInternalServerError
+	if v < min || v > max {
+		return 0, fmt.Errorf("%s %d outside [%d, %d]", name, v, min, max)
+	}
+	return v, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

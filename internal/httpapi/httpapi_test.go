@@ -190,10 +190,18 @@ func TestMethodNotAllowed(t *testing.T) {
 
 func TestBodyLimit(t *testing.T) {
 	t.Parallel()
-	big := strings.Repeat("x", maxBodyBytes+1)
-	res, _ := doRequest(t, http.MethodPost, "/v1/solve", big)
-	if res.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized body: status = %d, want 400", res.StatusCode)
+	// A syntactically plausible document whose one giant token forces the
+	// decoder to read past the byte cap (pure garbage would fail JSON
+	// syntax first and correctly yield 400, not 413).
+	big := `{"name":"` + strings.Repeat("x", maxBodyBytes+1)
+	for _, path := range []string{"/v1/solve", "/v1/solve-hierarchy"} {
+		res, body := doRequest(t, http.MethodPost, path, big)
+		if res.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body: status = %d, want 413", path, res.StatusCode)
+		}
+		if !strings.Contains(string(body), "exceeds") {
+			t.Errorf("%s 413 body does not name the limit: %s", path, body)
+		}
 	}
 }
 

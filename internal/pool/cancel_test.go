@@ -1,0 +1,130 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunCanceledBeforeStart: a pre-canceled context runs no items and
+// reports the cancellation.
+func TestRunCanceledBeforeStart(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := Run(ctx, 100, Options{Workers: 4}, func(_, _ int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d items ran under a pre-canceled context", got)
+	}
+}
+
+// TestRunCancelMidway: canceling from inside an item stops dispatch; the
+// completed prefix stays completed and the error is the cancellation.
+func TestRunCancelMidway(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 1000
+	var ran atomic.Int64
+	err := Run(ctx, n, Options{Workers: 1}, func(_, i int) error {
+		ran.Add(1)
+		if i == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	got := ran.Load()
+	if got < 11 || got >= n {
+		t.Errorf("ran %d items; want the completed prefix (>= 11) and an early stop (< %d)", got, n)
+	}
+}
+
+// TestRunItemErrorBeatsCancellation: when an item failed before the
+// cancellation, the item error is reported (the more specific cause).
+func TestRunItemErrorBeatsCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := Run(ctx, 100, Options{Workers: 1}, func(_, i int) error {
+		if i == 2 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		if i == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 2 failed" {
+		t.Fatalf("err = %v, want the item-2 failure", err)
+	}
+}
+
+// TestRunNilContext: a nil context is treated as background, matching the
+// package's documented contract.
+func TestRunNilContext(t *testing.T) {
+	t.Parallel()
+	var ran atomic.Int64
+	//nolint:staticcheck // deliberately nil: the documented lenient path
+	err := Run(nil, 10, Options{}, func(_, _ int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if ran.Load() != 10 {
+		t.Errorf("ran %d of 10", ran.Load())
+	}
+}
+
+// TestRunCancellationStormNoGoroutineLeak hammers Run with concurrent
+// cancellations (run under -race in CI) and then checks the process
+// goroutine count returns to its baseline: canceled pools must not strand
+// workers.
+func TestRunCancellationStormNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const storms = 30
+	var wg sync.WaitGroup
+	for s := 0; s < storms; s++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			_ = Run(ctx, 500, Options{Workers: 8}, func(_, i int) error {
+				if i == seed%97 {
+					cancel()
+				}
+				return nil
+			})
+		}(s)
+	}
+	wg.Wait()
+	// Give exiting workers a moment to unwind, then bound the leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= base+10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: baseline %d, now %d — canceled pools leaked workers",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

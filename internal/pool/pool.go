@@ -6,13 +6,28 @@
 // parallelism level, and the error ultimately reported is the one from the
 // lowest-indexed failing item among those attempted — independent of
 // goroutine scheduling.
+//
+// Every Run takes a context.Context and stops dispatching when it is
+// canceled: items already handed to a worker finish (a worker is never
+// interrupted mid-item), undispatched items never start, and Run returns
+// ctx.Err() alongside whatever work completed. The pool is therefore the
+// engine-wide cancellation choke point — a driver that writes outputs by
+// index keeps every completed item's result after a cancellation.
 package pool
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// obsCancellations counts Runs that stopped early because their context
+// was canceled (shared engine-wide series; the label tells layers apart).
+var obsCancellations = obs.C("solver_cancellations_total",
+	"engine runs aborted by context cancellation", `layer="pool"`)
 
 // Options tunes one Run.
 type Options struct {
@@ -25,6 +40,8 @@ type Options struct {
 	// others. Off (the default), indices above the lowest known failing
 	// index are skipped so the pool drains promptly — the solver-sweep
 	// behavior, where a failure invalidates the whole result.
+	// Cancellation is not an item failure and always stops dispatch,
+	// ContinueOnError or not.
 	ContinueOnError bool
 }
 
@@ -38,9 +55,18 @@ type Options struct {
 // (nil if every item succeeded). With Workers ≤ 1 items run serially in
 // index order on a single worker goroutine, so a one-worker Run is
 // behaviorally identical to a plain loop.
-func Run(n int, opts Options, fn func(worker, index int) error) error {
+//
+// A canceled ctx stops dispatch promptly: in-flight items complete,
+// remaining items are skipped, and — when no item itself failed — Run
+// returns ctx.Err(), so callers can distinguish cancellation
+// (context.Canceled / context.DeadlineExceeded) from item errors with
+// errors.Is. A nil ctx is treated as context.Background().
+func Run(ctx context.Context, n int, opts Options, fn func(worker, index int) error) error {
 	if n <= 0 || fn == nil {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := opts.Workers
 	if workers < 1 {
@@ -74,6 +100,7 @@ func Run(n int, opts Options, fn func(worker, index int) error) error {
 		}
 	}
 
+	done := ctx.Done()
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -81,6 +108,11 @@ func Run(n int, opts Options, fn func(worker, index int) error) error {
 		go func(worker int) {
 			defer wg.Done()
 			for i := range indices {
+				// A canceled context skips everything not yet started —
+				// the dispatcher may have queued an index before noticing.
+				if ctx.Err() != nil {
+					continue
+				}
 				// Skip items above the lowest known failure: everything
 				// below it still gets run, so the failure ultimately
 				// reported is exactly the lowest-indexed one.
@@ -93,14 +125,23 @@ func Run(n int, opts Options, fn func(worker, index int) error) error {
 			}
 		}(w)
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		indices <- i
+		select {
+		case indices <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(indices)
 	wg.Wait()
 
+	canceled := ctx.Err()
+	if canceled != nil {
+		obsCancellations.Inc()
+	}
 	if minIdx >= 0 {
 		return minErr
 	}
-	return nil
+	return canceled
 }

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,7 +14,7 @@ func TestRunCoversEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 7, 64} {
 		n := 100
 		counts := make([]atomic.Int64, n)
-		err := Run(n, Options{Workers: workers}, func(_, i int) error {
+		err := Run(context.Background(), n, Options{Workers: workers}, func(_, i int) error {
 			counts[i].Add(1)
 			return nil
 		})
@@ -30,10 +31,10 @@ func TestRunCoversEveryIndexOnce(t *testing.T) {
 
 func TestRunEmptyAndNil(t *testing.T) {
 	t.Parallel()
-	if err := Run(0, Options{}, func(_, _ int) error { return errors.New("x") }); err != nil {
+	if err := Run(context.Background(), 0, Options{}, func(_, _ int) error { return errors.New("x") }); err != nil {
 		t.Errorf("n=0: %v", err)
 	}
-	if err := Run(5, Options{}, nil); err != nil {
+	if err := Run(context.Background(), 5, Options{}, nil); err != nil {
 		t.Errorf("nil fn: %v", err)
 	}
 }
@@ -43,7 +44,7 @@ func TestRunEmptyAndNil(t *testing.T) {
 func TestRunReportsLowestIndexedError(t *testing.T) {
 	t.Parallel()
 	for _, workers := range []int{1, 2, 8} {
-		err := Run(50, Options{Workers: workers}, func(_, i int) error {
+		err := Run(context.Background(), 50, Options{Workers: workers}, func(_, i int) error {
 			if i%7 == 3 { // fails at 3, 10, 17, ...
 				return fmt.Errorf("item %d failed", i)
 			}
@@ -62,7 +63,7 @@ func TestRunContinueOnErrorRunsEverything(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		n := 40
 		var ran atomic.Int64
-		err := Run(n, Options{Workers: workers, ContinueOnError: true}, func(_, i int) error {
+		err := Run(context.Background(), n, Options{Workers: workers, ContinueOnError: true}, func(_, i int) error {
 			ran.Add(1)
 			if i == 5 || i == 20 {
 				return fmt.Errorf("item %d failed", i)
@@ -82,7 +83,7 @@ func TestRunContinueOnErrorRunsEverything(t *testing.T) {
 func TestRunSerialOrder(t *testing.T) {
 	t.Parallel()
 	var seen []int
-	_ = Run(20, Options{Workers: 1}, func(_, i int) error {
+	_ = Run(context.Background(), 20, Options{Workers: 1}, func(_, i int) error {
 		seen = append(seen, i)
 		return nil
 	})
@@ -100,7 +101,7 @@ func TestRunWorkerConfinement(t *testing.T) {
 	const workers = 4
 	var mu sync.Mutex
 	active := make(map[int]bool, workers)
-	err := Run(200, Options{Workers: workers}, func(w, _ int) error {
+	err := Run(context.Background(), 200, Options{Workers: workers}, func(w, _ int) error {
 		mu.Lock()
 		if active[w] {
 			mu.Unlock()

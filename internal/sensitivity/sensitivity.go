@@ -4,6 +4,7 @@
 package sensitivity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -47,6 +48,14 @@ func Sweep(from, to float64, steps int, solve Solver) ([]Point, error) {
 
 // SweepWith is Sweep with driver options (parallel evaluation).
 func SweepWith(from, to float64, steps int, solve Solver, opts SweepOptions) ([]Point, error) {
+	return SweepWithCtx(context.Background(), from, to, steps, solve, opts)
+}
+
+// SweepWithCtx is SweepWith with cancellation: a canceled ctx stops
+// dispatching sweep points within one pool-task granularity and the sweep
+// returns ctx.Err() (no points — a sweep with holes would silently skew
+// crossing and delta summaries).
+func SweepWithCtx(ctx context.Context, from, to float64, steps int, solve Solver, opts SweepOptions) ([]Point, error) {
 	if solve == nil {
 		return nil, fmt.Errorf("nil solver: %w", ErrBadSweep)
 	}
@@ -79,7 +88,7 @@ func SweepWith(from, to float64, steps int, solve Solver, opts SweepOptions) ([]
 	// points by index and, on failure, drains promptly while reporting the
 	// error from the lowest-indexed failing point among those attempted —
 	// independent of goroutine scheduling.
-	err := pool.Run(n, pool.Options{Workers: parallelism}, func(worker, i int) error {
+	err := pool.Run(ctx, n, pool.Options{Workers: parallelism}, func(worker, i int) error {
 		track := "solver"
 		if parallelism > 1 {
 			track = fmt.Sprintf("worker-%d", worker)

@@ -1,0 +1,87 @@
+package sparse
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// afterNCtx is a context whose Err flips to Canceled after a fixed number
+// of Err() calls — a deterministic stand-in for "canceled mid-solve" that
+// does not depend on iteration speed. The solvers are single-goroutine,
+// so the plain counter is safe.
+type afterNCtx struct {
+	context.Context
+	calls, after int
+}
+
+func (c *afterNCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSteadyStateCanceledUpFront: a pre-canceled context aborts both
+// iterative solvers before any sweeps, with an error wrapping
+// context.Canceled — and NOT ErrNoConvergence, so auto-method fallbacks
+// keyed on non-convergence never fire on a cancel.
+func TestSteadyStateCanceledUpFront(t *testing.T) {
+	t.Parallel()
+	q, _ := stiffChain(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, solve := range map[string]func(*CSR, SteadyStateOptions) ([]float64, error){
+		"power":        SteadyStatePower,
+		"gauss-seidel": SteadyStateGaussSeidel,
+	} {
+		_, err := solve(q, SteadyStateOptions{Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if errors.Is(err, ErrNoConvergence) {
+			t.Errorf("%s: cancellation reported as non-convergence", name)
+		}
+	}
+}
+
+// TestSteadyStateCanceledMidIteration: a context canceled during the
+// sweep loop stops the solver at the next check, again distinct from
+// non-convergence.
+func TestSteadyStateCanceledMidIteration(t *testing.T) {
+	t.Parallel()
+	q, _ := stiffChain(t)
+	for name, solve := range map[string]func(*CSR, SteadyStateOptions) ([]float64, error){
+		"power":        SteadyStatePower,
+		"gauss-seidel": SteadyStateGaussSeidel,
+	} {
+		// after=1: the pre-loop check passes, the first in-loop check
+		// cancels. The unreachable tolerances keep the solver sweeping past
+		// that check regardless of how fast the small chain converges.
+		ctx := &afterNCtx{Context: context.Background(), after: 1}
+		_, err := solve(q, SteadyStateOptions{Ctx: ctx, Tol: 1e-300, ResidualTol: 1e-300})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if errors.Is(err, ErrNoConvergence) {
+			t.Errorf("%s: mid-iteration cancellation reported as non-convergence", name)
+		}
+	}
+}
+
+// TestSteadyStateNilCtx: no context means no cancellation checks and the
+// solve completes as before.
+func TestSteadyStateNilCtx(t *testing.T) {
+	t.Parallel()
+	q, want := stiffChain(t)
+	pi, err := SteadyStateGaussSeidel(q, SteadyStateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if diff := pi[i] - want[i]; diff > 1e-8 || diff < -1e-8 {
+			t.Fatalf("pi[%d] = %g, want %g", i, pi[i], want[i])
+		}
+	}
+}

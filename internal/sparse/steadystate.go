@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,8 +11,35 @@ import (
 // iteration budget before reaching the requested tolerance.
 var ErrNoConvergence = errors.New("sparse: iteration limit reached without convergence")
 
+// ctxCheckInterval is how many sweeps an iterative solver runs between
+// cancellation checks. Sweeps are cheap relative to a whole solve, so a
+// stuck (slowly converging) Gauss–Seidel loop notices a canceled context
+// within a bounded, small amount of extra work; checking every sweep
+// would put a synchronized channel load in the hot loop for nothing.
+const ctxCheckInterval = 64
+
+// checkCtx reports the context's error when it is canceled. A nil context
+// never cancels. The returned error wraps context.Canceled (or
+// DeadlineExceeded), NOT ErrNoConvergence: a canceled solve says nothing
+// about convergence, and callers (MethodAuto's dense fallback, the HTTP
+// status mapper) must be able to tell the two apart with errors.Is.
+func checkCtx(ctx context.Context, sweeps int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sparse: solve canceled after %d sweeps: %w", sweeps, err)
+	}
+	return nil
+}
+
 // SteadyStateOptions tunes the iterative steady-state solvers.
 type SteadyStateOptions struct {
+	// Ctx, if non-nil, is checked every ctxCheckInterval sweeps: a
+	// canceled context aborts the solve with an error wrapping ctx.Err()
+	// (distinct from ErrNoConvergence), so a stuck iteration is
+	// interruptible. nil means "never cancel".
+	Ctx context.Context
 	// Tol is the convergence tolerance on the max-norm change of the
 	// *normalized* probability vector between sweeps: a solver reports
 	// convergence only when max_i |π_k[i] − π_{k−1}[i]| < Tol with both
@@ -187,8 +215,16 @@ func SteadyStatePower(q *CSR, opts SteadyStateOptions) ([]float64, error) {
 	if o.Stats != nil {
 		*o.Stats = IterStats{WarmStart: warm}
 	}
+	if err := checkCtx(o.Ctx, 0); err != nil {
+		return nil, err
+	}
 	var resid float64
 	for iter := 1; iter <= o.MaxIter; iter++ {
+		if iter%ctxCheckInterval == 0 {
+			if err := checkCtx(o.Ctx, iter-1); err != nil {
+				return nil, err
+			}
+		}
 		// next = pi·P = pi + (pi·Q)/Λ
 		piQ, err := q.VecMul(pi, scratch)
 		if err != nil {
@@ -277,8 +313,16 @@ func SteadyStateGaussSeidel(q *CSR, opts SteadyStateOptions) ([]float64, error) 
 	if o.Stats != nil {
 		*o.Stats = IterStats{WarmStart: warm}
 	}
+	if err := checkCtx(o.Ctx, 0); err != nil {
+		return nil, err
+	}
 	var resid float64
 	for iter := 1; iter <= o.MaxIter; iter++ {
+		if iter%ctxCheckInterval == 0 {
+			if err := checkCtx(o.Ctx, iter-1); err != nil {
+				return nil, err
+			}
+		}
 		copy(prev, pi)
 		for j := 0; j < n; j++ {
 			if diag[j] == 0 {

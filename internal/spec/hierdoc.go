@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -239,13 +240,21 @@ func (d *HierDocument) buildFunc(m *Document, overrides map[string]float64) hier
 	}
 }
 
-// Solve compiles and evaluates the hierarchy in one step.
+// Solve compiles and evaluates the hierarchy in one step. It is SolveCtx
+// with a background context.
 func (d *HierDocument) Solve(overrides map[string]float64) (*hier.Evaluation, error) {
+	return d.SolveCtx(context.Background(), overrides)
+}
+
+// SolveCtx is Solve with cancellation: ctx is threaded through the
+// hierarchy evaluation, aborting between components (and inside iterative
+// submodel solves) when canceled.
+func (d *HierDocument) SolveCtx(ctx context.Context, overrides map[string]float64) (*hier.Evaluation, error) {
 	root, err := d.Compile(overrides)
 	if err != nil {
 		return nil, err
 	}
-	ev, err := hier.Evaluate(root, nil, hier.Options{})
+	ev, err := hier.EvaluateCtx(ctx, root, nil, hier.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("spec: solve %q: %w", d.Name, err)
 	}

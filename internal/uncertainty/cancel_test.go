@@ -1,0 +1,65 @@
+package uncertainty
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunCtxCanceled: a canceled analysis returns no Result — a partial
+// Monte-Carlo sample would silently bias the statistics — and the error
+// reports the cancellation.
+func TestRunCtxCanceled(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunCtx(ctx, []Range{{Name: "x", Low: 0, High: 1}}, sumSolver, Options{Samples: 100})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("canceled run returned a partial Result; want nil (bias guard)")
+	}
+}
+
+// TestRunCtxCanceledMidRun: cancellation raised from inside a sample
+// solve stops the analysis without a Result.
+func TestRunCtxCanceledMidRun(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	solve := func(a map[string]float64) (float64, error) {
+		n++
+		if n == 10 {
+			cancel()
+		}
+		return a["x"], nil
+	}
+	res, err := RunCtx(ctx, []Range{{Name: "x", Low: 0, High: 1}}, solve, Options{Samples: 5000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("mid-run cancellation returned a partial Result; want nil")
+	}
+}
+
+// TestRunCtxLiveMatchesRun: threading a live context changes nothing —
+// the same seed yields the same statistics as the background-context API.
+func TestRunCtxLiveMatchesRun(t *testing.T) {
+	t.Parallel()
+	ranges := []Range{{Name: "x", Low: 0, High: 1}}
+	opts := Options{Samples: 200, Seed: 7}
+	a, err := Run(ranges, sumSolver, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), ranges, sumSolver, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary.Mean != b.Summary.Mean || a.Summary.N != b.Summary.N {
+		t.Errorf("RunCtx(background) diverged from Run: %+v vs %+v", b.Summary, a.Summary)
+	}
+}

@@ -7,6 +7,7 @@
 package uncertainty
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -164,8 +165,17 @@ func (r *Result) FractionBelow(m float64) float64 {
 }
 
 // Run performs the analysis: draw Samples assignments from ranges, solve
-// each, and summarize.
+// each, and summarize. It is RunCtx with a background context.
 func Run(ranges []Range, solve Solver, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), ranges, solve, opts)
+}
+
+// RunCtx is Run with cancellation: a canceled ctx stops dispatching
+// samples within one pool-task granularity and the analysis returns
+// ctx.Err() (no Result — a partially solved downtime vector would bias
+// every summary statistic, so cancellation discards the run rather than
+// reporting misleading numbers).
+func RunCtx(ctx context.Context, ranges []Range, solve Solver, opts Options) (*Result, error) {
 	if solve == nil {
 		return nil, fmt.Errorf("nil solver: %w", ErrBadAnalysis)
 	}
@@ -208,7 +218,7 @@ func Run(ranges []Range, solve Solver, opts Options) (*Result, error) {
 		}
 		res.Samples[i] = Sample{Assignment: assignment}
 	}
-	if err := solveAll(res, solve, opts.Parallelism); err != nil {
+	if err := solveAll(ctx, res, solve, opts.Parallelism); err != nil {
 		return nil, err
 	}
 	res.Summary = stats.Summarize(res.Downtimes)
@@ -230,7 +240,7 @@ func Run(ranges []Range, solve Solver, opts Options) (*Result, error) {
 // error returned is the one from the lowest-indexed failing sample among
 // those attempted, so the reported error does not depend on goroutine
 // scheduling (see internal/pool).
-func solveAll(res *Result, solve Solver, parallelism int) error {
+func solveAll(ctx context.Context, res *Result, solve Solver, parallelism int) error {
 	n := len(res.Samples)
 	if parallelism < 1 {
 		parallelism = 1
@@ -262,7 +272,7 @@ func solveAll(res *Result, solve Solver, parallelism int) error {
 		minTime[w] = math.MaxInt64
 	}
 
-	poolErr := pool.Run(n, pool.Options{Workers: parallelism}, func(worker, i int) error {
+	poolErr := pool.Run(ctx, n, pool.Options{Workers: parallelism}, func(worker, i int) error {
 		sampleTimer := obs.StartTimer(obsSampleSeconds)
 		sp := trace.Default().Start("uncertainty.sample", runSpan,
 			trace.String(trace.AttrTrack, fmt.Sprintf("worker-%d", worker)),

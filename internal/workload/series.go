@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -58,8 +59,21 @@ func RunSeries(opts RunOptions, runs int) (*SeriesResult, error) {
 // tagged with trace.AttrReplica (a single run records directly, exactly as
 // Run does). A run that fails does not abort the series: completed runs
 // are still pooled, and the failures are returned errors.Join-ed in series
-// order alongside the partial result.
+// order alongside the partial result. It is RunSeriesWithCtx with a
+// background context.
 func RunSeriesWith(opts SeriesOptions) (*SeriesResult, error) {
+	return RunSeriesWithCtx(context.Background(), opts)
+}
+
+// RunSeriesWithCtx is RunSeriesWith with cancellation: a canceled ctx
+// stops dispatching new runs and interrupts in-flight ones at their next
+// chunk boundary; completed runs are still pooled (the partial-series
+// contract), with the interrupted runs' cancellations joined into the
+// returned error in series order.
+func RunSeriesWithCtx(ctx context.Context, opts SeriesOptions) (*SeriesResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Runs <= 0 {
 		return nil, fmt.Errorf("runs = %d, want ≥ 1: %w", opts.Runs, ErrBadRun)
 	}
@@ -71,7 +85,7 @@ func RunSeriesWith(opts SeriesOptions) (*SeriesResult, error) {
 	errs := make([]error, opts.Runs)
 	recs := make([]*trace.Recorder, opts.Runs)
 	splitTrace := opts.Run.Trace != nil && opts.Runs > 1
-	_ = pool.Run(opts.Runs, pool.Options{Workers: opts.Parallelism, ContinueOnError: true},
+	poolErr := pool.Run(ctx, opts.Runs, pool.Options{Workers: opts.Parallelism, ContinueOnError: true},
 		func(_, i int) error {
 			runOpts := opts.Run
 			runOpts.Seed = opts.Run.Seed + int64(i)
@@ -79,7 +93,7 @@ func RunSeriesWith(opts SeriesOptions) (*SeriesResult, error) {
 				recs[i] = trace.New(trace.Config{Capacity: trace.Unbounded})
 				runOpts.Trace = recs[i]
 			}
-			res, err := Run(runOpts)
+			res, err := RunCtx(ctx, runOpts)
 			if err != nil {
 				errs[i] = fmt.Errorf("run %d: %w", i+1, err)
 				return errs[i]
@@ -117,7 +131,17 @@ func RunSeriesWith(opts SeriesOptions) (*SeriesResult, error) {
 	for _, e := range errs {
 		if e != nil {
 			joined = append(joined, e)
+			if e == poolErr {
+				// The pool reports the lowest-indexed run error; it is
+				// already in the per-run list.
+				poolErr = nil
+			}
 		}
+	}
+	if poolErr != nil {
+		// Cancellation with no per-run error (runs skipped before starting)
+		// must still surface, or a canceled series would read as complete.
+		joined = append(joined, fmt.Errorf("workload: series canceled: %w", poolErr))
 	}
 	return out, errors.Join(joined...)
 }

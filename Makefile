@@ -23,17 +23,28 @@ fmt-check:
 
 # Pre-merge verification: formatting, build, vet, the full test suite,
 # a race-detector pass over the packages with concurrent hot paths (the
-# metrics registry, the flight recorder, the shared worker pool, the
-# solver workspaces, the sweep/Monte-Carlo drivers, the replicated
-# measurement campaigns, the DES testbed, the HTTP handlers), and a
-# benchmark smoke run (1 iteration each) to catch bit-rot in the bench
-# harness.
+# DES kernel, the metrics registry, the flight recorder, the shared
+# worker pool, the solver workspaces, the sweep/Monte-Carlo drivers, the
+# replicated measurement campaigns, the DES testbed, the HTTP handlers),
+# a benchmark smoke run (1 iteration each) to catch bit-rot in the bench
+# harness, and an allocation smoke check: one iteration of the unsharded
+# campaign must stay under MAX_CAMPAIGN_ALLOCS allocations (the pooled
+# kernel runs a 400-injection campaign in ~9.2k allocs; losing the Sim,
+# cluster, or event free-list reuse multiplies that, and this gate
+# catches the regression before it erodes the interactive-campaign
+# latency budget).
+MAX_CAMPAIGN_ALLOCS ?= 12000
+
 verify: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/...
+	$(GO) test -race ./internal/des/... ./internal/obs/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/...
 	$(GO) run ./cmd/bench-record -bench 'Table2|SteadyStateGS200|SweepParallel' -benchtime 1x -out /tmp/bench-smoke.json
+	@$(GO) run ./cmd/bench-record -bench 'CampaignUnsharded' -benchtime 1x -benchmem -out /tmp/bench-allocs.json; \
+	allocs="$$($(GO) run ./cmd/bench-record -print-metric allocs/op -in /tmp/bench-allocs.json)"; \
+	echo "verify: BenchmarkCampaignUnsharded allocs/op = $$allocs (max $(MAX_CAMPAIGN_ALLOCS))"; \
+	[ "$${allocs%.*}" -le "$(MAX_CAMPAIGN_ALLOCS)" ] || { echo "verify: allocation regression in BenchmarkCampaignUnsharded"; exit 1; }
 
 # Short traced fault-injection campaign: writes /tmp/jsas-trace.jsonl and
 # prints the reconstructed outage timeline and downtime decomposition.
@@ -61,14 +72,17 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # One benchmark iteration per table/figure: regenerates the paper's rows
-# as b.ReportMetric values, and records the repeated-solve and replicated
-# measurement benchmarks as machine-readable performance baselines
-# (BENCH_PR3.json for the solver side, BENCH_PR4.json for the measurement
-# side).
+# as b.ReportMetric values, then records the solver and measurement
+# benchmarks as a machine-readable performance snapshot for THIS PR.
+# Snapshots are per-PR — `make bench PR=6` writes BENCH_PR6.json and
+# leaves every earlier BENCH_PR*.json untouched, so speedups stay
+# auditable across the whole PR sequence (BENCH_PR3.json and
+# BENCH_PR4.json are the pre-rebuild baselines).
+PR ?= 6
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table' -benchtime 20x -out BENCH_PR3.json
-	$(GO) run ./cmd/bench-record -bench 'Campaign(Unsharded|Replicated)|LongevitySeries' -benchtime 10x -out BENCH_PR4.json
+	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated)|LongevitySeries' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
 
 # Full paper reproduction to stdout.
 reproduce:

@@ -58,11 +58,20 @@ func run(args []string) error {
 	pkg := fs.String("pkg", ".", "package pattern to benchmark")
 	benchtime := fs.String("benchtime", "", "per-benchmark budget (go test -benchtime), e.g. 2x or 100ms")
 	count := fs.Int("count", 1, "repetitions per benchmark (go test -count)")
+	benchmem := fs.Bool("benchmem", false, "record allocation metrics (go test -benchmem)")
 	out := fs.String("out", "BENCH.json", "output JSON path")
+	in := fs.String("in", "", "read an existing snapshot instead of running benchmarks")
+	printMetric := fs.String("print-metric", "", `with -in: print this metric ("ns/op" or a unit such as "allocs/op") of the first result`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *in != "" {
+		return printFromFile(*in, *printMetric)
+	}
 	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-count", strconv.Itoa(*count)}
+	if *benchmem {
+		goArgs = append(goArgs, "-benchmem")
+	}
 	if *benchtime != "" {
 		goArgs = append(goArgs, "-benchtime", *benchtime)
 	}
@@ -96,6 +105,38 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bench-record: wrote %d results to %s\n", len(results), *out)
+	return nil
+}
+
+// printFromFile loads a snapshot written by a previous run and prints one
+// metric of its first result to stdout, so shell gates (e.g. the `make
+// verify` allocation check) can consume recorded values without a JSON
+// parser.
+func printFromFile(path, metric string) error {
+	if metric == "" {
+		return fmt.Errorf("-in requires -print-metric")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	res := doc.Results[0]
+	if metric == "ns/op" {
+		fmt.Println(res.NsPerOp)
+		return nil
+	}
+	v, ok := res.Metrics[metric]
+	if !ok {
+		return fmt.Errorf("%s: result %s has no metric %q", path, res.Name, metric)
+	}
+	fmt.Println(v)
 	return nil
 }
 

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -44,5 +47,41 @@ random text
 	}
 	if len(results) != 0 {
 		t.Fatalf("parsed %d results from malformed input, want 0", len(results))
+	}
+}
+
+func TestPrintFromFile(t *testing.T) {
+	doc := File{
+		GeneratedAt: "2026-01-01T00:00:00Z",
+		GoCommand:   "go test -bench CampaignUnsharded",
+		Results: []Result{{
+			Name:       "BenchmarkCampaignUnsharded",
+			Iterations: 1,
+			NsPerOp:    2.5e6,
+			Metrics:    map[string]float64{"allocs/op": 9235, "B/op": 1476504},
+		}},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := printFromFile(path, "allocs/op"); err != nil {
+		t.Errorf("allocs/op: %v", err)
+	}
+	if err := printFromFile(path, "ns/op"); err != nil {
+		t.Errorf("ns/op: %v", err)
+	}
+	if err := printFromFile(path, "widgets/op"); err == nil {
+		t.Error("missing metric: want error, got nil")
+	}
+	if err := printFromFile(path, ""); err == nil {
+		t.Error("empty metric: want error, got nil")
+	}
+	if err := printFromFile(filepath.Join(t.TempDir(), "absent.json"), "ns/op"); err == nil {
+		t.Error("missing file: want error, got nil")
 	}
 }

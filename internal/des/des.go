@@ -1,78 +1,90 @@
 // Package des is a small discrete-event simulation kernel: a virtual
-// clock, an event heap, and deterministic seeded random variates. It
-// drives the simulated JSAS testbed (package testbed) that stands in for
-// the paper's physical lab environment.
+// clock, a calendar-queue event scheduler, and deterministic seeded
+// random variates. It drives the simulated JSAS testbed (package
+// testbed) that stands in for the paper's physical lab environment.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 	"time"
 )
 
 // ErrStopped is reported when scheduling on a stopped simulation.
 var ErrStopped = errors.New("des: simulation stopped")
 
-// Event is a scheduled callback.
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq // FIFO among simultaneous events
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Sim is a single-threaded discrete-event simulator. The zero value is not
 // usable; construct with New.
 type Sim struct {
 	now       time.Duration
-	queue     eventHeap
+	q         calQueue
 	seq       uint64
 	processed uint64
 	stopped   bool
-	rng       *rand.Rand
+	rng       Rand // embedded by value: one allocation with the Sim
 }
 
-// New creates a simulator with a deterministic RNG stream.
+// simPool recycles released simulators. A Sim is ~7 KB dominated by the
+// RNG's feedback register and batch buffer; campaign and series drivers
+// construct one per replica run, so reuse keeps the hot construction
+// path free of large zeroed allocations.
+var simPool sync.Pool
+
+// New creates a simulator with a deterministic RNG stream. A recycled
+// simulator (see Release) is reset to exactly the state a fresh one
+// would have, so results never depend on whether the Sim was pooled.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	s, _ := simPool.Get().(*Sim)
+	if s == nil {
+		s = new(Sim)
+		s.q.init()
+	} else {
+		s.reset()
+	}
+	s.rng.seed(seed)
+	return s
 }
+
+// reset restores pristine simulator state, keeping allocated capacity.
+func (s *Sim) reset() {
+	s.now = 0
+	s.seq = 0
+	s.processed = 0
+	s.stopped = false
+	s.q.reset()
+}
+
+// Release returns the simulator to the kernel's pool for reuse by a
+// future New. The caller must not use the Sim (or any Handle it issued)
+// afterwards: slot generations restart, so stale handles held across a
+// Release are not detected the way ordinary stale handles are.
+func (s *Sim) Release() { simPool.Put(s) }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
 
 // RNG returns the simulation's random stream.
-func (s *Sim) RNG() *rand.Rand { return s.rng }
+func (s *Sim) RNG() *Rand { return &s.rng }
 
 // Schedule runs fn after delay of virtual time. Negative delays fire
 // immediately (at the current time).
 func (s *Sim) Schedule(delay time.Duration, fn func()) error {
+	_, err := s.ScheduleHandle(delay, fn)
+	return err
+}
+
+// ScheduleHandle is Schedule returning a Handle for cancellation. Timer
+// owners that re-arm (superseding a pending draw) should Cancel the old
+// handle so the event's slot is reclaimed immediately instead of riding
+// the queue to its — possibly far-future — firing time.
+func (s *Sim) ScheduleHandle(delay time.Duration, fn func()) (Handle, error) {
 	if s.stopped {
-		return ErrStopped
+		return Handle{}, ErrStopped
 	}
 	if fn == nil {
-		return errors.New("des: nil event callback")
+		return Handle{}, errors.New("des: nil event callback")
 	}
 	if delay < 0 {
 		delay = 0
@@ -82,40 +94,83 @@ func (s *Sim) Schedule(delay time.Duration, fn func()) error {
 		// Overflow: an effectively-never event (e.g. an exponential draw
 		// for a vanishing rate). Park it at the far horizon instead of
 		// wrapping into the past.
-		at = math.MaxInt64
+		at = time.Duration(maxNever)
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
-	return nil
+	i := s.q.alloc()
+	e := &s.q.events[i]
+	e.at = int64(at)
+	e.seq = s.seq
+	e.fn = fn
+	if e.at == maxNever {
+		s.q.parkNever(i)
+	} else {
+		s.q.insert(i)
+	}
+	return Handle{slot: i + 1, gen: e.gen}, nil
+}
+
+// Cancel revokes a scheduled event. It reports whether the event was
+// still pending: canceling an already-fired, already-canceled, or zero
+// Handle is a safe no-op returning false. Canceled events never run and
+// do not count as processed.
+func (s *Sim) Cancel(h Handle) bool {
+	if h.slot == 0 || int(h.slot) > len(s.q.events) {
+		return false
+	}
+	i := h.slot - 1
+	e := &s.q.events[i]
+	if e.gen != h.gen || e.where == whereFree {
+		return false
+	}
+	if e.where == whereNever {
+		s.q.unparkNever(i)
+	} else {
+		s.q.unlink(i)
+	}
+	s.q.release(i)
+	return true
 }
 
 // NextEventAt returns the virtual time of the earliest pending event and
 // whether one exists. Campaign drivers use it to advance the simulation
 // event-by-event — measured intervals (e.g. recovery times) are then exact
 // to the simulator's clock instead of quantized to a polling step.
+// Far-horizon "never" events are not pending for this purpose: they exist
+// only as parked placeholders and would otherwise make every horizon look
+// busy.
 func (s *Sim) NextEventAt() (time.Duration, bool) {
-	if len(s.queue) == 0 {
+	i := s.q.peek()
+	if i < 0 {
 		return 0, false
 	}
-	return s.queue[0].at, true
+	return time.Duration(s.q.events[i].at), true
 }
 
 // Run processes events in time order until the virtual clock would pass
 // until, the queue drains, or Stop is called. The clock is left at until
-// (or at the stop/drain time if earlier events stopped it).
+// (or at the stop/drain time if earlier events stopped it). Events parked
+// at the far horizon (math.MaxInt64) are "never" events and do not run,
+// even when until is math.MaxInt64.
 func (s *Sim) Run(until time.Duration) error {
 	if until < s.now {
 		return fmt.Errorf("des: run until %v is before now %v", until, s.now)
 	}
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.at > until {
+	for !s.stopped {
+		i := s.q.peek()
+		if i < 0 {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.now = next.at
+		e := &s.q.events[i]
+		if e.at > int64(until) {
+			break
+		}
+		fn := e.fn
+		s.now = time.Duration(e.at)
+		s.q.unlink(i)
+		s.q.release(i)
 		s.processed++
-		next.fn()
+		fn()
 	}
 	if !s.stopped && s.now < until {
 		s.now = until
@@ -130,8 +185,9 @@ func (s *Sim) Stop() { s.stopped = true }
 // Stopped reports whether Stop has been called.
 func (s *Sim) Stopped() bool { return s.stopped }
 
-// Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.queue) }
+// Pending returns the number of queued events, including parked
+// far-horizon ones.
+func (s *Sim) Pending() int { return s.q.pending() }
 
 // Processed returns the total number of events executed so far — the
 // kernel-level measure of simulation work, exposed so drivers (package

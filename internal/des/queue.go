@@ -1,0 +1,370 @@
+package des
+
+// Calendar-queue event scheduler (Brown 1988) with a slab arena and
+// free-list, replacing the previous container/heap scheduler.
+//
+// Why a calendar queue: the testbed's pending-event population is small
+// and its inter-event gaps are stable (component timers at comparable
+// scales), which is the regime where a calendar queue gives O(1)
+// enqueue/dequeue — events hash into year-width buckets by time, the
+// dequeue cursor walks the current year, and resize keeps ~1 event per
+// bucket. The previous heap paid O(log n) per operation plus one
+// allocation per Schedule; here Schedule in steady state is a free-list
+// pop, a bucket append, and no allocation.
+//
+// Determinism: ordering is the same total order as the heap — (at, seq)
+// with seq breaking ties FIFO. Events with equal at always hash to the
+// same bucket, where they are kept list-sorted by (at, seq), so the
+// tie-break survives the bucket structure. Resizing only rehashes; it
+// never reorders equal keys.
+//
+// Slots are identified by index into the slab (stable across growth) and
+// guarded by a per-slot generation counter, so a Handle held after its
+// event fired or was canceled is harmlessly stale rather than dangling.
+//
+// Events at exactly maxNever (math.MaxInt64 ns) are "never" events —
+// overflow-clamped timers and vanishing-rate exponential draws. They are
+// parked in a side list instead of a bucket: Run and NextEventAt never
+// see them, Cancel reclaims them in O(1), and they cost nothing as the
+// live population churns.
+
+import "math"
+
+const (
+	maxNever = int64(math.MaxInt64)
+
+	// where sentinel values; non-negative means a bucket index.
+	whereFree  = int32(-1)
+	whereNever = int32(-2)
+
+	minBuckets = 16
+)
+
+// Handle identifies a scheduled event for cancellation. The zero Handle
+// is invalid and never matches a live event.
+type Handle struct {
+	slot int32  // slab index + 1; 0 = invalid
+	gen  uint32 // slot generation at schedule time
+}
+
+type qevent struct {
+	at   int64
+	seq  uint64
+	year uint64 // at / q.width at insert time, so peek never divides
+	fn   func()
+	gen  uint32
+	// where: bucket index, whereFree, or whereNever.
+	where int32
+	// prev/next: intra-bucket doubly-linked list (slab indices, -1 = none).
+	// For free slots next chains the free list; for never events prev
+	// holds the position in the never slice.
+	prev, next int32
+}
+
+type calQueue struct {
+	events []qevent
+	free   int32 // free-list head, -1 when empty
+
+	buckets []int32 // per-bucket list head, -1 when empty
+	tails   []int32 // per-bucket list tail
+	mask    uint64  // len(buckets)-1 (power of two)
+	width   uint64  // bucket width in ns, >= 1
+	size    int     // events stored in buckets (excludes never/free)
+	curN    uint64  // dequeue cursor: year-slot lower bound for the minimum
+	minIdx  int32   // memoized peek result; -1 = unknown
+
+	never []int32 // parked maxNever events
+
+	scratch []int32 // resize scratch: live slots collected before rebuild
+}
+
+func (q *calQueue) init() {
+	q.free = -1
+	q.minIdx = -1
+	q.width = uint64(1) << 30 // ~1 s; resize recalibrates from live spans
+	// Pre-size the slab for a typical testbed population so steady growth
+	// doesn't churn through the append doubling ladder.
+	q.events = make([]qevent, 0, 2*minBuckets)
+	q.setBuckets(minBuckets)
+}
+
+func (q *calQueue) setBuckets(n int) {
+	q.buckets = make([]int32, n)
+	q.tails = make([]int32, n)
+	for i := range q.buckets {
+		q.buckets[i] = -1
+		q.tails[i] = -1
+	}
+	q.mask = uint64(n) - 1
+}
+
+// alloc returns a slab slot, reusing the free list when possible.
+func (q *calQueue) alloc() int32 {
+	if i := q.free; i >= 0 {
+		q.free = q.events[i].next
+		return i
+	}
+	q.events = append(q.events, qevent{})
+	return int32(len(q.events) - 1)
+}
+
+// release returns a slot to the free list, bumping its generation so any
+// outstanding Handle goes stale.
+func (q *calQueue) release(i int32) {
+	e := &q.events[i]
+	e.gen++
+	e.fn = nil
+	e.where = whereFree
+	e.next = q.free
+	q.free = i
+}
+
+func (q *calQueue) less(a, b int32) bool {
+	ea, eb := &q.events[a], &q.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// insert places an allocated slot (with at/seq/fn/gen set) into its
+// bucket, keeping the bucket list sorted by (at, seq), and triggers a
+// resize when the population outgrows the bucket count.
+func (q *calQueue) insert(i int32) {
+	q.insertRaw(i)
+	q.size++
+	if q.size > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets)) // re-anchors minIdx itself
+		return
+	}
+	// A known minimum stays valid unless the new event undercuts it; an
+	// unknown one (-1) must stay unknown — the new event proves nothing.
+	if q.minIdx >= 0 && q.less(i, q.minIdx) {
+		q.minIdx = i
+	}
+}
+
+func (q *calQueue) insertRaw(i int32) {
+	e := &q.events[i]
+	n := uint64(e.at) / q.width
+	b := int32(n & q.mask)
+	e.where = b
+	e.year = n
+	if n < q.curN {
+		// The cursor tracks the year of the minimum *seen* event, which
+		// can sit ahead of the clock after Run stops short of it; a new
+		// event may legally land in between. Keep curN a true lower bound.
+		q.curN = n
+	}
+	// Search backwards from the tail: new events are usually the latest
+	// in their bucket (timers fire in rough arrival order).
+	at, seq := e.at, e.seq
+	cur := q.tails[b]
+	for cur >= 0 {
+		c := &q.events[cur]
+		if c.at < at || (c.at == at && c.seq < seq) {
+			break
+		}
+		cur = c.prev
+	}
+	if cur < 0 { // new head
+		e.prev = -1
+		e.next = q.buckets[b]
+		if e.next >= 0 {
+			q.events[e.next].prev = i
+		} else {
+			q.tails[b] = i
+		}
+		q.buckets[b] = i
+		return
+	}
+	c := &q.events[cur]
+	e.prev = cur
+	e.next = c.next
+	c.next = i
+	if e.next >= 0 {
+		q.events[e.next].prev = i
+	} else {
+		q.tails[b] = i
+	}
+}
+
+// unlink removes a bucketed slot from its list without releasing it.
+func (q *calQueue) unlink(i int32) {
+	if i == q.minIdx {
+		q.minIdx = -1
+	}
+	e := &q.events[i]
+	b := e.where
+	if e.prev >= 0 {
+		q.events[e.prev].next = e.next
+	} else {
+		q.buckets[b] = e.next
+	}
+	if e.next >= 0 {
+		q.events[e.next].prev = e.prev
+	} else {
+		q.tails[b] = e.prev
+	}
+	q.size--
+	if len(q.buckets) > minBuckets && q.size < len(q.buckets)/4 {
+		q.resize(len(q.buckets) / 2)
+	}
+}
+
+// resize rebuilds the bucket table with a width recalibrated to the live
+// event span (target ~3 events per bucket-width across the span, the
+// classic calendar-queue heuristic). Rehashing preserves (at, seq) order
+// within every bucket because insertRaw keeps lists sorted.
+func (q *calQueue) resize(nb int) {
+	// Collect live slots and the time span before tearing down buckets.
+	// The scratch buffer is kept across resizes: width recalibration (see
+	// peek's fallback) happens on every population-regime shift, so this
+	// path must not allocate in steady state.
+	live := q.scratch[:0]
+	var lo, hi int64
+	first := true
+	for _, h := range q.buckets {
+		for i := h; i >= 0; i = q.events[i].next {
+			live = append(live, i)
+			at := q.events[i].at
+			if first {
+				lo, hi = at, at
+				first = false
+			} else {
+				if at < lo {
+					lo = at
+				}
+				if at > hi {
+					hi = at
+				}
+			}
+		}
+	}
+	q.scratch = live[:0]
+	if n := len(live); n > 1 && hi > lo {
+		w := uint64(hi-lo) / uint64(n) * 3
+		if w == 0 {
+			w = 1
+		}
+		q.width = w
+	}
+	if nb == len(q.buckets) {
+		for i := range q.buckets {
+			q.buckets[i] = -1
+			q.tails[i] = -1
+		}
+	} else {
+		q.setBuckets(nb)
+	}
+	for _, i := range live {
+		q.insertRaw(i)
+	}
+	if len(live) > 0 {
+		// Re-anchor the cursor at the (possibly rescaled) slot of the
+		// minimum; q.curN must stay a lower bound for every live slot.
+		min := live[0]
+		for _, i := range live[1:] {
+			if q.less(i, min) {
+				min = i
+			}
+		}
+		q.curN = q.events[min].year
+		q.minIdx = min
+	} else {
+		q.curN = 0
+		q.minIdx = -1
+	}
+}
+
+// peek returns the slot of the minimum (at, seq) event, or -1. The
+// result is memoized in minIdx (invalidated by unlink of the minimum and
+// recomputed by resize), so back-to-back peeks — the pattern Run's
+// horizon checks produce — cost one field read. On a miss it scans one
+// full bucket cycle from the cursor's year-slot; if no event lives
+// within that cycle (the population jumped far ahead), it falls back to
+// a direct min scan and re-anchors the cursor.
+func (q *calQueue) peek() int32 {
+	if q.size == 0 {
+		return -1
+	}
+	if q.minIdx >= 0 {
+		return q.minIdx
+	}
+	nb := uint64(len(q.buckets))
+	n := q.curN
+	for i := uint64(0); i < nb; i++ {
+		h := q.buckets[(n+i)&q.mask]
+		if h >= 0 && q.events[h].year == n+i {
+			q.curN = n + i
+			q.minIdx = h
+			return h
+		}
+	}
+	best := int32(-1)
+	for _, h := range q.buckets {
+		if h >= 0 && (best < 0 || q.less(h, best)) {
+			best = h
+		}
+	}
+	q.curN = q.events[best].year
+	q.minIdx = best
+	if q.size > 1 {
+		// The cycle scan failed: every event lies beyond one full bucket
+		// cycle from the cursor, so the width no longer matches the event
+		// spacing. A stable-size population never crosses the grow/shrink
+		// thresholds, so this is the only recalibration trigger it has —
+		// rebuild at the same bucket count to recompute width from the
+		// live span. Afterwards one cycle spans ≥ 3/2 of the population
+		// span, so the scan cannot fail again until the regime shifts.
+		q.resize(len(q.buckets))
+		best = q.minIdx
+	}
+	return best
+}
+
+// parkNever stores a maxNever slot in the never list.
+func (q *calQueue) parkNever(i int32) {
+	e := &q.events[i]
+	e.where = whereNever
+	e.prev = int32(len(q.never))
+	e.next = -1
+	q.never = append(q.never, i)
+}
+
+// unparkNever removes a slot from the never list (swap-with-last).
+func (q *calQueue) unparkNever(i int32) {
+	pos := q.events[i].prev
+	last := int32(len(q.never) - 1)
+	moved := q.never[last]
+	q.never[pos] = moved
+	q.events[moved].prev = pos
+	q.never = q.never[:last]
+}
+
+// pending counts all scheduled-and-unfired events, parked ones included.
+func (q *calQueue) pending() int { return q.size + len(q.never) }
+
+// reset restores an initialized queue to its pristine state, keeping the
+// slab and bucket capacity. Slots are zeroed so callback closures from
+// the previous owner don't outlive it through the recycled slab.
+func (q *calQueue) reset() {
+	for i := range q.events {
+		q.events[i] = qevent{}
+	}
+	q.events = q.events[:0]
+	q.free = -1
+	q.minIdx = -1
+	q.size = 0
+	q.curN = 0
+	q.width = uint64(1) << 30
+	q.never = q.never[:0]
+	if len(q.buckets) != minBuckets {
+		q.setBuckets(minBuckets)
+		return
+	}
+	for i := range q.buckets {
+		q.buckets[i] = -1
+		q.tails[i] = -1
+	}
+}

@@ -1,0 +1,290 @@
+package des
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Reference scheduler: the container/heap implementation the calendar
+// queue replaced, used as the ordering oracle for differential tests.
+type refEvent struct {
+	at  time.Duration
+	seq uint64
+	id  int
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// TestQueueDifferential drives the calendar queue and the reference heap
+// through randomized schedule/cancel/run interleavings and checks they
+// fire the same events in the same order — including FIFO ties, which the
+// generator produces deliberately by reusing a small set of times.
+func TestQueueDifferential(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		sim := New(1)
+
+		ref := refHeap{}
+		canceled := map[int]bool{}
+		handles := map[int]Handle{}
+		var refNow time.Duration
+
+		var simFired, refFired []int
+		nextID := 0
+
+		// A small time palette guarantees plenty of exact ties.
+		palette := make([]time.Duration, 8)
+		for i := range palette {
+			palette[i] = time.Duration(rng.Int63n(int64(10 * time.Hour)))
+		}
+
+		schedule := func() {
+			id := nextID
+			nextID++
+			var delay time.Duration
+			switch rng.Intn(10) {
+			case 0:
+				delay = time.Duration(math.MaxInt64) // never event
+			case 1, 2, 3:
+				delay = palette[rng.Intn(len(palette))]
+			default:
+				delay = time.Duration(rng.Int63n(int64(100 * time.Hour)))
+			}
+			h, err := sim.ScheduleHandle(delay, func() { simFired = append(simFired, id) })
+			if err != nil {
+				t.Fatalf("trial %d: schedule: %v", trial, err)
+			}
+			handles[id] = h
+			at := sim.Now() + delay
+			if at < sim.Now() {
+				at = time.Duration(math.MaxInt64)
+			}
+			if at != time.Duration(math.MaxInt64) {
+				// The reference models never-parking by omission.
+				heap.Push(&ref, &refEvent{at: at, seq: uint64(id), id: id})
+			}
+		}
+
+		cancel := func() {
+			if len(handles) == 0 {
+				return
+			}
+			// Deterministic choice among live ids.
+			ids := make([]int, 0, len(handles))
+			for id := range handles {
+				ids = append(ids, id)
+			}
+			// map iteration is random; sort by id for reproducibility
+			for i := 1; i < len(ids); i++ {
+				for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+					ids[j], ids[j-1] = ids[j-1], ids[j]
+				}
+			}
+			id := ids[rng.Intn(len(ids))]
+			sim.Cancel(handles[id])
+			delete(handles, id)
+			canceled[id] = true
+		}
+
+		run := func() {
+			until := refNow + time.Duration(rng.Int63n(int64(20*time.Hour)))
+			if until < refNow || rng.Intn(20) == 0 {
+				until = time.Duration(math.MaxInt64)
+			}
+			if err := sim.Run(until); err != nil {
+				t.Fatalf("trial %d: run: %v", trial, err)
+			}
+			for len(ref) > 0 && ref[0].at <= until {
+				e := heap.Pop(&ref).(*refEvent)
+				if !canceled[e.id] {
+					refFired = append(refFired, e.id)
+					delete(handles, e.id)
+				}
+			}
+			refNow = until
+		}
+
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(6) {
+			case 0:
+				cancel()
+			case 1:
+				run()
+			default:
+				schedule()
+			}
+		}
+		run()
+
+		if len(simFired) != len(refFired) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(simFired), len(refFired))
+		}
+		for i := range simFired {
+			if simFired[i] != refFired[i] {
+				t.Fatalf("trial %d: firing order diverges at %d: got id %d, want %d",
+					trial, i, simFired[i], refFired[i])
+			}
+		}
+	}
+}
+
+// TestQueueFIFOTiesAcrossResize schedules many same-time events (forcing
+// bucket-table resizes in between) and checks they fire in schedule order.
+func TestQueueFIFOTiesAcrossResize(t *testing.T) {
+	sim := New(1)
+	const n = 500
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		if err := sim.Schedule(time.Hour, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+		// Interleave spread-out events to force resizes and rehashing.
+		if err := sim.Schedule(time.Duration(i+2)*time.Hour, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("fired %d of %d tied events", len(got), n)
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("tie order broken at %d: got id %d", i, id)
+		}
+	}
+}
+
+// TestCancel covers the handle lifecycle: live cancel, double cancel,
+// cancel after firing, and the zero Handle.
+func TestCancel(t *testing.T) {
+	sim := New(1)
+	fired := false
+	h, err := sim.ScheduleHandle(time.Second, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Cancel(h) {
+		t.Fatal("first Cancel returned false for a pending event")
+	}
+	if sim.Cancel(h) {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := sim.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if sim.Processed() != 0 {
+		t.Fatalf("canceled event counted as processed: %d", sim.Processed())
+	}
+
+	h2, err := sim.ScheduleHandle(time.Second, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Cancel(h2) {
+		t.Fatal("Cancel returned true for an already-fired event")
+	}
+	if sim.Cancel(Handle{}) {
+		t.Fatal("Cancel returned true for the zero Handle")
+	}
+}
+
+// TestCancelReclaimsSlot checks the free list actually recycles slots:
+// schedule/cancel churn must not grow the slab.
+func TestCancelReclaimsSlot(t *testing.T) {
+	sim := New(1)
+	for i := 0; i < 10000; i++ {
+		h, err := sim.ScheduleHandle(time.Hour, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sim.Cancel(h) {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	if n := len(sim.q.events); n > 2 {
+		t.Fatalf("slab grew to %d slots under schedule/cancel churn; free list not reused", n)
+	}
+}
+
+// TestNeverEventsReclaimed checks the far-horizon behavior end to end:
+// parked events are invisible to NextEventAt, don't run even at the
+// maximal horizon, are counted by Pending, and are reclaimable.
+func TestNeverEventsReclaimed(t *testing.T) {
+	sim := New(1)
+	fired := false
+	h, err := sim.ScheduleHandle(time.Duration(math.MaxInt64), func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sim.NextEventAt(); ok {
+		t.Fatal("NextEventAt reported a parked never event")
+	}
+	if got := sim.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1 (parked event still counts)", got)
+	}
+	if err := sim.Run(time.Duration(math.MaxInt64)); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("never event executed at the maximal horizon")
+	}
+	if !sim.Cancel(h) {
+		t.Fatal("parked event was not cancellable")
+	}
+	if got := sim.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after reclaiming parked event, want 0", got)
+	}
+}
+
+// TestNeverEventsNoCreep re-arms a far-horizon timer many times, as a
+// vanishing-rate component timer does over a longevity series, and checks
+// the pending population stays bounded when each re-arm cancels its
+// predecessor.
+func TestNeverEventsNoCreep(t *testing.T) {
+	sim := New(1)
+	var h Handle
+	for i := 0; i < 5000; i++ {
+		sim.Cancel(h)
+		var err error
+		h, err = sim.ScheduleHandle(time.Duration(math.MaxInt64), func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sim.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after re-arming with cancellation, want 1", got)
+	}
+	if n := len(sim.q.events); n > 2 {
+		t.Fatalf("slab grew to %d slots under never-event churn", n)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/estimate"
@@ -240,8 +241,10 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 			break
 		}
 		// Count closed-or-open outages before injecting: an injection that
-		// opens an outage must not count it as pre-existing.
-		outagesBefore := len(cluster.Stats().Outages)
+		// opens an outage must not count it as pre-existing. OutageCount
+		// avoids Stats, which copies the whole outage and recovery history
+		// and would make the campaign quadratic in its own length.
+		outagesBefore := cluster.OutageCount()
 		injSpan := opts.Trace.StartAt(trace.SpanInjection, inj.At, root,
 			trace.String(trace.AttrTrack, "campaign"),
 			trace.Int(trace.AttrIndex, int64(i)),
@@ -281,9 +284,8 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 			}
 		}
 		healthyErr := waitHealthy(cluster, opts.RecoveryTimeout)
-		stats := cluster.Stats()
 		inj.RecoveryTime = cluster.Now() - inj.At
-		inj.Recovered = healthyErr == nil && len(stats.Outages) == outagesBefore
+		inj.Recovered = healthyErr == nil && cluster.OutageCount() == outagesBefore
 		if inj.Recovered {
 			rep.Successes++
 		}
@@ -304,8 +306,9 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 		root.EndAt(cluster.Now())
 	}
 	rep.Stats = cluster.Stats()
+	cluster.Close()
 	// Collect the recovery-time samples for parameter estimation.
-	for _, rec := range cluster.Stats().Recoveries {
+	for _, rec := range rep.Stats.Recoveries {
 		if !rec.Success {
 			continue
 		}
@@ -332,8 +335,15 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 // recovery-time estimates.
 func waitHealthy(c *testbed.Cluster, timeout time.Duration) error {
 	deadline := c.Now() + timeout
+	if deadline < c.Now() {
+		// Overflow: a huge timeout deep into a long run would wrap the
+		// deadline negative, making c.Now() >= deadline immediately true
+		// and failing the campaign spuriously. Clamp to the far horizon,
+		// as des.Sim.Schedule does for overflowing delays.
+		deadline = time.Duration(math.MaxInt64)
+	}
 	for {
-		if healthy(c.Snapshot()) {
+		if c.Healthy() {
 			return nil
 		}
 		if c.Now() >= deadline {
@@ -347,7 +357,7 @@ func waitHealthy(c *testbed.Cluster, timeout time.Duration) error {
 			if err := c.Run(deadline); err != nil {
 				return err
 			}
-			if healthy(c.Snapshot()) {
+			if c.Healthy() {
 				return nil
 			}
 			return fmt.Errorf("not healthy after %v: %w", timeout, ErrBadCampaign)
@@ -356,21 +366,4 @@ func waitHealthy(c *testbed.Cluster, timeout time.Duration) error {
 			return err
 		}
 	}
-}
-
-func healthy(s testbed.Snapshot) bool {
-	if !s.SystemUp {
-		return false
-	}
-	for _, up := range s.ASUp {
-		if !up {
-			return false
-		}
-	}
-	for i, n := range s.PairActiveNodes {
-		if n != 2 || s.PairDown[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"time"
 
@@ -315,5 +316,42 @@ func TestCampaignDeterministic(t *testing.T) {
 		if a.Injections[i] != b.Injections[i] {
 			t.Fatalf("injection %d differs: %+v vs %+v", i, a.Injections[i], b.Injections[i])
 		}
+	}
+}
+
+// TestWaitHealthyHugeTimeoutDeepInRun is the regression test for the
+// deadline-overflow bug: waitHealthy computed deadline = Now() + timeout,
+// which wraps negative when a huge timeout is applied deep into a long
+// run, making the Now() >= deadline check spuriously true and failing an
+// otherwise-recoverable injection. The deadline must clamp to the far
+// horizon instead.
+func TestWaitHealthyHugeTimeoutDeepInRun(t *testing.T) {
+	t.Parallel()
+	cluster, err := testbed.New(testbed.Options{
+		Config: jsas.Config{ASInstances: 2},
+		Params: perfectParams(),
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatalf("testbed.New: %v", err)
+	}
+	// Advance deep into virtual time: any timeout above MaxInt64 - Now()
+	// overflows the naive deadline sum.
+	deep := 250 * 365 * 24 * time.Hour
+	if err := cluster.Run(deep); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := cluster.InjectAS(0, testbed.FaultProcessKill); err != nil {
+		t.Fatalf("InjectAS: %v", err)
+	}
+	huge := time.Duration(math.MaxInt64) - time.Hour // Now() + huge wraps
+	if deep+huge >= 0 {
+		t.Fatalf("test setup: deadline %v does not overflow", deep+huge)
+	}
+	if err := waitHealthy(cluster, huge); err != nil {
+		t.Fatalf("waitHealthy with overflowing timeout: %v (deadline wrapped?)", err)
+	}
+	if got := cluster.Now(); got <= deep {
+		t.Fatalf("Now() = %v, want progress past %v", got, deep)
 	}
 }

@@ -53,8 +53,8 @@ type Options struct {
 //
 // Run returns the error from the lowest-indexed failing item attempted
 // (nil if every item succeeded). With Workers ≤ 1 items run serially in
-// index order on a single worker goroutine, so a one-worker Run is
-// behaviorally identical to a plain loop.
+// index order inline on the calling goroutine, so a one-worker Run is
+// behaviorally identical to a plain loop and costs no synchronization.
 //
 // A canceled ctx stops dispatch promptly: in-flight items complete,
 // remaining items are skipped, and — when no item itself failed — Run
@@ -74,6 +74,36 @@ func Run(ctx context.Context, n int, opts Options, fn func(worker, index int) er
 	}
 	if workers > n {
 		workers = n
+	}
+	if workers == 1 {
+		// One worker is a plain loop; running it inline skips the
+		// goroutine, channel dispatch, and atomics entirely. Semantics
+		// match the pooled path exactly: index order, stop-after-failure
+		// unless ContinueOnError, cancellation skips undispatched items,
+		// lowest-index error reported.
+		var firstErr error
+		canceled := false
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				canceled = true
+				break
+			}
+			if err := fn(0, i); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				if !opts.ContinueOnError {
+					break
+				}
+			}
+		}
+		if canceled || ctx.Err() != nil {
+			obsCancellations.Inc()
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		return ctx.Err()
 	}
 
 	// minFail is the lowest failing index observed so far (math.MaxInt64

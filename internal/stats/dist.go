@@ -3,7 +3,44 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sync"
 )
+
+// quantileCache memoizes bisection-inverted quantiles. The χ² and F
+// quantiles dominate the cost of the Equation (1)/(2) bounds, and their
+// (p, dof) keys recur heavily — every longevity run of a series asks for
+// the same confidences over a handful of failure counts. Cached values
+// are the bisection results themselves, so a hit returns the bit the
+// cold path would have computed. Bounded so adversarial key churn (e.g.
+// a sweep over thousands of distinct dofs) cannot grow the map without
+// limit; past the cap, misses simply stay uncached.
+type quantileKey struct{ p, k1, k2 float64 }
+
+var quantileCache = struct {
+	sync.RWMutex
+	m map[quantileKey]float64
+}{m: make(map[quantileKey]float64)}
+
+const quantileCacheCap = 4096
+
+func quantileCached(key quantileKey, compute func() (float64, error)) (float64, error) {
+	quantileCache.RLock()
+	v, ok := quantileCache.m[key]
+	quantileCache.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return 0, err
+	}
+	quantileCache.Lock()
+	if len(quantileCache.m) < quantileCacheCap {
+		quantileCache.m[key] = v
+	}
+	quantileCache.Unlock()
+	return v, nil
+}
 
 // ChiSquareCDF returns P(X ≤ x) for X ~ χ²(k).
 func ChiSquareCDF(x float64, k float64) (float64, error) {
@@ -28,10 +65,12 @@ func ChiSquareQuantile(p float64, k float64) (float64, error) {
 	if p == 0 {
 		return 0, nil
 	}
-	cdf := func(x float64) (float64, error) { return ChiSquareCDF(x, k) }
-	// Bracket: mean k, variance 2k — start at mean + 10 std dev.
-	hi := k + 10*math.Sqrt(2*k) + 10
-	return quantileBisect(cdf, p, 0, hi)
+	return quantileCached(quantileKey{p: p, k1: k}, func() (float64, error) {
+		cdf := func(x float64) (float64, error) { return ChiSquareCDF(x, k) }
+		// Bracket: mean k, variance 2k — start at mean + 10 std dev.
+		hi := k + 10*math.Sqrt(2*k) + 10
+		return quantileBisect(cdf, p, 0, hi)
+	})
 }
 
 // FCDF returns P(X ≤ x) for X ~ F(d1, d2).
@@ -57,20 +96,22 @@ func FQuantile(p, d1, d2 float64) (float64, error) {
 	if p == 0 {
 		return 0, nil
 	}
-	cdf := func(x float64) (float64, error) { return FCDF(x, d1, d2) }
-	// Grow the bracket until it covers p.
-	hi := 1.0
-	for i := 0; i < 200; i++ {
-		c, err := cdf(hi)
-		if err != nil {
-			return 0, err
+	return quantileCached(quantileKey{p: p, k1: d1, k2: d2}, func() (float64, error) {
+		cdf := func(x float64) (float64, error) { return FCDF(x, d1, d2) }
+		// Grow the bracket until it covers p.
+		hi := 1.0
+		for i := 0; i < 200; i++ {
+			c, err := cdf(hi)
+			if err != nil {
+				return 0, err
+			}
+			if c > p {
+				break
+			}
+			hi *= 2
 		}
-		if c > p {
-			break
-		}
-		hi *= 2
-	}
-	return quantileBisect(cdf, p, 0, hi)
+		return quantileBisect(cdf, p, 0, hi)
+	})
 }
 
 // NormalCDF returns Φ(x) for the standard normal distribution.

@@ -1,7 +1,6 @@
 package testbed
 
 import (
-	"fmt"
 	"math"
 	"time"
 )
@@ -21,16 +20,25 @@ func (c *Cluster) scheduleASFailure(inst *asInstance) {
 		return
 	}
 	inst.version++
-	version := inst.version
 	delay := c.sim.ExponentialRate(c.asFailureRatePerHour())
+	// Reclaim the superseded draw: without the Cancel, every resample
+	// would leave its predecessor — often a far-horizon event — queued
+	// until it fired. The Cancel also carries the staleness guarantee: a
+	// timer that fires is always the instance's latest arm (every
+	// version bump on a live timer cancels it), so the callback needs no
+	// per-arm version capture and one prebound closure serves every arm.
+	c.sim.Cancel(inst.timer)
+	if inst.failFn == nil {
+		inst.failFn = func() {
+			if !inst.up {
+				return
+			}
+			c.failAS(inst, c.classifyASFailure(), false)
+		}
+	}
 	// Schedule errors only occur on a stopped simulation; the run is over
 	// then and the timer is moot.
-	_ = c.sim.Schedule(delay, func() {
-		if inst.version != version || !inst.up {
-			return
-		}
-		c.failAS(inst, c.classifyASFailure(), false)
-	})
+	inst.timer, _ = c.sim.ScheduleHandle(delay, inst.failFn)
 }
 
 // classifyASFailure draws the failure class with the Params proportions.
@@ -64,13 +72,14 @@ func (c *Cluster) failAS(inst *asInstance, kind FailureKind, injected bool) {
 		return
 	}
 	inst.up = false
-	inst.version++ // cancel the organic failure timer
+	inst.version++ // invalidate the organic failure timer
+	c.sim.Cancel(inst.timer)
 	inst.pendingKind = kind
 	inst.failedAt = c.sim.Now()
 	inst.injected = injected
 	c.emit(Event{
 		Type: EventFailure, Component: ComponentAS,
-		Target: fmt.Sprintf("as-%d", inst.id), Kind: kind, Injected: injected,
+		Target: inst.target, Kind: kind, Injected: injected,
 	})
 
 	survivors := c.upASCount()
@@ -123,7 +132,7 @@ func (c *Cluster) scheduleASRecovery(inst *asInstance) {
 		}
 		c.emit(Event{
 			Type: EventRepairDone, Component: ComponentAS,
-			Target: fmt.Sprintf("as-%d", inst.id), Kind: inst.pendingKind, Injected: inst.injected,
+			Target: inst.target, Kind: inst.pendingKind, Injected: inst.injected,
 		})
 	})
 	_ = c.sim.Schedule(base+detection, func() {
@@ -139,7 +148,7 @@ func (c *Cluster) recoverAS(inst *asInstance) {
 	inst.up = true
 	c.emit(Event{
 		Type: EventRecovery, Component: ComponentAS,
-		Target: fmt.Sprintf("as-%d", inst.id), Kind: inst.pendingKind, Injected: inst.injected,
+		Target: inst.target, Kind: inst.pendingKind, Injected: inst.injected,
 	})
 	c.recordRecovery(Recovery{
 		Component: ComponentAS,

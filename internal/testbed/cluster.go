@@ -3,6 +3,8 @@ package testbed
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/des"
@@ -127,6 +129,9 @@ type Cluster struct {
 	params jsas.Params
 	timing Timing
 	opts   Options
+	// observer caches opts.Observer so emit's delivery decision is a
+	// single nil check in the event hot loop.
+	observer Observer
 
 	as    []*asInstance
 	pairs []*hadbPair
@@ -142,9 +147,11 @@ type Cluster struct {
 	outages    []Outage
 	recoveries []Recovery
 
-	// Workload accounting.
-	requestsServed   float64
-	requestsFailed   float64
+	// Workload accounting. Request totals are derived from the integer
+	// up/down time sums at read time (Stats) rather than accumulated as
+	// floats per interval: the integer sums are independent of how Run
+	// partitions the timeline, so the derived totals are too — the
+	// cancellation-driven chunked advance cannot perturb them.
 	sessionFailovers int
 	// sessionRecovery accumulates session-seconds of elevated response
 	// time from failovers (the paper's "session recovery time").
@@ -154,8 +161,15 @@ type Cluster struct {
 // asInstance is one Application Server instance.
 type asInstance struct {
 	id      int
+	target  string // precomputed "as-<id>" trace target
 	up      bool
 	version uint64 // invalidates stale failure timers
+	// timer is the pending organic failure timer; superseding draws
+	// Cancel it so far-horizon events don't accumulate in the queue.
+	timer des.Handle
+	// failFn is the timer callback, bound once on first arm and reused
+	// across re-arms (rescheduling happens on every cluster event).
+	failFn func()
 	// pendingKind is the failure class being recovered from.
 	pendingKind FailureKind
 	failedAt    time.Duration
@@ -164,8 +178,11 @@ type asInstance struct {
 
 // hadbNode is one HADB node slot within a pair.
 type hadbNode struct {
+	target   string // precomputed "hadb-<pair>/<slot>" trace target
 	active   bool
 	version  uint64
+	timer    des.Handle // pending organic failure timer
+	failFn   func()     // prebound timer callback, reused across re-arms
 	failedAt time.Duration
 	kind     FailureKind
 	injected bool
@@ -173,8 +190,9 @@ type hadbNode struct {
 
 // hadbPair is a mirrored DRU pair.
 type hadbPair struct {
-	id    int
-	nodes [2]*hadbNode
+	id     int
+	target string // precomputed "hadb-<id>" trace target
+	nodes  [2]*hadbNode
 	// down marks a catastrophic pair failure awaiting operator restore.
 	down   bool
 	downAt time.Duration
@@ -196,6 +214,37 @@ func (p *hadbPair) activeCount() int {
 // maintenance in progress).
 func (p *hadbPair) degraded() bool { return !p.down && p.activeCount() < 2 }
 
+// targetNames caches the per-index trace target strings shared by every
+// cluster: replicated campaigns and longevity series construct thousands
+// of identically-shaped clusters, and the names depend only on the index.
+// The slices only ever grow; handed-out prefixes stay valid because
+// growth either appends past them or reallocates.
+var targetNames struct {
+	sync.Mutex
+	as, pair, node0, node1 []string
+}
+
+func clusterTargets(nAS, nPairs int) (as, pair, node0, node1 []string) {
+	targetNames.Lock()
+	defer targetNames.Unlock()
+	for i := len(targetNames.as); i < nAS; i++ {
+		targetNames.as = append(targetNames.as, "as-"+strconv.Itoa(i))
+	}
+	for i := len(targetNames.pair); i < nPairs; i++ {
+		s := strconv.Itoa(i)
+		targetNames.pair = append(targetNames.pair, "hadb-"+s)
+		targetNames.node0 = append(targetNames.node0, "hadb-"+s+"/0")
+		targetNames.node1 = append(targetNames.node1, "hadb-"+s+"/1")
+	}
+	return targetNames.as[:nAS], targetNames.pair[:nPairs],
+		targetNames.node0[:nPairs], targetNames.node1[:nPairs]
+}
+
+// clusterPool recycles closed clusters (see Close): the component slabs,
+// their prebound timer closures, and the accumulated-history slices all
+// survive reuse, so bulk drivers construct clusters without allocating.
+var clusterPool sync.Pool
+
 // New constructs a cluster.
 func New(opts Options) (*Cluster, error) {
 	if err := opts.Config.Validate(); err != nil {
@@ -214,24 +263,26 @@ func New(opts Options) (*Cluster, error) {
 	if opts.RequestRatePerSecond < 0 || opts.SessionsPerInstance < 0 {
 		return nil, &ConfigError{Field: "negative workload settings"}
 	}
-	c := &Cluster{
-		sim:      des.New(opts.Seed),
-		cfg:      opts.Config,
-		params:   opts.Params,
-		timing:   timing,
-		opts:     opts,
-		spares:   opts.Config.HADBSpares,
-		systemUp: true,
+	c, _ := clusterPool.Get().(*Cluster)
+	if c == nil {
+		c = &Cluster{}
 	}
-	for i := 0; i < opts.Config.ASInstances; i++ {
-		c.as = append(c.as, &asInstance{id: i, up: true})
-	}
-	for i := 0; i < opts.Config.HADBPairs; i++ {
-		c.pairs = append(c.pairs, &hadbPair{
-			id:    i,
-			nodes: [2]*hadbNode{{active: true}, {active: true}},
-		})
-	}
+	c.sim = des.New(opts.Seed)
+	c.cfg = opts.Config
+	c.params = opts.Params
+	c.timing = timing
+	c.opts = opts
+	c.observer = opts.Observer
+	c.spares = opts.Config.HADBSpares
+	c.systemUp = true
+	c.lastChange = 0
+	c.upTime, c.downTime = 0, 0
+	c.openOutage = nil
+	c.outages = c.outages[:0]
+	c.recoveries = c.recoveries[:0]
+	c.sessionFailovers = 0
+	c.sessionRecovery = 0
+	c.resetComponents()
 	if opts.OrganicFailures {
 		for _, inst := range c.as {
 			c.scheduleASFailure(inst)
@@ -250,9 +301,81 @@ func New(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// resetComponents (re)builds the component state for c.cfg. A recycled
+// cluster of the same shape keeps its slabs and prebound timer closures
+// (they capture only the stable c and component pointers — everything
+// run-specific is read through c at fire time); a shape change rebuilds
+// from scratch.
+func (c *Cluster) resetComponents() {
+	nAS, nPairs := c.cfg.ASInstances, c.cfg.HADBPairs
+	if len(c.as) == nAS && len(c.pairs) == nPairs {
+		for _, inst := range c.as {
+			inst.up = true
+			inst.version = 0
+			inst.timer = des.Handle{}
+			inst.pendingKind = 0
+			inst.failedAt = 0
+			inst.injected = false
+		}
+		for _, p := range c.pairs {
+			p.down = false
+			p.downAt = 0
+			p.maintenance = false
+			for _, nd := range p.nodes {
+				nd.active = true
+				nd.version = 0
+				nd.timer = des.Handle{}
+				nd.failedAt = 0
+				nd.kind = 0
+				nd.injected = false
+			}
+		}
+		return
+	}
+	asNames, pairNames, node0Names, node1Names := clusterTargets(nAS, nPairs)
+	// Components are allocated as contiguous slabs — campaigns and series
+	// construct thousands of clusters, so per-component allocations are
+	// measurable churn. Pointers into a slab are fine: the slabs are fully
+	// sized up front and never grow.
+	instSlab := make([]asInstance, nAS)
+	c.as = make([]*asInstance, len(instSlab))
+	for i := range instSlab {
+		instSlab[i] = asInstance{id: i, target: asNames[i], up: true}
+		c.as[i] = &instSlab[i]
+	}
+	pairSlab := make([]hadbPair, nPairs)
+	nodeSlab := make([]hadbNode, 2*nPairs)
+	c.pairs = make([]*hadbPair, len(pairSlab))
+	for i := range pairSlab {
+		n0, n1 := &nodeSlab[2*i], &nodeSlab[2*i+1]
+		*n0 = hadbNode{target: node0Names[i], active: true}
+		*n1 = hadbNode{target: node1Names[i], active: true}
+		pairSlab[i] = hadbPair{id: i, target: pairNames[i], nodes: [2]*hadbNode{n0, n1}}
+		c.pairs[i] = &pairSlab[i]
+	}
+}
+
 // Sim exposes the underlying simulator (advanced use: custom event
 // scripting in tests and campaigns).
 func (c *Cluster) Sim() *des.Sim { return c.sim }
+
+// Close releases the cluster's simulator back to the kernel's pool (see
+// des.Sim.Release). The cluster must not be used after Close; further
+// method calls panic on the nil simulator rather than corrupting a
+// recycled one. Close is optional — an unclosed cluster is simply
+// garbage collected — but drivers that construct clusters in bulk
+// (replicated campaigns, longevity series) close each one to keep the
+// construction path allocation-free.
+func (c *Cluster) Close() {
+	if c.sim == nil {
+		return // already closed; never double-pool
+	}
+	c.sim.Release()
+	c.sim = nil
+	c.observer = nil
+	c.opts = Options{}
+	clusterPool.Put(c)
+}
 
 // Run advances the cluster to the given virtual time.
 func (c *Cluster) Run(until time.Duration) error {
@@ -299,6 +422,35 @@ func (c *Cluster) systemIsUp() bool {
 	return true
 }
 
+// Healthy reports whether every component is serving: all AS instances
+// up and every HADB pair fully mirrored. It is the same predicate as
+// evaluating Snapshot component-by-component, without building one —
+// campaign drivers call it after every simulation event.
+func (c *Cluster) Healthy() bool {
+	for _, inst := range c.as {
+		if !inst.up {
+			return false
+		}
+	}
+	for _, p := range c.pairs {
+		if p.down || p.activeCount() != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// OutageCount returns the number of system-level outages so far, the
+// open one (if any) included — equal to len(Stats().Outages) without
+// copying the outage history.
+func (c *Cluster) OutageCount() int {
+	n := len(c.outages)
+	if c.openOutage != nil {
+		n++
+	}
+	return n
+}
+
 // accountInterval charges the elapsed time since the last state change to
 // up or down time and to the request counters.
 func (c *Cluster) accountInterval() {
@@ -310,10 +462,8 @@ func (c *Cluster) accountInterval() {
 	}
 	if c.systemUp {
 		c.upTime += dt
-		c.requestsServed += c.opts.RequestRatePerSecond * dt.Seconds()
 	} else {
 		c.downTime += dt
-		c.requestsFailed += c.opts.RequestRatePerSecond * dt.Seconds()
 	}
 	c.lastChange = now
 }
@@ -394,8 +544,8 @@ func (c *Cluster) Stats() Stats {
 		DownTime:               c.downTime,
 		Outages:                outages,
 		Recoveries:             recoveries,
-		RequestsServed:         c.requestsServed,
-		RequestsFailed:         c.requestsFailed,
+		RequestsServed:         c.opts.RequestRatePerSecond * c.upTime.Seconds(),
+		RequestsFailed:         c.opts.RequestRatePerSecond * c.downTime.Seconds(),
 		SessionFailovers:       c.sessionFailovers,
 		SessionRecoverySeconds: c.sessionRecovery,
 	}

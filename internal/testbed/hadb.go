@@ -1,9 +1,6 @@
 package testbed
 
-import (
-	"fmt"
-	"time"
-)
+import "time"
 
 // hadbFailureRatePerHour returns the per-node failure rate, doubled (by
 // the acceleration factor) while the pair runs on one node.
@@ -22,14 +19,21 @@ func (c *Cluster) scheduleHADBFailure(p *hadbPair, slot int) {
 		return
 	}
 	node.version++
-	version := node.version
 	delay := c.sim.ExponentialRate(c.hadbFailureRatePerHour(p))
-	_ = c.sim.Schedule(delay, func() {
-		if node.version != version || !node.active || p.down {
-			return
+	// Reclaim the superseded draw instead of leaving it queued (often
+	// parked at the far horizon). As with AS timers, cancellation is the
+	// staleness guarantee — a firing timer is always the node's latest
+	// arm — so one prebound closure serves every re-arm.
+	c.sim.Cancel(node.timer)
+	if node.failFn == nil {
+		node.failFn = func() {
+			if !node.active || p.down {
+				return
+			}
+			c.failHADB(p, slot, c.classifyHADBFailure(), false)
 		}
-		c.failHADB(p, slot, c.classifyHADBFailure(), false)
-	})
+	}
+	node.timer, _ = c.sim.ScheduleHandle(delay, node.failFn)
 }
 
 // classifyHADBFailure draws the node failure class with the Params
@@ -68,12 +72,13 @@ func (c *Cluster) failHADB(p *hadbPair, slot int, kind FailureKind, injected boo
 	}
 	node.active = false
 	node.version++
+	c.sim.Cancel(node.timer)
 	node.failedAt = c.sim.Now()
 	node.kind = kind
 	node.injected = injected
 	c.emit(Event{
 		Type: EventFailure, Component: ComponentHADB,
-		Target: fmt.Sprintf("hadb-%d/%d", p.id, slot), Kind: kind, Injected: injected,
+		Target: node.target, Kind: kind, Injected: injected,
 	})
 
 	companion := p.nodes[1-slot]
@@ -126,7 +131,7 @@ func (c *Cluster) startHWRepair(p *hadbPair, slot int) {
 	copyTime := time.Duration(float64(c.draw(c.timing.HADBRepairPerGB)) * c.timing.NodeDataGB)
 	if c.spares > 0 {
 		c.spares--
-		c.emit(Event{Type: EventSpareConsumed, Component: ComponentHADB, Target: fmt.Sprintf("hadb-%d/%d", p.id, slot)})
+		c.emit(Event{Type: EventSpareConsumed, Component: ComponentHADB, Target: node.target})
 		_ = c.sim.Schedule(copyTime, func() {
 			if node.version != version || p.down {
 				return
@@ -137,7 +142,7 @@ func (c *Cluster) startHWRepair(p *hadbPair, slot int) {
 		// The failed host is repaired offline and re-enters the spare pool.
 		_ = c.sim.Schedule(c.draw(c.timing.HADBPhysicalRepair), func() {
 			c.spares++
-			c.emit(Event{Type: EventSpareReturned, Component: ComponentHADB, Target: fmt.Sprintf("hadb-%d/%d", p.id, slot)})
+			c.emit(Event{Type: EventSpareReturned, Component: ComponentHADB, Target: node.target})
 		})
 		return
 	}
@@ -158,7 +163,7 @@ func (c *Cluster) activateNode(p *hadbPair, slot int) {
 	node.active = true
 	c.emit(Event{
 		Type: EventRecovery, Component: ComponentHADB,
-		Target: fmt.Sprintf("hadb-%d/%d", p.id, slot), Kind: node.kind, Injected: node.injected,
+		Target: node.target, Kind: node.kind, Injected: node.injected,
 	})
 	c.recordRecovery(Recovery{
 		Component: ComponentHADB,
@@ -181,10 +186,11 @@ func (c *Cluster) pairDown(p *hadbPair, kind FailureKind, injected bool, failedA
 	for _, n := range p.nodes {
 		n.active = false
 		n.version++
+		c.sim.Cancel(n.timer)
 	}
 	c.emit(Event{
 		Type: EventPairDown, Component: ComponentHADB,
-		Target: fmt.Sprintf("hadb-%d", p.id), Kind: kind, Injected: injected,
+		Target: p.target, Kind: kind, Injected: injected,
 	})
 	c.recordRecovery(Recovery{
 		Component: ComponentHADB,
@@ -201,7 +207,7 @@ func (c *Cluster) pairDown(p *hadbPair, kind FailureKind, injected bool, failedA
 		}
 		c.emit(Event{
 			Type: EventPairRestore, Component: ComponentHADB,
-			Target: fmt.Sprintf("hadb-%d", p.id),
+			Target: p.target,
 		})
 		c.stateChanged(ComponentHADB)
 		c.reschedulePairTimers(p)
@@ -223,7 +229,8 @@ func (c *Cluster) scheduleMaintenance(p *hadbPair) {
 		node := p.nodes[0]
 		node.active = false
 		node.version++
-		c.emit(Event{Type: EventMaintenanceStart, Component: ComponentHADB, Target: fmt.Sprintf("hadb-%d/0", p.id)})
+		c.sim.Cancel(node.timer)
+		c.emit(Event{Type: EventMaintenanceStart, Component: ComponentHADB, Target: node.target})
 		c.stateChanged(ComponentHADB)
 		c.reschedulePairTimers(p)
 		_ = c.sim.Schedule(c.draw(c.timing.MaintenanceSwitchover), func() {
@@ -232,7 +239,7 @@ func (c *Cluster) scheduleMaintenance(p *hadbPair) {
 			}
 			p.maintenance = false
 			node.active = true
-			c.emit(Event{Type: EventMaintenanceEnd, Component: ComponentHADB, Target: fmt.Sprintf("hadb-%d/0", p.id)})
+			c.emit(Event{Type: EventMaintenanceEnd, Component: ComponentHADB, Target: node.target})
 			c.stateChanged(ComponentHADB)
 			c.reschedulePairTimers(p)
 		})

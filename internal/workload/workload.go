@@ -228,6 +228,7 @@ func RunCtx(ctx context.Context, opts RunOptions) (*Result, error) {
 		root.EndAt(cluster.Now())
 	}
 	stats := cluster.Stats()
+	cluster.Close()
 	res := &Result{
 		Profile:          opts.Profile,
 		Config:           opts.Config,

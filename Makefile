@@ -33,18 +33,39 @@ fmt-check:
 # cluster, or event free-list reuse multiplies that, and this gate
 # catches the regression before it erodes the interactive-campaign
 # latency budget).
+#
+# A second gate keeps the live-telemetry plane effectively free: the
+# 2000-injection campaign with a progress tracker and availability time
+# series attached (BenchmarkCampaignTelemetryOn) must stay within
+# MAX_TELEMETRY_RATIO of the plain campaign. On/Off are measured
+# back-to-back within each round and the gate takes the best ratio of
+# three rounds — a load spike inflates both sides of a round roughly
+# equally, so the paired ratio stays meaningful on a busy single-CPU
+# host where raw ns/op swings ±30%.
 MAX_CAMPAIGN_ALLOCS ?= 12000
+MAX_TELEMETRY_RATIO ?= 1.10
 
 verify: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/des/... ./internal/obs/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/...
+	$(GO) test -race ./internal/des/... ./internal/obs/... ./internal/progress/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/...
 	$(GO) run ./cmd/bench-record -bench 'Table2|SteadyStateGS200|SweepParallel' -benchtime 1x -out /tmp/bench-smoke.json
 	@$(GO) run ./cmd/bench-record -bench 'CampaignUnsharded' -benchtime 1x -benchmem -out /tmp/bench-allocs.json; \
 	allocs="$$($(GO) run ./cmd/bench-record -print-metric allocs/op -in /tmp/bench-allocs.json)"; \
 	echo "verify: BenchmarkCampaignUnsharded allocs/op = $$allocs (max $(MAX_CAMPAIGN_ALLOCS))"; \
 	[ "$${allocs%.*}" -le "$(MAX_CAMPAIGN_ALLOCS)" ] || { echo "verify: allocation regression in BenchmarkCampaignUnsharded"; exit 1; }
+	@best=""; for i in 1 2 3; do \
+		$(GO) run ./cmd/bench-record -bench 'CampaignTelemetry(On|Off)$$' -benchtime 300ms -out /tmp/bench-telemetry.json 2>/dev/null; \
+		off="$$($(GO) run ./cmd/bench-record -print-metric ns/op -select 'TelemetryOff' -in /tmp/bench-telemetry.json)"; \
+		on="$$($(GO) run ./cmd/bench-record -print-metric ns/op -select 'TelemetryOn' -in /tmp/bench-telemetry.json)"; \
+		r="$$(awk -v on="$$on" -v off="$$off" 'BEGIN { printf "%.4f", on/off }')"; \
+		echo "verify: telemetry round $$i: on=$$on off=$$off ratio=$$r"; \
+		if [ -z "$$best" ] || awk -v a="$$r" -v b="$$best" 'BEGIN { exit !(a < b) }'; then best="$$r"; fi; \
+	done; \
+	echo "verify: campaign telemetry overhead: best-of-3 ratio $$best (max $(MAX_TELEMETRY_RATIO))"; \
+	awk -v r="$$best" -v max="$(MAX_TELEMETRY_RATIO)" \
+		'BEGIN { if (r > max) { printf "verify: telemetry overhead ratio %s exceeds %s\n", r, max; exit 1 } }'
 
 # Short traced fault-injection campaign: writes /tmp/jsas-trace.jsonl and
 # prints the reconstructed outage timeline and downtime decomposition.
@@ -78,11 +99,11 @@ cover:
 # leaves every earlier BENCH_PR*.json untouched, so speedups stay
 # auditable across the whole PR sequence (BENCH_PR3.json and
 # BENCH_PR4.json are the pre-rebuild baselines).
-PR ?= 6
+PR ?= 7
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated)|LongevitySeries' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
+	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated|Telemetry)|LongevitySeries' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
 
 # Full paper reproduction to stdout.
 reproduce:

@@ -17,6 +17,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/hier"
 	"repro/internal/jsas"
+	"repro/internal/progress"
 	"repro/internal/reward"
 	"repro/internal/sparse"
 	"repro/internal/spec"
@@ -191,6 +192,35 @@ func benchmarkCampaignReplicated(b *testing.B, replicas, parallelism int) {
 func BenchmarkCampaignUnsharded(b *testing.B)           { benchmarkCampaignReplicated(b, 1, 1) }
 func BenchmarkCampaignReplicatedSerial(b *testing.B)    { benchmarkCampaignReplicated(b, 4, 1) }
 func BenchmarkCampaignReplicatedParallel4(b *testing.B) { benchmarkCampaignReplicated(b, 4, 4) }
+
+// benchmarkCampaignTelemetry measures the live-telemetry tax on the
+// unsharded 2000-injection campaign. Off is the plain campaign; On
+// attaches a progress tracker (with the recovered-fraction running
+// statistic) and a windowed availability time series, exactly what the
+// -progress and -timeseries CLI flags wire up. `make verify` gates the
+// On/Off ns/op ratio, so the telemetry plane must stay within a few
+// percent of free.
+func benchmarkCampaignTelemetry(b *testing.B, telemetry bool) {
+	b.Helper()
+	p := DefaultParams()
+	p.FIR = 0
+	for i := 0; i < b.N; i++ {
+		opts := faultinject.Options{
+			Config: Config1, Params: p, Seed: int64(i), Injections: 2000,
+		}
+		if telemetry {
+			opts.Progress = progress.New(2000,
+				progress.WithStat("recovered"), progress.WithUnit("inj"))
+			opts.TimeSeries = testbed.NewTimeSeries(time.Hour, 0)
+		}
+		if _, err := faultinject.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignTelemetryOff(b *testing.B) { benchmarkCampaignTelemetry(b, false) }
+func BenchmarkCampaignTelemetryOn(b *testing.B)  { benchmarkCampaignTelemetry(b, true) }
 
 // benchmarkLongevitySeries runs 4 × 7-day longevity runs at the given
 // worker count (paper: "multiple 7-day duration runs", pooled).

@@ -12,9 +12,13 @@
 //
 // Endpoints:
 //
-//	GET  /healthz
+//	GET  /healthz               (build identity + uptime)
 //	GET  /metrics               (Prometheus text; ?format=json or
 //	                             Accept: application/json for JSON)
+//	GET  /v1/metrics/stream     (Server-Sent Events: snapshot frame, then
+//	                             per-series deltas each ?interval= tick)
+//	GET  /v1/runs               (in-flight/recent tracked requests with
+//	                             progress and ETA)
 //	POST /v1/solve              (spec.Document)
 //	POST /v1/solve-hierarchy    (spec.HierDocument)
 //	GET  /v1/jsas?instances=4&pairs=4&spares=2

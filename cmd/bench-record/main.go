@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -62,11 +63,12 @@ func run(args []string) error {
 	out := fs.String("out", "BENCH.json", "output JSON path")
 	in := fs.String("in", "", "read an existing snapshot instead of running benchmarks")
 	printMetric := fs.String("print-metric", "", `with -in: print this metric ("ns/op" or a unit such as "allocs/op") of the first result`)
+	selectRe := fs.String("select", "", "with -in: restrict -print-metric to results whose name matches this regex, printing the minimum across matches")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in != "" {
-		return printFromFile(*in, *printMetric)
+		return printFromFile(*in, *printMetric, *selectRe)
 	}
 	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-count", strconv.Itoa(*count)}
 	if *benchmem {
@@ -109,10 +111,12 @@ func run(args []string) error {
 }
 
 // printFromFile loads a snapshot written by a previous run and prints one
-// metric of its first result to stdout, so shell gates (e.g. the `make
-// verify` allocation check) can consume recorded values without a JSON
-// parser.
-func printFromFile(path, metric string) error {
+// metric to stdout, so shell gates (e.g. the `make verify` allocation and
+// telemetry-overhead checks) can consume recorded values without a JSON
+// parser. Without -select it reads the first result; with -select it
+// prints the minimum across results whose name matches — the robust
+// estimate when the snapshot holds -count repetitions of one benchmark.
+func printFromFile(path, metric, selectRe string) error {
 	if metric == "" {
 		return fmt.Errorf("-in requires -print-metric")
 	}
@@ -124,19 +128,41 @@ func printFromFile(path, metric string) error {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	if len(doc.Results) == 0 {
+	results := doc.Results
+	if selectRe != "" {
+		re, err := regexp.Compile(selectRe)
+		if err != nil {
+			return fmt.Errorf("-select %q: %w", selectRe, err)
+		}
+		results = nil
+		for _, r := range doc.Results {
+			if re.MatchString(r.Name) {
+				results = append(results, r)
+			}
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("%s: no results match -select %q", path, selectRe)
+		}
+	} else if len(results) > 1 {
+		results = results[:1]
+	}
+	if len(results) == 0 {
 		return fmt.Errorf("%s: no results", path)
 	}
-	res := doc.Results[0]
-	if metric == "ns/op" {
-		fmt.Println(res.NsPerOp)
-		return nil
+	best := 0.0
+	for i, res := range results {
+		v := res.NsPerOp
+		if metric != "ns/op" {
+			var ok bool
+			if v, ok = res.Metrics[metric]; !ok {
+				return fmt.Errorf("%s: result %s has no metric %q", path, res.Name, metric)
+			}
+		}
+		if i == 0 || v < best {
+			best = v
+		}
 	}
-	v, ok := res.Metrics[metric]
-	if !ok {
-		return fmt.Errorf("%s: result %s has no metric %q", path, res.Name, metric)
-	}
-	fmt.Println(v)
+	fmt.Println(best)
 	return nil
 }
 

@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -69,19 +71,74 @@ func TestPrintFromFile(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := printFromFile(path, "allocs/op"); err != nil {
+	if err := printFromFile(path, "allocs/op", ""); err != nil {
 		t.Errorf("allocs/op: %v", err)
 	}
-	if err := printFromFile(path, "ns/op"); err != nil {
+	if err := printFromFile(path, "ns/op", ""); err != nil {
 		t.Errorf("ns/op: %v", err)
 	}
-	if err := printFromFile(path, "widgets/op"); err == nil {
+	if err := printFromFile(path, "widgets/op", ""); err == nil {
 		t.Error("missing metric: want error, got nil")
 	}
-	if err := printFromFile(path, ""); err == nil {
+	if err := printFromFile(path, "", ""); err == nil {
 		t.Error("empty metric: want error, got nil")
 	}
-	if err := printFromFile(filepath.Join(t.TempDir(), "absent.json"), "ns/op"); err == nil {
+	if err := printFromFile(filepath.Join(t.TempDir(), "absent.json"), "ns/op", ""); err == nil {
 		t.Error("missing file: want error, got nil")
+	}
+}
+
+// TestPrintFromFileSelect: -select restricts to matching results and
+// prints the minimum across -count repetitions.
+func TestPrintFromFileSelect(t *testing.T) {
+	doc := File{
+		GeneratedAt: "2026-01-01T00:00:00Z",
+		GoCommand:   "go test -bench CampaignTelemetry -count 3",
+		Results: []Result{
+			{Name: "BenchmarkCampaignTelemetryOff-4", Iterations: 200, NsPerOp: 2.6e6},
+			{Name: "BenchmarkCampaignTelemetryOff-4", Iterations: 200, NsPerOp: 2.4e6},
+			{Name: "BenchmarkCampaignTelemetryOn-4", Iterations: 200, NsPerOp: 2.8e6},
+			{Name: "BenchmarkCampaignTelemetryOn-4", Iterations: 200, NsPerOp: 2.7e6},
+		},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	get := func(sel string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		perr := printFromFile(path, "ns/op", sel)
+		w.Close()
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perr != nil {
+			t.Fatalf("-select %q: %v", sel, perr)
+		}
+		return strings.TrimSpace(string(out))
+	}
+	if got := get("TelemetryOff"); got != "2.4e+06" {
+		t.Errorf("TelemetryOff min = %q, want 2.4e+06", got)
+	}
+	if got := get("TelemetryOn"); got != "2.7e+06" {
+		t.Errorf("TelemetryOn min = %q, want 2.7e+06", got)
+	}
+	if err := printFromFile(path, "ns/op", "NoSuchBench"); err == nil {
+		t.Error("unmatched -select: want error, got nil")
+	}
+	if err := printFromFile(path, "ns/op", "("); err == nil {
+		t.Error("invalid -select regex: want error, got nil")
 	}
 }

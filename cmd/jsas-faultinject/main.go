@@ -7,11 +7,20 @@
 //
 //	jsas-faultinject [-n 3287] [-seed 2004] [-fir 0] [-measure]
 //	                 [-replicas 1] [-parallel 0] [-trace out.jsonl]
+//	                 [-progress] [-timeseries out.json] [-window 1h]
 //
 // With -trace the campaign is recorded by the flight recorder: every
 // injection, component failure, recovery stage, and system outage becomes
 // a span in a JSONL stream, and the reconstructed per-failure-mode
 // downtime decomposition is printed after the campaign summary.
+//
+// With -progress a live status line (completed/total, rate, ETA, running
+// recovery success rate with its CI half-width) is printed to stderr once
+// per second; stdout stays byte-identical to a run without the flag. With
+// -timeseries the campaign's sim-time availability series — fixed -window
+// windows of up/down time, outage counts, and per-failure-mode downtime —
+// is written as JSON to the given path, deterministically for every
+// -replicas/-parallel setting.
 //
 // With -replicas R the injections are sharded across R independent
 // replica clusters running concurrently (-parallel caps the workers) and
@@ -33,7 +42,9 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/faultinject"
 	"repro/internal/jsas"
+	"repro/internal/progress"
 	"repro/internal/report"
+	"repro/internal/testbed"
 	"repro/internal/trace"
 )
 
@@ -57,6 +68,9 @@ func run(ctx context.Context, args []string) error {
 	replicas := fs.Int("replicas", 1, "shard the campaign across this many independent replica clusters")
 	parallel := fs.Int("parallel", 0, "max replicas running concurrently (0 = one worker per replica)")
 	traceOut := fs.String("trace", "", "record the campaign as a JSONL flight-recorder trace at this path")
+	showProgress := fs.Bool("progress", false, "print a live status line (rate, ETA, running success rate) to stderr")
+	tsOut := fs.String("timeseries", "", "write the sim-time availability time series as JSON to this path")
+	window := fs.Duration("window", time.Hour, "sim-time window width for -timeseries")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +95,17 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("Sharding across %d independent replica clusters.\n", *replicas)
 	}
 	fmt.Println()
+	var tracker *progress.Tracker
+	if *showProgress {
+		tracker = progress.New(int64(*n),
+			progress.WithStat("recovered"), progress.WithUnit("inj"))
+	}
+	var series *testbed.TimeSeries
+	if *tsOut != "" {
+		series = testbed.NewTimeSeries(*window, 0)
+	}
+	reporter := progress.NewReporter(tracker, os.Stderr, "campaign", time.Second)
+	reporter.Start()
 	rep, runErr := faultinject.RunReplicatedCtx(ctx, faultinject.ReplicatedOptions{
 		Options: faultinject.Options{
 			Config:     jsas.Config1,
@@ -88,10 +113,20 @@ func run(ctx context.Context, args []string) error {
 			Seed:       *seed,
 			Injections: *n,
 			Trace:      rec,
+			Progress:   tracker,
+			TimeSeries: series,
 		},
 		Replicas:    *replicas,
 		Parallelism: *parallel,
 	})
+	reporter.Stop()
+	if series != nil && rep != nil {
+		if err := writeTimeSeries(*tsOut, series); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "campaign: availability time series (%d windows) written to %s\n",
+			len(series.Windows()), *tsOut)
+	}
 	if runErr != nil {
 		if rep == nil || len(rep.Injections) == 0 {
 			return runErr
@@ -170,4 +205,19 @@ func run(ctx context.Context, args []string) error {
 			decomp.TotalDowntime.Round(time.Millisecond))
 	}
 	return runErr
+}
+
+// writeTimeSeries renders the windowed availability series as JSON at
+// path.
+func writeTimeSeries(path string, ts *testbed.TimeSeries) error {
+	ts.PublishObs() // final merged series → obs gauges (-stats summary)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

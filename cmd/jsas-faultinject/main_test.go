@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"os"
 	"testing"
+
+	"path/filepath"
 )
 
 func TestRunSmallCampaign(t *testing.T) {
@@ -35,5 +40,81 @@ func TestRunBadFlag(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-n", "5", "-replicas", "-2"}); err == nil {
 		t.Fatal("negative replicas accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns everything
+// it printed; the reporter's stderr lines are deliberately not captured.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		_, _ = io.Copy(&buf, r)
+		close(done)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	<-done
+	if ferr != nil {
+		t.Fatalf("run: %v", ferr)
+	}
+	return buf.Bytes()
+}
+
+// TestProgressKeepsStdoutIdentical: -progress may only write to stderr;
+// stdout stays byte-for-byte what it is without the flag.
+func TestProgressKeepsStdoutIdentical(t *testing.T) {
+	args := []string{"-n", "40", "-seed", "5"}
+	plain := captureStdout(t, func() error { return run(context.Background(), args) })
+	tracked := captureStdout(t, func() error {
+		return run(context.Background(), append(append([]string{}, args...), "-progress"))
+	})
+	if !bytes.Equal(plain, tracked) {
+		t.Fatalf("-progress changed stdout:\n--- plain ---\n%s\n--- tracked ---\n%s", plain, tracked)
+	}
+}
+
+// TestTimeSeriesFlagDeterministic: the -timeseries file is byte-identical
+// for every -parallel setting, and stdout is unchanged by the flag.
+func TestTimeSeriesFlagDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	render := func(parallel string) ([]byte, []byte) {
+		path := filepath.Join(dir, "ts-"+parallel+".json")
+		out := captureStdout(t, func() error {
+			return run(context.Background(), []string{
+				"-n", "36", "-seed", "11", "-replicas", "3", "-parallel", parallel,
+				"-timeseries", path, "-window", "30m",
+			})
+		})
+		ts, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts, out
+	}
+	ts1, out1 := render("1")
+	ts3, out3 := render("3")
+	if !bytes.Equal(ts1, ts3) {
+		t.Fatal("-timeseries file differs across -parallel settings")
+	}
+	if !bytes.Equal(out1, out3) {
+		t.Fatal("stdout differs across -parallel settings")
+	}
+	if len(ts1) == 0 || ts1[0] != '{' {
+		t.Fatalf("timeseries file does not look like JSON: %.60s", ts1)
+	}
+	plain := captureStdout(t, func() error {
+		return run(context.Background(), []string{"-n", "36", "-seed", "11", "-replicas", "3", "-parallel", "1"})
+	})
+	if !bytes.Equal(plain, out1) {
+		t.Fatal("-timeseries changed stdout")
 	}
 }

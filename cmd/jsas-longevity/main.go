@@ -9,6 +9,14 @@
 //	jsas-longevity [-days 7] [-profile marketplace|nile] [-seed 1]
 //	               [-organic] [-replicas 1] [-parallel 0]
 //	               [-print-config] [-trace out.jsonl]
+//	               [-progress] [-timeseries out.json] [-window 6h]
+//
+// With -progress a live status line (simulated chunks completed, rate,
+// ETA — and for a replicated series the running mean availability) goes
+// to stderr once per second; stdout stays byte-identical to a run
+// without the flag. With -timeseries the sim-time availability series
+// (fixed -window windows of up/down time and outage counts) is written
+// as JSON, deterministically for every -replicas/-parallel setting.
 //
 // With -replicas R the tool runs a series of R independent longevity runs
 // (seeds seed..seed+R-1, concurrently up to -parallel workers, as the
@@ -29,7 +37,9 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/jsas"
+	"repro/internal/progress"
 	"repro/internal/report"
+	"repro/internal/testbed"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -55,6 +65,9 @@ func run(ctx context.Context, args []string) error {
 	parallel := fs.Int("parallel", 0, "max runs executing concurrently (0 = one worker per run)")
 	printConfig := fs.Bool("print-config", false, "print the Table 1 test environment and exit")
 	traceOut := fs.String("trace", "", "record the run as a JSONL flight-recorder trace at this path")
+	showProgress := fs.Bool("progress", false, "print a live status line (chunks, rate, ETA) to stderr")
+	tsOut := fs.String("timeseries", "", "write the sim-time availability time series as JSON to this path")
+	window := fs.Duration("window", 6*time.Hour, "sim-time window width for -timeseries")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,14 +106,34 @@ func run(ctx context.Context, args []string) error {
 		OrganicFailures: *organic,
 		Trace:           rec,
 	}
+	var tracker *progress.Tracker
+	if *showProgress {
+		popts := []progress.Option{progress.WithUnit("chunks")}
+		if *replicas > 1 {
+			popts = append(popts, progress.WithStat("availability"))
+		}
+		tracker = progress.New(int64(*replicas)*workload.ProgressChunks(runOpts.Duration), popts...)
+		runOpts.Progress = tracker
+	}
+	var series *testbed.TimeSeries
+	if *tsOut != "" {
+		series = testbed.NewTimeSeries(*window, 0)
+		runOpts.TimeSeries = series
+	}
+	reporter := progress.NewReporter(tracker, os.Stderr, "longevity", time.Second)
+	reporter.Start()
 	var runErr error
 	if *replicas > 1 {
 		// A partial series still reports (and still flushes the trace
 		// below); runErr makes the exit status reflect the failure.
-		runErr = runSeries(ctx, runOpts, *replicas, *parallel, *days)
+		runErr = runSeries(ctx, runOpts, *replicas, *parallel, *days, reporter, *tsOut, series)
 	} else {
 		res, err := workload.RunCtx(ctx, runOpts)
+		reporter.Stop()
 		if err != nil {
+			return err
+		}
+		if err := flushTimeSeries(*tsOut, series); err != nil {
 			return err
 		}
 		fmt.Printf("Longevity run: %s on %s for %d day(s) (load factor %.0f%%)\n\n",
@@ -136,12 +169,19 @@ func run(ctx context.Context, args []string) error {
 // runSeries executes and reports a replicated longevity series: replicas
 // independent runs pooled for the Equation (2) bound, as the paper pooled
 // its repeated 7-day runs.
-func runSeries(ctx context.Context, runOpts workload.RunOptions, replicas, parallel, days int) error {
+func runSeries(ctx context.Context, runOpts workload.RunOptions, replicas, parallel, days int,
+	reporter *progress.Reporter, tsOut string, ts *testbed.TimeSeries) error {
 	series, runErr := workload.RunSeriesWithCtx(ctx, workload.SeriesOptions{
 		Run:         runOpts,
 		Runs:        replicas,
 		Parallelism: parallel,
 	})
+	reporter.Stop()
+	if runErr == nil {
+		if err := flushTimeSeries(tsOut, ts); err != nil {
+			return err
+		}
+	}
 	if runErr != nil {
 		if series == nil || len(series.Runs) == 0 {
 			return runErr
@@ -182,4 +222,27 @@ func renderTable1(w *os.File) error {
 	t.AddRow("Data services", "Oracle database and directory server (out of model scope)")
 	t.AddRow("Platform", "Simulated E450-class hosts (discrete-event testbed)")
 	return t.Render(w)
+}
+
+// flushTimeSeries writes the windowed availability series as JSON to
+// path, with a stderr note so stdout stays byte-identical.
+func flushTimeSeries(path string, ts *testbed.TimeSeries) error {
+	if path == "" || ts == nil {
+		return nil
+	}
+	ts.PublishObs() // final merged series → obs gauges (-stats summary)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ts.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "longevity: availability time series (%d windows) written to %s\n",
+		len(ts.Windows()), path)
+	return nil
 }

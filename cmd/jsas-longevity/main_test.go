@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"os"
 	"testing"
+
+	"path/filepath"
 )
 
 func TestRunShort(t *testing.T) {
@@ -32,5 +37,78 @@ func TestRunPrintConfig(t *testing.T) {
 func TestRunBadProfile(t *testing.T) {
 	if err := run(context.Background(), []string{"-profile", "bogus"}); err == nil {
 		t.Fatal("bogus profile accepted")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns everything
+// it printed; the reporter's stderr lines are deliberately not captured.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		_, _ = io.Copy(&buf, r)
+		close(done)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	<-done
+	if ferr != nil {
+		t.Fatalf("run: %v", ferr)
+	}
+	return buf.Bytes()
+}
+
+// TestProgressKeepsStdoutIdentical: -progress may only write to stderr.
+func TestProgressKeepsStdoutIdentical(t *testing.T) {
+	args := []string{"-days", "1", "-seed", "3", "-organic"}
+	plain := captureStdout(t, func() error { return run(context.Background(), args) })
+	tracked := captureStdout(t, func() error {
+		return run(context.Background(), append(append([]string{}, args...), "-progress"))
+	})
+	if !bytes.Equal(plain, tracked) {
+		t.Fatalf("-progress changed stdout:\n--- plain ---\n%s\n--- tracked ---\n%s", plain, tracked)
+	}
+}
+
+// TestTimeSeriesFlagDeterministic: the -timeseries file is byte-identical
+// for every -parallel setting of a replicated series, and stdout is
+// unchanged by the flag.
+func TestTimeSeriesFlagDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	render := func(parallel string) ([]byte, []byte) {
+		path := filepath.Join(dir, "ts-"+parallel+".json")
+		out := captureStdout(t, func() error {
+			return run(context.Background(), []string{
+				"-days", "1", "-seed", "7", "-organic", "-replicas", "3", "-parallel", parallel,
+				"-timeseries", path, "-window", "2h",
+			})
+		})
+		ts, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts, out
+	}
+	ts1, out1 := render("1")
+	ts3, out3 := render("3")
+	if !bytes.Equal(ts1, ts3) {
+		t.Fatal("-timeseries file differs across -parallel settings")
+	}
+	if !bytes.Equal(out1, out3) {
+		t.Fatal("stdout differs across -parallel settings")
+	}
+	plain := captureStdout(t, func() error {
+		return run(context.Background(), []string{"-days", "1", "-seed", "7", "-organic", "-replicas", "3", "-parallel", "1"})
+	})
+	if !bytes.Equal(plain, out1) {
+		t.Fatal("-timeseries changed stdout")
 	}
 }

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	jsas-sweep [-config 1|2] [-from 0.5] [-to 3] [-steps 10] [-parallel N] [-csv] [-stats]
+//	jsas-sweep [-config 1|2] [-from 0.5] [-to 3] [-steps 10] [-parallel N]
+//	           [-csv] [-stats] [-progress]
+//
+// With -progress a live status line (sweep points completed, rate, ETA)
+// is printed to stderr once per second; stdout stays byte-identical to a
+// run without the flag.
 package main
 
 import (
@@ -14,9 +19,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/jsas"
 	"repro/internal/obs"
+	"repro/internal/progress"
 	"repro/internal/report"
 	"repro/internal/sensitivity"
 )
@@ -42,6 +49,7 @@ func run(ctx context.Context, args []string) error {
 	parallel := fs.Int("parallel", 1, "worker goroutines evaluating sweep points (results are identical at any setting)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	stats := fs.Bool("stats", false, "print engine metrics (solves, sweeps, latency) to stderr after the sweep")
+	showProgress := fs.Bool("progress", false, "print a live status line (points, rate, ETA) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,9 +68,16 @@ func run(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("config %d: want 1 or 2", *configNo)
 	}
+	var tracker *progress.Tracker
+	if *showProgress {
+		tracker = progress.New(int64(*steps)+1, progress.WithUnit("points"))
+	}
+	reporter := progress.NewReporter(tracker, os.Stderr, "sweep", time.Second)
+	reporter.Start()
 	points, err := sensitivity.SweepWithCtx(ctx, *from, *to, *steps,
 		jsas.SweepSolver(cfg, jsas.DefaultParams(), *param),
-		sensitivity.SweepOptions{Parallelism: *parallel})
+		sensitivity.SweepOptions{Parallelism: *parallel, Progress: tracker})
+	reporter.Stop()
 	if err != nil {
 		return err
 	}

@@ -86,3 +86,15 @@ func TestRunBadParallel(t *testing.T) {
 		t.Fatalf("run -parallel 0: %v", err)
 	}
 }
+
+// TestProgressKeepsStdoutIdentical: -progress may only write to stderr.
+func TestProgressKeepsStdoutIdentical(t *testing.T) {
+	args := []string{"-steps", "4", "-parallel", "2"}
+	plain := captureStdout(t, func() error { return run(context.Background(), args) })
+	tracked := captureStdout(t, func() error {
+		return run(context.Background(), append(append([]string{}, args...), "-progress"))
+	})
+	if plain != tracked {
+		t.Fatalf("-progress changed stdout:\n--- plain ---\n%s\n--- tracked ---\n%s", plain, tracked)
+	}
+}

@@ -6,7 +6,13 @@
 // Usage:
 //
 //	jsas-uncertainty [-config 1|2] [-samples 1000] [-seed 2004]
-//	                 [-sampler uniform|lhs] [-scatter] [-parallel N] [-stats]
+//	                 [-sampler uniform|lhs] [-scatter] [-parallel N]
+//	                 [-stats] [-progress]
+//
+// With -progress a live status line (samples completed, rate, ETA, and
+// the running mean yearly downtime ± its 95% CI half-width) is printed
+// to stderr once per second; stdout stays byte-identical to a run
+// without the flag.
 package main
 
 import (
@@ -18,9 +24,11 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"repro/internal/jsas"
 	"repro/internal/obs"
+	"repro/internal/progress"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/uncertainty"
@@ -46,6 +54,7 @@ func run(ctx context.Context, args []string) error {
 	scatter := fs.Bool("scatter", false, "emit the raw (snapshot, downtime) scatter series as CSV")
 	parallel := fs.Int("parallel", 1, "worker goroutines for the per-sample solves")
 	statsFlag := fs.Bool("stats", false, "print run diagnostics (per-sample latency, worker utilization, solver metrics) to stderr")
+	showProgress := fs.Bool("progress", false, "print a live status line (rate, ETA, running mean downtime ± CI) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,11 +76,20 @@ func run(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("sampler %q: want uniform or lhs", *samplerName)
 	}
+	var tracker *progress.Tracker
+	if *showProgress {
+		tracker = progress.New(int64(*samples),
+			progress.WithStat("downtimeMin"), progress.WithUnit("samples"))
+	}
+	reporter := progress.NewReporter(tracker, os.Stderr, "uncertainty", time.Second)
+	reporter.Start()
 	res, err := uncertainty.RunCtx(ctx,
 		jsas.PaperUncertaintyRanges(),
 		jsas.UncertaintySolver(cfg, jsas.DefaultParams()),
-		uncertainty.Options{Samples: *samples, Seed: *seed, Sampler: sampler, Parallelism: *parallel},
+		uncertainty.Options{Samples: *samples, Seed: *seed, Sampler: sampler,
+			Parallelism: *parallel, Progress: tracker},
 	)
+	reporter.Stop()
 	if err != nil {
 		return err
 	}

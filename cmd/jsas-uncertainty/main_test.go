@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"io"
+	"os"
 	"testing"
 )
 
@@ -35,5 +38,43 @@ func TestRunBadArgs(t *testing.T) {
 func TestRunParallel(t *testing.T) {
 	if err := run(context.Background(), []string{"-samples", "100", "-parallel", "4"}); err != nil {
 		t.Fatalf("run -parallel: %v", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns everything
+// it printed; the reporter's stderr lines are deliberately not captured.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		_, _ = io.Copy(&buf, r)
+		close(done)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	<-done
+	if ferr != nil {
+		t.Fatalf("run: %v", ferr)
+	}
+	return buf.Bytes()
+}
+
+// TestProgressKeepsStdoutIdentical: -progress may only write to stderr.
+func TestProgressKeepsStdoutIdentical(t *testing.T) {
+	args := []string{"-samples", "60", "-seed", "9", "-parallel", "2"}
+	plain := captureStdout(t, func() error { return run(context.Background(), args) })
+	tracked := captureStdout(t, func() error {
+		return run(context.Background(), append(append([]string{}, args...), "-progress"))
+	})
+	if !bytes.Equal(plain, tracked) {
+		t.Fatalf("-progress changed stdout:\n--- plain ---\n%s\n--- tracked ---\n%s", plain, tracked)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/jsas"
 	"repro/internal/obs"
+	"repro/internal/progress"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
@@ -83,6 +84,18 @@ type Options struct {
 	// campaign root, one span per injection, and — via the testbed tracer —
 	// component failure / recovery-stage / outage spans beneath each.
 	Trace *trace.Recorder
+	// Progress, if set, receives one Done() per completed injection plus
+	// an Observe(1|0) per recovery verdict, so live status lines can show
+	// the running success rate (the Eq. (1) quantity) with a CI half-width.
+	// The tracker is atomic: replicated campaigns share one across
+	// replicas. nil (the default) costs one predictable branch per
+	// injection.
+	Progress *progress.Tracker
+	// TimeSeries, if set, consumes the cluster event stream into a
+	// windowed sim-time availability series (finished with the campaign
+	// horizon before RunCtx returns). Replicated campaigns give each
+	// replica a private series and merge them in replica order.
+	TimeSeries *testbed.TimeSeries
 }
 
 // asFraction resolves the AS-target probability.
@@ -205,6 +218,9 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 		tracer = testbed.NewTracer(opts.Trace, root)
 		observer = tracer.Observe
 	}
+	if opts.TimeSeries != nil {
+		observer = testbed.MultiObserver(observer, opts.TimeSeries.Observe)
+	}
 	cluster, err := testbed.New(testbed.Options{
 		Config:   opts.Config,
 		Params:   opts.Params,
@@ -300,10 +316,21 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 		rep.ByFault[fault]++
 		rep.Injections = append(rep.Injections, inj)
 		obsInjections.Inc()
+		if opts.Progress != nil {
+			opts.Progress.Done()
+			if inj.Recovered {
+				opts.Progress.Observe(1)
+			} else {
+				opts.Progress.Observe(0)
+			}
+		}
 	}
 	if tracer != nil {
 		tracer.Close(cluster.Now())
 		root.EndAt(cluster.Now())
+	}
+	if opts.TimeSeries != nil {
+		opts.TimeSeries.FinishAt(cluster.Now())
 	}
 	rep.Stats = cluster.Stats()
 	cluster.Close()

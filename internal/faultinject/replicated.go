@@ -125,6 +125,7 @@ func RunReplicatedCtx(ctx context.Context, opts ReplicatedOptions) (*Report, err
 	reports := make([]*Report, replicas)
 	errs := make([]error, replicas)
 	recs := make([]*trace.Recorder, replicas)
+	series := make([]*testbed.TimeSeries, replicas)
 	// ContinueOnError: a stuck replica must not discard the others' work.
 	poolErr := pool.Run(ctx, replicas, pool.Options{Workers: opts.Parallelism, ContinueOnError: true},
 		func(_, i int) error {
@@ -137,6 +138,14 @@ func RunReplicatedCtx(ctx context.Context, opts ReplicatedOptions) (*Report, err
 			if opts.Trace != nil {
 				recs[i] = trace.New(trace.Config{Capacity: trace.Unbounded})
 				ropts.Trace = recs[i]
+			}
+			if opts.TimeSeries != nil {
+				// Each replica records privately (the recorder is not
+				// concurrency-safe); the series merge below happens in
+				// replica order, like the trace import, so the merged
+				// series never depends on Parallelism.
+				series[i] = testbed.NewTimeSeries(opts.TimeSeries.Width(), opts.TimeSeries.Cap())
+				ropts.TimeSeries = series[i]
 			}
 			rep, err := RunCtx(ctx, ropts)
 			reports[i] = rep
@@ -155,6 +164,13 @@ func RunReplicatedCtx(ctx context.Context, opts ReplicatedOptions) (*Report, err
 		for i, rc := range recs {
 			if rc != nil {
 				opts.Trace.Import(trace.TagReplica(rc.Spans(), i))
+			}
+		}
+	}
+	if opts.TimeSeries != nil {
+		for _, ts := range series {
+			if ts != nil {
+				opts.TimeSeries.Merge(ts)
 			}
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/ctmc"
 	"repro/internal/jsas"
 	"repro/internal/obs"
+	"repro/internal/progress"
 	"repro/internal/reward"
 	"repro/internal/spec"
 	"repro/internal/trace"
@@ -89,17 +90,22 @@ type Options struct {
 	// endpoints) run concurrently; requests beyond the cap are shed with
 	// 429 + Retry-After instead of queueing. 0 (the default) means
 	// unlimited. Liveness and observability endpoints (/healthz,
-	// /metrics, /v1/traces) are never shed — an overloaded server must
-	// stay diagnosable.
+	// /metrics, /v1/metrics/stream, /v1/runs, /v1/traces) are never shed
+	// — an overloaded server must stay diagnosable.
 	MaxInflight int
 }
 
 // NewHandler returns the service's HTTP handler:
 //
-//	GET  /healthz               liveness probe
+//	GET  /healthz               liveness probe (build identity + uptime)
 //	GET  /metrics               engine + request metrics (Prometheus text;
 //	                            ?format=json or Accept: application/json
 //	                            for the JSON snapshot)
+//	GET  /v1/metrics/stream     metrics over Server-Sent Events: a full
+//	                            snapshot frame, then per-series deltas
+//	                            each ?interval= tick (default 1s)
+//	GET  /v1/runs               in-flight and recent tracked requests
+//	                            with completion, rate, and ETA
 //	POST /v1/solve              flat spec.Document → SolveResponse
 //	POST /v1/solve-hierarchy    spec.HierDocument → HierSolveResponse
 //	GET  /v1/jsas               ?instances=&pairs=&spares= → JSASResponse
@@ -124,6 +130,8 @@ func NewHandler(opts ...Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", instrument("/healthz", recovered(handleHealthz)))
 	mux.HandleFunc("GET /metrics", instrument("/metrics", recovered(handleMetrics)))
+	mux.HandleFunc("GET /v1/metrics/stream", instrument("/v1/metrics/stream", recovered(handleMetricsStream)))
+	mux.HandleFunc("GET /v1/runs", instrument("/v1/runs", recovered(handleRuns)))
 	mux.HandleFunc("POST /v1/solve", instrument("/v1/solve", recovered(shed(handleSolve))))
 	mux.HandleFunc("POST /v1/solve-hierarchy", instrument("/v1/solve-hierarchy", recovered(shed(handleSolveHierarchy))))
 	mux.HandleFunc("GET /v1/jsas", instrument("/v1/jsas", recovered(shed(handleJSAS))))
@@ -159,6 +167,21 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	r.wrote = true // implicit 200 on first write
 	return r.ResponseWriter.Write(p)
 }
+
+// Flush forwards to the underlying writer so streaming handlers (SSE)
+// can push frames through the instrumentation wrapper; without this the
+// wrapper would hide the http.Flusher and every frame would sit in the
+// server's buffer until the handler returned.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers can extend the server's write deadline per frame
+// instead of dying at the global WriteTimeout.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps a handler with per-route observability: request and
 // error counters plus a latency histogram, all in the default registry
@@ -226,6 +249,7 @@ func metricsFormat(r *http.Request) string {
 // exposition by default, the JSON snapshot for ?format=json or
 // Accept: application/json, 406 for anything else.
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	touchUptime()
 	switch metricsFormat(r) {
 	case "json":
 		w.Header().Set("Content-Type", "application/json")
@@ -281,10 +305,6 @@ func handleTraceGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotAcceptable,
 			fmt.Errorf("unsupported trace format %q; supported: json, chrome, timeline, jsonl", format))
 	}
-}
-
-func handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -437,11 +457,19 @@ func handleJSASUncertainty(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("seed: %w", err))
 		return
 	}
+	// The solve is registered as a tracked run so GET /v1/runs can show
+	// its live completion count and ETA while it executes.
+	run := serverRuns.Begin("uncertainty",
+		fmt.Sprintf("instances=%d pairs=%d samples=%d seed=%d",
+			cfg.ASInstances, cfg.HADBPairs, samples, seed64),
+		int64(samples),
+		progress.WithUnit("samples"), progress.WithStat("downtimeMin"))
 	res, err := uncertainty.RunCtx(r.Context(),
 		jsas.PaperUncertaintyRanges(),
 		jsas.UncertaintySolver(cfg, jsas.DefaultParams()),
-		uncertainty.Options{Samples: samples, Seed: int64(seed64)},
+		uncertainty.Options{Samples: samples, Seed: int64(seed64), Progress: run.Tracker()},
 	)
+	run.Finish(err)
 	if err != nil {
 		if errors.Is(err, jsas.ErrBadConfig) {
 			writeError(w, http.StatusBadRequest, err)

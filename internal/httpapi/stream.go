@@ -1,0 +1,228 @@
+// Live telemetry endpoints: GET /v1/metrics/stream pushes the obs
+// registry over Server-Sent Events (full snapshot first, then per-series
+// deltas), and GET /v1/runs reports in-flight server work from the
+// progress registry. Both are observability surfaces and therefore
+// shed-exempt — an overloaded server must stay watchable, exactly like
+// /metrics and /healthz.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/progress"
+)
+
+// serverEpoch anchors the avail_server_uptime_seconds gauge: process
+// start as far as this package can observe it.
+var serverEpoch = time.Now()
+
+// obsUptime is refreshed on every observability read (/healthz, /metrics,
+// stream snapshots) rather than by a background goroutine — a process
+// nobody scrapes spends nothing keeping the gauge warm.
+var obsUptime = obs.G("avail_server_uptime_seconds",
+	"seconds since the server process started (refreshed on scrape)")
+
+// serverRuns tracks in-flight and recently finished tracked requests for
+// GET /v1/runs. Handlers that drive bounded work (the uncertainty solve)
+// register a run here and wire its Tracker into the driver.
+var serverRuns = progress.NewRegistry(0)
+
+// touchUptime refreshes the uptime gauge from the process epoch.
+func touchUptime() {
+	obsUptime.Set(time.Since(serverEpoch).Seconds())
+}
+
+// Stream pacing bounds: the interval is client-tunable but capped on both
+// ends so one subscriber can neither busy-loop the registry nor hold a
+// connection that never proves liveness.
+const (
+	streamMinInterval     = 10 * time.Millisecond
+	streamMaxInterval     = time.Minute
+	streamDefaultInterval = time.Second
+	// streamWriteGrace is how far past the next tick a frame write may
+	// lag before the connection is presumed dead.
+	streamWriteGrace = 30 * time.Second
+)
+
+// streamInterval resolves the ?interval= duration parameter.
+func streamInterval(r *http.Request) (time.Duration, error) {
+	s := r.URL.Query().Get("interval")
+	if s == "" {
+		return streamDefaultInterval, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("interval: want a duration like 500ms, got %q", s)
+	}
+	if d < streamMinInterval || d > streamMaxInterval {
+		return 0, fmt.Errorf("interval %s outside [%s, %s]", d, streamMinInterval, streamMaxInterval)
+	}
+	return d, nil
+}
+
+// streamFrame is the JSON payload of one SSE frame. The first frame
+// (event: snapshot) carries every series; subsequent frames (event:
+// delta) carry only series whose Value, Count, or Sum moved since the
+// previous frame, so an idle registry costs a comment line per tick, not
+// a full scrape.
+type streamFrame struct {
+	Seq       int64                `json:"seq"`
+	ScrapedAt string               `json:"scrapedAt"`
+	Series    []obs.SeriesSnapshot `json:"series"`
+}
+
+// seriesKey identifies a series across snapshots: name plus rendered
+// label set, the same identity the registry itself uses.
+type seriesKey struct{ name, labels string }
+
+// seriesIndex keys a snapshot for delta comparison.
+func seriesIndex(series []obs.SeriesSnapshot) map[seriesKey]obs.SeriesSnapshot {
+	m := make(map[seriesKey]obs.SeriesSnapshot, len(series))
+	for _, s := range series {
+		m[seriesKey{s.Name, s.Labels}] = s
+	}
+	return m
+}
+
+// changedSeries returns the series (in snapshot order, which is sorted
+// and therefore deterministic) that are new or whose observable state
+// moved since prev.
+func changedSeries(prev map[seriesKey]obs.SeriesSnapshot, cur []obs.SeriesSnapshot) []obs.SeriesSnapshot {
+	var out []obs.SeriesSnapshot
+	for _, s := range cur {
+		p, ok := prev[seriesKey{s.Name, s.Labels}]
+		if !ok || p.Value != s.Value || p.Count != s.Count || p.Sum != s.Sum {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// writeSSEFrame emits one event: the JSON payload is a single line
+// (encoding/json never emits raw newlines), so one data: field suffices.
+func writeSSEFrame(w io.Writer, event string, frame streamFrame) error {
+	b, err := json.Marshal(frame)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	return err
+}
+
+// handleMetricsStream serves the obs registry as a Server-Sent Events
+// stream: an immediate full snapshot, then one delta frame per interval
+// tick while any series moved (a bare keepalive comment otherwise). The
+// loop exits when the client disconnects — the request context is the
+// only lifetime the stream has.
+func handleMetricsStream(w http.ResponseWriter, r *http.Request) {
+	interval, err := streamInterval(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("streaming unsupported: response writer cannot flush"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// The server's global WriteTimeout would sever a healthy stream after
+	// its fixed budget; instead the deadline is pushed forward before
+	// every frame, so only a stream whose client stops draining dies.
+	// Unsupported writers (httptest recorders) just keep no deadline.
+	rc := http.NewResponseController(w)
+	extendDeadline := func() {
+		_ = rc.SetWriteDeadline(time.Now().Add(interval + streamWriteGrace))
+	}
+
+	touchUptime()
+	extendDeadline()
+	snap := obs.Default().TimedSnapshot()
+	if err := writeSSEFrame(w, "snapshot", streamFrame{
+		Seq: 0, ScrapedAt: snap.ScrapedAt, Series: snap.Series,
+	}); err != nil {
+		return
+	}
+	fl.Flush()
+	prev := seriesIndex(snap.Series)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for seq := int64(1); ; seq++ {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+		extendDeadline()
+		snap = obs.Default().TimedSnapshot()
+		changed := changedSeries(prev, snap.Series)
+		prev = seriesIndex(snap.Series)
+		if len(changed) == 0 {
+			// Keepalive comment: proves liveness to the client (and any
+			// intermediary) without resending unchanged series.
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			continue
+		}
+		if err := writeSSEFrame(w, "delta", streamFrame{
+			Seq: seq, ScrapedAt: snap.ScrapedAt, Series: changed,
+		}); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}
+
+// handleRuns reports every run the progress registry retains, newest
+// first: in-flight requests with live completion/ETA, then recently
+// finished ones up to the retention cap.
+func handleRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"runs": serverRuns.Statuses()})
+}
+
+// healthzResponse is the /healthz body: liveness plus enough build
+// identity to tell which binary answered.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"goVersion"`
+	Module        string  `json:"module,omitempty"`
+	Version       string  `json:"version,omitempty"`
+	Revision      string  `json:"revision,omitempty"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	touchUptime()
+	resp := healthzResponse{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(serverEpoch).Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		resp.Module = bi.Main.Path
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			resp.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				resp.Revision = s.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -115,6 +116,62 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 		counts[i] = h.counts[i].Load()
 	}
 	return bounds, counts
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the bucket
+// counts by linear interpolation within the containing bucket — the
+// Prometheus histogram_quantile convention: the first bucket's lower
+// edge is taken as 0, and a quantile landing in the +Inf bucket clamps
+// to the highest finite bound. Returns 0 before the first observation.
+// The estimate is bucket-resolution accurate, not exact.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, counts := h.Buckets()
+	return quantileFromBuckets(bounds, counts, q)
+}
+
+// quantileFromBuckets is the interpolation shared by Histogram.Quantile
+// and snapshot rendering (which already holds a bucket copy). bounds has
+// the +Inf entry last; counts are non-cumulative.
+func quantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if math.IsInf(bounds[i], 1) {
+			// Overflow bucket: no upper edge to interpolate toward.
+			if i == 0 {
+				return 0
+			}
+			return bounds[i-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		if c == 0 {
+			return bounds[i]
+		}
+		return lower + (bounds[i]-lower)*(rank-float64(prev))/float64(c)
+	}
+	// Unreachable: cum == total >= rank by the final iteration.
+	return bounds[len(bounds)-1]
 }
 
 // kind discriminates the metric families in a registry.
@@ -383,6 +440,13 @@ type SeriesSnapshot struct {
 	Sum     float64   `json:"sum"`
 	Bounds  []float64 `json:"bounds,omitempty"`
 	Buckets []int64   `json:"buckets,omitempty"`
+	// P50/P95/P99 are bucket-interpolated quantile estimates (see
+	// Histogram.Quantile), populated for non-empty histograms only. The
+	// Prometheus text exposition is unchanged — quantiles are derived,
+	// not stored, so scrapers keep computing their own.
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 }
 
 // Snapshot returns every series in (name, labels) order.
@@ -400,6 +464,11 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 				snap.Count = s.h.Count()
 				snap.Sum = s.h.Sum()
 				bounds, counts := s.h.Buckets()
+				if snap.Count > 0 {
+					snap.P50 = quantileFromBuckets(bounds, counts, 0.50)
+					snap.P95 = quantileFromBuckets(bounds, counts, 0.95)
+					snap.P99 = quantileFromBuckets(bounds, counts, 0.99)
+				}
 				// The +Inf bound does not survive JSON; export finite
 				// bounds and keep its count as the final bucket entry.
 				snap.Bounds = bounds[:len(bounds)-1]
@@ -411,11 +480,31 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 	return out
 }
 
-// WriteJSON renders the registry snapshot as a JSON array.
+// WriteJSON renders the registry snapshot as a JSON array. (The array
+// shape predates RegistrySnapshot and stays stable for existing
+// consumers; timestamped scrapes use TimedSnapshot.)
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
+}
+
+// RegistrySnapshot pairs one scrape's series with the wall-clock time it
+// was taken, so snapshots — and the SSE frames built from them — are
+// orderable and rate calculations have a denominator.
+type RegistrySnapshot struct {
+	// ScrapedAt is the scrape wall-clock time, RFC 3339 with nanoseconds.
+	ScrapedAt string           `json:"scrapedAt"`
+	Series    []SeriesSnapshot `json:"series"`
+}
+
+// TimedSnapshot returns the registry snapshot stamped with the current
+// wall-clock time.
+func (r *Registry) TimedSnapshot() RegistrySnapshot {
+	return RegistrySnapshot{
+		ScrapedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Series:    r.Snapshot(),
+	}
 }
 
 // WriteSummary renders a compact human-readable report (for CLI --stats):

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4})
+	// 10 observations in (1,2]: uniform interpolation across the bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	// p50 → rank 5 of 10 in bucket (1,2]: 1 + (2-1)*5/10 = 1.5.
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("p50 = %v, want 1.5", got)
+	}
+	// p100 → top of the bucket.
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("p100 = %v, want 2", got)
+	}
+}
+
+func TestHistogramQuantileSpansBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2, 4})
+	for i := 0; i < 8; i++ {
+		h.Observe(0.5) // bucket (0,1]
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(3) // bucket (2,4]
+	}
+	// p50 → rank 5 of 10, inside the first bucket: 0 + 1*5/8 = 0.625.
+	if got := h.Quantile(0.5); got != 0.625 {
+		t.Fatalf("p50 = %v, want 0.625", got)
+	}
+	// p90 → rank 9, second observation group: 2 + 2*(9-8)/2 = 3.
+	if got := h.Quantile(0.9); got != 3 {
+		t.Fatalf("p90 = %v, want 3", got)
+	}
+}
+
+func TestHistogramQuantileOverflowClampsToLastBound(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1, 2})
+	h.Observe(100) // +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("p99 of overflow-only histogram = %v, want last finite bound 2", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", "", []float64{1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("quantile of empty histogram = %v, want 0", got)
+	}
+}
+
+func TestSnapshotCarriesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	var snap SeriesSnapshot
+	for _, s := range r.Snapshot() {
+		if s.Name == "lat" {
+			snap = s
+		}
+	}
+	if snap.P50 == 0 || snap.P95 == 0 || snap.P99 == 0 {
+		t.Fatalf("quantiles missing from snapshot: %+v", snap)
+	}
+	if snap.P50 > snap.P95 || snap.P95 > snap.P99 {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", snap.P50, snap.P95, snap.P99)
+	}
+
+	// Quantiles reach the JSON renderer…
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"p95"`) {
+		t.Fatalf("JSON export missing p95:\n%s", buf.String())
+	}
+	// …but the Prometheus text exposition stays unchanged.
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "p95") || strings.Contains(buf.String(), "quantile") {
+		t.Fatalf("text exposition gained quantile series:\n%s", buf.String())
+	}
+}
+
+func TestSnapshotEmptyHistogramOmitsQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat", "", []float64{1})
+	snap := r.Snapshot()[0]
+	if snap.P50 != 0 || snap.P95 != 0 || snap.P99 != 0 {
+		t.Fatalf("empty histogram exported quantiles: %+v", snap)
+	}
+	// omitempty: the keys should be absent from JSON entirely.
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "p50") {
+		t.Fatalf("empty histogram JSON carries p50: %s", b)
+	}
+}
+
+func TestTimedSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Inc()
+	before := time.Now().Add(-time.Second)
+	snap := r.TimedSnapshot()
+	at, err := time.Parse(time.RFC3339Nano, snap.ScrapedAt)
+	if err != nil {
+		t.Fatalf("ScrapedAt %q unparseable: %v", snap.ScrapedAt, err)
+	}
+	if at.Before(before) || at.After(time.Now().Add(time.Second)) {
+		t.Fatalf("ScrapedAt %v outside the scrape window", at)
+	}
+	if len(snap.Series) != 1 || snap.Series[0].Name != "c" {
+		t.Fatalf("series = %+v", snap.Series)
+	}
+}
+
+func TestQuantileFromBucketsClamping(t *testing.T) {
+	bounds := []float64{1, math.Inf(1)}
+	counts := []int64{4, 0}
+	if got := quantileFromBuckets(bounds, counts, -0.5); got != 0 {
+		t.Fatalf("q<0 = %v, want 0 (clamped to min)", got)
+	}
+	if got := quantileFromBuckets(bounds, counts, 2); got != 1 {
+		t.Fatalf("q>1 = %v, want 1 (clamped to max)", got)
+	}
+}

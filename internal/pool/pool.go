@@ -43,6 +43,14 @@ type Options struct {
 	// Cancellation is not an item failure and always stops dispatch,
 	// ContinueOnError or not.
 	ContinueOnError bool
+	// OnTaskDone, when non-nil, is invoked with the item index after every
+	// attempted item — succeeded or failed, but never for items skipped by
+	// cancellation or the stop-after-failure drain. It runs on the worker
+	// goroutine that executed the item, so it may be called concurrently
+	// from different workers and must be safe for that (progress.Tracker's
+	// atomic methods are). A nil hook costs the pooled path nothing and
+	// the serial path one predictable branch.
+	OnTaskDone func(index int)
 }
 
 // Run executes fn(worker, index) for every index in [0, n) across a fixed
@@ -88,7 +96,11 @@ func Run(ctx context.Context, n int, opts Options, fn func(worker, index int) er
 				canceled = true
 				break
 			}
-			if err := fn(0, i); err != nil {
+			err := fn(0, i)
+			if opts.OnTaskDone != nil {
+				opts.OnTaskDone(i)
+			}
+			if err != nil {
 				if firstErr == nil {
 					firstErr = err
 				}
@@ -149,7 +161,11 @@ func Run(ctx context.Context, n int, opts Options, fn func(worker, index int) er
 				if !opts.ContinueOnError && int64(i) > minFail.Load() {
 					continue
 				}
-				if err := fn(worker, i); err != nil {
+				err := fn(worker, i)
+				if opts.OnTaskDone != nil {
+					opts.OnTaskDone(i)
+				}
+				if err != nil {
 					recordFail(i, err)
 				}
 			}

@@ -118,3 +118,69 @@ func TestRunWorkerConfinement(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunOnTaskDoneCountsAttemptedItems: the hook fires exactly once per
+// attempted item — for successes and failures alike — at every
+// parallelism level, and items skipped by the stop-after-failure drain
+// do not fire it.
+func TestRunOnTaskDoneCountsAttemptedItems(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 2, 8} {
+		n := 60
+		var attempted atomic.Int64
+		counts := make([]atomic.Int64, n)
+		var hooked atomic.Int64
+		perIndex := make([]atomic.Int64, n)
+		err := Run(context.Background(), n, Options{
+			Workers:         workers,
+			ContinueOnError: true,
+			OnTaskDone: func(i int) {
+				hooked.Add(1)
+				perIndex[i].Add(1)
+			},
+		}, func(_, i int) error {
+			attempted.Add(1)
+			counts[i].Add(1)
+			if i%5 == 0 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 0 failed" {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if got := hooked.Load(); got != attempted.Load() || got != int64(n) {
+			t.Fatalf("workers=%d: hook fired %d times for %d attempts (n=%d)",
+				workers, got, attempted.Load(), n)
+		}
+		for i := range perIndex {
+			if got := perIndex[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: hook fired %d times for index %d", workers, got, i)
+			}
+		}
+	}
+}
+
+// TestRunOnTaskDoneSkippedItemsDoNotFire: without ContinueOnError,
+// serial runs stop after the first failure and the hook matches the
+// attempted count, not n.
+func TestRunOnTaskDoneSkippedItemsDoNotFire(t *testing.T) {
+	t.Parallel()
+	var attempted, hooked atomic.Int64
+	err := Run(context.Background(), 50, Options{
+		Workers:    1,
+		OnTaskDone: func(int) { hooked.Add(1) },
+	}, func(_, i int) error {
+		attempted.Add(1)
+		if i == 3 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if attempted.Load() != 4 || hooked.Load() != 4 {
+		t.Fatalf("attempted=%d hooked=%d, want 4/4", attempted.Load(), hooked.Load())
+	}
+}

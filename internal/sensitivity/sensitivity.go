@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/pool"
+	"repro/internal/progress"
 	"repro/internal/trace"
 )
 
@@ -38,6 +39,9 @@ type SweepOptions struct {
 	// one from the lowest-indexed failing point. The solver must be safe
 	// for concurrent use (the jsas solvers are).
 	Parallelism int
+	// Progress, if set, receives one Done() per attempted sweep point (via
+	// the pool's OnTaskDone hook). nil (the default) costs nothing.
+	Progress *progress.Tracker
 }
 
 // Sweep evaluates solve at steps+1 evenly spaced values across [from, to]
@@ -88,7 +92,11 @@ func SweepWithCtx(ctx context.Context, from, to float64, steps int, solve Solver
 	// points by index and, on failure, drains promptly while reporting the
 	// error from the lowest-indexed failing point among those attempted —
 	// independent of goroutine scheduling.
-	err := pool.Run(ctx, n, pool.Options{Workers: parallelism}, func(worker, i int) error {
+	popts := pool.Options{Workers: parallelism}
+	if opts.Progress != nil {
+		popts.OnTaskDone = func(int) { opts.Progress.Done() }
+	}
+	err := pool.Run(ctx, n, popts, func(worker, i int) error {
 		track := "solver"
 		if parallelism > 1 {
 			track = fmt.Sprintf("worker-%d", worker)

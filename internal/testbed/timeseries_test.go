@@ -1,0 +1,262 @@
+package testbed
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jsas"
+)
+
+func tsEvent(t time.Duration, typ EventType, comp Component, kind FailureKind) Event {
+	return Event{Time: t, Type: typ, Component: comp, Kind: kind}
+}
+
+func TestTimeSeriesWindowAccounting(t *testing.T) {
+	t.Parallel()
+	ts := NewTimeSeries(10*time.Second, 0)
+	ts.Observe(tsEvent(3*time.Second, EventFailure, ComponentAS, FailureProcess))
+	ts.Observe(tsEvent(3*time.Second, EventOutageStart, 0, 0))
+	ts.Observe(tsEvent(7*time.Second, EventOutageEnd, 0, 0))
+	ts.FinishAt(25 * time.Second)
+
+	wins := ts.Windows()
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3", len(wins))
+	}
+	w0 := wins[0]
+	if w0.Up != 6*time.Second || w0.Down != 4*time.Second || w0.Outages != 1 {
+		t.Fatalf("w0 = up %s down %s outages %d, want 6s/4s/1", w0.Up, w0.Down, w0.Outages)
+	}
+	if got := w0.DownByCause[ComponentAS][FailureProcess]; got != 4*time.Second {
+		t.Fatalf("w0 as/process downtime = %s, want 4s", got)
+	}
+	if a := w0.Availability(); a != 0.6 {
+		t.Fatalf("w0 availability = %v, want 0.6", a)
+	}
+	if wins[1].Up != 10*time.Second || wins[1].Down != 0 {
+		t.Fatalf("w1 = %+v, want fully up", wins[1])
+	}
+	if wins[2].Up != 5*time.Second {
+		t.Fatalf("w2 up = %s, want 5s (partial final window)", wins[2].Up)
+	}
+}
+
+func TestTimeSeriesOutageSpansWindows(t *testing.T) {
+	t.Parallel()
+	ts := NewTimeSeries(10*time.Second, 0)
+	ts.Observe(tsEvent(8*time.Second, EventOutageStart, 0, 0))
+	ts.Observe(tsEvent(12*time.Second, EventOutageEnd, 0, 0))
+	ts.FinishAt(20 * time.Second)
+
+	wins := ts.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows, want 2", len(wins))
+	}
+	if wins[0].Down != 2*time.Second || wins[1].Down != 2*time.Second {
+		t.Fatalf("down split = %s/%s, want 2s/2s", wins[0].Down, wins[1].Down)
+	}
+	// The outage counts once, in the window where it started.
+	if wins[0].Outages != 1 || wins[1].Outages != 0 {
+		t.Fatalf("outage counts = %d/%d, want 1/0", wins[0].Outages, wins[1].Outages)
+	}
+	// No prior failure: downtime lands in the unattributed slot.
+	if got := wins[0].DownByCause[0][0]; got != 2*time.Second {
+		t.Fatalf("unattributed downtime = %s, want 2s", got)
+	}
+}
+
+func TestTimeSeriesRingEviction(t *testing.T) {
+	t.Parallel()
+	ts := NewTimeSeries(10*time.Second, 2)
+	ts.Observe(tsEvent(2*time.Second, EventOutageStart, 0, 0))
+	ts.Observe(tsEvent(4*time.Second, EventOutageEnd, 0, 0))
+	ts.FinishAt(50 * time.Second) // 5 windows through a cap-2 ring
+
+	wins := ts.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("retained %d windows, want 2", len(wins))
+	}
+	if wins[0].Index != 3 || wins[1].Index != 4 {
+		t.Fatalf("retained indices %d,%d, want 3,4", wins[0].Index, wins[1].Index)
+	}
+	ev := ts.Evicted()
+	if ev.Windows != 3 {
+		t.Fatalf("evicted %d windows, want 3", ev.Windows)
+	}
+	if ev.Up != 28*time.Second || ev.Down != 2*time.Second || ev.Outages != 1 {
+		t.Fatalf("evicted aggregate = %+v, want up 28s down 2s outages 1", ev)
+	}
+	// Conservation: retained + evicted covers the full horizon.
+	var retUp time.Duration
+	for _, w := range wins {
+		retUp += w.Up + w.Down
+	}
+	if retUp+ev.Up+ev.Down != 50*time.Second {
+		t.Fatalf("horizon not conserved: retained %s + evicted %s", retUp, ev.Up+ev.Down)
+	}
+}
+
+func TestTimeSeriesMergeAlignsByIndex(t *testing.T) {
+	t.Parallel()
+	mk := func(downStart, downEnd time.Duration) *TimeSeries {
+		ts := NewTimeSeries(10*time.Second, 0)
+		ts.Observe(tsEvent(downStart, EventFailure, ComponentHADB, FailureOS))
+		ts.Observe(tsEvent(downStart, EventOutageStart, 0, 0))
+		ts.Observe(tsEvent(downEnd, EventOutageEnd, 0, 0))
+		ts.FinishAt(30 * time.Second)
+		return ts
+	}
+	a := mk(2*time.Second, 5*time.Second)
+	b := mk(12*time.Second, 14*time.Second)
+	a.Merge(b)
+
+	wins := a.Windows()
+	if len(wins) != 3 {
+		t.Fatalf("merged windows = %d, want 3", len(wins))
+	}
+	// Each window carries both replicas' exposure: 20s total per window.
+	if got := wins[0].Up + wins[0].Down; got != 20*time.Second {
+		t.Fatalf("w0 exposure = %s, want 20s", got)
+	}
+	if wins[0].Down != 3*time.Second || wins[1].Down != 2*time.Second {
+		t.Fatalf("merged downs = %s/%s, want 3s/2s", wins[0].Down, wins[1].Down)
+	}
+	if wins[0].Outages != 1 || wins[1].Outages != 1 {
+		t.Fatalf("merged outages = %d/%d, want 1/1", wins[0].Outages, wins[1].Outages)
+	}
+	if got := wins[1].DownByCause[ComponentHADB][FailureOS]; got != 2*time.Second {
+		t.Fatalf("merged hadb/os downtime = %s, want 2s", got)
+	}
+}
+
+func TestTimeSeriesMergeWidthMismatchPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different widths should panic")
+		}
+	}()
+	a := NewTimeSeries(10*time.Second, 0)
+	a.Merge(NewTimeSeries(20*time.Second, 0))
+}
+
+func TestTimeSeriesWriteJSONDeterministic(t *testing.T) {
+	t.Parallel()
+	mk := func() *TimeSeries {
+		ts := NewTimeSeries(10*time.Second, 0)
+		ts.Observe(tsEvent(1*time.Second, EventFailure, ComponentAS, FailureProcess))
+		ts.Observe(tsEvent(1*time.Second, EventOutageStart, 0, 0))
+		ts.Observe(tsEvent(2*time.Second, EventOutageEnd, 0, 0))
+		ts.Observe(tsEvent(3*time.Second, EventFailure, ComponentHADB, FailureHW))
+		ts.Observe(tsEvent(3*time.Second, EventOutageStart, 0, 0))
+		ts.Observe(tsEvent(5*time.Second, EventOutageEnd, 0, 0))
+		ts.FinishAt(10 * time.Second)
+		return ts
+	}
+	var b1, b2 bytes.Buffer
+	if err := mk().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("same series rendered differently:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	for _, want := range []string{`"windowNanos": 10000000000`, `"AS/process"`, `"HADB/hw"`, `"availability"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimeSeriesWriteText(t *testing.T) {
+	t.Parallel()
+	ts := NewTimeSeries(10*time.Second, 0)
+	ts.Observe(tsEvent(2*time.Second, EventOutageStart, 0, 0))
+	ts.Observe(tsEvent(4*time.Second, EventOutageEnd, 0, 0))
+	ts.FinishAt(10 * time.Second)
+	var buf bytes.Buffer
+	if err := ts.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "avail 0.800000") || !strings.Contains(out, "outages 1") {
+		t.Fatalf("text output missing fields:\n%s", out)
+	}
+}
+
+func TestTimeSeriesFromCluster(t *testing.T) {
+	t.Parallel()
+	// Drive a real cluster with injected AS failures and confirm the
+	// recorder agrees with the cluster's own aggregate accounting.
+	ts := NewTimeSeries(time.Minute, 0)
+	c, err := New(Options{Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 7,
+		Observer: ts.Observe})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	// Take out both AS instances so the system predicate actually drops.
+	if err := c.InjectAS(0, FaultProcessKill); err != nil {
+		t.Fatalf("InjectAS(0): %v", err)
+	}
+	if err := c.InjectAS(1, FaultProcessKill); err != nil {
+		t.Fatalf("InjectAS(1): %v", err)
+	}
+	if err := c.Run(30 * time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	stats := c.Stats()
+	ts.FinishAt(c.Sim().Now())
+
+	var up, down time.Duration
+	var outages int64
+	for _, w := range ts.Windows() {
+		up += w.Up
+		down += w.Down
+		outages += w.Outages
+	}
+	ev := ts.Evicted()
+	up += ev.Up
+	down += ev.Down
+	outages += ev.Outages
+	if up != stats.UpTime || down != stats.DownTime {
+		t.Fatalf("series up/down %s/%s != stats %s/%s", up, down, stats.UpTime, stats.DownTime)
+	}
+	if int(outages) != len(stats.Outages) {
+		t.Fatalf("series outages %d != stats %d", outages, len(stats.Outages))
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	t.Parallel()
+	if MultiObserver(nil, nil) != nil {
+		t.Fatal("all-nil MultiObserver should collapse to nil")
+	}
+	var calls []string
+	a := func(Event) { calls = append(calls, "a") }
+	b := func(Event) { calls = append(calls, "b") }
+	MultiObserver(a, nil, b)(Event{})
+	if got := strings.Join(calls, ""); got != "ab" {
+		t.Fatalf("fan-out order = %q, want ab", got)
+	}
+}
+
+func TestTimeSeriesPublishObs(t *testing.T) {
+	t.Parallel()
+	ts := NewTimeSeries(10*time.Second, 0)
+	ts.Observe(tsEvent(2*time.Second, EventOutageStart, 0, 0))
+	ts.Observe(tsEvent(4*time.Second, EventOutageEnd, 0, 0))
+	ts.FinishAt(10 * time.Second)
+	ts.PublishObs()
+	if got := obsTSWindows.Value(); got != 1 {
+		t.Fatalf("windows gauge = %v, want 1", got)
+	}
+	if got := obsTSLastAvail.Value(); got != 0.8 {
+		t.Fatalf("last-window availability gauge = %v, want 0.8", got)
+	}
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// zeroClock pins recorder time so tests control every timestamp via
+// StartAt/EndAt.
+func zeroClock() time.Duration { return 0 }
+
+// TestRingEvictsOldestFirst: a full bounded ring overwrites the oldest
+// completed span, Spans() keeps returning completion order, and every
+// eviction is counted in Dropped.
+func TestRingEvictsOldestFirst(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{Capacity: 4, Clock: zeroClock})
+	for i := 0; i < 10; i++ {
+		s := rec.StartAt(fmt.Sprintf("s%02d", i), time.Duration(i), nil)
+		s.EndAt(time.Duration(i + 1))
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, sp := range spans {
+		if want := fmt.Sprintf("s%02d", 6+i); sp.Name != want {
+			t.Fatalf("span %d = %q, want %q (oldest-first completion order)", i, sp.Name, want)
+		}
+	}
+	if got := rec.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+}
+
+// TestImportIntoNearFullRing: importing a replica stream into a ring
+// with less free space than the stream is long must evict the oldest
+// local spans, remap every imported ID past the local ID range, and keep
+// allocating collision-free IDs afterwards.
+func TestImportIntoNearFullRing(t *testing.T) {
+	t.Parallel()
+	src := New(Config{Capacity: Unbounded, Clock: zeroClock})
+	for i := 0; i < 5; i++ {
+		s := src.StartAt(fmt.Sprintf("imp%d", i), time.Duration(i), nil)
+		s.EndAt(time.Duration(i + 1))
+	}
+
+	dst := New(Config{Capacity: 6, Clock: zeroClock})
+	for i := 0; i < 4; i++ {
+		s := dst.StartAt(fmt.Sprintf("loc%d", i), time.Duration(i), nil)
+		s.EndAt(time.Duration(i + 1))
+	}
+	dst.Import(src.Spans())
+
+	spans := dst.Spans()
+	if len(spans) != 6 {
+		t.Fatalf("retained %d spans, want 6", len(spans))
+	}
+	// Completion order was loc0..loc3, imp0..imp4; the three oldest local
+	// spans fell off the ring.
+	wantNames := []string{"loc3", "imp0", "imp1", "imp2", "imp3", "imp4"}
+	seen := map[SpanID]string{}
+	for i, sp := range spans {
+		if sp.Name != wantNames[i] {
+			t.Fatalf("span %d = %q, want %q", i, sp.Name, wantNames[i])
+		}
+		if prev, dup := seen[sp.ID]; dup {
+			t.Fatalf("ID %d assigned to both %q and %q", sp.ID, prev, sp.Name)
+		}
+		seen[sp.ID] = sp.Name
+		// Local IDs were 1..4, so every imported ID must sit above them,
+		// remapped by the import base.
+		if sp.Name[:3] == "imp" {
+			if sp.ID <= 4 {
+				t.Fatalf("imported span %q kept a colliding ID %d", sp.Name, sp.ID)
+			}
+			if sp.Trace != sp.ID {
+				t.Fatalf("imported root %q: trace %d != id %d after remap", sp.Name, sp.Trace, sp.ID)
+			}
+		}
+	}
+	if got := dst.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+
+	// The next locally started span continues above the imported range.
+	s := dst.StartAt("after", 20, nil)
+	s.EndAt(21)
+	for _, sp := range dst.Spans() {
+		if sp.Name == "after" {
+			if sp.ID != 10 {
+				t.Fatalf("post-import span ID = %d, want 10 (4 local + 5 imported + 1)", sp.ID)
+			}
+			return
+		}
+	}
+	t.Fatal("post-import span not retained")
+}
+
+// TestAnalyzeOutagesOnTruncatedRing: when ring eviction has dropped the
+// injection and failure spans an outage would be attributed to,
+// AnalyzeOutages must still account the outage — as unattributed
+// downtime — rather than panic or lose it.
+func TestAnalyzeOutagesOnTruncatedRing(t *testing.T) {
+	t.Parallel()
+	rec := New(Config{Capacity: 3, Clock: zeroClock})
+
+	// A full injection experiment: injection → failure (with a restore
+	// stage) → outage caused by the AS component.
+	inj := rec.StartAt(SpanInjection, 0, nil,
+		String(AttrComponent, "AS"), String(AttrKind, "process"))
+	fail := rec.StartAt(SpanFailure, 0, inj,
+		String(AttrComponent, "AS"), String(AttrKind, "process"))
+	restore := rec.StartAt(SpanRestore, 0, fail)
+	out := rec.StartAt(SpanOutage, 10*time.Second, inj, String(AttrCause, "AS"))
+	restore.EndAt(40 * time.Second)
+	fail.EndAt(40 * time.Second)
+	inj.EndAt(60 * time.Second)
+	out.EndAt(30 * time.Second)
+
+	// Completion order: restore, failure, injection, outage. Capacity 3
+	// keeps {failure, injection, outage}; two fillers evict the failure
+	// and the injection, leaving the outage with no attribution evidence.
+	for i := 0; i < 2; i++ {
+		filler := rec.StartAt("filler", time.Duration(61+i)*time.Second, nil)
+		filler.EndAt(time.Duration(62+i) * time.Second)
+	}
+
+	spans := rec.Spans()
+	var haveOutage, haveFailure, haveInjection bool
+	for _, sp := range spans {
+		switch sp.Name {
+		case SpanOutage:
+			haveOutage = true
+		case SpanFailure:
+			haveFailure = true
+		case SpanInjection:
+			haveInjection = true
+		}
+	}
+	if !haveOutage || haveFailure || haveInjection {
+		t.Fatalf("truncation setup wrong: outage=%v failure=%v injection=%v (spans %v)",
+			haveOutage, haveFailure, haveInjection, spans)
+	}
+
+	rep := AnalyzeOutages(spans)
+	if len(rep.Outages) != 1 {
+		t.Fatalf("outages = %d, want 1", len(rep.Outages))
+	}
+	if rep.TotalDowntime != 20*time.Second {
+		t.Fatalf("TotalDowntime = %s, want 20s", rep.TotalDowntime)
+	}
+	// The injection ancestor and the failure span are gone, so the outage
+	// cannot be attributed to a failure mode.
+	if rep.UnattributedDowntime != 20*time.Second {
+		t.Fatalf("UnattributedDowntime = %s, want 20s (attribution evidence was evicted)",
+			rep.UnattributedDowntime)
+	}
+	if rep.Horizon < 60*time.Second {
+		t.Fatalf("Horizon = %s, want ≥ 60s", rep.Horizon)
+	}
+
+	// Control: the same timeline analyzed without truncation attributes
+	// the outage to AS/process.
+	full := New(Config{Capacity: Unbounded, Clock: zeroClock})
+	inj2 := full.StartAt(SpanInjection, 0, nil,
+		String(AttrComponent, "AS"), String(AttrKind, "process"))
+	fail2 := full.StartAt(SpanFailure, 0, inj2,
+		String(AttrComponent, "AS"), String(AttrKind, "process"))
+	fail2.EndAt(40 * time.Second)
+	out2 := full.StartAt(SpanOutage, 10*time.Second, inj2, String(AttrCause, "AS"))
+	out2.EndAt(30 * time.Second)
+	inj2.EndAt(60 * time.Second)
+	ctrl := AnalyzeOutages(full.Spans())
+	if ctrl.UnattributedDowntime != 0 {
+		t.Fatalf("control run left %s unattributed", ctrl.UnattributedDowntime)
+	}
+	if got := ctrl.ModeDowntime()[ModeKey{"AS", "process"}]; got != 20*time.Second {
+		t.Fatalf("control AS/process downtime = %s, want 20s", got)
+	}
+}

@@ -43,7 +43,7 @@ func TestFailureAccountingSeparatesSolvedFromFailed(t *testing.T) {
 		}
 		return a["x"], nil
 	}
-	err := solveAll(context.Background(), res, solve, 1)
+	err := solveAll(context.Background(), res, solve, 1, nil)
 	if err == nil || !strings.Contains(err.Error(), "sample 7") {
 		t.Fatalf("err = %v, want the failure at sample 7", err)
 	}
@@ -76,7 +76,7 @@ func TestFailureAccountingSeparatesSolvedFromFailed(t *testing.T) {
 func TestFailureAccountingCleanRun(t *testing.T) {
 	t.Parallel()
 	res := newTestResult(20)
-	if err := solveAll(context.Background(), res, func(a map[string]float64) (float64, error) { return a["x"], nil }, 4); err != nil {
+	if err := solveAll(context.Background(), res, func(a map[string]float64) (float64, error) { return a["x"], nil }, 4, nil); err != nil {
 		t.Fatal(err)
 	}
 	d := res.Diag

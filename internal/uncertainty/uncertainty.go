@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/progress"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -86,6 +87,11 @@ type Options struct {
 	// assignments are drawn up front and outputs keyed by sample index.
 	// The solver must be safe for concurrent use (the jsas solvers are).
 	Parallelism int
+	// Progress, if set, receives one Done() per attempted sample (via the
+	// pool's OnTaskDone hook) and an Observe(downtime) per successful
+	// solve, so status lines can show the running mean yearly downtime
+	// with a CI half-width. nil (the default) costs nothing.
+	Progress *progress.Tracker
 }
 
 // Sample is one evaluated parameter snapshot.
@@ -218,7 +224,7 @@ func RunCtx(ctx context.Context, ranges []Range, solve Solver, opts Options) (*R
 		}
 		res.Samples[i] = Sample{Assignment: assignment}
 	}
-	if err := solveAll(ctx, res, solve, opts.Parallelism); err != nil {
+	if err := solveAll(ctx, res, solve, opts.Parallelism, opts.Progress); err != nil {
 		return nil, err
 	}
 	res.Summary = stats.Summarize(res.Downtimes)
@@ -240,7 +246,7 @@ func RunCtx(ctx context.Context, ranges []Range, solve Solver, opts Options) (*R
 // error returned is the one from the lowest-indexed failing sample among
 // those attempted, so the reported error does not depend on goroutine
 // scheduling (see internal/pool).
-func solveAll(ctx context.Context, res *Result, solve Solver, parallelism int) error {
+func solveAll(ctx context.Context, res *Result, solve Solver, parallelism int, tracker *progress.Tracker) error {
 	n := len(res.Samples)
 	if parallelism < 1 {
 		parallelism = 1
@@ -272,7 +278,11 @@ func solveAll(ctx context.Context, res *Result, solve Solver, parallelism int) e
 		minTime[w] = math.MaxInt64
 	}
 
-	poolErr := pool.Run(ctx, n, pool.Options{Workers: parallelism}, func(worker, i int) error {
+	popts := pool.Options{Workers: parallelism}
+	if tracker != nil {
+		popts.OnTaskDone = func(int) { tracker.Done() }
+	}
+	poolErr := pool.Run(ctx, n, popts, func(worker, i int) error {
 		sampleTimer := obs.StartTimer(obsSampleSeconds)
 		sp := trace.Default().Start("uncertainty.sample", runSpan,
 			trace.String(trace.AttrTrack, fmt.Sprintf("worker-%d", worker)),
@@ -297,6 +307,7 @@ func solveAll(ctx context.Context, res *Result, solve Solver, parallelism int) e
 		}
 		res.Samples[i].DowntimeMinutes = d
 		res.Downtimes[i] = d
+		tracker.Observe(d) // nil-safe no-op when untracked
 		return nil
 	})
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/pool"
+	"repro/internal/testbed"
 	"repro/internal/trace"
 )
 
@@ -84,14 +85,34 @@ func RunSeriesWithCtx(ctx context.Context, opts SeriesOptions) (*SeriesResult, e
 	results := make([]*Result, opts.Runs)
 	errs := make([]error, opts.Runs)
 	recs := make([]*trace.Recorder, opts.Runs)
+	series := make([]*testbed.TimeSeries, opts.Runs)
 	splitTrace := opts.Run.Trace != nil && opts.Runs > 1
-	poolErr := pool.Run(ctx, opts.Runs, pool.Options{Workers: opts.Parallelism, ContinueOnError: true},
+	splitTS := opts.Run.TimeSeries != nil && opts.Runs > 1
+	popts := pool.Options{Workers: opts.Parallelism, ContinueOnError: true}
+	if opts.Run.Progress != nil {
+		// Per-run availability feeds the tracker's running statistic; the
+		// hook runs on the worker that wrote results[i], so the read is
+		// ordered. (Per-chunk Done ticks come from RunCtx itself.)
+		popts.OnTaskDone = func(i int) {
+			if res := results[i]; res != nil {
+				opts.Run.Progress.Observe(res.Availability)
+			}
+		}
+	}
+	poolErr := pool.Run(ctx, opts.Runs, popts,
 		func(_, i int) error {
 			runOpts := opts.Run
 			runOpts.Seed = opts.Run.Seed + int64(i)
 			if splitTrace {
 				recs[i] = trace.New(trace.Config{Capacity: trace.Unbounded})
 				runOpts.Trace = recs[i]
+			}
+			if splitTS {
+				// Private per-run recorder (the series merge below runs in
+				// seed order, so the merged series never depends on
+				// Parallelism).
+				series[i] = testbed.NewTimeSeries(opts.Run.TimeSeries.Width(), opts.Run.TimeSeries.Cap())
+				runOpts.TimeSeries = series[i]
 			}
 			res, err := RunCtx(ctx, runOpts)
 			if err != nil {
@@ -105,6 +126,13 @@ func RunSeriesWithCtx(ctx context.Context, opts SeriesOptions) (*SeriesResult, e
 		for i, rc := range recs {
 			if rc != nil {
 				opts.Run.Trace.Import(trace.TagReplica(rc.Spans(), i))
+			}
+		}
+	}
+	if splitTS {
+		for _, ts := range series {
+			if ts != nil {
+				opts.Run.TimeSeries.Merge(ts)
 			}
 		}
 	}

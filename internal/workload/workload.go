@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/estimate"
 	"repro/internal/jsas"
+	"repro/internal/progress"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
@@ -120,6 +121,16 @@ type RunOptions struct {
 	// Trace, if set, records the run as a sim-time span tree: one longevity
 	// root span with component failure / recovery / outage spans beneath it.
 	Trace *trace.Recorder
+	// Progress, if set, receives one Done() per simulated chunk (runChunks
+	// per run), so multi-day virtual runs report completion at sub-run
+	// granularity. The tracker is atomic: a series shares one across runs.
+	// nil (the default) costs one predictable branch per chunk.
+	Progress *progress.Tracker
+	// TimeSeries, if set, consumes the cluster event stream into a
+	// windowed sim-time availability series (finished with the run horizon
+	// before RunCtx returns). A series gives each run a private recorder
+	// and merges them in series order.
+	TimeSeries *testbed.TimeSeries
 }
 
 // Result summarizes a longevity run.
@@ -149,6 +160,21 @@ type Result struct {
 // advance, so results are byte-identical) and a canceled context is
 // noticed within one chunk — about 1.75 simulated hours on a 7-day run.
 const runChunks = 96
+
+// ProgressChunks reports how many Progress.Done ticks one run of virtual
+// length d produces (its cancellation-chunk count), so drivers can size a
+// progress tracker's total exactly: Runs × ProgressChunks(d).
+func ProgressChunks(d time.Duration) int64 {
+	step := d / runChunks
+	if step <= 0 {
+		return 1
+	}
+	n := int64(d / step)
+	if d%step != 0 {
+		n++
+	}
+	return n
+}
 
 // Run executes a longevity test on a fresh simulated cluster. It is
 // RunCtx with a background context.
@@ -190,6 +216,9 @@ func RunCtx(ctx context.Context, opts RunOptions) (*Result, error) {
 		tracer = testbed.NewTracer(opts.Trace, root)
 		observer = tracer.Observe
 	}
+	if opts.TimeSeries != nil {
+		observer = testbed.MultiObserver(observer, opts.TimeSeries.Observe)
+	}
 	cluster, err := testbed.New(testbed.Options{
 		Config:               opts.Config,
 		Params:               opts.Params,
@@ -219,6 +248,9 @@ func RunCtx(ctx context.Context, opts RunOptions) (*Result, error) {
 		if err := cluster.Run(until); err != nil {
 			return nil, fmt.Errorf("workload: %w", err)
 		}
+		if opts.Progress != nil {
+			opts.Progress.Done()
+		}
 		if until == opts.Duration {
 			break
 		}
@@ -226,6 +258,9 @@ func RunCtx(ctx context.Context, opts RunOptions) (*Result, error) {
 	if tracer != nil {
 		tracer.Close(cluster.Now())
 		root.EndAt(cluster.Now())
+	}
+	if opts.TimeSeries != nil {
+		opts.TimeSeries.FinishAt(cluster.Now())
 	}
 	stats := cluster.Stats()
 	cluster.Close()

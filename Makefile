@@ -42,14 +42,22 @@ fmt-check:
 # three rounds — a load spike inflates both sides of a round roughly
 # equally, so the paired ratio stays meaningful on a busy single-CPU
 # host where raw ns/op swings ±30%.
+#
+# A third gate protects the async job engine's reason to exist: a result
+# served from the LRU cache must be at least MIN_JOBCACHE_SPEEDUP times
+# faster than computing it (the miss path runs a real 100-sample
+# uncertainty analysis, so the ratio is measured against genuine solver
+# work — it sits around 1000× on an idle host, and 100× leaves room for
+# load noise without ever passing on a broken cache).
 MAX_CAMPAIGN_ALLOCS ?= 12000
 MAX_TELEMETRY_RATIO ?= 1.10
+MIN_JOBCACHE_SPEEDUP ?= 100
 
 verify: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/des/... ./internal/obs/... ./internal/progress/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/...
+	$(GO) test -race ./internal/des/... ./internal/obs/... ./internal/progress/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/... ./internal/jobs/...
 	$(GO) run ./cmd/bench-record -bench 'Table2|SteadyStateGS200|SweepParallel' -benchtime 1x -out /tmp/bench-smoke.json
 	@$(GO) run ./cmd/bench-record -bench 'CampaignUnsharded' -benchtime 1x -benchmem -out /tmp/bench-allocs.json; \
 	allocs="$$($(GO) run ./cmd/bench-record -print-metric allocs/op -in /tmp/bench-allocs.json)"; \
@@ -66,6 +74,13 @@ verify: fmt-check
 	echo "verify: campaign telemetry overhead: best-of-3 ratio $$best (max $(MAX_TELEMETRY_RATIO))"; \
 	awk -v r="$$best" -v max="$(MAX_TELEMETRY_RATIO)" \
 		'BEGIN { if (r > max) { printf "verify: telemetry overhead ratio %s exceeds %s\n", r, max; exit 1 } }'
+	@$(GO) run ./cmd/bench-record -bench 'JobCache(Hit|Miss)$$' -benchtime 200ms -out /tmp/bench-jobcache.json 2>/dev/null; \
+	miss="$$($(GO) run ./cmd/bench-record -print-metric ns/op -select 'JobCacheMiss' -in /tmp/bench-jobcache.json)"; \
+	hit="$$($(GO) run ./cmd/bench-record -print-metric ns/op -select 'JobCacheHit' -in /tmp/bench-jobcache.json)"; \
+	speedup="$$(awk -v m="$$miss" -v h="$$hit" 'BEGIN { printf "%.0f", m/h }')"; \
+	echo "verify: job cache: miss=$$miss ns/op hit=$$hit ns/op speedup=$${speedup}x (min $(MIN_JOBCACHE_SPEEDUP)x)"; \
+	awk -v s="$$speedup" -v min="$(MIN_JOBCACHE_SPEEDUP)" \
+		'BEGIN { if (s < min) { printf "verify: job cache hit only %sx faster than miss (min %sx)\n", s, min; exit 1 } }'
 
 # Short traced fault-injection campaign: writes /tmp/jsas-trace.jsonl and
 # prints the reconstructed outage timeline and downtime decomposition.
@@ -99,11 +114,11 @@ cover:
 # leaves every earlier BENCH_PR*.json untouched, so speedups stay
 # auditable across the whole PR sequence (BENCH_PR3.json and
 # BENCH_PR4.json are the pre-rebuild baselines).
-PR ?= 7
+PR ?= 8
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated|Telemetry)|LongevitySeries' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
+	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated|Telemetry)|LongevitySeries|JobCache(Hit|Miss|Coalesced)' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
 
 # Full paper reproduction to stdout.
 reproduce:

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	avail-server [-addr :8080] [-pprof] [-max-inflight N] [-shutdown-timeout 10s]
+//	             [-job-workers N] [-job-queue N] [-cache-size N]
+//	             [-job-keep N] [-job-ttl 1h]
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight requests for up to -shutdown-timeout before exiting;
@@ -19,6 +21,10 @@
 //	                             per-series deltas each ?interval= tick)
 //	GET  /v1/runs               (in-flight/recent tracked requests with
 //	                             progress and ETA)
+//	POST /v1/jobs               (submit an async job; 202 + job ID)
+//	GET  /v1/jobs               (job records, newest first)
+//	GET  /v1/jobs/{id}          (poll status/result; cache + progress)
+//	GET  /v1/jobs/{id}/stream   (Server-Sent Events until the job ends)
 //	POST /v1/solve              (spec.Document)
 //	POST /v1/solve-hierarchy    (spec.HierDocument)
 //	GET  /v1/jsas?instances=4&pairs=4&spares=2
@@ -41,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/jobs"
 )
 
 func main() {
@@ -60,13 +67,39 @@ func run(ctx context.Context, args []string) error {
 		"max concurrent solve requests before shedding with 429 (0 = unlimited)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second,
 		"how long to drain in-flight requests after SIGINT/SIGTERM")
+	jobWorkers := fs.Int("job-workers", 0,
+		"async job worker goroutines (0 = GOMAXPROCS)")
+	jobQueue := fs.Int("job-queue", jobs.DefaultQueueDepth,
+		"async job queue depth before submissions shed with 429")
+	cacheSize := fs.Int("cache-size", jobs.DefaultCacheSize,
+		"async job result cache entries (0 disables caching)")
+	jobKeep := fs.Int("job-keep", jobs.DefaultKeepDone,
+		"finished job records retained for polling")
+	jobTTL := fs.Duration("job-ttl", time.Hour,
+		"how long finished job records stay pollable (0 = count cap only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The flag's 0 means "no cache"; the engine spells that -1 (its zero
+	// value selects the default size so handler-built engines get a cache).
+	cs := *cacheSize
+	if cs == 0 {
+		cs = -1
+	}
+	engine := jobs.New(jobs.Config{
+		Workers:    *jobWorkers,
+		QueueDepth: *jobQueue,
+		CacheSize:  cs,
+		KeepDone:   *jobKeep,
+		TTL:        *jobTTL,
+		Registry:   httpapi.RunRegistry(),
+	})
+	defer engine.Close()
 	srv := &http.Server{
 		Handler: httpapi.NewHandler(httpapi.Options{
 			PProf:       *withPprof,
 			MaxInflight: *maxInflight,
+			Jobs:        engine,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/ctmc"
+	"repro/internal/jobs"
 	"repro/internal/jsas"
 	"repro/internal/obs"
 	"repro/internal/progress"
@@ -93,6 +94,14 @@ type Options struct {
 	// /metrics, /v1/metrics/stream, /v1/runs, /v1/traces) are never shed
 	// — an overloaded server must stay diagnosable.
 	MaxInflight int
+	// Jobs supplies the async engine behind the /v1/jobs endpoints. nil
+	// builds one from JobConfig, registered on the server run registry,
+	// whose workers live for the life of the process. Callers that need
+	// to stop the workers (tests, cmd/avail-server's shutdown path)
+	// construct their own engine and Close it themselves.
+	Jobs *jobs.Engine
+	// JobConfig tunes the handler-built engine when Jobs is nil.
+	JobConfig jobs.Config
 }
 
 // NewHandler returns the service's HTTP handler:
@@ -106,6 +115,13 @@ type Options struct {
 //	                            each ?interval= tick (default 1s)
 //	GET  /v1/runs               in-flight and recent tracked requests
 //	                            with completion, rate, and ETA
+//	POST /v1/jobs               submit an async job ({"kind", "request"});
+//	                            202 + job ID, deduplicated by canonical
+//	                            request hash (cache + single-flight)
+//	GET  /v1/jobs               retained jobs, newest first (no results)
+//	GET  /v1/jobs/{id}          job status, progress, and result
+//	GET  /v1/jobs/{id}/stream   job status over Server-Sent Events, one
+//	                            frame per ?interval= tick until done
 //	POST /v1/solve              flat spec.Document → SolveResponse
 //	POST /v1/solve-hierarchy    spec.HierDocument → HierSolveResponse
 //	GET  /v1/jsas               ?instances=&pairs=&spares= → JSASResponse
@@ -127,11 +143,28 @@ func NewHandler(opts ...Options) http.Handler {
 	// panic is counted both as a panic and as a 500); the compute routes
 	// additionally share one load-shedding semaphore.
 	shed := limiter(o.MaxInflight)
+	eng := o.Jobs
+	if eng == nil {
+		jc := o.JobConfig
+		if jc.Registry == nil {
+			jc.Registry = serverRuns
+		}
+		eng = jobs.New(jc)
+	}
+	ja := &jobAPI{engine: eng}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", instrument("/healthz", recovered(handleHealthz)))
 	mux.HandleFunc("GET /metrics", instrument("/metrics", recovered(handleMetrics)))
 	mux.HandleFunc("GET /v1/metrics/stream", instrument("/v1/metrics/stream", recovered(handleMetricsStream)))
 	mux.HandleFunc("GET /v1/runs", instrument("/v1/runs", recovered(handleRuns)))
+	// The job endpoints are not behind the sync-path semaphore: POST is
+	// cheap validation + enqueue whose backpressure is the bounded job
+	// queue itself (429 + service-time Retry-After when full), and the
+	// GET surfaces are observability.
+	mux.HandleFunc("POST /v1/jobs", instrument("/v1/jobs", recovered(ja.handleJobSubmit)))
+	mux.HandleFunc("GET /v1/jobs", instrument("/v1/jobs", recovered(ja.handleJobList)))
+	mux.HandleFunc("GET /v1/jobs/{id}", instrument("/v1/jobs/id", recovered(ja.handleJobGet)))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", instrument("/v1/jobs/id/stream", recovered(ja.handleJobStream)))
 	mux.HandleFunc("POST /v1/solve", instrument("/v1/solve", recovered(shed(handleSolve))))
 	mux.HandleFunc("POST /v1/solve-hierarchy", instrument("/v1/solve-hierarchy", recovered(shed(handleSolveHierarchy))))
 	mux.HandleFunc("GET /v1/jsas", instrument("/v1/jsas", recovered(shed(handleJSAS))))
@@ -478,9 +511,15 @@ func handleJSASUncertainty(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusForSolveError(err), err)
 		return
 	}
+	writeJSON(w, http.StatusOK, uncertaintyResponse(cfg, res))
+}
+
+// uncertaintyResponse shapes an analysis result for both the sync
+// endpoint and the async job runner — one shape, one set of bytes.
+func uncertaintyResponse(cfg jsas.Config, res *uncertainty.Result) UncertaintyResponse {
 	ci80 := res.CIs[0.80]
 	ci90 := res.CIs[0.90]
-	writeJSON(w, http.StatusOK, UncertaintyResponse{
+	return UncertaintyResponse{
 		Instances:         cfg.ASInstances,
 		Pairs:             cfg.HADBPairs,
 		Samples:           res.Summary.N,
@@ -490,7 +529,7 @@ func handleJSASUncertainty(w http.ResponseWriter, r *http.Request) {
 		CI90Low:           ci90.Low,
 		CI90High:          ci90.High,
 		FractionFiveNines: res.FractionBelow(5.25),
-	})
+	}
 }
 
 func intParam(s string, def int) (int, error) {
@@ -518,12 +557,20 @@ func boundedIntParam(name, s string, def, min, max int) (int, error) {
 	return v, nil
 }
 
+// obsEncodeFailures counts responses whose JSON encoding failed after
+// the header was on the wire. The status can no longer be corrected at
+// that point (the client sees a truncated 200), so the failure must at
+// least be observable: job results can be large, and a write error on a
+// dying connection is the common cause.
+var obsEncodeFailures = obs.C("httpapi_response_encode_failures_total",
+	"responses whose JSON encoding failed after the header was written")
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding errors past the header are unrecoverable mid-stream; the
-	// types marshaled here cannot fail.
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		obsEncodeFailures.Inc()
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -1,0 +1,595 @@
+// Async job API: POST /v1/jobs canonicalizes a request to a stable
+// content hash and submits it to the jobs engine; GET /v1/jobs/{id}
+// polls status and result; GET /v1/jobs/{id}/stream pushes live status
+// frames over Server-Sent Events. Every job kind mirrors a synchronous
+// endpoint (plus "campaign", which has no sync form — a 100k-injection
+// campaign does not belong in a request/response cycle), and because
+// every kind is a deterministic function of its canonicalized request,
+// a repeat submission is served from cache byte-identically to a fresh
+// solve and identical concurrent submissions coalesce into one
+// computation.
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/ctmc"
+	"repro/internal/faultinject"
+	"repro/internal/jobs"
+	"repro/internal/jsas"
+	"repro/internal/progress"
+	"repro/internal/spec"
+	"repro/internal/uncertainty"
+)
+
+// Job kinds accepted by POST /v1/jobs.
+const (
+	JobKindSolve          = "solve"
+	JobKindSolveHierarchy = "solve-hierarchy"
+	JobKindJSAS           = "jsas"
+	JobKindUncertainty    = "uncertainty"
+	JobKindCampaign       = "campaign"
+)
+
+// jobKindsHelp lists the valid kinds for 400 bodies.
+const jobKindsHelp = "solve, solve-hierarchy, jsas, uncertainty, campaign"
+
+// Campaign work bounds, in the same spirit as the sync-endpoint caps: an
+// injection count is a CPU grant, so it is bounded well above the
+// paper's 3,287-injection campaign but below open-ended.
+const (
+	maxCampaignInjections = 200000
+	maxCampaignReplicas   = 64
+)
+
+// jobSubmitRequest is the POST /v1/jobs envelope.
+type jobSubmitRequest struct {
+	Kind string `json:"kind"`
+	// Request is the kind-specific payload: a spec.Document for "solve",
+	// a spec.HierDocument for "solve-hierarchy", parameter objects for
+	// "jsas" / "uncertainty" / "campaign". Omitted = {} (kind defaults).
+	Request json.RawMessage `json:"request"`
+}
+
+// CampaignResponse is the JSON result of a fault-injection campaign job.
+type CampaignResponse struct {
+	Instances   int     `json:"instances"`
+	Pairs       int     `json:"pairs"`
+	Spares      int     `json:"spares"`
+	Injections  int     `json:"injections"`
+	Replicas    int     `json:"replicas"`
+	Seed        int64   `json:"seed"`
+	Successes   int     `json:"successes"`
+	SuccessRate float64 `json:"successRate"`
+	// CoverageBounds are the Equation (1) coverage/FIR bounds over the
+	// pooled injections at the default confidences.
+	CoverageBounds []CoverageBoundResponse `json:"coverageBounds"`
+	Availability   float64                 `json:"availability"`
+	DowntimeMin    float64                 `json:"downtimeMinutes"`
+	Outages        int                     `json:"outages"`
+}
+
+// CoverageBoundResponse is one Equation (1) bound.
+type CoverageBoundResponse struct {
+	Confidence         float64 `json:"confidence"`
+	CoverageLowerBound float64 `json:"coverageLowerBound"`
+	FIRUpperBound      float64 `json:"firUpperBound"`
+}
+
+// jobAPI binds the job handlers to an engine.
+type jobAPI struct {
+	engine *jobs.Engine
+}
+
+// RunRegistry returns the progress registry backing GET /v1/runs, so an
+// externally constructed jobs engine (cmd/avail-server) can surface its
+// jobs on the same runs listing as the synchronous handlers.
+func RunRegistry() *progress.Registry { return serverRuns }
+
+// handleJobSubmit validates and canonicalizes the request, submits it,
+// and answers 202 with the observing job's status (result stripped: the
+// result, cached or fresh, is served by GET /v1/jobs/{id}). A full queue
+// answers 429 with a Retry-After derived from observed job service time.
+func (a *jobAPI) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var env jobSubmitRequest
+	if err := dec.Decode(&env); err != nil {
+		if bodyTooLarge(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("job request exceeds %d bytes", maxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("job envelope: %w", err))
+		return
+	}
+	task, err := buildJobTask(env.Kind, env.Request)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := a.engine.Submit(task)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterValue(a.engine.RetryAfter()))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("job queue full; retry later"))
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st.Result = nil
+	w.Header().Set("Location", "/v1/jobs/"+strconv.FormatInt(st.ID, 10))
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleJobList reports every retained job, newest first, without
+// result payloads.
+func (a *jobAPI) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": a.engine.Statuses()})
+}
+
+// jobID parses the {id} path value.
+func jobID(r *http.Request) (int64, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("job id: want an integer, got %q", r.PathValue("id"))
+	}
+	return id, nil
+}
+
+// handleJobGet polls one job: status, live progress, and — once done —
+// the result, byte-identical whether computed or cached.
+func (a *jobAPI) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, ok := a.engine.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %d not found (never assigned, or GC'd)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobStream follows one job over Server-Sent Events: an immediate
+// status frame, one per ?interval= tick while the job runs (carrying
+// tracker progress), and a final "done" frame with the result. Reuses
+// the metrics-stream pacing and write-deadline machinery.
+func (a *jobAPI) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	interval, err := streamInterval(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, ok := a.engine.Status(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %d not found", id))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("streaming unsupported: response writer cannot flush"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	extendDeadline := func() {
+		_ = rc.SetWriteDeadline(time.Now().Add(interval + streamWriteGrace))
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		extendDeadline()
+		st, ok := a.engine.Status(id)
+		if !ok {
+			// GC'd mid-stream (tiny retention): nothing left to follow.
+			return
+		}
+		if st.State == jobs.StateDone || st.State == jobs.StateFailed {
+			_ = writeSSEEvent(w, "done", st)
+			fl.Flush()
+			return
+		}
+		st.Result = nil
+		if err := writeSSEEvent(w, "status", st); err != nil {
+			return
+		}
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// buildJobTask validates and canonicalizes one submission into an
+// engine task. All errors are client errors (400): the payload failed
+// to parse, validate, or stay within the work bounds.
+func buildJobTask(kind string, raw json.RawMessage) (jobs.Task, error) {
+	if len(raw) == 0 {
+		raw = json.RawMessage("{}")
+	}
+	switch kind {
+	case JobKindSolve:
+		return buildSolveTask(raw)
+	case JobKindSolveHierarchy:
+		return buildSolveHierarchyTask(raw)
+	case JobKindJSAS:
+		return buildJSASTask(raw)
+	case JobKindUncertainty:
+		return buildUncertaintyTask(raw)
+	case JobKindCampaign:
+		return buildCampaignTask(raw)
+	case "":
+		return jobs.Task{}, fmt.Errorf("job kind missing; want one of: %s", jobKindsHelp)
+	default:
+		return jobs.Task{}, fmt.Errorf("unknown job kind %q; want one of: %s", kind, jobKindsHelp)
+	}
+}
+
+// buildSolveTask canonicalizes a flat model document. Parsing then
+// re-marshaling the typed document is the canonicalization: field order
+// normalizes to declaration order, parameter maps to sorted keys.
+func buildSolveTask(raw json.RawMessage) (jobs.Task, error) {
+	doc, err := spec.Parse(bytes.NewReader(raw))
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	// Compile errors (unsolvable structure references) belong to the
+	// submitter, so surface them at submit time rather than as a failed job.
+	if _, err := doc.Compile(nil); err != nil {
+		return jobs.Task{}, err
+	}
+	hash, err := jobs.CanonicalHash(JobKindSolve, doc)
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	return jobs.Task{
+		Kind:   JobKindSolve,
+		Hash:   hash,
+		Detail: fmt.Sprintf("model=%s states=%d", doc.Name, len(doc.States)),
+		Total:  1,
+		Run: func(ctx context.Context, tr *progress.Tracker) (json.RawMessage, error) {
+			structure, err := doc.Compile(nil)
+			if err != nil {
+				return nil, err
+			}
+			res, err := structure.Solve(ctmc.SolveOptions{Ctx: ctx})
+			if err != nil {
+				return nil, err
+			}
+			tr.Done()
+			return json.Marshal(solveResponse(doc.Name, structure, res))
+		},
+	}, nil
+}
+
+// buildSolveHierarchyTask canonicalizes a hierarchical document.
+func buildSolveHierarchyTask(raw json.RawMessage) (jobs.Task, error) {
+	doc, err := spec.ParseHier(bytes.NewReader(raw))
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	if _, err := doc.Compile(nil); err != nil {
+		return jobs.Task{}, err
+	}
+	hash, err := jobs.CanonicalHash(JobKindSolveHierarchy, doc)
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	return jobs.Task{
+		Kind:   JobKindSolveHierarchy,
+		Hash:   hash,
+		Detail: fmt.Sprintf("hierarchy=%s models=%d", doc.Name, len(doc.Models)),
+		Total:  1,
+		Run: func(ctx context.Context, tr *progress.Tracker) (json.RawMessage, error) {
+			ev, err := doc.SolveCtx(ctx, nil)
+			if err != nil {
+				return nil, err
+			}
+			tr.Done()
+			return json.Marshal(hierResponse(ev))
+		},
+	}, nil
+}
+
+// jsasJobRequest is the "jsas" payload; pointers distinguish omitted
+// fields (kind defaults) from explicit values, so the canonical form
+// normalizes {"instances":2} and {} to the same hash.
+type jsasJobRequest struct {
+	Instances *int `json:"instances"`
+	Pairs     *int `json:"pairs"`
+	Spares    *int `json:"spares"`
+}
+
+// jsasJobCanonical is the normalized "jsas" request the hash covers.
+type jsasJobCanonical struct {
+	Instances int `json:"instances"`
+	Pairs     int `json:"pairs"`
+	Spares    int `json:"spares"`
+}
+
+// decodeStrict unmarshals raw into v rejecting unknown fields.
+func decodeStrict(raw json.RawMessage, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// boundedField applies the sync-endpoint bounds to an optional field.
+func boundedField(name string, p *int, def, min, max int) (int, error) {
+	v := def
+	if p != nil {
+		v = *p
+	}
+	if v < min || v > max {
+		return 0, fmt.Errorf("%s %d outside [%d, %d]", name, v, min, max)
+	}
+	return v, nil
+}
+
+func buildJSASTask(raw json.RawMessage) (jobs.Task, error) {
+	var req jsasJobRequest
+	if err := decodeStrict(raw, &req); err != nil {
+		return jobs.Task{}, fmt.Errorf("jsas request: %w", err)
+	}
+	var can jsasJobCanonical
+	var err error
+	if can.Instances, err = boundedField("instances", req.Instances, 2, 1, maxInstances); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.Pairs, err = boundedField("pairs", req.Pairs, 2, 0, maxPairs); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.Spares, err = boundedField("spares", req.Spares, 2, 0, maxSpares); err != nil {
+		return jobs.Task{}, err
+	}
+	hash, err := jobs.CanonicalHash(JobKindJSAS, can)
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	cfg := jsas.Config{ASInstances: can.Instances, HADBPairs: can.Pairs, HADBSpares: can.Spares}
+	return jobs.Task{
+		Kind:   JobKindJSAS,
+		Hash:   hash,
+		Detail: fmt.Sprintf("instances=%d pairs=%d spares=%d", can.Instances, can.Pairs, can.Spares),
+		Total:  1,
+		Run: func(_ context.Context, tr *progress.Tracker) (json.RawMessage, error) {
+			res, err := jsas.Solve(cfg, jsas.DefaultParams())
+			if err != nil {
+				return nil, err
+			}
+			tr.Done()
+			return json.Marshal(JSASResponse{
+				Instances:             cfg.ASInstances,
+				Pairs:                 cfg.HADBPairs,
+				Spares:                cfg.HADBSpares,
+				Availability:          res.Availability,
+				YearlyDowntimeMinutes: res.YearlyDowntimeMinutes,
+				DowntimeASMinutes:     res.DowntimeASMinutes,
+				DowntimeHADBMinutes:   res.DowntimeHADBMinutes,
+				MTBFHours:             res.MTBFHours,
+			})
+		},
+	}, nil
+}
+
+// uncertaintyJobRequest is the "uncertainty" payload.
+type uncertaintyJobRequest struct {
+	Instances *int   `json:"instances"`
+	Pairs     *int   `json:"pairs"`
+	Samples   *int   `json:"samples"`
+	Seed      *int64 `json:"seed"`
+}
+
+// uncertaintyJobCanonical is the normalized form the hash covers. Spares
+// are pinned to 2 exactly like the synchronous endpoint.
+type uncertaintyJobCanonical struct {
+	Instances int   `json:"instances"`
+	Pairs     int   `json:"pairs"`
+	Samples   int   `json:"samples"`
+	Seed      int64 `json:"seed"`
+}
+
+func buildUncertaintyTask(raw json.RawMessage) (jobs.Task, error) {
+	var req uncertaintyJobRequest
+	if err := decodeStrict(raw, &req); err != nil {
+		return jobs.Task{}, fmt.Errorf("uncertainty request: %w", err)
+	}
+	var can uncertaintyJobCanonical
+	var err error
+	if can.Instances, err = boundedField("instances", req.Instances, 2, 1, maxInstances); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.Pairs, err = boundedField("pairs", req.Pairs, 2, 0, maxPairs); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.Samples, err = boundedField("samples", req.Samples, 1000, 1, maxUncertaintySamples); err != nil {
+		return jobs.Task{}, err
+	}
+	can.Seed = 2004
+	if req.Seed != nil {
+		can.Seed = *req.Seed
+	}
+	hash, err := jobs.CanonicalHash(JobKindUncertainty, can)
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	cfg := jsas.Config{ASInstances: can.Instances, HADBPairs: can.Pairs, HADBSpares: 2}
+	return jobs.Task{
+		Kind: JobKindUncertainty,
+		Hash: hash,
+		Detail: fmt.Sprintf("instances=%d pairs=%d samples=%d seed=%d",
+			can.Instances, can.Pairs, can.Samples, can.Seed),
+		Total:       int64(can.Samples),
+		TrackerOpts: []progress.Option{progress.WithUnit("samples"), progress.WithStat("downtimeMin")},
+		Run: func(ctx context.Context, tr *progress.Tracker) (json.RawMessage, error) {
+			res, err := uncertainty.RunCtx(ctx,
+				jsas.PaperUncertaintyRanges(),
+				jsas.UncertaintySolver(cfg, jsas.DefaultParams()),
+				uncertainty.Options{Samples: can.Samples, Seed: can.Seed, Progress: tr},
+			)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(uncertaintyResponse(cfg, res))
+		},
+	}, nil
+}
+
+// campaignJobRequest is the "campaign" payload: a replicated
+// fault-injection campaign on the simulated testbed.
+type campaignJobRequest struct {
+	Instances  *int     `json:"instances"`
+	Pairs      *int     `json:"pairs"`
+	Spares     *int     `json:"spares"`
+	Injections *int     `json:"injections"`
+	Seed       *int64   `json:"seed"`
+	Replicas   *int     `json:"replicas"`
+	ASFraction *float64 `json:"asFraction"`
+	MultiNode  *float64 `json:"multiNodeFraction"`
+}
+
+// campaignJobCanonical is the normalized form the hash covers. Replicas
+// are part of the identity (sharding changes the pooled statistics
+// deterministically); parallelism is not a request knob at all — the
+// merged report is independent of it.
+type campaignJobCanonical struct {
+	Instances  int     `json:"instances"`
+	Pairs      int     `json:"pairs"`
+	Spares     int     `json:"spares"`
+	Injections int     `json:"injections"`
+	Seed       int64   `json:"seed"`
+	Replicas   int     `json:"replicas"`
+	ASFraction float64 `json:"asFraction"`
+	MultiNode  float64 `json:"multiNodeFraction"`
+}
+
+func buildCampaignTask(raw json.RawMessage) (jobs.Task, error) {
+	var req campaignJobRequest
+	if err := decodeStrict(raw, &req); err != nil {
+		return jobs.Task{}, fmt.Errorf("campaign request: %w", err)
+	}
+	var can campaignJobCanonical
+	var err error
+	if can.Instances, err = boundedField("instances", req.Instances, 2, 1, maxInstances); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.Pairs, err = boundedField("pairs", req.Pairs, 2, 0, maxPairs); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.Spares, err = boundedField("spares", req.Spares, 2, 0, maxSpares); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.Injections, err = boundedField("injections", req.Injections, 3287, 1, maxCampaignInjections); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.Replicas, err = boundedField("replicas", req.Replicas, 1, 1, maxCampaignReplicas); err != nil {
+		return jobs.Task{}, err
+	}
+	can.Seed = 1
+	if req.Seed != nil {
+		can.Seed = *req.Seed
+	}
+	can.ASFraction = faultinject.DefaultASFraction
+	if req.ASFraction != nil {
+		can.ASFraction = *req.ASFraction
+	}
+	can.MultiNode = faultinject.DefaultMultiNodeFraction
+	if req.MultiNode != nil {
+		can.MultiNode = *req.MultiNode
+	}
+	if can.ASFraction < 0 || can.ASFraction > 1 {
+		return jobs.Task{}, fmt.Errorf("asFraction %g outside [0, 1]", can.ASFraction)
+	}
+	if can.MultiNode < 0 || can.MultiNode > 1 {
+		return jobs.Task{}, fmt.Errorf("multiNodeFraction %g outside [0, 1]", can.MultiNode)
+	}
+	hash, err := jobs.CanonicalHash(JobKindCampaign, can)
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	cfg := jsas.Config{ASInstances: can.Instances, HADBPairs: can.Pairs, HADBSpares: can.Spares}
+	return jobs.Task{
+		Kind: JobKindCampaign,
+		Hash: hash,
+		Detail: fmt.Sprintf("instances=%d pairs=%d injections=%d seed=%d replicas=%d",
+			can.Instances, can.Pairs, can.Injections, can.Seed, can.Replicas),
+		Total:       int64(can.Injections),
+		TrackerOpts: []progress.Option{progress.WithUnit("inj"), progress.WithStat("recovered")},
+		Run: func(ctx context.Context, tr *progress.Tracker) (json.RawMessage, error) {
+			rep, err := faultinject.RunReplicatedCtx(ctx, faultinject.ReplicatedOptions{
+				Options: faultinject.Options{
+					Config:            cfg,
+					Params:            jsas.DefaultParams(),
+					Seed:              can.Seed,
+					Injections:        can.Injections,
+					ASFraction:        faultinject.Fraction(can.ASFraction),
+					MultiNodeFraction: faultinject.Fraction(can.MultiNode),
+					Progress:          tr,
+				},
+				Replicas: can.Replicas,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out := CampaignResponse{
+				Instances:    cfg.ASInstances,
+				Pairs:        cfg.HADBPairs,
+				Spares:       cfg.HADBSpares,
+				Injections:   len(rep.Injections),
+				Replicas:     rep.Replicas,
+				Seed:         can.Seed,
+				Successes:    rep.Successes,
+				SuccessRate:  rep.SuccessRate(),
+				Availability: rep.Stats.Availability(),
+				DowntimeMin:  rep.Stats.DownTime.Minutes(),
+				Outages:      len(rep.Stats.Outages),
+			}
+			for _, b := range rep.CoverageBounds {
+				out.CoverageBounds = append(out.CoverageBounds, CoverageBoundResponse{
+					Confidence:         b.Confidence,
+					CoverageLowerBound: b.Coverage,
+					FIRUpperBound:      b.FIR,
+				})
+			}
+			return json.Marshal(out)
+		},
+	}, nil
+}
+
+// writeSSEEvent emits one Server-Sent Events frame. The JSON payload is
+// a single line (encoding/json never emits raw newlines), so one data:
+// field suffices.
+func writeSSEEvent(w io.Writer, event string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	return err
+}

@@ -1,0 +1,451 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/progress"
+)
+
+// jobClock is a mutex-guarded manual time source for engine tests.
+type jobClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newJobClock() *jobClock {
+	return &jobClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *jobClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *jobClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newJobServer builds a handler around a test-owned engine so repeated
+// requests hit the same cache, and returns both.
+func newJobServer(t *testing.T, cfg jobs.Config) (*httptest.Server, *jobs.Engine) {
+	t.Helper()
+	eng := jobs.New(cfg)
+	t.Cleanup(eng.Close)
+	srv := httptest.NewServer(NewHandler(Options{Jobs: eng}))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+// postJob submits one job and decodes the 202 status.
+func postJob(t *testing.T, srv *httptest.Server, kind, request string) jobs.Status {
+	t.Helper()
+	body := fmt.Sprintf(`{"kind":%q,"request":%s}`, kind, request)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode 202 body: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST %s job: status = %d, want 202", kind, resp.StatusCode)
+	}
+	wantLoc := fmt.Sprintf("/v1/jobs/%d", st.ID)
+	if loc := resp.Header.Get("Location"); loc != wantLoc {
+		t.Fatalf("Location = %q, want %q", loc, wantLoc)
+	}
+	if len(st.Result) != 0 {
+		t.Fatalf("202 body carried a result payload: %s", st.Result)
+	}
+	return st
+}
+
+// getJob polls one job's status.
+func getJob(t *testing.T, srv *httptest.Server, id int64) jobs.Status {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", srv.URL, id))
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%d: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%d: status = %d, want 200", id, resp.StatusCode)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode job %d: %v", id, err)
+	}
+	return st
+}
+
+// waitJob blocks on the engine until the job finishes, then re-reads it
+// over HTTP so assertions cover the served representation.
+func waitJob(t *testing.T, srv *httptest.Server, eng *jobs.Engine, id int64) jobs.Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := eng.Wait(ctx, id); err != nil {
+		t.Fatalf("wait job %d: %v", id, err)
+	}
+	return getJob(t, srv, id)
+}
+
+const hierModel = `{
+  "name": "h",
+  "root": "top",
+  "models": [
+    {"name":"leaf","parameters":{"La":0.01,"Mu":2},
+     "states":[{"name":"Up","reward":1},{"name":"Down","reward":0}],
+     "transitions":[{"from":"Up","to":"Down","rate":"La"},{"from":"Down","to":"Up","rate":"Mu"}]},
+    {"name":"top",
+     "states":[{"name":"Ok","reward":1},{"name":"Fail","reward":0}],
+     "transitions":[{"from":"Ok","to":"Fail","rate":"L"},{"from":"Fail","to":"Ok","rate":"M"}]}
+  ],
+  "bindings": [{"model":"top","child":"leaf","lambda_param":"L","mu_param":"M"}]
+}`
+
+// TestJobCacheHitIsByteIdenticalAcrossKinds submits every job kind
+// twice: the repeat must come back Cached with result bytes identical to
+// the fresh computation's, and must not re-run the work.
+func TestJobCacheHitIsByteIdenticalAcrossKinds(t *testing.T) {
+	srv, eng := newJobServer(t, jobs.Config{Workers: 2})
+	cases := []struct {
+		kind    string
+		request string
+	}{
+		{JobKindSolve, flatModel},
+		{JobKindSolveHierarchy, hierModel},
+		{JobKindJSAS, `{"instances":2,"pairs":2,"spares":2}`},
+		{JobKindUncertainty, `{"samples":50,"seed":2004}`},
+		{JobKindCampaign, `{"injections":50,"seed":7,"replicas":2}`},
+	}
+	for _, c := range cases {
+		t.Run(c.kind, func(t *testing.T) {
+			first := postJob(t, srv, c.kind, c.request)
+			if first.Cached {
+				t.Fatalf("first submission already cached")
+			}
+			fresh := waitJob(t, srv, eng, first.ID)
+			if fresh.State != jobs.StateDone {
+				t.Fatalf("job state = %s (%s)", fresh.State, fresh.Error)
+			}
+			if len(fresh.Result) == 0 {
+				t.Fatalf("done job has no result")
+			}
+
+			second := postJob(t, srv, c.kind, c.request)
+			if !second.Cached || second.State != jobs.StateDone {
+				t.Fatalf("repeat submission not cached: %+v", second)
+			}
+			if second.ID == first.ID {
+				t.Fatalf("cache hit reused job ID %d", first.ID)
+			}
+			if second.Hash != first.Hash {
+				t.Fatalf("identical requests hashed differently: %s vs %s", second.Hash, first.Hash)
+			}
+			hit := getJob(t, srv, second.ID)
+			if !bytes.Equal(hit.Result, fresh.Result) {
+				t.Fatalf("cache hit not byte-identical:\nfresh: %s\nhit:   %s", fresh.Result, hit.Result)
+			}
+		})
+	}
+}
+
+// TestJobCanonicalHashNormalization: JSON field order and explicitly
+// spelled defaults must not change a request's identity — all variants
+// land on one hash, and every variant after the first is a cache hit.
+func TestJobCanonicalHashNormalization(t *testing.T) {
+	srv, eng := newJobServer(t, jobs.Config{Workers: 2})
+	variants := []string{
+		`{}`,
+		`{"instances":2}`,
+		`{"spares":2,"pairs":2,"instances":2}`,
+		`{"pairs":2,"instances":2,"spares":2}`,
+	}
+	first := postJob(t, srv, JobKindJSAS, variants[0])
+	waitJob(t, srv, eng, first.ID)
+	for _, v := range variants[1:] {
+		st := postJob(t, srv, JobKindJSAS, v)
+		if st.Hash != first.Hash {
+			t.Fatalf("request %s hashed to %s, want %s", v, st.Hash, first.Hash)
+		}
+		if !st.Cached {
+			t.Fatalf("request %s missed the cache despite identical canonical form", v)
+		}
+	}
+	// A materially different request must not collide.
+	other := postJob(t, srv, JobKindJSAS, `{"pairs":4}`)
+	if other.Hash == first.Hash {
+		t.Fatalf("pairs=4 collided with the default request hash")
+	}
+}
+
+// TestJobSubmitValidation: malformed envelopes and out-of-bounds
+// requests are rejected at submit time with a 400 naming the problem.
+func TestJobSubmitValidation(t *testing.T) {
+	srv, _ := newJobServer(t, jobs.Config{Workers: 1})
+	cases := []struct {
+		name       string
+		body       string
+		wantInBody string
+	}{
+		{"bad envelope", `not json`, "envelope"},
+		{"missing kind", `{"request":{}}`, "kind missing"},
+		{"unknown kind", `{"kind":"frobnicate"}`, "unknown job kind"},
+		{"unknown field", `{"kind":"jsas","request":{"instancez":2}}`, "instancez"},
+		{"instances too large", `{"kind":"jsas","request":{"instances":65}}`, "instances"},
+		{"injections zero", `{"kind":"campaign","request":{"injections":0}}`, "injections"},
+		{"injections too large", `{"kind":"campaign","request":{"injections":200001}}`, "injections"},
+		{"replicas too large", `{"kind":"campaign","request":{"replicas":65}}`, "replicas"},
+		{"asFraction out of range", `{"kind":"campaign","request":{"asFraction":1.5}}`, "asFraction"},
+		{"bad solve doc", `{"kind":"solve","request":{"name":"x"}}`, ""},
+		{"samples too large", `{"kind":"uncertainty","request":{"samples":20001}}`, "samples"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			_, _ = buf.ReadFrom(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, buf.String())
+			}
+			if c.wantInBody != "" && !strings.Contains(buf.String(), c.wantInBody) {
+				t.Fatalf("400 body %q does not name %q", buf.String(), c.wantInBody)
+			}
+		})
+	}
+}
+
+// TestJobQueueFullDerivesRetryAfter: when the queue rejects, the 429's
+// Retry-After comes from observed job service time (30s EWMA / 1 worker
+// here), not the sync path's constant "1".
+func TestJobQueueFullDerivesRetryAfter(t *testing.T) {
+	clock := newJobClock()
+	srv, eng := newJobServer(t, jobs.Config{Workers: 1, QueueDepth: 1, Clock: clock.Now})
+
+	// Teach the EWMA: one job that takes 30 simulated seconds.
+	slow, err := eng.Submit(jobs.Task{
+		Kind: "slow", Hash: "retry-after-slow",
+		Run: func(context.Context, *progress.Tracker) (json.RawMessage, error) {
+			clock.Advance(30 * time.Second)
+			return json.RawMessage(`1`), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("submit slow: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := eng.Wait(ctx, slow.ID); err != nil {
+		t.Fatalf("wait slow: %v", err)
+	}
+
+	// Saturate: one blocker occupying the worker, one job filling the
+	// single queue slot.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := eng.Submit(jobs.Task{
+		Kind: "blocker", Hash: "retry-after-blocker",
+		Run: func(ctx context.Context, _ *progress.Tracker) (json.RawMessage, error) {
+			close(started)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return json.RawMessage(`1`), nil
+		},
+	}); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started
+	if _, err := eng.Submit(jobs.Task{
+		Kind: "filler", Hash: "retry-after-filler",
+		Run: func(context.Context, *progress.Tracker) (json.RawMessage, error) {
+			return json.RawMessage(`1`), nil
+		},
+	}); err != nil {
+		t.Fatalf("submit filler: %v", err)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"jsas"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Fatalf("Retry-After = %q, want \"30\" (30s service EWMA / 1 worker)", got)
+	}
+	close(release)
+}
+
+// TestJobGetErrors: unknown IDs are 404, unparseable IDs are 400, and
+// the stream endpoint agrees.
+func TestJobGetErrors(t *testing.T) {
+	srv, _ := newJobServer(t, jobs.Config{Workers: 1})
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/jobs/999999", http.StatusNotFound},
+		{"/v1/jobs/notanumber", http.StatusBadRequest},
+		{"/v1/jobs/999999/stream", http.StatusNotFound},
+		{"/v1/jobs/notanumber/stream", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(srv.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Fatalf("GET %s: status = %d, want %d", c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestJobListNewestFirstWithoutResults: the listing orders jobs newest
+// first and never carries result payloads.
+func TestJobListNewestFirstWithoutResults(t *testing.T) {
+	srv, eng := newJobServer(t, jobs.Config{Workers: 1})
+	a := postJob(t, srv, JobKindJSAS, `{}`)
+	waitJob(t, srv, eng, a.ID)
+	b := postJob(t, srv, JobKindJSAS, `{"pairs":3}`)
+	waitJob(t, srv, eng, b.ID)
+
+	resp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []jobs.Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode listing: %v", err)
+	}
+	if len(out.Jobs) != 2 {
+		t.Fatalf("listing has %d jobs, want 2", len(out.Jobs))
+	}
+	if out.Jobs[0].ID != b.ID || out.Jobs[1].ID != a.ID {
+		t.Fatalf("listing order = [%d, %d], want newest first [%d, %d]",
+			out.Jobs[0].ID, out.Jobs[1].ID, b.ID, a.ID)
+	}
+	for _, j := range out.Jobs {
+		if len(j.Result) != 0 {
+			t.Fatalf("listing carried a result for job %d", j.ID)
+		}
+	}
+}
+
+// TestJobStreamFollowsToCompletion: the SSE endpoint emits status frames
+// (with progress, without result) while the job runs and a final done
+// frame carrying the result.
+func TestJobStreamFollowsToCompletion(t *testing.T) {
+	srv, eng := newJobServer(t, jobs.Config{Workers: 1})
+	release := make(chan struct{})
+	st, err := eng.Submit(jobs.Task{
+		Kind: "stream-test", Hash: "stream-test", Total: 2,
+		Run: func(ctx context.Context, tr *progress.Tracker) (json.RawMessage, error) {
+			tr.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			tr.Add(1)
+			return json.RawMessage(`{"answer":42}`), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/stream?interval=20ms", srv.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	event, data := readSSEEvent(t, br)
+	if event != "status" {
+		t.Fatalf("first event = %q, want status", event)
+	}
+	var frame jobs.Status
+	if err := json.Unmarshal(data, &frame); err != nil {
+		t.Fatalf("status frame: %v\n%s", err, data)
+	}
+	if frame.ID != st.ID || len(frame.Result) != 0 {
+		t.Fatalf("status frame = %+v, want job %d without result", frame, st.ID)
+	}
+
+	close(release)
+	for {
+		event, data = readSSEEvent(t, br)
+		if event == "status" {
+			continue
+		}
+		if event != "done" {
+			t.Fatalf("event = %q, want done", event)
+		}
+		break
+	}
+	if err := json.Unmarshal(data, &frame); err != nil {
+		t.Fatalf("done frame: %v\n%s", err, data)
+	}
+	if frame.State != jobs.StateDone || string(frame.Result) != `{"answer":42}` {
+		t.Fatalf("done frame = %+v, want done with the result", frame)
+	}
+	if frame.Progress == nil || frame.Progress.Completed != 2 {
+		t.Fatalf("done frame progress = %+v, want 2/2", frame.Progress)
+	}
+}
+
+// TestJobsVisibleInRuns: executed jobs register on the server run
+// registry, so GET /v1/runs shows them alongside synchronous work.
+func TestJobsVisibleInRuns(t *testing.T) {
+	reg := progress.NewRegistry(8)
+	eng := jobs.New(jobs.Config{Workers: 1, Registry: reg})
+	t.Cleanup(eng.Close)
+	srv := httptest.NewServer(NewHandler(Options{Jobs: eng}))
+	t.Cleanup(srv.Close)
+
+	st := postJob(t, srv, JobKindJSAS, `{}`)
+	waitJob(t, srv, eng, st.ID)
+	for _, r := range reg.Statuses() {
+		if r.Kind == "job:jsas" {
+			return
+		}
+	}
+	t.Fatalf("no job:jsas run registered; runs: %+v", reg.Statuses())
+}

@@ -9,7 +9,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/ctmc"
 	"repro/internal/obs"
@@ -78,12 +81,33 @@ func limiter(max int) func(http.HandlerFunc) http.HandlerFunc {
 				h(w, r)
 			default:
 				obsRejected.Inc()
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", syncRetryAfter)
 				writeError(w, http.StatusTooManyRequests,
 					fmt.Errorf("solve queue full (%d requests in flight); retry later", max))
 			}
 		}
 	}
+}
+
+// syncRetryAfter is the constant Retry-After for the synchronous shed
+// path: a shed sync request frees its slot as soon as any in-flight
+// solve finishes, and the limiter has no service-time signal to do
+// better — so it stays the fallback, not the job-queue answer.
+const syncRetryAfter = "1"
+
+// retryAfterValue renders a Retry-After header from an observed
+// service-time hint (jobs.Engine.RetryAfter): whole seconds, rounded
+// up, never below 1. A zero hint means no job has completed yet, so
+// there is nothing better than the sync-path constant.
+func retryAfterValue(hint time.Duration) string {
+	if hint <= 0 {
+		return syncRetryAfter
+	}
+	secs := int64(math.Ceil(hint.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // statusForSolveError maps solve failures onto the response taxonomy:

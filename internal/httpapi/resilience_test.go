@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/ctmc"
 	"repro/internal/spec"
@@ -233,6 +234,45 @@ func TestLimiterDisabled(t *testing.T) {
 	h(rec, httptest.NewRequest(http.MethodGet, "/", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("limiter(0): status = %d, want 200", rec.Code)
+	}
+}
+
+// TestRetryAfterValue: the job-queue 429 hint renders observed service
+// time as whole seconds rounded up, never below 1, and falls back to the
+// sync-path constant when no job has completed yet.
+func TestRetryAfterValue(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		hint time.Duration
+		want string
+	}{
+		{0, syncRetryAfter},
+		{-time.Second, syncRetryAfter},
+		{200 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1100 * time.Millisecond, "2"},
+		{30 * time.Second, "30"},
+		{59*time.Second + time.Millisecond, "60"},
+	}
+	for _, c := range cases {
+		if got := retryAfterValue(c.hint); got != c.want {
+			t.Errorf("retryAfterValue(%v) = %q, want %q", c.hint, got, c.want)
+		}
+	}
+}
+
+// TestWriteJSONCountsEncodeFailures: an encode failure after the header
+// is on the wire cannot change the status anymore, but it must move the
+// failure counter instead of disappearing.
+func TestWriteJSONCountsEncodeFailures(t *testing.T) {
+	before := obsEncodeFailures.Value()
+	writeJSON(httptest.NewRecorder(), http.StatusOK, func() {}) // unencodable
+	if got := obsEncodeFailures.Value(); got != before+1 {
+		t.Fatalf("httpapi_response_encode_failures_total moved %d -> %d, want +1", before, got)
+	}
+	writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]int{"ok": 1})
+	if got := obsEncodeFailures.Value(); got != before+1 {
+		t.Fatalf("successful encode moved the failure counter to %d", got)
 	}
 }
 

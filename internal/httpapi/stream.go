@@ -7,7 +7,6 @@
 package httpapi
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -106,15 +105,9 @@ func changedSeries(prev map[seriesKey]obs.SeriesSnapshot, cur []obs.SeriesSnapsh
 	return out
 }
 
-// writeSSEFrame emits one event: the JSON payload is a single line
-// (encoding/json never emits raw newlines), so one data: field suffices.
+// writeSSEFrame emits one metrics frame via the shared SSE writer.
 func writeSSEFrame(w io.Writer, event string, frame streamFrame) error {
-	b, err := json.Marshal(frame)
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
-	return err
+	return writeSSEEvent(w, event, frame)
 }
 
 // handleMetricsStream serves the obs registry as a Server-Sent Events

@@ -1,0 +1,65 @@
+package jobs
+
+import (
+	"container/list"
+	"encoding/json"
+)
+
+// lruCache is the engine's result cache: canonical request hash → the
+// exact result bytes a completed job produced. Entries move to the front
+// on every hit, so a full cache evicts the least-recently-used request —
+// repeated sweeps and dashboard polls keep their working set resident
+// while one-off experiments age out.
+//
+// The cache stores the marshaled response verbatim (never re-encoded),
+// which is what makes a hit byte-identical to the fresh solve that
+// populated it. Not safe for concurrent use; the engine mutex guards it.
+type lruCache struct {
+	cap int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+// cacheEntry is one cached result.
+type cacheEntry struct {
+	hash   string
+	result json.RawMessage
+}
+
+// newLRU returns a cache bounded to cap entries (cap >= 1).
+func newLRU(cap int) *lruCache {
+	return &lruCache{cap: cap, ll: list.New(), m: make(map[string]*list.Element, cap)}
+}
+
+// get returns the cached result for hash (nil if absent), refreshing its
+// recency.
+func (c *lruCache) get(hash string) json.RawMessage {
+	el, ok := c.m[hash]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).result
+}
+
+// add stores (or refreshes) a result and returns how many entries were
+// evicted to stay within capacity.
+func (c *lruCache) add(hash string, result json.RawMessage) int64 {
+	if el, ok := c.m[hash]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).result = result
+		return 0
+	}
+	c.m[hash] = c.ll.PushFront(&cacheEntry{hash: hash, result: result})
+	var evicted int64
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).hash)
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the resident entry count.
+func (c *lruCache) len() int { return c.ll.Len() }

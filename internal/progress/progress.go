@@ -197,6 +197,16 @@ func (s Snapshot) Fraction() float64 {
 // burstiness of chunked simulation advances.
 const ewmaAlpha = 0.5
 
+// stallDecayEvents controls when an idle gap starts decaying the rate:
+// once the gap is long enough that stallDecayEvents completions were
+// expected at the current rate and none arrived, the rate is capped at
+// stallDecayEvents/gap — the largest rate plausibly consistent with the
+// silence. Below that threshold the cap is above the current rate and
+// nothing happens, so ordinary gaps between chunked completions (and
+// rapid /v1/runs polls) never perturb the estimate. The cap depends only
+// on the gap length, not on how often Snapshot is called.
+const stallDecayEvents = 4
+
 // Snapshot captures the tracker state, updating the smoothed rate. The
 // zero Snapshot is returned for a nil tracker.
 func (t *Tracker) Snapshot() Snapshot {
@@ -218,6 +228,16 @@ func (t *Tracker) Snapshot() Snapshot {
 		}
 		t.lastAt = now
 		t.lastCompleted = completed
+	} else if dt > 0 && completed == t.lastCompleted && t.ewmaRate > 0 {
+		// Stalled: nothing completed since lastAt. Without decay the
+		// tracker would report its last good rate — and a static, ever-
+		// wrong ETA — forever. Cap the rate at what the silence supports;
+		// lastAt is deliberately left alone, so the idle gap keeps
+		// widening and the cap keeps tightening until completions resume
+		// (which re-smooths upward from the decayed value).
+		if cap := stallDecayEvents / dt.Seconds(); cap < t.ewmaRate {
+			t.ewmaRate = cap
+		}
 	} else if t.ewmaRate == 0 && completed > 0 && elapsed > 0 {
 		t.ewmaRate = float64(completed) / elapsed.Seconds()
 	}

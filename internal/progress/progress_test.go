@@ -105,6 +105,62 @@ func TestTrackerRateAndETA(t *testing.T) {
 	}
 }
 
+func TestSnapshotDecaysRateOnStall(t *testing.T) {
+	clock := newFakeClock()
+	tr := New(1000, WithClock(clock.Now))
+	tr.Add(500)
+	clock.Advance(time.Second)
+	healthy := tr.Snapshot()
+	if math.Abs(healthy.Rate-500) > 1e-9 {
+		t.Fatalf("healthy rate = %v, want 500/s", healthy.Rate)
+	}
+	if healthy.ETA != 1*time.Second {
+		t.Fatalf("healthy ETA = %v, want 1s", healthy.ETA)
+	}
+
+	// Stall. Pre-fix, every snapshot from here on reported 500/s and a
+	// frozen 1s ETA forever; the decay must cap the rate at what the
+	// widening idle gap supports (stallDecayEvents/gap) so the ETA grows.
+	clock.Advance(2 * time.Second)
+	s1 := tr.Snapshot()
+	if want := stallDecayEvents / 2.0; math.Abs(s1.Rate-want) > 1e-9 {
+		t.Fatalf("rate after 2s stall = %v, want %v", s1.Rate, want)
+	}
+	if !s1.ETAKnown || s1.ETA <= healthy.ETA {
+		t.Fatalf("ETA after 2s stall = %v (known=%v), want growth past %v",
+			s1.ETA, s1.ETAKnown, healthy.ETA)
+	}
+	clock.Advance(8 * time.Second)
+	s2 := tr.Snapshot()
+	if want := stallDecayEvents / 10.0; math.Abs(s2.Rate-want) > 1e-9 {
+		t.Fatalf("rate after 10s stall = %v, want %v", s2.Rate, want)
+	}
+	if s2.ETA <= s1.ETA {
+		t.Fatalf("ETA stopped growing during stall: %v then %v", s1.ETA, s2.ETA)
+	}
+
+	// A short idle gap must NOT decay: the cap only bites once the gap
+	// exceeds stallDecayEvents expected inter-completion times, so rapid
+	// status polls leave a healthy rate alone.
+	tr2 := New(1000, WithClock(clock.Now))
+	tr2.Add(500)
+	clock.Advance(time.Second)
+	before := tr2.Snapshot().Rate
+	clock.Advance(time.Millisecond)
+	if after := tr2.Snapshot().Rate; after != before {
+		t.Fatalf("1ms idle poll moved the rate: %v -> %v", before, after)
+	}
+
+	// Recovery: completions resume and the EWMA climbs back up from the
+	// decayed value instead of staying stuck near zero.
+	tr.Add(100)
+	clock.Advance(time.Second)
+	s3 := tr.Snapshot()
+	if s3.Rate <= s2.Rate {
+		t.Fatalf("rate did not recover after stall: %v then %v", s2.Rate, s3.Rate)
+	}
+}
+
 func TestTrackerUnknownTotalHasNoETA(t *testing.T) {
 	clock := newFakeClock()
 	tr := New(0, WithClock(clock.Now))

@@ -1,0 +1,137 @@
+package avail
+
+// Job-engine benchmarks backing the `make verify` cache gate: a cache
+// hit must be orders of magnitude cheaper than the computation it
+// replaces (MIN_JOBCACHE_SPEEDUP, default 100×), and coalescing onto an
+// in-flight job must stay in the same O(1) regime as a hit. The miss
+// path runs a real 100-sample uncertainty analysis — the workload the
+// async API exists to deduplicate — so the ratio measures the cache
+// against genuine solver work, not a stub.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/progress"
+)
+
+// benchJobReq is the canonical request the bench jobs are keyed by.
+type benchJobReq struct {
+	Samples int   `json:"samples"`
+	Seed    int64 `json:"seed"`
+}
+
+// benchUncertaintyTask builds an engine task running a real uncertainty
+// analysis, hashed over its canonicalized request like the HTTP API does.
+func benchUncertaintyTask(b *testing.B, samples int, seed int64) jobs.Task {
+	b.Helper()
+	hash, err := jobs.CanonicalHash("uncertainty", benchJobReq{Samples: samples, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams()
+	return jobs.Task{
+		Kind: "uncertainty",
+		Hash: hash,
+		Run: func(context.Context, *progress.Tracker) (json.RawMessage, error) {
+			res, err := RunUncertainty(Config1, p, UncertaintyOptions{Samples: samples, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(map[string]float64{"meanDowntimeMinutes": res.Summary.Mean})
+		},
+	}
+}
+
+// BenchmarkJobCacheMiss is the baseline: every iteration submits a
+// never-seen request (unique seed) and waits for the full computation.
+func BenchmarkJobCacheMiss(b *testing.B) {
+	eng := jobs.New(jobs.Config{Workers: 1, KeepDone: 16})
+	defer eng.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := eng.Submit(benchUncertaintyTask(b, 100, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Cached {
+			b.Fatal("miss benchmark hit the cache")
+		}
+		final, err := eng.Wait(ctx, st.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if final.State != jobs.StateDone {
+			b.Fatalf("job failed: %s", final.Error)
+		}
+	}
+}
+
+// BenchmarkJobCacheHit resubmits one already-computed request per
+// iteration: the whole submission resolves synchronously from the LRU.
+func BenchmarkJobCacheHit(b *testing.B) {
+	eng := jobs.New(jobs.Config{Workers: 1, KeepDone: 16})
+	defer eng.Close()
+	task := benchUncertaintyTask(b, 100, 2004)
+	st, err := eng.Submit(task)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Wait(context.Background(), st.ID); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hit, err := eng.Submit(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !hit.Cached {
+			b.Fatal("hit benchmark missed the cache")
+		}
+	}
+}
+
+// BenchmarkJobCacheCoalesced submits against a deliberately in-flight
+// identical job: every submission must join it without queueing work.
+func BenchmarkJobCacheCoalesced(b *testing.B) {
+	eng := jobs.New(jobs.Config{Workers: 1, KeepDone: 16})
+	defer eng.Close()
+	release := make(chan struct{})
+	task := jobs.Task{
+		Kind: "blocker",
+		Hash: "bench-coalesce",
+		Run: func(ctx context.Context, _ *progress.Tracker) (json.RawMessage, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return json.RawMessage(`1`), nil
+		},
+	}
+	first, err := eng.Submit(task)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := eng.Submit(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.ID != first.ID {
+			b.Fatalf("submission %d did not coalesce onto job %d", i, first.ID)
+		}
+	}
+	b.StopTimer()
+	close(release)
+	if _, err := eng.Wait(context.Background(), first.ID); err != nil {
+		b.Fatal(err)
+	}
+	if st, _ := eng.Status(first.ID); st.Coalesced != int64(b.N) {
+		b.Fatalf("coalesced = %d, want %d", st.Coalesced, b.N)
+	}
+}

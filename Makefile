@@ -25,8 +25,11 @@ fmt-check:
 # a race-detector pass over the packages with concurrent hot paths (the
 # DES kernel, the metrics registry, the flight recorder, the shared
 # worker pool, the solver workspaces, the sweep/Monte-Carlo drivers, the
-# replicated measurement campaigns, the DES testbed, the HTTP handlers),
-# a benchmark smoke run (1 iteration each) to catch bit-rot in the bench
+# replicated measurement campaigns, the DES testbed, the HTTP handlers,
+# the BN inference engine), an explicit CTMC-vs-Bayes cross-validation
+# pass (the two backends must agree on the paper's configurations within
+# tolerance — the multi-backend contract), a benchmark smoke run (1
+# iteration each) to catch bit-rot in the bench
 # harness, and an allocation smoke check: one iteration of the unsharded
 # campaign must stay under MAX_CAMPAIGN_ALLOCS allocations (the pooled
 # kernel runs a 400-injection campaign in ~9.2k allocs; losing the Sim,
@@ -57,7 +60,9 @@ verify: fmt-check
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/des/... ./internal/obs/... ./internal/progress/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/... ./internal/jobs/...
+	$(GO) test -race ./internal/des/... ./internal/obs/... ./internal/progress/... ./internal/trace/... ./internal/ctmc/... ./internal/jsas/... ./internal/pool/... ./internal/sensitivity/... ./internal/testbed/... ./internal/uncertainty/... ./internal/faultinject/... ./internal/workload/... ./internal/httpapi/... ./internal/jobs/... ./internal/bayes/...
+	@echo "verify: cross-validating the bayes backend against the CTMC engine"
+	$(GO) test -run 'TestBayesCTMCCrossValidation|TestClusterBackendsAgree|TestRedundancyBackendsAgree' -count=1 ./internal/jsas ./internal/spec
 	$(GO) run ./cmd/bench-record -bench 'Table2|SteadyStateGS200|SweepParallel' -benchtime 1x -out /tmp/bench-smoke.json
 	@$(GO) run ./cmd/bench-record -bench 'CampaignUnsharded' -benchtime 1x -benchmem -out /tmp/bench-allocs.json; \
 	allocs="$$($(GO) run ./cmd/bench-record -print-metric allocs/op -in /tmp/bench-allocs.json)"; \
@@ -114,11 +119,11 @@ cover:
 # leaves every earlier BENCH_PR*.json untouched, so speedups stay
 # auditable across the whole PR sequence (BENCH_PR3.json and
 # BENCH_PR4.json are the pre-rebuild baselines).
-PR ?= 8
+PR ?= 9
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated|Telemetry)|LongevitySeries|JobCache(Hit|Miss|Coalesced)' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
+	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated|Telemetry)|LongevitySeries|JobCache(Hit|Miss|Coalesced)|BayesSolve|CTMCSolveCluster' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
 
 # Full paper reproduction to stdout.
 reproduce:

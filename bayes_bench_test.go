@@ -1,0 +1,86 @@
+package avail
+
+// Benchmarks for the Bayesian-network backend (PR 9): BN solve cost at
+// the replication scales the backend exists for, against the flat-CTMC
+// cross-product at the scales it can still reach. The contrast is the
+// point — ClusterProduct cost grows as 3^n and dies near n = 12, the BN
+// counter-chain grows as n·k² and solves a 100-instance quorum in
+// milliseconds.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/ctmc"
+	"repro/internal/jsas"
+)
+
+// benchmarkBayesCluster measures the end-to-end k-of-n solve on the BN
+// backend: per-instance CTMC sub-solve, network construction, and exact
+// variable-elimination inference — the same work `jsas-sweep
+// -replication -backend bayes` does per sweep point.
+func benchmarkBayesCluster(b *testing.B, n int) {
+	b.Helper()
+	p := DefaultParams()
+	q := jsas.ClusterQuorum{Instances: n, Quorum: (n*9 + 9) / 10}
+	var avail float64
+	var size int
+	for i := 0; i < b.N; i++ {
+		net, err := jsas.ClusterBayes(p, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := net.Solve(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avail, size = res.Availability, res.Size
+	}
+	b.ReportMetric(avail, "availability")
+	b.ReportMetric(float64(size), "BN-vars")
+}
+
+func BenchmarkBayesSolveCluster10(b *testing.B)  { benchmarkBayesCluster(b, 10) }
+func BenchmarkBayesSolveCluster50(b *testing.B)  { benchmarkBayesCluster(b, 50) }
+func BenchmarkBayesSolveCluster100(b *testing.B) { benchmarkBayesCluster(b, 100) }
+
+// benchmarkCTMCCluster is the flat cross-product baseline at the sizes
+// it remains tractable (3^n states; n = 10 is ~59k states, already three
+// orders past the BN solve, and n = 13 trips hier.MaxProductStates).
+func benchmarkCTMCCluster(b *testing.B, n int) {
+	b.Helper()
+	p := DefaultParams()
+	q := jsas.ClusterQuorum{Instances: n, Quorum: (n*9 + 9) / 10}
+	var avail float64
+	for i := 0; i < b.N; i++ {
+		s, err := jsas.ClusterProduct(p, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Solve(ctmc.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		avail = res.Availability
+	}
+	b.ReportMetric(avail, "availability")
+}
+
+func BenchmarkCTMCSolveCluster4(b *testing.B) { benchmarkCTMCCluster(b, 4) }
+func BenchmarkCTMCSolveCluster8(b *testing.B) { benchmarkCTMCCluster(b, 8) }
+
+// BenchmarkBayesSolveJSASConfig1 measures the hybrid composition on the
+// paper's Config 1 — the cross-validated twin of BenchmarkTable2Config1.
+func BenchmarkBayesSolveJSASConfig1(b *testing.B) {
+	p := DefaultParams()
+	var avail float64
+	for i := 0; i < b.N; i++ {
+		res, err := jsas.SolveBackend(context.Background(), Config1, p, backend.KindBayes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avail = res.Availability
+	}
+	b.ReportMetric(avail, "availability")
+}

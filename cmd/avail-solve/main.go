@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/ctmc"
 	"repro/internal/obs"
 	"repro/internal/spec"
@@ -61,6 +64,7 @@ func run(args []string) error {
 	dot := fs.Bool("dot", false, "emit a Graphviz rendering of the (flat) model instead of solving")
 	check := fs.Bool("check", false, "print a structural diagnosis of the (flat) model instead of solving")
 	uncertaintyN := fs.Int("uncertainty", 0, "sample the document's declared uncertain ranges N times instead of a point solve")
+	backendName := fs.String("backend", "", "solver backend: "+backend.Kinds+" (default ctmc; bayes requires a redundancy document)")
 	seed := fs.Int64("seed", 2004, "seed for -uncertainty")
 	stats := fs.Bool("stats", false, "print solver diagnostics (method, sweeps, residual, wall time) to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -98,9 +102,19 @@ func run(args []string) error {
 		}
 		return solveHierarchy(f, ov)
 	}
+	kind, err := backend.ParseKind(*backendName)
+	if err != nil {
+		return err
+	}
 	doc, err := spec.Parse(f)
 	if err != nil {
 		return err
+	}
+	// Redundancy documents (and any explicit backend selection) go through
+	// the multi-backend interface; the classic flat-CTMC path below keeps
+	// its richer report (π vector, MTBF, equivalent rates).
+	if doc.Redundancy != nil || kind != backend.KindCTMC {
+		return solveRedundancy(doc, kind, ov)
 	}
 	if *uncertaintyN > 0 {
 		res, err := doc.RunUncertainty(uncertainty.Options{Samples: *uncertaintyN, Seed: *seed})
@@ -166,9 +180,39 @@ func printUncertainty(name string, res *uncertainty.Result) {
 		fmt.Printf("  %.0f%% interval: (%.3f, %.3f) minutes\n", c*100, ci.Low, ci.High)
 	}
 	fmt.Println("  variance drivers (Spearman):")
-	for nameP, rho := range res.Correlations() {
-		fmt.Printf("    %-18s %+.3f\n", nameP, rho)
+	corr := res.Correlations()
+	names := make([]string, 0, len(corr))
+	for nameP := range corr {
+		names = append(names, nameP)
 	}
+	sort.Strings(names) // map order would shuffle the report run to run
+	for _, nameP := range names {
+		fmt.Printf("    %-18s %+.3f\n", nameP, corr[nameP])
+	}
+}
+
+// solveRedundancy solves a document through the multi-backend interface
+// and prints the backend-independent report.
+func solveRedundancy(doc *spec.Document, kind backend.Kind, ov overrides) error {
+	res, err := doc.SolveBackend(context.Background(), kind, ov)
+	if err != nil {
+		return err
+	}
+	sizeWhat := "CTMC states"
+	if res.Backend == backend.KindBayes {
+		sizeWhat = "BN variables"
+	}
+	fmt.Printf("Model: %s (backend %s, %d %s)\n", res.Name, res.Backend, res.Size, sizeWhat)
+	if doc.Description != "" {
+		fmt.Println(doc.Description)
+	}
+	if doc.Redundancy != nil {
+		fmt.Printf("Redundancy structure: %d node(s), %d leaf instance(s)\n",
+			len(doc.Redundancy.Nodes), doc.Redundancy.LeafCount())
+	}
+	fmt.Printf("\nAvailability:       %.9f\n", res.Availability)
+	fmt.Printf("Yearly downtime:    %.4f minutes\n", res.YearlyDowntimeMinutes)
+	return nil
 }
 
 // solveHierarchy parses and evaluates a hierarchical document, printing

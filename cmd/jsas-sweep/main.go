@@ -5,11 +5,17 @@
 // Usage:
 //
 //	jsas-sweep [-config 1|2] [-from 0.5] [-to 3] [-steps 10] [-parallel N]
-//	           [-csv] [-stats] [-progress]
+//	           [-backend ctmc|bayes] [-csv] [-stats] [-progress]
+//	jsas-sweep -replication [-from 10] [-to 100] [-steps 9] [-quorum 0.9]
+//	           [-backend bayes]
 //
 // With -progress a live status line (sweep points completed, rate, ETA)
 // is printed to stderr once per second; stdout stays byte-identical to a
 // run without the flag.
+//
+// -replication sweeps the replica count of a k-of-n AS cluster instead of
+// a model parameter — the scenario only the bayes backend can solve at
+// scale (the flat CTMC cross-product is capped near 12 instances).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/jsas"
 	"repro/internal/obs"
 	"repro/internal/progress"
@@ -47,6 +54,9 @@ func run(ctx context.Context, args []string) error {
 	to := fs.Float64("to", 3.0, "sweep end")
 	steps := fs.Int("steps", 10, "number of sweep intervals")
 	parallel := fs.Int("parallel", 1, "worker goroutines evaluating sweep points (results are identical at any setting)")
+	backendName := fs.String("backend", "", "solver backend: "+backend.Kinds+" (default ctmc)")
+	replication := fs.Bool("replication", false, "sweep the k-of-n AS cluster replica count instead of a model parameter (-from/-to are instance counts)")
+	quorumFrac := fs.Float64("quorum", 0.9, "required up-fraction for -replication (k = ceil(quorum*n))")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	stats := fs.Bool("stats", false, "print engine metrics (solves, sweeps, latency) to stderr after the sweep")
 	showProgress := fs.Bool("progress", false, "print a live status line (points, rate, ETA) to stderr")
@@ -58,6 +68,13 @@ func run(ctx context.Context, args []string) error {
 			fmt.Fprintln(os.Stderr, "\nEngine metrics:")
 			_ = obs.Default().WriteSummary(os.Stderr)
 		}()
+	}
+	kind, err := backend.ParseKind(*backendName)
+	if err != nil {
+		return err
+	}
+	if *replication {
+		return runReplicationSweep(ctx, *from, *to, *steps, *quorumFrac, kind, *csv)
 	}
 	var cfg jsas.Config
 	switch *configNo {
@@ -75,7 +92,7 @@ func run(ctx context.Context, args []string) error {
 	reporter := progress.NewReporter(tracker, os.Stderr, "sweep", time.Second)
 	reporter.Start()
 	points, err := sensitivity.SweepWithCtx(ctx, *from, *to, *steps,
-		jsas.SweepSolver(cfg, jsas.DefaultParams(), *param),
+		jsas.SweepSolverBackend(cfg, jsas.DefaultParams(), *param, kind),
 		sensitivity.SweepOptions{Parallelism: *parallel, Progress: tracker})
 	reporter.Stop()
 	if err != nil {
@@ -111,4 +128,40 @@ func run(ctx context.Context, args []string) error {
 			sensitivity.MaxDelta(points))
 	}
 	return nil
+}
+
+// runReplicationSweep evaluates k-of-n cluster availability across replica
+// counts: -from/-to are instance counts and -steps the stride count.
+func runReplicationSweep(ctx context.Context, from, to float64, steps int, quorumFrac float64, kind backend.Kind, csv bool) error {
+	nFrom, nTo := int(from), int(to)
+	step := 1
+	if steps > 0 && nTo > nFrom {
+		if step = (nTo - nFrom) / steps; step < 1 {
+			step = 1
+		}
+	}
+	points, err := jsas.ReplicationSweep(ctx, jsas.DefaultParams(), nFrom, nTo, step, quorumFrac, kind)
+	if err != nil {
+		return err
+	}
+	sizeWhat := "CTMC states"
+	if kind == backend.KindBayes {
+		sizeWhat = "BN variables"
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Replication-factor sweep: k-of-n AS cluster availability (backend %s, quorum %.0f%%)", kind, quorumFrac*100),
+		"Instances", "Quorum", "Availability", "Yearly Downtime", sizeWhat)
+	for _, pt := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", pt.Instances),
+			fmt.Sprintf("%d", pt.Quorum),
+			fmt.Sprintf("%.9f", pt.Availability),
+			report.Minutes(pt.YearlyDowntimeMinutes),
+			fmt.Sprintf("%d", pt.Size),
+		)
+	}
+	if csv {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
 }

@@ -1,0 +1,81 @@
+// Package backend defines the common solver-backend interface the
+// engine's availability models are served through. The repo grew up
+// around one backend — the CTMC / Markov reward hierarchy (internal/ctmc,
+// internal/hier) — whose state spaces explode for k-out-of-n replicated
+// services. A second backend (internal/bayes) answers the same question
+// ("what is the steady-state availability of this structure?") by exact
+// Bayesian-network inference over redundancy structures, reaching
+// 100-instance clusters the CTMC cannot.
+//
+// Every backend implements AvailabilityModel; callers pick a backend by
+// Kind (the CLI's -backend flag, the jobs engine's kinds) and consume the
+// backend-independent Result.
+package backend
+
+import (
+	"context"
+	"fmt"
+)
+
+// Kind names a solver backend.
+type Kind string
+
+// The available backends.
+const (
+	// KindCTMC is the continuous-time Markov chain / Markov reward engine
+	// (exact state-space solution; explodes combinatorially on replicated
+	// structures).
+	KindCTMC Kind = "ctmc"
+	// KindBayes is the Bayesian-network engine (exact variable-elimination
+	// inference over redundancy structures; linear in replica count for
+	// k-out-of-n, but restricted to steady-state availability composition).
+	KindBayes Kind = "bayes"
+)
+
+// Kinds lists the valid backend names, for flag help and error messages.
+const Kinds = "ctmc, bayes"
+
+// ParseKind validates a backend name ("" selects the CTMC default).
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case "", KindCTMC:
+		return KindCTMC, nil
+	case KindBayes:
+		return KindBayes, nil
+	}
+	return "", fmt.Errorf("backend: unknown backend %q; want one of: %s", s, Kinds)
+}
+
+// MinutesPerYear converts unavailability to the paper's yearly-downtime
+// measure (365 days × 24 h × 60 min), mirroring reward.MinutesPerYear
+// without importing the CTMC-side package.
+const MinutesPerYear = 365 * 24 * 60
+
+// Result is the backend-independent availability answer.
+type Result struct {
+	// Backend identifies which engine produced the result.
+	Backend Kind
+	// Name is the solved model's display name.
+	Name string
+	// Availability is the steady-state probability the modeled system is up.
+	Availability float64
+	// YearlyDowntimeMinutes is (1 − Availability) · 525600.
+	YearlyDowntimeMinutes float64
+	// Size is the solved model's dominant size measure: CTMC states, or
+	// Bayesian-network variables (after gate decomposition). Comparing the
+	// two for one structure shows why the BN backend scales.
+	Size int
+}
+
+// AvailabilityModel is the common interface both solver backends expose:
+// a named model that can be solved (possibly expensively — construction
+// is cheap, Solve does the work) under a cancellable context.
+type AvailabilityModel interface {
+	// Name returns the model's display name.
+	Name() string
+	// Kind identifies the backend that will solve the model.
+	Kind() Kind
+	// Solve computes the steady-state availability measures. It must be
+	// safe to call multiple times and from multiple goroutines.
+	Solve(ctx context.Context) (*Result, error)
+}

@@ -1,0 +1,140 @@
+package bayes
+
+// factor is a nonnegative table over a subset of the network's discrete
+// variables — the building block of variable elimination. Values are
+// stored row-major over f.vars with the LAST variable's index varying
+// fastest, so index arithmetic is a running mixed-radix counter.
+type factor struct {
+	// vars lists the variable ids the table ranges over, in storage order.
+	vars []int
+	// values holds ∏ card(v) entries.
+	values []float64
+}
+
+// newFactor allocates a zeroed factor over vars (card maps variable id →
+// cardinality).
+func newFactor(vars []int, card []int) *factor {
+	size := 1
+	for _, v := range vars {
+		size *= card[v]
+	}
+	return &factor{vars: vars, values: make([]float64, size)}
+}
+
+// at returns the table entry for the assignment (indexed by variable id).
+func (f *factor) at(assign []int, card []int) float64 {
+	idx := 0
+	for _, v := range f.vars {
+		idx = idx*card[v] + assign[v]
+	}
+	return f.values[idx]
+}
+
+// set writes the table entry for the assignment (indexed by variable id).
+func (f *factor) set(assign []int, card []int, val float64) {
+	idx := 0
+	for _, v := range f.vars {
+		idx = idx*card[v] + assign[v]
+	}
+	f.values[idx] = val
+}
+
+// contains reports whether the factor ranges over variable v.
+func (f *factor) contains(v int) bool {
+	for _, fv := range f.vars {
+		if fv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// product multiplies factors a and b into a new factor over the union of
+// their variables (a's variables first, then b's new ones — a
+// deterministic order, so elimination results are bit-identical run to
+// run). The union table is filled by a mixed-radix odometer that keeps
+// the source indices incremental: O(size · vars) with no per-entry maps.
+func product(a, b *factor, card []int) *factor {
+	union := append([]int(nil), a.vars...)
+	for _, v := range b.vars {
+		if !a.contains(v) {
+			union = append(union, v)
+		}
+	}
+	out := newFactor(union, card)
+
+	// Per-source strides aligned to the union's digit positions: stride 0
+	// when the source factor does not range over that digit.
+	aStride := strides(union, a.vars, card)
+	bStride := strides(union, b.vars, card)
+
+	digits := make([]int, len(union))
+	ai, bi := 0, 0
+	for i := range out.values {
+		out.values[i] = a.values[ai] * b.values[bi]
+		// Advance the odometer (last digit fastest), carrying the source
+		// indices along.
+		for d := len(union) - 1; d >= 0; d-- {
+			digits[d]++
+			ai += aStride[d]
+			bi += bStride[d]
+			if digits[d] < card[union[d]] {
+				break
+			}
+			ai -= digits[d] * aStride[d]
+			bi -= digits[d] * bStride[d]
+			digits[d] = 0
+		}
+	}
+	return out
+}
+
+// strides returns, per union digit, how far the factor's flat index moves
+// when that digit increments (0 if the factor ignores the digit).
+func strides(union, vars []int, card []int) []int {
+	// Factor-local stride of each of its variables (last varies fastest).
+	local := make(map[int]int, len(vars))
+	s := 1
+	for i := len(vars) - 1; i >= 0; i-- {
+		local[vars[i]] = s
+		s *= card[vars[i]]
+	}
+	out := make([]int, len(union))
+	for d, v := range union {
+		out[d] = local[v] // zero for absent variables
+	}
+	return out
+}
+
+// sumOut marginalizes variable v out of the factor, returning a factor
+// over the remaining variables (possibly a scalar factor with no
+// variables and one entry).
+func (f *factor) sumOut(v int, card []int) *factor {
+	rest := make([]int, 0, len(f.vars)-1)
+	for _, fv := range f.vars {
+		if fv != v {
+			rest = append(rest, fv)
+		}
+	}
+	out := newFactor(rest, card)
+
+	// Walk f once with an odometer, accumulating into the out index. The
+	// stride table maps each f digit to its out-flat stride (zero for v).
+	outStride := strides(f.vars, rest, card)
+
+	digits := make([]int, len(f.vars))
+	oi := 0
+	for _, val := range f.values {
+		out.values[oi] += val
+		for d := len(f.vars) - 1; d >= 0; d-- {
+			digits[d]++
+			oi += outStride[d]
+			if digits[d] < card[f.vars[d]] {
+				break
+			}
+			oi -= digits[d] * outStride[d]
+			digits[d] = 0
+		}
+	}
+	return out
+}

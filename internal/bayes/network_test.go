@@ -1,0 +1,350 @@
+package bayes
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// bruteForce computes P(root = up) by full joint enumeration — the
+// ground truth variable elimination must match.
+func bruteForce(t *testing.T, n *Network) float64 {
+	t.Helper()
+	assign := make([]int, len(n.vars))
+	var total, up float64
+	var walk func(v int)
+	walk = func(v int) {
+		if v == len(n.vars) {
+			p := 1.0
+			for _, f := range n.factors {
+				p *= f.at(assign, n.card)
+			}
+			total += p
+			if assign[n.root] == 1 {
+				up += p
+			}
+			return
+		}
+		for x := 0; x < n.card[v]; x++ {
+			assign[v] = x
+			walk(v + 1)
+		}
+	}
+	walk(0)
+	if total <= 0 {
+		t.Fatalf("brute force: degenerate total %g", total)
+	}
+	return up / total
+}
+
+func solveP(t *testing.T, n *Network) float64 {
+	t.Helper()
+	res, err := n.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res.Availability
+}
+
+// binomialTail is the closed-form k-of-n availability with iid children.
+func binomialTail(n, k int, p float64) float64 {
+	sum := 0.0
+	for j := k; j <= n; j++ {
+		c := 1.0
+		for i := 0; i < j; i++ {
+			c = c * float64(n-i) / float64(i+1)
+		}
+		sum += c * math.Pow(p, float64(j)) * math.Pow(1-p, float64(n-j))
+	}
+	return sum
+}
+
+func TestGatesTruthTables(t *testing.T) {
+	// With children pinned to 0/1 availabilities the gates must act as
+	// deterministic boolean functions.
+	cases := []struct {
+		name string
+		bits []float64
+		k    int
+		want float64
+	}{
+		{"and-all-up", []float64{1, 1, 1}, 3, 1},
+		{"and-one-down", []float64{1, 0, 1}, 3, 0},
+		{"or-one-up", []float64{0, 1, 0}, 1, 1},
+		{"or-all-down", []float64{0, 0, 0}, 1, 0},
+		{"2of3-two-up", []float64{1, 1, 0}, 2, 1},
+		{"2of3-one-up", []float64{0, 1, 0}, 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(tc.name)
+			children := make([]Node, len(tc.bits))
+			for i, p := range tc.bits {
+				children[i] = b.Basic(string(rune('a'+i)), p)
+			}
+			root := b.KOfN("sys", tc.k, children...)
+			net, err := b.Build(root)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if got := solveP(t, net); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("P(up) = %g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestKOfNMatchesBinomial(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		p    float64
+	}{
+		{1, 1, 0.9}, {3, 2, 0.99}, {5, 3, 0.95}, {8, 8, 0.999}, {8, 1, 0.7},
+	} {
+		b := NewBuilder("kofn")
+		children := make([]Node, tc.n)
+		for i := range children {
+			children[i] = b.Basic(string(rune('a'+i)), tc.p)
+		}
+		net, err := b.Build(b.KOfN("sys", tc.k, children...))
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		want := binomialTail(tc.n, tc.k, tc.p)
+		if got := solveP(t, net); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%d-of-%d(p=%g): P(up) = %.15g, want %.15g", tc.k, tc.n, tc.p, got, want)
+		}
+	}
+}
+
+func TestNoisyOrClosedForm(t *testing.T) {
+	// P(up) = (1-leak) · Σ over child states ∏ P(state) · ∏_{down i}(1-w_i).
+	avails := []float64{0.9, 0.99, 0.95}
+	weights := []float64{1, 0.5, 0.25}
+	leak := 0.01
+	b := NewBuilder("noisyor")
+	children := make([]Node, len(avails))
+	for i, p := range avails {
+		children[i] = b.Basic(string(rune('a'+i)), p)
+	}
+	net, err := b.Build(b.NoisyOr("sys", leak, children, weights))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := 0.0
+	for mask := 0; mask < 1<<len(avails); mask++ {
+		p := 1.0
+		for i := range avails {
+			if mask&(1<<i) != 0 {
+				p *= avails[i]
+			} else {
+				p *= (1 - avails[i]) * (1 - weights[i])
+			}
+		}
+		want += p
+	}
+	want *= 1 - leak
+	if got := solveP(t, net); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("P(up) = %.15g, want %.15g", got, want)
+	}
+	if bf := bruteForce(t, net); math.Abs(bf-want) > 1e-12 {
+		t.Fatalf("brute force %.15g disagrees with closed form %.15g", bf, want)
+	}
+}
+
+// TestEliminationMatchesEnumeration cross-checks variable elimination
+// against full joint enumeration on randomized layered structures.
+func TestEliminationMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		b := NewBuilder("rand")
+		// Random leaves.
+		nLeaves := 2 + rng.Intn(4)
+		leaves := make([]Node, nLeaves)
+		for i := range leaves {
+			leaves[i] = b.Basic(string(rune('a'+i)), 0.5+rng.Float64()/2)
+		}
+		// Two random gates over subsets, then a root combining them.
+		gate := func(name string, pool []Node) Node {
+			sub := append([]Node(nil), pool...)
+			rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+			sub = sub[:1+rng.Intn(len(sub))]
+			switch rng.Intn(3) {
+			case 0:
+				return b.And(name, sub...)
+			case 1:
+				return b.Or(name, sub...)
+			default:
+				return b.KOfN(name, 1+rng.Intn(len(sub)), sub...)
+			}
+		}
+		g1 := gate("g1", leaves)
+		g2 := gate("g2", leaves)
+		root := b.KOfN("sys", 1+rng.Intn(2), g1, g2)
+		net, err := b.Build(root)
+		if err != nil {
+			t.Fatalf("trial %d: Build: %v", trial, err)
+		}
+		got := solveP(t, net)
+		want := bruteForce(t, net)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("trial %d: elimination %.15g, enumeration %.15g", trial, got, want)
+		}
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	build := func() *Network {
+		b := NewBuilder("det")
+		children := make([]Node, 12)
+		for i := range children {
+			children[i] = b.Basic(string(rune('a'+i)), 0.9+float64(i)*0.007)
+		}
+		net, err := b.Build(b.KOfN("sys", 7, children...))
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return net
+	}
+	ref := solveP(t, build())
+	for i := 0; i < 5; i++ {
+		if got := solveP(t, build()); got != ref {
+			t.Fatalf("run %d: %.17g != %.17g (solve not bit-deterministic)", i, got, ref)
+		}
+	}
+}
+
+func TestLargeClusterTractable(t *testing.T) {
+	// 100-instance 90-of-100 quorum — the scenario the CTMC product
+	// explodes on (3^100 states) — solves exactly and matches the
+	// binomial closed form.
+	const n, k = 100, 90
+	const p = 0.995
+	b := NewBuilder("cluster")
+	children := make([]Node, n)
+	for i := range children {
+		children[i] = b.Basic(fmt100(i), p)
+	}
+	net, err := b.Build(b.KOfN("sys", k, children...))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := net.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	want := binomialTail(n, k, p)
+	if math.Abs(res.Availability-want) > 1e-9 {
+		t.Fatalf("P(up) = %.15g, want %.15g", res.Availability, want)
+	}
+	if res.Backend != backend.KindBayes || res.Size != net.Variables() {
+		t.Fatalf("bad result metadata: %+v", res)
+	}
+}
+
+func fmt100(i int) string { return "as" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("bad-probability", func(t *testing.T) {
+		for _, p := range []float64{-0.1, 1.1, math.NaN(), math.Inf(1)} {
+			b := NewBuilder("bad")
+			root := b.Basic("x", p)
+			if _, err := b.Build(root); !errors.Is(err, ErrBadNetwork) {
+				t.Fatalf("p=%g: err = %v, want ErrBadNetwork", p, err)
+			}
+		}
+	})
+	t.Run("bad-k", func(t *testing.T) {
+		for _, k := range []int{0, 3, -1} {
+			b := NewBuilder("bad")
+			x := b.Basic("x", 0.9)
+			y := b.Basic("y", 0.9)
+			if _, err := b.Build(b.KOfN("sys", k, x, y)); !errors.Is(err, ErrBadNetwork) {
+				t.Fatalf("k=%d: err = %v, want ErrBadNetwork", k, err)
+			}
+		}
+	})
+	t.Run("no-children", func(t *testing.T) {
+		b := NewBuilder("bad")
+		if _, err := b.Build(b.Or("sys")); !errors.Is(err, ErrBadNetwork) {
+			t.Fatalf("err = %v, want ErrBadNetwork", err)
+		}
+	})
+	t.Run("duplicate-name", func(t *testing.T) {
+		b := NewBuilder("bad")
+		b.Basic("x", 0.9)
+		x2 := b.Basic("x", 0.8)
+		if _, err := b.Build(x2); !errors.Is(err, ErrBadNetwork) {
+			t.Fatalf("err = %v, want ErrBadNetwork", err)
+		}
+	})
+	t.Run("foreign-child", func(t *testing.T) {
+		b := NewBuilder("bad")
+		x := b.Basic("x", 0.9)
+		if _, err := b.Build(b.And("sys", x, Node(99))); !errors.Is(err, ErrBadNetwork) {
+			t.Fatalf("err = %v, want ErrBadNetwork", err)
+		}
+	})
+	t.Run("weight-mismatch", func(t *testing.T) {
+		b := NewBuilder("bad")
+		x := b.Basic("x", 0.9)
+		if _, err := b.Build(b.NoisyOr("sys", 0, []Node{x}, nil)); !errors.Is(err, ErrBadNetwork) {
+			t.Fatalf("err = %v, want ErrBadNetwork", err)
+		}
+	})
+	t.Run("bad-leak", func(t *testing.T) {
+		b := NewBuilder("bad")
+		x := b.Basic("x", 0.9)
+		if _, err := b.Build(b.NoisyOr("sys", math.NaN(), []Node{x}, []float64{1})); !errors.Is(err, ErrBadNetwork) {
+			t.Fatalf("err = %v, want ErrBadNetwork", err)
+		}
+	})
+}
+
+func TestSolveCanceled(t *testing.T) {
+	b := NewBuilder("cancel")
+	children := make([]Node, 8)
+	for i := range children {
+		children[i] = b.Basic(string(rune('a'+i)), 0.9)
+	}
+	net, err := b.Build(b.KOfN("sys", 4, children...))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := net.Solve(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAndOrComposeLayered(t *testing.T) {
+	// Host/VM layered composition: two hosts, each running two VMs in
+	// series with the host; the service needs one working VM stack.
+	hostA, vmA := 0.999, 0.99
+	b := NewBuilder("layered")
+	ha := b.Basic("hostA", hostA)
+	hb := b.Basic("hostB", hostA)
+	va := b.Basic("vmA", vmA)
+	vb := b.Basic("vmB", vmA)
+	stackA := b.And("stackA", ha, va)
+	stackB := b.And("stackB", hb, vb)
+	net, err := b.Build(b.Or("svc", stackA, stackB))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got := solveP(t, net)
+	want := bruteForce(t, net)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("elimination %.15g, enumeration %.15g", got, want)
+	}
+	// Sanity: stacks are independent, so 1-(1-ab)^2 exactly.
+	ab := hostA * vmA
+	if closed := 1 - (1-ab)*(1-ab); math.Abs(got-closed) > 1e-12 {
+		t.Fatalf("P(up) = %.15g, closed form %.15g", got, closed)
+	}
+}

@@ -8,6 +8,13 @@ import (
 	"repro/internal/reward"
 )
 
+// MaxProductStates caps the flat cross-product state space Product will
+// materialize. Beyond it the composite CTMC would exhaust memory before
+// the solver ever ran; Product returns an ErrBadComponent-wrapped error
+// instead (surfaced as a client error by the HTTP API), pointing callers
+// at the Bayesian-network backend that handles large replication counts.
+const MaxProductStates = 1_000_000
+
 // Product composes independent Markov reward submodels into a single flat
 // model on the cross-product state space. Each component evolves with its
 // own transition rates (independence assumption); the composite state is up
@@ -32,8 +39,9 @@ func Product(components []*reward.Structure, up func(componentUp []bool) bool) (
 		if sizes[i] == 0 {
 			return nil, fmt.Errorf("component %d has no states: %w", i, ErrBadComponent)
 		}
-		if total > 1_000_000/sizes[i] {
-			return nil, fmt.Errorf("product state space exceeds 1e6 states: %w", ErrBadComponent)
+		if total > MaxProductStates/sizes[i] {
+			return nil, fmt.Errorf("product state space exceeds %d states (use the bayes backend for large replication): %w",
+				MaxProductStates, ErrBadComponent)
 		}
 		total *= sizes[i]
 	}

@@ -1,0 +1,189 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// redundancyModel is a 2-of-3 AS cluster small enough for both backends:
+// one repairable leaf replicated three times under a quorum gate.
+const redundancyModel = `{
+  "name": "as-cluster",
+  "parameters": {"La": 0.005, "Mu": 2.0},
+  "redundancy": {
+    "root": "svc",
+    "nodes": [
+      {"name": "as", "lambda": "La", "mu": "Mu"},
+      {"name": "svc", "gate": "kofn", "k": 2, "of": ["as"], "replicate": 3}
+    ]
+  }
+}`
+
+// bigRedundancyModel is the same structure at 100 replicas: 2^100 product
+// states, far past hier.MaxProductStates — only the bayes backend solves it.
+const bigRedundancyModel = `{
+  "name": "as-cluster-100",
+  "parameters": {"La": 0.005, "Mu": 2.0},
+  "redundancy": {
+    "root": "svc",
+    "nodes": [
+      {"name": "as", "lambda": "La", "mu": "Mu"},
+      {"name": "svc", "gate": "kofn", "k": 90, "of": ["as"], "replicate": 100}
+    ]
+  }
+}`
+
+// decodeBackendSolve unmarshals a BackendSolveResponse body.
+func decodeBackendSolve(t *testing.T, body []byte) BackendSolveResponse {
+	t.Helper()
+	var br BackendSolveResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("unmarshal %s: %v", body, err)
+	}
+	return br
+}
+
+// TestSolveRedundancyBothBackends posts a redundancy document to
+// POST /v1/solve on each backend: both must answer 200 with the same
+// availability, matching the 2-of-3 binomial closed form.
+func TestSolveRedundancyBothBackends(t *testing.T) {
+	t.Parallel()
+	a := 2.0 / 2.005
+	want := 3*a*a*(1-a) + a*a*a
+
+	res, body := doRequest(t, http.MethodPost, "/v1/solve", redundancyModel)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("ctmc status = %d, body %s", res.StatusCode, body)
+	}
+	ctmcRes := decodeBackendSolve(t, body)
+	if ctmcRes.Backend != "ctmc" || ctmcRes.Model != "as-cluster" {
+		t.Errorf("ctmc meta wrong: %+v", ctmcRes)
+	}
+	if math.Abs(ctmcRes.Availability-want) > 1e-9 {
+		t.Errorf("ctmc availability = %.12f, want %.12f", ctmcRes.Availability, want)
+	}
+
+	res, body = doRequest(t, http.MethodPost, "/v1/solve?backend=bayes", redundancyModel)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("bayes status = %d, body %s", res.StatusCode, body)
+	}
+	bayesRes := decodeBackendSolve(t, body)
+	if bayesRes.Backend != "bayes" {
+		t.Errorf("bayes meta wrong: %+v", bayesRes)
+	}
+	if math.Abs(bayesRes.Availability-ctmcRes.Availability) > 1e-9 {
+		t.Errorf("backends disagree: ctmc %.12f vs bayes %.12f",
+			ctmcRes.Availability, bayesRes.Availability)
+	}
+}
+
+// TestSolveRedundancyProductCapIs400 pins the satellite behavior: a
+// replication count whose cross-product passes hier.MaxProductStates is a
+// request defect on the ctmc backend — 400 with a body pointing at the
+// bayes backend — while the identical document solves on ?backend=bayes.
+func TestSolveRedundancyProductCapIs400(t *testing.T) {
+	t.Parallel()
+	res, body := doRequest(t, http.MethodPost, "/v1/solve", bigRedundancyModel)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ctmc status = %d, want 400 (body %s)", res.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "bayes backend") {
+		t.Errorf("400 body does not point at the bayes backend: %s", body)
+	}
+
+	res, body = doRequest(t, http.MethodPost, "/v1/solve?backend=bayes", bigRedundancyModel)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("bayes status = %d, body %s", res.StatusCode, body)
+	}
+	br := decodeBackendSolve(t, body)
+	if br.Size < 100 {
+		t.Errorf("Size = %d, want ≥ 100 BN variables", br.Size)
+	}
+	if !(br.Availability > 0.999 && br.Availability <= 1) {
+		t.Errorf("availability = %v, want near 1", br.Availability)
+	}
+}
+
+// TestSolveBackendParamValidation: an unknown ?backend= is a 400 naming
+// the supported kinds, and a Markov document cannot ride the bayes
+// backend (it has no redundancy structure to compose).
+func TestSolveBackendParamValidation(t *testing.T) {
+	t.Parallel()
+	res, body := doRequest(t, http.MethodPost, "/v1/solve?backend=mystery", flatModel)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %s)", res.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "ctmc") {
+		t.Errorf("400 body does not list the backends: %s", body)
+	}
+	res, body = doRequest(t, http.MethodPost, "/v1/solve?backend=bayes", flatModel)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("markov-on-bayes status = %d, want 400 (body %s)", res.StatusCode, body)
+	}
+}
+
+// TestBayesJobKind runs the async path end to end: submit, wait, check
+// the result matches the synchronous endpoint, and check a repeat
+// submission is a byte-identical cache hit.
+func TestBayesJobKind(t *testing.T) {
+	srv, eng := newJobServer(t, jobs.Config{Workers: 2})
+	first := postJob(t, srv, JobKindBayes, bigRedundancyModel)
+	if first.Cached {
+		t.Fatalf("first submission already cached")
+	}
+	done := waitJob(t, srv, eng, first.ID)
+	if done.State != jobs.StateDone {
+		t.Fatalf("job state = %s (%s)", done.State, done.Error)
+	}
+	br := decodeBackendSolve(t, done.Result)
+	if br.Backend != "bayes" || br.Model != "as-cluster-100" || br.Size < 100 {
+		t.Errorf("result meta wrong: %+v", br)
+	}
+
+	second := postJob(t, srv, JobKindBayes, bigRedundancyModel)
+	if !second.Cached || second.State != jobs.StateDone {
+		t.Fatalf("repeat submission not cached: %+v", second)
+	}
+	if second.Hash != first.Hash {
+		t.Fatalf("identical requests hashed differently: %s vs %s", second.Hash, first.Hash)
+	}
+}
+
+// TestBayesJobValidation: non-redundancy documents and invalid structures
+// are rejected at submit time.
+func TestBayesJobValidation(t *testing.T) {
+	srv, _ := newJobServer(t, jobs.Config{Workers: 1})
+	cases := []struct {
+		name       string
+		request    string
+		wantInBody string
+	}{
+		{"flat markov doc", flatModel, "redundancy"},
+		{"missing root", `{"name":"x","redundancy":{"root":"nope","nodes":[{"name":"a","availability":"0.9"}]}}`, "nope"},
+		{"not json", `"hello"`, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			body := fmt.Sprintf(`{"kind":%q,"request":%s}`, JobKindBayes, c.request)
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var e errorResponse
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (error %q)", resp.StatusCode, e.Error)
+			}
+			if c.wantInBody != "" && !strings.Contains(e.Error, c.wantInBody) {
+				t.Fatalf("400 error %q does not name %q", e.Error, c.wantInBody)
+			}
+		})
+	}
+}

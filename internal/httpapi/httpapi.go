@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/ctmc"
 	"repro/internal/jobs"
 	"repro/internal/jsas"
@@ -37,6 +38,19 @@ type SolveResponse struct {
 	LambdaEq              float64            `json:"lambdaEqPerHour"`
 	MuEq                  float64            `json:"muEqPerHour"`
 	Pi                    map[string]float64 `json:"steadyState"`
+}
+
+// BackendSolveResponse is the JSON result for a multi-backend solve: a
+// redundancy-structure document routed through the common
+// backend.AvailabilityModel interface (?backend=ctmc|bayes on
+// POST /v1/solve). Size counts CTMC states or BN variables depending on
+// the backend that solved it.
+type BackendSolveResponse struct {
+	Model                 string  `json:"model"`
+	Backend               string  `json:"backend"`
+	Size                  int     `json:"size"`
+	Availability          float64 `json:"availability"`
+	YearlyDowntimeMinutes float64 `json:"yearlyDowntimeMinutes"`
 }
 
 // HierSolveResponse is the JSON result for a hierarchical solve.
@@ -122,7 +136,10 @@ type Options struct {
 //	GET  /v1/jobs/{id}          job status, progress, and result
 //	GET  /v1/jobs/{id}/stream   job status over Server-Sent Events, one
 //	                            frame per ?interval= tick until done
-//	POST /v1/solve              flat spec.Document → SolveResponse
+//	POST /v1/solve              flat spec.Document → SolveResponse;
+//	                            redundancy documents (or ?backend=bayes)
+//	                            → BackendSolveResponse via the selected
+//	                            solver backend
 //	POST /v1/solve-hierarchy    spec.HierDocument → HierSolveResponse
 //	GET  /v1/jsas               ?instances=&pairs=&spares= → JSASResponse
 //	GET  /v1/jsas/uncertainty   ?instances=&pairs=&samples=&seed= →
@@ -351,6 +368,18 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	kind, err := backend.ParseKind(r.URL.Query().Get("backend"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Redundancy documents (and any explicit backend selection) route
+	// through the multi-backend interface; the classic flat-CTMC path
+	// below keeps its richer report (π vector, MTBF, equivalent rates).
+	if doc.Redundancy != nil || kind != backend.KindCTMC {
+		handleSolveBackend(w, r, doc, kind)
+		return
+	}
 	structure, err := doc.Compile(nil)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -365,6 +394,38 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, solveResponse(doc.Name, structure, res))
+}
+
+// handleSolveBackend solves a redundancy document on the selected
+// backend. Model construction is the compile step of this path, so its
+// failures — validation errors and the product state-space cap
+// (hier.MaxProductStates, reached when a large replication count is sent
+// to the ctmc backend) — are request defects and answer 400, exactly
+// like Compile on the flat path.
+func handleSolveBackend(w http.ResponseWriter, r *http.Request, doc *spec.Document, kind backend.Kind) {
+	m, err := doc.Model(kind, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := m.Solve(r.Context())
+	if err != nil {
+		writeError(w, statusForSolveError(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, backendSolveResponse(res))
+}
+
+// backendSolveResponse shapes a multi-backend result for both the sync
+// endpoint and the async bayes job runner.
+func backendSolveResponse(res *backend.Result) BackendSolveResponse {
+	return BackendSolveResponse{
+		Model:                 res.Name,
+		Backend:               string(res.Backend),
+		Size:                  res.Size,
+		Availability:          res.Availability,
+		YearlyDowntimeMinutes: res.YearlyDowntimeMinutes,
+	}
 }
 
 func solveResponse(name string, s *reward.Structure, res *reward.Result) SolveResponse {

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/ctmc"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
@@ -37,10 +38,11 @@ const (
 	JobKindJSAS           = "jsas"
 	JobKindUncertainty    = "uncertainty"
 	JobKindCampaign       = "campaign"
+	JobKindBayes          = "bayes"
 )
 
 // jobKindsHelp lists the valid kinds for 400 bodies.
-const jobKindsHelp = "solve, solve-hierarchy, jsas, uncertainty, campaign"
+const jobKindsHelp = "solve, solve-hierarchy, jsas, uncertainty, campaign, bayes"
 
 // Campaign work bounds, in the same spirit as the sync-endpoint caps: an
 // injection count is a CPU grant, so it is bounded well above the
@@ -244,6 +246,8 @@ func buildJobTask(kind string, raw json.RawMessage) (jobs.Task, error) {
 		return buildUncertaintyTask(raw)
 	case JobKindCampaign:
 		return buildCampaignTask(raw)
+	case JobKindBayes:
+		return buildBayesTask(raw)
 	case "":
 		return jobs.Task{}, fmt.Errorf("job kind missing; want one of: %s", jobKindsHelp)
 	default:
@@ -284,6 +288,48 @@ func buildSolveTask(raw json.RawMessage) (jobs.Task, error) {
 			}
 			tr.Done()
 			return json.Marshal(solveResponse(doc.Name, structure, res))
+		},
+	}, nil
+}
+
+// buildBayesTask canonicalizes a redundancy-structure document for the
+// Bayesian-network backend. Large replicated structures are exactly the
+// workload the async path exists for: a 100-instance cluster solves in
+// milliseconds, but layered noisy-OR stacks can run long enough that a
+// request/response cycle is the wrong shape. Canonicalization is the
+// same parse/re-marshal normalization as "solve"; the kind string keeps
+// bayes hashes disjoint from ctmc solves of the same document.
+func buildBayesTask(raw json.RawMessage) (jobs.Task, error) {
+	doc, err := spec.Parse(bytes.NewReader(raw))
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	if doc.Redundancy == nil {
+		return jobs.Task{}, fmt.Errorf("bayes job wants a redundancy document (a flat state/transition model belongs to kind %q)", JobKindSolve)
+	}
+	// Model-construction errors (validation, unbuildable structure) belong
+	// to the submitter, so surface them at submit time as a 400 rather
+	// than as a failed job.
+	if _, err := doc.Model(backend.KindBayes, nil); err != nil {
+		return jobs.Task{}, err
+	}
+	hash, err := jobs.CanonicalHash(JobKindBayes, doc)
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	return jobs.Task{
+		Kind: JobKindBayes,
+		Hash: hash,
+		Detail: fmt.Sprintf("model=%s nodes=%d leaves=%d",
+			doc.Name, len(doc.Redundancy.Nodes), doc.Redundancy.LeafCount()),
+		Total: 1,
+		Run: func(ctx context.Context, tr *progress.Tracker) (json.RawMessage, error) {
+			res, err := doc.SolveBackend(ctx, backend.KindBayes, nil)
+			if err != nil {
+				return nil, err
+			}
+			tr.Done()
+			return json.Marshal(backendSolveResponse(res))
 		},
 	}, nil
 }

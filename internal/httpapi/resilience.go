@@ -14,7 +14,9 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/bayes"
 	"repro/internal/ctmc"
+	"repro/internal/hier"
 	"repro/internal/obs"
 	"repro/internal/spec"
 )
@@ -119,7 +121,8 @@ func statusForSolveError(err error) int {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return StatusClientClosedRequest
 	case errors.Is(err, ctmc.ErrNotIrreducible), errors.Is(err, ctmc.ErrBadModel),
-		errors.Is(err, spec.ErrBadSpec):
+		errors.Is(err, spec.ErrBadSpec), errors.Is(err, bayes.ErrIntractable),
+		errors.Is(err, bayes.ErrBadNetwork), errors.Is(err, hier.ErrBadComponent):
 		return http.StatusUnprocessableEntity
 	}
 	return http.StatusInternalServerError

@@ -12,7 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bayes"
 	"repro/internal/ctmc"
+	"repro/internal/hier"
 	"repro/internal/spec"
 )
 
@@ -32,6 +34,9 @@ func TestStatusForSolveError(t *testing.T) {
 		{"not irreducible", ctmc.ErrNotIrreducible, http.StatusUnprocessableEntity},
 		{"bad model", ctmc.ErrBadModel, http.StatusUnprocessableEntity},
 		{"bad spec", spec.ErrBadSpec, http.StatusUnprocessableEntity},
+		{"bn intractable", bayes.ErrIntractable, http.StatusUnprocessableEntity},
+		{"bad network", bayes.ErrBadNetwork, http.StatusUnprocessableEntity},
+		{"bad component", hier.ErrBadComponent, http.StatusUnprocessableEntity},
 		{"wrapped domain", fmt.Errorf("model %q: %w", "x", ctmc.ErrBadModel), http.StatusUnprocessableEntity},
 		{"generic", errors.New("boom"), http.StatusInternalServerError},
 		{"nil-ish wrapped", fmt.Errorf("outer: %w", errors.New("inner")), http.StatusInternalServerError},

@@ -1,9 +1,12 @@
 package jsas
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/sensitivity"
 	"repro/internal/uncertainty"
 )
@@ -119,4 +122,96 @@ func SweepSolver(cfg Config, base Params, param string) sensitivity.Solver {
 		}
 		return res.Availability, res.YearlyDowntimeMinutes, nil
 	}
+}
+
+// SweepSolverBackend is SweepSolver routed through the chosen solver
+// backend, so the Figures 5/6 sweeps can be reproduced (and
+// cross-checked) on either engine.
+func SweepSolverBackend(cfg Config, base Params, param string, kind backend.Kind) sensitivity.Solver {
+	if kind == backend.KindCTMC || kind == "" {
+		return SweepSolver(cfg, base, param)
+	}
+	return func(value float64) (float64, float64, error) {
+		p, err := ApplyOverrides(base, map[string]float64{param: value})
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := SolveBackend(context.Background(), cfg, p, kind)
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Availability, res.YearlyDowntimeMinutes, nil
+	}
+}
+
+// ReplicationPoint is one sample of a replication-factor sweep: a k-of-n
+// AS cluster's availability.
+type ReplicationPoint struct {
+	Instances int
+	Quorum    int
+	// Availability and YearlyDowntimeMinutes are the solved measures.
+	Availability          float64
+	YearlyDowntimeMinutes float64
+	// Size is the solved model's size (CTMC states or BN variables).
+	Size int
+}
+
+// ReplicationSweep evaluates k-of-n AS cluster availability for every
+// replica count n in [from, to] with stride step, where the quorum is
+// k = ⌈quorumFrac·n⌉ (clamped to ≥ 1). The bayes backend solves any n;
+// the ctmc backend uses the exact flat cross-product and fails with
+// hier.ErrBadComponent once 3^n passes hier.MaxProductStates (n ≈ 12) —
+// which is the point of the sweep: it walks straight through the wall
+// that separates the two backends.
+func ReplicationSweep(ctx context.Context, p Params, from, to, step int, quorumFrac float64, kind backend.Kind) ([]ReplicationPoint, error) {
+	if from < 1 || to < from || step < 1 {
+		return nil, fmt.Errorf("replication sweep range [%d, %d] step %d: %w", from, to, step, ErrBadConfig)
+	}
+	if !(quorumFrac > 0 && quorumFrac <= 1) {
+		return nil, fmt.Errorf("quorum fraction %g outside (0, 1]: %w", quorumFrac, ErrBadConfig)
+	}
+	var out []ReplicationPoint
+	for n := from; n <= to; n += step {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("replication sweep canceled: %w", err)
+			}
+		}
+		k := int(math.Ceil(quorumFrac * float64(n)))
+		if k < 1 {
+			k = 1
+		}
+		q := ClusterQuorum{Instances: n, Quorum: k}
+		pt := ReplicationPoint{Instances: n, Quorum: k}
+		switch kind {
+		case backend.KindBayes:
+			net, err := ClusterBayes(p, q)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d: %w", n, err)
+			}
+			res, err := net.Solve(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d: %w", n, err)
+			}
+			pt.Availability = res.Availability
+			pt.YearlyDowntimeMinutes = res.YearlyDowntimeMinutes
+			pt.Size = res.Size
+		case backend.KindCTMC, "":
+			s, err := ClusterProduct(p, q)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d: %w", n, err)
+			}
+			res, err := solvePooled(s)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d: %w", n, err)
+			}
+			pt.Availability = res.Availability
+			pt.YearlyDowntimeMinutes = res.YearlyDowntimeMinutes
+			pt.Size = s.Model().NumStates()
+		default:
+			return nil, fmt.Errorf("unknown backend %q: %w", kind, ErrBadConfig)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
 }

@@ -1,0 +1,52 @@
+package reward
+
+import (
+	"context"
+
+	"repro/internal/backend"
+	"repro/internal/ctmc"
+)
+
+// CTMCModel adapts a reward Structure to the common
+// backend.AvailabilityModel interface, so callers can treat the CTMC
+// engine and the Bayesian-network engine (internal/bayes)
+// interchangeably and cross-validate one against the other.
+type CTMCModel struct {
+	name string
+	s    *Structure
+	opts ctmc.SolveOptions
+}
+
+// AsModel wraps a reward structure as a named backend model solved with
+// the given options (the per-call context overrides opts.Ctx).
+func AsModel(name string, s *Structure, opts ctmc.SolveOptions) *CTMCModel {
+	return &CTMCModel{name: name, s: s, opts: opts}
+}
+
+// Name returns the model's display name.
+func (m *CTMCModel) Name() string { return m.name }
+
+// Kind identifies the solving backend.
+func (m *CTMCModel) Kind() backend.Kind { return backend.KindCTMC }
+
+// Structure returns the wrapped reward structure, for callers that need
+// the richer CTMC-only measures (MTBF, failure frequency, π).
+func (m *CTMCModel) Structure() *Structure { return m.s }
+
+// Solve computes the steady-state availability measures through the
+// CTMC engine.
+func (m *CTMCModel) Solve(ctx context.Context) (*backend.Result, error) {
+	opts := m.opts
+	opts.Ctx = ctx
+	res, err := m.s.Solve(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &backend.Result{
+		Backend:               backend.KindCTMC,
+		Name:                  m.name,
+		Availability:          res.Availability,
+		YearlyDowntimeMinutes: res.YearlyDowntimeMinutes,
+		Size:                  m.s.Model().NumStates(),
+	}, nil
+}

@@ -1,0 +1,598 @@
+package spec
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/backend"
+	"repro/internal/bayes"
+	"repro/internal/ctmc"
+	"repro/internal/expr"
+	"repro/internal/hier"
+	"repro/internal/reward"
+)
+
+// Redundancy is a document's redundancy-structure block: a fault-tree
+// style DAG of basic events (leaves) and gates describing how component
+// availabilities compose into system availability. A document carries
+// either a Markov model (states/transitions) or a redundancy structure,
+// not both.
+//
+// The block is the multi-backend entry point: the bayes backend solves it
+// by exact Bayesian-network inference at any replication count, while the
+// ctmc backend cross-products the leaves into a flat chain (exact but
+// capped at hier.MaxProductStates — about twenty 2-state leaves).
+type Redundancy struct {
+	// Root names the node whose up-probability is the system availability.
+	Root string `json:"root"`
+	// Nodes lists the structure's leaves and gates in any order.
+	Nodes []RedundancyNode `json:"nodes"`
+}
+
+// RedundancyNode is one leaf or gate of a redundancy structure.
+//
+// A leaf (basic event) gives either a steady-state `availability`
+// expression, or `lambda` and `mu` rate expressions (per hour) describing
+// a two-state component — the latter is solvable by both backends, the
+// former only by bayes.
+//
+// A gate gives `gate` ("and", "or", "kofn", "noisyor") over the children
+// in `of`. kofn requires `k`. noisyor takes per-child transmission
+// `weights` plus an optional `leak`, and is bayes-only (it is
+// probabilistic, not a deterministic structure function). Setting
+// `replicate: n` with a single child instantiates n independent copies
+// of that child's subtree — the concise way to express an n-instance
+// cluster.
+type RedundancyNode struct {
+	Name string `json:"name"`
+
+	// Leaf fields (expressions over the document parameters).
+	Availability string `json:"availability,omitempty"`
+	Lambda       string `json:"lambda,omitempty"`
+	Mu           string `json:"mu,omitempty"`
+
+	// Gate fields.
+	Gate      string   `json:"gate,omitempty"`
+	K         int      `json:"k,omitempty"`
+	Of        []string `json:"of,omitempty"`
+	Replicate int      `json:"replicate,omitempty"`
+	Leak      string   `json:"leak,omitempty"`
+	Weights   []string `json:"weights,omitempty"`
+}
+
+// isLeaf reports whether the node is a basic event.
+func (n *RedundancyNode) isLeaf() bool {
+	return n.Gate == ""
+}
+
+// fanIn is the effective child count after replication.
+func (n *RedundancyNode) fanIn() int {
+	if n.Replicate > 0 {
+		return n.Replicate
+	}
+	return len(n.Of)
+}
+
+// quorum is the gate's k-of-n threshold.
+func (n *RedundancyNode) quorum() int {
+	switch n.Gate {
+	case "and":
+		return n.fanIn()
+	case "or":
+		return 1
+	default:
+		return n.K
+	}
+}
+
+// node returns the named node.
+func (r *Redundancy) node(name string) (*RedundancyNode, bool) {
+	for i := range r.Nodes {
+		if r.Nodes[i].Name == name {
+			return &r.Nodes[i], true
+		}
+	}
+	return nil, false
+}
+
+// checkExpr parses an expression and verifies its variables are declared.
+func (d *Document) checkExpr(what, src string, extraParams map[string]bool) error {
+	e, err := expr.Parse(src)
+	if err != nil {
+		return fmt.Errorf("%s: %w", what, err)
+	}
+	for _, v := range e.Vars() {
+		if _, ok := d.Parameters[v]; !ok && !extraParams[v] {
+			return fmt.Errorf("%s references undefined parameter %q: %w", what, v, ErrBadSpec)
+		}
+	}
+	return nil
+}
+
+// validateRedundancy checks the structure block: unique named nodes, each
+// a leaf xor a gate, parseable expressions over declared parameters,
+// known gate types with sane arities, an existing root, and acyclicity.
+func (d *Document) validateRedundancy(extraParams map[string]bool) error {
+	r := d.Redundancy
+	if len(d.States) > 0 || len(d.Transitions) > 0 {
+		return fmt.Errorf("model %q declares both a redundancy structure and a Markov model: %w", d.Name, ErrBadSpec)
+	}
+	if len(r.Nodes) == 0 {
+		return fmt.Errorf("redundancy structure has no nodes: %w", ErrBadSpec)
+	}
+	seen := make(map[string]bool, len(r.Nodes))
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		if n.Name == "" {
+			return fmt.Errorf("redundancy node %d has no name: %w", i, ErrBadSpec)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("duplicate redundancy node %q: %w", n.Name, ErrBadSpec)
+		}
+		seen[n.Name] = true
+		if n.isLeaf() {
+			if err := d.validateLeaf(n, extraParams); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := d.validateGate(n, extraParams); err != nil {
+			return err
+		}
+	}
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		for _, c := range n.Of {
+			if !seen[c] {
+				return fmt.Errorf("gate %q references unknown node %q: %w", n.Name, c, ErrBadSpec)
+			}
+		}
+	}
+	if _, ok := r.node(r.Root); !ok {
+		return fmt.Errorf("redundancy root %q not found: %w", r.Root, ErrBadSpec)
+	}
+	return r.checkAcyclic()
+}
+
+// validateLeaf checks a basic event: availability xor lambda+mu, no gate
+// fields.
+func (d *Document) validateLeaf(n *RedundancyNode, extraParams map[string]bool) error {
+	if len(n.Of) > 0 || n.K != 0 || n.Replicate != 0 || n.Leak != "" || len(n.Weights) > 0 {
+		return fmt.Errorf("leaf %q carries gate fields: %w", n.Name, ErrBadSpec)
+	}
+	switch {
+	case n.Availability != "":
+		if n.Lambda != "" || n.Mu != "" {
+			return fmt.Errorf("leaf %q gives both availability and rates: %w", n.Name, ErrBadSpec)
+		}
+		return d.checkExpr(fmt.Sprintf("leaf %q availability", n.Name), n.Availability, extraParams)
+	case n.Lambda != "" && n.Mu != "":
+		if err := d.checkExpr(fmt.Sprintf("leaf %q lambda", n.Name), n.Lambda, extraParams); err != nil {
+			return err
+		}
+		return d.checkExpr(fmt.Sprintf("leaf %q mu", n.Name), n.Mu, extraParams)
+	default:
+		return fmt.Errorf("leaf %q needs an availability or a lambda/mu pair: %w", n.Name, ErrBadSpec)
+	}
+}
+
+// validateGate checks a gate's type, arity, and expressions.
+func (d *Document) validateGate(n *RedundancyNode, extraParams map[string]bool) error {
+	if n.Availability != "" || n.Lambda != "" || n.Mu != "" {
+		return fmt.Errorf("gate %q carries leaf fields: %w", n.Name, ErrBadSpec)
+	}
+	if len(n.Of) == 0 {
+		return fmt.Errorf("gate %q has no children: %w", n.Name, ErrBadSpec)
+	}
+	if n.Replicate != 0 {
+		if n.Replicate < 1 {
+			return fmt.Errorf("gate %q: replicate %d < 1: %w", n.Name, n.Replicate, ErrBadSpec)
+		}
+		if len(n.Of) != 1 {
+			return fmt.Errorf("gate %q: replicate requires exactly one child: %w", n.Name, ErrBadSpec)
+		}
+	}
+	switch n.Gate {
+	case "and", "or":
+		if n.K != 0 {
+			return fmt.Errorf("gate %q (%s): k is only valid for kofn: %w", n.Name, n.Gate, ErrBadSpec)
+		}
+	case "kofn":
+		if n.K < 1 || n.K > n.fanIn() {
+			return fmt.Errorf("gate %q requires %d of %d children: %w", n.Name, n.K, n.fanIn(), ErrBadSpec)
+		}
+	case "noisyor":
+		if n.Replicate != 0 {
+			return fmt.Errorf("gate %q: noisyor does not support replicate: %w", n.Name, ErrBadSpec)
+		}
+		if len(n.Weights) != len(n.Of) {
+			return fmt.Errorf("gate %q has %d children but %d weights: %w", n.Name, len(n.Of), len(n.Weights), ErrBadSpec)
+		}
+		for i, w := range n.Weights {
+			if err := d.checkExpr(fmt.Sprintf("gate %q weight %d", n.Name, i), w, extraParams); err != nil {
+				return err
+			}
+		}
+		if n.Leak != "" {
+			if err := d.checkExpr(fmt.Sprintf("gate %q leak", n.Name), n.Leak, extraParams); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("gate %q has unknown type %q (want and, or, kofn, noisyor): %w", n.Name, n.Gate, ErrBadSpec)
+	}
+	if n.Gate != "noisyor" && (n.Leak != "" || len(n.Weights) > 0) {
+		return fmt.Errorf("gate %q (%s): leak/weights are only valid for noisyor: %w", n.Name, n.Gate, ErrBadSpec)
+	}
+	return nil
+}
+
+// checkAcyclic rejects gate cycles via three-color DFS.
+func (r *Redundancy) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(r.Nodes))
+	var visit func(string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("redundancy cycle through node %q: %w", name, ErrBadSpec)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		n, _ := r.node(name)
+		for _, c := range n.Of {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for i := range r.Nodes {
+		if err := visit(r.Nodes[i].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// env resolves the document parameters with overrides applied on top,
+// rejecting overrides of undeclared parameters.
+func (d *Document) env(overrides map[string]float64) (expr.MapEnv, error) {
+	env := make(expr.MapEnv, len(d.Parameters)+len(overrides))
+	for k, v := range d.Parameters {
+		env[k] = v
+	}
+	for k, v := range overrides {
+		if _, ok := d.Parameters[k]; !ok {
+			return nil, fmt.Errorf("override %q is not a declared parameter: %w", k, ErrBadSpec)
+		}
+		env[k] = v
+	}
+	return env, nil
+}
+
+// evalIn evaluates a node expression in the resolved environment.
+func evalIn(what, src string, env expr.Env) (float64, error) {
+	e, err := expr.Parse(src)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", what, err)
+	}
+	return v, nil
+}
+
+// leafAvailability evaluates a leaf's steady-state availability: the
+// availability expression directly, or μ/(λ+μ) for a rate pair.
+func leafAvailability(n *RedundancyNode, env expr.Env) (float64, error) {
+	if n.Availability != "" {
+		p, err := evalIn(fmt.Sprintf("leaf %q availability", n.Name), n.Availability, env)
+		if err != nil {
+			return 0, err
+		}
+		if !(p >= 0 && p <= 1) || math.IsNaN(p) {
+			return 0, fmt.Errorf("leaf %q availability %g outside [0,1]: %w", n.Name, p, ErrBadSpec)
+		}
+		return p, nil
+	}
+	la, mu, err := leafRates(n, env)
+	if err != nil {
+		return 0, err
+	}
+	return mu / (la + mu), nil
+}
+
+// leafRates evaluates a leaf's two-state failure/recovery rates.
+func leafRates(n *RedundancyNode, env expr.Env) (lambda, mu float64, err error) {
+	if n.Lambda == "" {
+		return 0, 0, fmt.Errorf("leaf %q has no lambda/mu rates (availability-only leaves need the bayes backend): %w",
+			n.Name, ErrBadSpec)
+	}
+	lambda, err = evalIn(fmt.Sprintf("leaf %q lambda", n.Name), n.Lambda, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	mu, err = evalIn(fmt.Sprintf("leaf %q mu", n.Name), n.Mu, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range []struct {
+		what string
+		v    float64
+	}{{"lambda", lambda}, {"mu", mu}} {
+		if !(r.v > 0) || math.IsInf(r.v, 0) {
+			return 0, 0, fmt.Errorf("leaf %q %s = %g must be finite and positive: %w", n.Name, r.what, r.v, ErrBadSpec)
+		}
+	}
+	return lambda, mu, nil
+}
+
+// Model compiles the document for the requested backend, behind the
+// common backend.AvailabilityModel interface:
+//
+//   - ctmc on a Markov document: the classic compile-and-solve path.
+//   - ctmc on a redundancy document: flat cross-product of the two-state
+//     leaves (hier.Product) with the structure function as the up
+//     predicate — exact, but capped at hier.MaxProductStates.
+//   - bayes on a redundancy document: exact Bayesian-network inference,
+//     linear in replication count.
+//   - bayes on a Markov document: rejected (a general CTMC has no
+//     fault-tree decomposition).
+func (d *Document) Model(kind backend.Kind, overrides map[string]float64) (backend.AvailabilityModel, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case backend.KindCTMC, "":
+		if d.Redundancy == nil {
+			s, err := d.Compile(overrides)
+			if err != nil {
+				return nil, err
+			}
+			return reward.AsModel(d.Name, s, ctmc.SolveOptions{}), nil
+		}
+		return d.productModel(overrides)
+	case backend.KindBayes:
+		if d.Redundancy == nil {
+			return nil, fmt.Errorf("model %q: bayes backend requires a redundancy block (got a Markov model): %w",
+				d.Name, ErrBadSpec)
+		}
+		return d.BayesModel(overrides)
+	default:
+		return nil, fmt.Errorf("model %q: unknown backend %q: %w", d.Name, kind, ErrBadSpec)
+	}
+}
+
+// BayesModel compiles the redundancy structure into a Bayesian network.
+// Replicated subtrees are instantiated as independent copies with
+// "#i"-suffixed names; shared (non-replicated) children are shared BN
+// nodes, preserving their correlation across gates.
+func (d *Document) BayesModel(overrides map[string]float64) (*bayes.Network, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Redundancy == nil {
+		return nil, fmt.Errorf("model %q has no redundancy block: %w", d.Name, ErrBadSpec)
+	}
+	env, err := d.env(overrides)
+	if err != nil {
+		return nil, err
+	}
+	b := bayes.NewBuilder(d.Name)
+	memo := make(map[string]bayes.Node)
+	var build func(name, suffix string) (bayes.Node, error)
+	build = func(name, suffix string) (bayes.Node, error) {
+		key := name + suffix
+		if n, ok := memo[key]; ok {
+			return n, nil
+		}
+		node, _ := d.Redundancy.node(name)
+		var bn bayes.Node
+		if node.isLeaf() {
+			p, err := leafAvailability(node, env)
+			if err != nil {
+				return 0, err
+			}
+			bn = b.Basic(key, p)
+		} else {
+			var children []bayes.Node
+			if node.Replicate > 0 {
+				for i := 1; i <= node.Replicate; i++ {
+					c, err := build(node.Of[0], fmt.Sprintf("%s#%d", suffix, i))
+					if err != nil {
+						return 0, err
+					}
+					children = append(children, c)
+				}
+			} else {
+				for _, cn := range node.Of {
+					c, err := build(cn, suffix)
+					if err != nil {
+						return 0, err
+					}
+					children = append(children, c)
+				}
+			}
+			if node.Gate == "noisyor" {
+				weights := make([]float64, len(node.Weights))
+				for i, w := range node.Weights {
+					v, err := evalIn(fmt.Sprintf("gate %q weight %d", name, i), w, env)
+					if err != nil {
+						return 0, err
+					}
+					weights[i] = v
+				}
+				leak := 0.0
+				if node.Leak != "" {
+					l, err := evalIn(fmt.Sprintf("gate %q leak", name), node.Leak, env)
+					if err != nil {
+						return 0, err
+					}
+					leak = l
+				}
+				bn = b.NoisyOr(key, leak, children, weights)
+			} else {
+				bn = b.KOfN(key, node.quorum(), children...)
+			}
+		}
+		memo[key] = bn
+		return bn, nil
+	}
+	root, err := build(d.Redundancy.Root, "")
+	if err != nil {
+		return nil, err
+	}
+	net, err := b.Build(root)
+	if err != nil {
+		return nil, fmt.Errorf("model %q: %w", d.Name, err)
+	}
+	return net, nil
+}
+
+// productModel compiles the redundancy structure for the CTMC backend:
+// every leaf instance becomes a two-state component, the flat
+// cross-product is assembled by hier.Product, and the gate structure is
+// evaluated as the up predicate. Exact, but the state space is 2^leaves —
+// hier.MaxProductStates bounds it and large replications must use bayes.
+func (d *Document) productModel(overrides map[string]float64) (backend.AvailabilityModel, error) {
+	env, err := d.env(overrides)
+	if err != nil {
+		return nil, err
+	}
+
+	// Leaf instances in deterministic DFS order; shared children map to
+	// one component, replicas to independent ones.
+	leafIndex := make(map[string]int)
+	var components []*reward.Structure
+	var addLeaf func(n *RedundancyNode, key string) error
+	addLeaf = func(n *RedundancyNode, key string) error {
+		if _, ok := leafIndex[key]; ok {
+			return nil
+		}
+		la, mu, err := leafRates(n, env)
+		if err != nil {
+			return err
+		}
+		b := ctmc.NewBuilder()
+		up := b.State(key + ":Up")
+		down := b.State(key + ":Down")
+		b.Transition(up, down, la)
+		b.Transition(down, up, mu)
+		m, err := b.Build()
+		if err != nil {
+			return fmt.Errorf("leaf %q: %w", key, err)
+		}
+		s, err := reward.New(m, []float64{1, 0})
+		if err != nil {
+			return fmt.Errorf("leaf %q: %w", key, err)
+		}
+		leafIndex[key] = len(components)
+		components = append(components, s)
+		return nil
+	}
+
+	// eval builds, per node instance, a closure over the component-up
+	// vector implementing the structure function.
+	var compile func(name, suffix string) (func(up []bool) bool, error)
+	compile = func(name, suffix string) (func(up []bool) bool, error) {
+		node, _ := d.Redundancy.node(name)
+		key := name + suffix
+		if node.isLeaf() {
+			if err := addLeaf(node, key); err != nil {
+				return nil, err
+			}
+			i := leafIndex[key]
+			return func(up []bool) bool { return up[i] }, nil
+		}
+		if node.Gate == "noisyor" {
+			return nil, fmt.Errorf("gate %q: noisyor is probabilistic, not a structure function; use the bayes backend: %w",
+				name, ErrBadSpec)
+		}
+		var children []func(up []bool) bool
+		if node.Replicate > 0 {
+			for i := 1; i <= node.Replicate; i++ {
+				c, err := compile(node.Of[0], fmt.Sprintf("%s#%d", suffix, i))
+				if err != nil {
+					return nil, err
+				}
+				children = append(children, c)
+			}
+		} else {
+			for _, cn := range node.Of {
+				c, err := compile(cn, suffix)
+				if err != nil {
+					return nil, err
+				}
+				children = append(children, c)
+			}
+		}
+		k := node.quorum()
+		return func(up []bool) bool {
+			got := 0
+			for _, c := range children {
+				if c(up) {
+					got++
+				}
+			}
+			return got >= k
+		}, nil
+	}
+
+	pred, err := compile(d.Redundancy.Root, "")
+	if err != nil {
+		return nil, fmt.Errorf("model %q: %w", d.Name, err)
+	}
+	s, err := hier.Product(components, pred)
+	if err != nil {
+		return nil, fmt.Errorf("model %q: %w", d.Name, err)
+	}
+	return reward.AsModel(d.Name, s, ctmc.SolveOptions{}), nil
+}
+
+// SolveBackend compiles and solves the document with the requested
+// backend in one step — the CLI and HTTP entry point.
+func (d *Document) SolveBackend(ctx context.Context, kind backend.Kind, overrides map[string]float64) (*backend.Result, error) {
+	m, err := d.Model(kind, overrides)
+	if err != nil {
+		return nil, err
+	}
+	return m.Solve(ctx)
+}
+
+// LeafCount returns the number of leaf component instances after
+// replication — the CTMC backend's 2^LeafCount state-space exponent.
+func (r *Redundancy) LeafCount() int {
+	seen := make(map[string]bool)
+	var walk func(name, suffix string)
+	walk = func(name, suffix string) {
+		n, ok := r.node(name)
+		if !ok {
+			return
+		}
+		key := name + suffix
+		if n.isLeaf() {
+			seen[key] = true
+			return
+		}
+		if n.Replicate > 0 {
+			for i := 1; i <= n.Replicate; i++ {
+				walk(n.Of[0], fmt.Sprintf("%s#%d", suffix, i))
+			}
+			return
+		}
+		for _, c := range n.Of {
+			walk(c, suffix)
+		}
+	}
+	walk(r.Root, "")
+	return len(seen)
+}

@@ -1,0 +1,294 @@
+package spec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/hier"
+)
+
+// clusterDoc is a k-of-n replicated app-server cluster over two-state
+// instances — solvable by both backends while small.
+func clusterDoc(k, n int) string {
+	return `{
+	  "name": "as-cluster",
+	  "parameters": {"La": 0.005, "Mu": 2.0},
+	  "redundancy": {
+	    "root": "svc",
+	    "nodes": [
+	      {"name": "as", "lambda": "La", "mu": "Mu"},
+	      {"name": "svc", "gate": "kofn", "k": ` + itoa(k) + `, "of": ["as"], "replicate": ` + itoa(n) + `}
+	    ]
+	  }
+	}`
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func TestRedundancyParseAndValidate(t *testing.T) {
+	d, err := Parse(strings.NewReader(clusterDoc(3, 5)))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if d.Redundancy == nil || d.Redundancy.Root != "svc" {
+		t.Fatalf("redundancy block not parsed: %+v", d.Redundancy)
+	}
+	if got := d.Redundancy.LeafCount(); got != 5 {
+		t.Fatalf("LeafCount = %d, want 5", got)
+	}
+}
+
+func TestRedundancyBackendsAgree(t *testing.T) {
+	// On independent two-state leaves the product CTMC's stationary
+	// distribution factorizes, so both backends are exact and must agree
+	// to solver tolerance.
+	for _, cfg := range []struct{ k, n int }{{1, 2}, {2, 3}, {3, 5}, {5, 8}} {
+		d, err := Parse(strings.NewReader(clusterDoc(cfg.k, cfg.n)))
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		ctmcRes, err := d.SolveBackend(context.Background(), backend.KindCTMC, nil)
+		if err != nil {
+			t.Fatalf("%d-of-%d ctmc: %v", cfg.k, cfg.n, err)
+		}
+		bayesRes, err := d.SolveBackend(context.Background(), backend.KindBayes, nil)
+		if err != nil {
+			t.Fatalf("%d-of-%d bayes: %v", cfg.k, cfg.n, err)
+		}
+		if diff := math.Abs(ctmcRes.Availability - bayesRes.Availability); diff > 1e-9 {
+			t.Fatalf("%d-of-%d: ctmc %.12f vs bayes %.12f (diff %g)",
+				cfg.k, cfg.n, ctmcRes.Availability, bayesRes.Availability, diff)
+		}
+		if ctmcRes.Backend != backend.KindCTMC || bayesRes.Backend != backend.KindBayes {
+			t.Fatalf("backend tags wrong: %v / %v", ctmcRes.Backend, bayesRes.Backend)
+		}
+	}
+}
+
+func TestRedundancyLargeClusterBayesOnly(t *testing.T) {
+	// 100 instances: the CTMC product would need 2^100 states and must
+	// refuse with the hier.ErrBadComponent cap; bayes solves it exactly.
+	d, err := Parse(strings.NewReader(clusterDoc(90, 100)))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := d.SolveBackend(context.Background(), backend.KindCTMC, nil); !errors.Is(err, hier.ErrBadComponent) {
+		t.Fatalf("ctmc err = %v, want ErrBadComponent (state-space cap)", err)
+	}
+	res, err := d.SolveBackend(context.Background(), backend.KindBayes, nil)
+	if err != nil {
+		t.Fatalf("bayes: %v", err)
+	}
+	// Closed form: availability p = Mu/(La+Mu), A = P(Bin(100,p) ≥ 90).
+	p := 2.0 / (0.005 + 2.0)
+	want := 0.0
+	for j := 90; j <= 100; j++ {
+		c := 1.0
+		for i := 0; i < j; i++ {
+			c = c * float64(100-i) / float64(i+1)
+		}
+		want += c * math.Pow(p, float64(j)) * math.Pow(1-p, float64(100-j))
+	}
+	if math.Abs(res.Availability-want) > 1e-9 {
+		t.Fatalf("bayes availability %.12f, want %.12f", res.Availability, want)
+	}
+}
+
+func TestRedundancyLayeredSharedChild(t *testing.T) {
+	// Two stacks sharing one power feed: the shared leaf must stay
+	// correlated (one BN node), which both backends agree on exactly.
+	doc := `{
+	  "name": "shared-feed",
+	  "parameters": {"Lp": 0.001, "Mp": 1.0, "Ls": 0.01, "Ms": 2.0},
+	  "redundancy": {
+	    "root": "svc",
+	    "nodes": [
+	      {"name": "power", "lambda": "Lp", "mu": "Mp"},
+	      {"name": "srvA", "lambda": "Ls", "mu": "Ms"},
+	      {"name": "srvB", "lambda": "Ls", "mu": "Ms"},
+	      {"name": "stackA", "gate": "and", "of": ["power", "srvA"]},
+	      {"name": "stackB", "gate": "and", "of": ["power", "srvB"]},
+	      {"name": "svc", "gate": "or", "of": ["stackA", "stackB"]}
+	    ]
+	  }
+	}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ctmcRes, err := d.SolveBackend(context.Background(), backend.KindCTMC, nil)
+	if err != nil {
+		t.Fatalf("ctmc: %v", err)
+	}
+	bayesRes, err := d.SolveBackend(context.Background(), backend.KindBayes, nil)
+	if err != nil {
+		t.Fatalf("bayes: %v", err)
+	}
+	if diff := math.Abs(ctmcRes.Availability - bayesRes.Availability); diff > 1e-9 {
+		t.Fatalf("ctmc %.12f vs bayes %.12f (diff %g)", ctmcRes.Availability, bayesRes.Availability, diff)
+	}
+	// Sanity: A = Ap·(1-(1-As)²) with shared power factored out.
+	ap := 1.0 / (1 + 0.001/1.0)
+	as := 2.0 / (0.01 + 2.0)
+	want := ap * (1 - (1-as)*(1-as))
+	if math.Abs(bayesRes.Availability-want) > 1e-9 {
+		t.Fatalf("availability %.12f, want closed form %.12f", bayesRes.Availability, want)
+	}
+}
+
+func TestRedundancyNoisyOrBayesOnly(t *testing.T) {
+	doc := `{
+	  "name": "noisy",
+	  "parameters": {"W": 0.5},
+	  "redundancy": {
+	    "root": "svc",
+	    "nodes": [
+	      {"name": "a", "availability": "0.99"},
+	      {"name": "b", "availability": "0.95"},
+	      {"name": "svc", "gate": "noisyor", "of": ["a", "b"], "weights": ["1", "W"], "leak": "0.01"}
+	    ]
+	  }
+	}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := d.SolveBackend(context.Background(), backend.KindCTMC, nil); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("ctmc err = %v, want ErrBadSpec (noisyor is bayes-only)", err)
+	}
+	res, err := d.SolveBackend(context.Background(), backend.KindBayes, nil)
+	if err != nil {
+		t.Fatalf("bayes: %v", err)
+	}
+	// (1-leak)·Σ_states P(state)·∏_{down}(1-w): a down transmits surely.
+	want := (1 - 0.01) * (0.99*0.95 + 0.99*0.05*0.5)
+	if math.Abs(res.Availability-want) > 1e-12 {
+		t.Fatalf("availability %.15f, want %.15f", res.Availability, want)
+	}
+}
+
+func TestRedundancyOverrides(t *testing.T) {
+	d, err := Parse(strings.NewReader(clusterDoc(2, 3)))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	base, err := d.SolveBackend(context.Background(), backend.KindBayes, nil)
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	worse, err := d.SolveBackend(context.Background(), backend.KindBayes, map[string]float64{"La": 0.5})
+	if err != nil {
+		t.Fatalf("override: %v", err)
+	}
+	if !(worse.Availability < base.Availability) {
+		t.Fatalf("raising La should lower availability: base %.9f, worse %.9f", base.Availability, worse.Availability)
+	}
+	if _, err := d.SolveBackend(context.Background(), backend.KindBayes, map[string]float64{"nope": 1}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("undeclared override err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestRedundancyValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"both-model-kinds", `{"name":"x","parameters":{"La":1},
+			"states":[{"name":"Ok","reward":1}],
+			"redundancy":{"root":"a","nodes":[{"name":"a","availability":"0.9"}]}}`},
+		{"no-nodes", `{"name":"x","redundancy":{"root":"a","nodes":[]}}`},
+		{"missing-root", `{"name":"x","redundancy":{"root":"zz","nodes":[{"name":"a","availability":"0.9"}]}}`},
+		{"duplicate-node", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"a","availability":"0.9"}]}}`},
+		{"unknown-child", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"g","gate":"and","of":["ghost"]}]}}`},
+		{"cycle", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"g","gate":"and","of":["h"]},{"name":"h","gate":"or","of":["g"]}]}}`},
+		{"leaf-both-forms", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","availability":"0.9","lambda":"1","mu":"2"}]}}`},
+		{"leaf-missing-mu", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1"}]}}`},
+		{"undefined-param", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","availability":"Missing"}]}}`},
+		{"bad-gate-type", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"g","gate":"xor","of":["a"]}]}}`},
+		{"kofn-k-too-big", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"g","gate":"kofn","k":3,"of":["a"],"replicate":2}]}}`},
+		{"kofn-k-zero", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"g","gate":"kofn","of":["a"]}]}}`},
+		{"and-with-k", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"g","gate":"and","k":1,"of":["a"]}]}}`},
+		{"replicate-two-children", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"b","availability":"0.9"},
+			{"name":"g","gate":"or","of":["a","b"],"replicate":3}]}}`},
+		{"noisyor-weight-count", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"g","gate":"noisyor","of":["a"],"weights":["1","1"]}]}}`},
+		{"noisyor-replicate", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"g","gate":"noisyor","of":["a"],"weights":["1"],"replicate":2}]}}`},
+		{"weights-on-and", `{"name":"x","redundancy":{"root":"g","nodes":[
+			{"name":"a","availability":"0.9"},{"name":"g","gate":"and","of":["a"],"weights":["1"]}]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.doc)); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestRedundancyEvalErrors(t *testing.T) {
+	// Validation passes (expressions are well-formed) but evaluation
+	// yields out-of-domain values.
+	for _, tc := range []struct {
+		name string
+		doc  string
+	}{
+		{"availability-above-one", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","availability":"1.5"}]}}`},
+		{"zero-mu", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1","mu":"0"}]}}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(strings.NewReader(tc.doc))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if _, err := d.SolveBackend(context.Background(), backend.KindBayes, nil); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+}
+
+func TestMarkovDocumentThroughBackendInterface(t *testing.T) {
+	doc := `{
+	  "name": "pair",
+	  "parameters": {"La": 0.1, "Mu": 5},
+	  "states": [{"name": "Ok", "reward": 1}, {"name": "Down", "reward": 0}],
+	  "transitions": [
+	    {"from": "Ok", "to": "Down", "rate": "La"},
+	    {"from": "Down", "to": "Ok", "rate": "Mu"}
+	  ]
+	}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	res, err := d.SolveBackend(context.Background(), backend.KindCTMC, nil)
+	if err != nil {
+		t.Fatalf("ctmc: %v", err)
+	}
+	want := 5.0 / 5.1
+	if math.Abs(res.Availability-want) > 1e-12 {
+		t.Fatalf("availability %.12f, want %.12f", res.Availability, want)
+	}
+	if _, err := d.SolveBackend(context.Background(), backend.KindBayes, nil); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("bayes on Markov doc err = %v, want ErrBadSpec", err)
+	}
+}

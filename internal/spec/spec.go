@@ -59,8 +59,11 @@ type Document struct {
 	// Uncertain optionally declares ranges for parameters that vary
 	// across deployments, enabling RunUncertainty on the document.
 	Uncertain   map[string]UncertainRange `json:"uncertain,omitempty"`
-	States      []State                   `json:"states"`
-	Transitions []Transition              `json:"transitions"`
+	States      []State                   `json:"states,omitempty"`
+	Transitions []Transition              `json:"transitions,omitempty"`
+	// Redundancy, when set, replaces the Markov model with a
+	// redundancy-structure block solvable by either backend (see Model).
+	Redundancy *Redundancy `json:"redundancy,omitempty"`
 }
 
 // Parse decodes a JSON document.
@@ -89,6 +92,9 @@ func (d *Document) Validate() error {
 func (d *Document) validate(extraParams map[string]bool) error {
 	if d.Name == "" {
 		return fmt.Errorf("model has no name: %w", ErrBadSpec)
+	}
+	if d.Redundancy != nil {
+		return d.validateRedundancy(extraParams)
 	}
 	if len(d.States) == 0 {
 		return fmt.Errorf("model %q has no states: %w", d.Name, ErrBadSpec)
@@ -150,6 +156,10 @@ func (d *Document) Compile(overrides map[string]float64) (*reward.Structure, err
 // environment (used directly by hierarchical documents, where some
 // parameters are bound from child models rather than declared).
 func (d *Document) compileEnv(env expr.Env) (*reward.Structure, error) {
+	if d.Redundancy != nil {
+		return nil, fmt.Errorf("model %q is a redundancy structure, not a Markov model; compile it with Model: %w",
+			d.Name, ErrBadSpec)
+	}
 	b := ctmc.NewBuilder()
 	rates := make([]float64, 0, len(d.States))
 	for _, s := range d.States {

@@ -2,6 +2,8 @@ package spec
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/ctmc"
 	"repro/internal/uncertainty"
@@ -16,15 +18,32 @@ type UncertainRange struct {
 }
 
 // uncertaintyRanges converts a document's uncertain-parameter map after
-// validating that each name is a declared parameter.
+// validating that each name is a declared parameter with finite, ordered
+// bounds.
+//
+// The ranges are emitted sorted by name: uncertainty.RunCtx maps its
+// pre-drawn unit samples to parameters by range index, so emitting them
+// in Go's randomized map-iteration order would make same-seed runs
+// non-reproducible (and defeat the canonical-hash result cache).
 func uncertaintyRanges(uncertain map[string]UncertainRange, declared func(string) bool) ([]uncertainty.Range, error) {
 	if len(uncertain) == 0 {
 		return nil, fmt.Errorf("document declares no uncertain parameters: %w", ErrBadSpec)
 	}
-	out := make([]uncertainty.Range, 0, len(uncertain))
-	for name, r := range uncertain {
+	names := make([]string, 0, len(uncertain))
+	for name := range uncertain {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]uncertainty.Range, 0, len(names))
+	for _, name := range names {
+		r := uncertain[name]
 		if !declared(name) {
 			return nil, fmt.Errorf("uncertain parameter %q is not declared: %w", name, ErrBadSpec)
+		}
+		// NaN compares false against everything, so the low > high check
+		// alone would wave non-finite bounds through into the sampler.
+		if math.IsNaN(r.Low) || math.IsInf(r.Low, 0) || math.IsNaN(r.High) || math.IsInf(r.High, 0) {
+			return nil, fmt.Errorf("uncertain parameter %q: non-finite bounds [%g, %g]: %w", name, r.Low, r.High, ErrBadSpec)
 		}
 		if r.Low > r.High {
 			return nil, fmt.Errorf("uncertain parameter %q: low %g > high %g: %w", name, r.Low, r.High, ErrBadSpec)

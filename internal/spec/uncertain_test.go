@@ -1,0 +1,104 @@
+package spec
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/uncertainty"
+)
+
+// multiRangeDoc declares several uncertain parameters — enough that Go's
+// randomized map-iteration order would, before the ordering fix, almost
+// surely permute the range list between runs.
+const multiRangeDoc = `{
+  "name": "pair",
+  "parameters": {"La": 0.1, "Mu": 5, "Fir": 0.01, "Tr": 1, "Tb": 2, "Q": 3},
+  "uncertain": {
+    "La": {"low": 0.05, "high": 0.2},
+    "Mu": {"low": 2, "high": 8},
+    "Fir": {"low": 0.001, "high": 0.05},
+    "Tr": {"low": 0.5, "high": 2},
+    "Tb": {"low": 1, "high": 4},
+    "Q": {"low": 1, "high": 5}
+  },
+  "states": [{"name": "Ok", "reward": 1}, {"name": "Down", "reward": 0}],
+  "transitions": [
+    {"from": "Ok", "to": "Down", "rate": "La*Fir*Q"},
+    {"from": "Down", "to": "Ok", "rate": "Mu/(Tr*Tb)"}
+  ]
+}`
+
+// TestRunUncertaintySameSeedDeterministic is the regression test for the
+// map-iteration-order bug: uncertainty.RunCtx maps pre-drawn unit samples
+// to parameters by range index, so uncertaintyRanges must emit a stable
+// (sorted) order or same-seed runs disagree.
+func TestRunUncertaintySameSeedDeterministic(t *testing.T) {
+	run := func() []float64 {
+		d, err := Parse(strings.NewReader(multiRangeDoc))
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		res, err := d.RunUncertainty(uncertainty.Options{Samples: 50, Seed: 7})
+		if err != nil {
+			t.Fatalf("RunUncertainty: %v", err)
+		}
+		return res.Downtimes
+	}
+	ref := run()
+	for trial := 0; trial < 5; trial++ {
+		got := run()
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d sample %d: downtime %.17g != %.17g — same-seed run not reproducible",
+					trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestUncertaintyRangesSorted(t *testing.T) {
+	ranges, err := uncertaintyRanges(map[string]UncertainRange{
+		"zeta": {1, 2}, "alpha": {1, 2}, "mid": {1, 2},
+	}, func(string) bool { return true })
+	if err != nil {
+		t.Fatalf("uncertaintyRanges: %v", err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i, r := range ranges {
+		if r.Name != want[i] {
+			t.Fatalf("range %d = %q, want %q (ranges must be name-sorted)", i, r.Name, want[i])
+		}
+	}
+}
+
+func TestUncertaintyRangesRejectNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name      string
+		low, high float64
+	}{
+		{"nan-low", nan, 1},
+		{"nan-high", 0, nan},
+		{"both-nan", nan, nan},
+		{"inf-low", -inf, 1},
+		{"inf-high", 0, inf},
+		{"low-above-high", 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := uncertaintyRanges(map[string]UncertainRange{
+				"p": {Low: tc.low, High: tc.high},
+			}, func(string) bool { return true })
+			if !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("low=%g high=%g: err = %v, want ErrBadSpec", tc.low, tc.high, err)
+			}
+		})
+	}
+	if _, err := uncertaintyRanges(map[string]UncertainRange{
+		"p": {Low: 1, High: 2},
+	}, func(string) bool { return true }); err != nil {
+		t.Fatalf("finite ordered range rejected: %v", err)
+	}
+}

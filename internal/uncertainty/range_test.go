@@ -1,0 +1,51 @@
+package uncertainty
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRangeValidateNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name    string
+		r       Range
+		wantErr bool
+	}{
+		{"ok", Range{Name: "p", Low: 0, High: 1}, false},
+		{"ok-degenerate", Range{Name: "p", Low: 1, High: 1}, false},
+		{"unnamed", Range{Low: 0, High: 1}, true},
+		{"inverted", Range{Name: "p", Low: 2, High: 1}, true},
+		// NaN compares false against everything, so before the finiteness
+		// check these slipped past the low <= high test.
+		{"nan-low", Range{Name: "p", Low: nan, High: 1}, true},
+		{"nan-high", Range{Name: "p", Low: 0, High: nan}, true},
+		{"nan-both", Range{Name: "p", Low: nan, High: nan}, true},
+		{"inf-low", Range{Name: "p", Low: -inf, High: 1}, true},
+		{"inf-high", Range{Name: "p", Low: 0, High: inf}, true},
+		{"inf-both", Range{Name: "p", Low: -inf, High: inf}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.r.Validate()
+			if tc.wantErr {
+				if !errors.Is(err, ErrBadAnalysis) {
+					t.Fatalf("err = %v, want ErrBadAnalysis", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsNonFiniteRange(t *testing.T) {
+	solve := func(map[string]float64) (float64, error) { return 0, nil }
+	_, err := Run([]Range{{Name: "p", Low: math.NaN(), High: 1}}, solve, Options{Samples: 2})
+	if !errors.Is(err, ErrBadAnalysis) {
+		t.Fatalf("err = %v, want ErrBadAnalysis", err)
+	}
+}

@@ -32,10 +32,16 @@ type Range struct {
 	Low, High float64
 }
 
-// Validate checks the range.
+// Validate checks the range: a name and finite, ordered bounds. Non-finite
+// bounds are rejected explicitly — NaN compares false against everything,
+// so an ordering check alone would accept NaN bounds and poison every
+// sampled assignment.
 func (r Range) Validate() error {
 	if r.Name == "" {
 		return fmt.Errorf("unnamed range: %w", ErrBadAnalysis)
+	}
+	if math.IsNaN(r.Low) || math.IsInf(r.Low, 0) || math.IsNaN(r.High) || math.IsInf(r.High, 0) {
+		return fmt.Errorf("range %s: non-finite bounds [%g, %g]: %w", r.Name, r.Low, r.High, ErrBadAnalysis)
 	}
 	if !(r.Low <= r.High) {
 		return fmt.Errorf("range %s: low %g > high %g: %w", r.Name, r.Low, r.High, ErrBadAnalysis)

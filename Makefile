@@ -52,9 +52,19 @@ fmt-check:
 # uncertainty analysis, so the ratio is measured against genuine solver
 # work — it sits around 1000× on an idle host, and 100× leaves room for
 # load noise without ever passing on a broken cache).
+# A fourth gate bounds the correlated-injection tax: the 2000-injection
+# campaign with fault domains, a common-cause fraction, and a partition
+# fraction (BenchmarkCampaignCorrelated) must stay within
+# MAX_CORRELATED_RATIO of the independent campaign. The correlated path
+# genuinely does more simulation work (multi-component bursts, partition
+# heal events, per-cause accounting), so the bound is looser than the
+# telemetry gate, but it still catches accidental per-injection overhead
+# leaking into the independent-dominated mix. Measured back-to-back,
+# best-of-3, same as the telemetry gate.
 MAX_CAMPAIGN_ALLOCS ?= 12000
 MAX_TELEMETRY_RATIO ?= 1.10
 MIN_JOBCACHE_SPEEDUP ?= 100
+MAX_CORRELATED_RATIO ?= 1.25
 
 verify: fmt-check
 	$(GO) build ./...
@@ -86,6 +96,17 @@ verify: fmt-check
 	echo "verify: job cache: miss=$$miss ns/op hit=$$hit ns/op speedup=$${speedup}x (min $(MIN_JOBCACHE_SPEEDUP)x)"; \
 	awk -v s="$$speedup" -v min="$(MIN_JOBCACHE_SPEEDUP)" \
 		'BEGIN { if (s < min) { printf "verify: job cache hit only %sx faster than miss (min %sx)\n", s, min; exit 1 } }'
+	@best=""; for i in 1 2 3; do \
+		$(GO) run ./cmd/bench-record -bench 'Campaign(Unsharded|Correlated)$$' -benchtime 300ms -out /tmp/bench-correlated.json 2>/dev/null; \
+		ind="$$($(GO) run ./cmd/bench-record -print-metric ns/op -select 'CampaignUnsharded' -in /tmp/bench-correlated.json)"; \
+		cor="$$($(GO) run ./cmd/bench-record -print-metric ns/op -select 'CampaignCorrelated' -in /tmp/bench-correlated.json)"; \
+		r="$$(awk -v c="$$cor" -v i="$$ind" 'BEGIN { printf "%.4f", c/i }')"; \
+		echo "verify: correlated round $$i: correlated=$$cor independent=$$ind ratio=$$r"; \
+		if [ -z "$$best" ] || awk -v a="$$r" -v b="$$best" 'BEGIN { exit !(a < b) }'; then best="$$r"; fi; \
+	done; \
+	echo "verify: correlated campaign overhead: best-of-3 ratio $$best (max $(MAX_CORRELATED_RATIO))"; \
+	awk -v r="$$best" -v max="$(MAX_CORRELATED_RATIO)" \
+		'BEGIN { if (r > max) { printf "verify: correlated overhead ratio %s exceeds %s\n", r, max; exit 1 } }'
 
 # Short traced fault-injection campaign: writes /tmp/jsas-trace.jsonl and
 # prints the reconstructed outage timeline and downtime decomposition.
@@ -119,11 +140,11 @@ cover:
 # leaves every earlier BENCH_PR*.json untouched, so speedups stay
 # auditable across the whole PR sequence (BENCH_PR3.json and
 # BENCH_PR4.json are the pre-rebuild baselines).
-PR ?= 9
+PR ?= 10
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated|Telemetry)|LongevitySeries|JobCache(Hit|Miss|Coalesced)|BayesSolve|CTMCSolveCluster' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
+	$(GO) run ./cmd/bench-record -bench 'Sweep|Uncertainty|Table|Campaign(Unsharded|Replicated|Telemetry|Correlated|Partition)|LongevitySeries|JobCache(Hit|Miss|Coalesced)|BayesSolve|CTMCSolveCluster' -benchtime 500ms -benchmem -out BENCH_PR$(PR).json
 
 # Full paper reproduction to stdout.
 reproduce:

@@ -222,6 +222,51 @@ func benchmarkCampaignTelemetry(b *testing.B, telemetry bool) {
 func BenchmarkCampaignTelemetryOff(b *testing.B) { benchmarkCampaignTelemetry(b, false) }
 func BenchmarkCampaignTelemetryOn(b *testing.B)  { benchmarkCampaignTelemetry(b, true) }
 
+// benchDomains covers Config1 with a two-rack site for the correlated
+// campaign benchmarks (same shape the -domains CLI examples use).
+func benchDomains() []testbed.Domain {
+	return []testbed.Domain{
+		{Name: "site"},
+		{Name: "rack-a", Parent: "site", AS: []int{0},
+			HADB: []testbed.NodeRef{{Pair: 0, Slot: 0}, {Pair: 1, Slot: 0}}},
+		{Name: "rack-b", Parent: "site", AS: []int{1},
+			HADB: []testbed.NodeRef{{Pair: 0, Slot: 1}, {Pair: 1, Slot: 1}}},
+	}
+}
+
+// benchmarkCampaignCorrelated measures the correlated-injection tax on
+// the unsharded 2000-injection campaign: the class-selector draw, domain
+// burst/partition scheduling, and the per-cause accounting. `make verify`
+// gates the Correlated/Unsharded ns/op ratio so the correlated path stays
+// within MAX_CORRELATED_RATIO of the independent one.
+func benchmarkCampaignCorrelated(b *testing.B, ccf, pf float64) {
+	b.Helper()
+	p := DefaultParams()
+	p.FIR = 0
+	var beta float64
+	for i := 0; i < b.N; i++ {
+		opts := faultinject.Options{
+			Config: Config1, Params: p, Seed: int64(i), Injections: 2000,
+			Domains: benchDomains(),
+		}
+		if ccf > 0 {
+			opts.CommonCauseFraction = &ccf
+		}
+		if pf > 0 {
+			opts.PartitionFraction = &pf
+		}
+		rep, err := faultinject.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		beta = rep.MeasuredCommonCauseFraction()
+	}
+	b.ReportMetric(beta, "measured-beta")
+}
+
+func BenchmarkCampaignCorrelated(b *testing.B) { benchmarkCampaignCorrelated(b, 0.15, 0.1) }
+func BenchmarkCampaignPartition(b *testing.B)  { benchmarkCampaignCorrelated(b, 0, 0.25) }
+
 // benchmarkLongevitySeries runs 4 × 7-day longevity runs at the given
 // worker count (paper: "multiple 7-day duration runs", pooled).
 func benchmarkLongevitySeries(b *testing.B, parallelism int) {

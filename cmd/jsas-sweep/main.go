@@ -5,7 +5,7 @@
 // Usage:
 //
 //	jsas-sweep [-config 1|2] [-from 0.5] [-to 3] [-steps 10] [-parallel N]
-//	           [-backend ctmc|bayes] [-csv] [-stats] [-progress]
+//	           [-backend ctmc|bayes] [-csv] [-stats] [-progress] [-beta 0]
 //	jsas-sweep -replication [-from 10] [-to 100] [-steps 9] [-quorum 0.9]
 //	           [-backend bayes]
 //
@@ -60,9 +60,12 @@ func run(ctx context.Context, args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	stats := fs.Bool("stats", false, "print engine metrics (solves, sweeps, latency) to stderr after the sweep")
 	showProgress := fs.Bool("progress", false, "print a live status line (points, rate, ETA) to stderr")
+	beta := fs.Float64("beta", 0, "beta-factor common-cause fraction in [0,1) (0 = paper model)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	params := jsas.DefaultParams()
+	params.Beta = *beta
 	if *stats {
 		defer func() {
 			fmt.Fprintln(os.Stderr, "\nEngine metrics:")
@@ -74,7 +77,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	if *replication {
-		return runReplicationSweep(ctx, *from, *to, *steps, *quorumFrac, kind, *csv)
+		return runReplicationSweep(ctx, params, *from, *to, *steps, *quorumFrac, kind, *csv)
 	}
 	var cfg jsas.Config
 	switch *configNo {
@@ -92,7 +95,7 @@ func run(ctx context.Context, args []string) error {
 	reporter := progress.NewReporter(tracker, os.Stderr, "sweep", time.Second)
 	reporter.Start()
 	points, err := sensitivity.SweepWithCtx(ctx, *from, *to, *steps,
-		jsas.SweepSolverBackend(cfg, jsas.DefaultParams(), *param, kind),
+		jsas.SweepSolverBackend(cfg, params, *param, kind),
 		sensitivity.SweepOptions{Parallelism: *parallel, Progress: tracker})
 	reporter.Stop()
 	if err != nil {
@@ -132,7 +135,7 @@ func run(ctx context.Context, args []string) error {
 
 // runReplicationSweep evaluates k-of-n cluster availability across replica
 // counts: -from/-to are instance counts and -steps the stride count.
-func runReplicationSweep(ctx context.Context, from, to float64, steps int, quorumFrac float64, kind backend.Kind, csv bool) error {
+func runReplicationSweep(ctx context.Context, params jsas.Params, from, to float64, steps int, quorumFrac float64, kind backend.Kind, csv bool) error {
 	nFrom, nTo := int(from), int(to)
 	step := 1
 	if steps > 0 && nTo > nFrom {
@@ -140,7 +143,7 @@ func runReplicationSweep(ctx context.Context, from, to float64, steps int, quoru
 			step = 1
 		}
 	}
-	points, err := jsas.ReplicationSweep(ctx, jsas.DefaultParams(), nFrom, nTo, step, quorumFrac, kind)
+	points, err := jsas.ReplicationSweep(ctx, params, nFrom, nTo, step, quorumFrac, kind)
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	jsas-tables [-table3] [-csv]
+//	jsas-tables [-table3] [-csv] [-beta 0]
+//
+// With -beta > 0 the solve includes the beta-factor common-cause failure
+// mode (e.g. the measured fraction from a correlated jsas-faultinject
+// campaign) and Table 2 gains a "YD due to CC" column; with the default
+// -beta 0 the output is exactly the paper's tables.
 package main
 
 import (
@@ -28,10 +33,12 @@ func run(args []string) error {
 	table3Only := fs.Bool("table3", false, "print only Table 3")
 	table2Only := fs.Bool("table2", false, "print only Table 2")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	beta := fs.Float64("beta", 0, "beta-factor common-cause fraction in [0,1) (0 = paper model)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	p := jsas.DefaultParams()
+	p.Beta = *beta
 	if !*table3Only {
 		t, err := table2(p)
 		if err != nil {
@@ -62,10 +69,11 @@ func emit(t *report.Table, csv bool) error {
 }
 
 func table2(p jsas.Params) (*report.Table, error) {
-	t := report.NewTable(
-		"Table 2. System Results",
-		"Configuration", "Availability", "Yearly Downtime", "YD due to AS", "YD due to HADB",
-	)
+	cols := []string{"Configuration", "Availability", "Yearly Downtime", "YD due to AS", "YD due to HADB"}
+	if p.Beta > 0 {
+		cols = append(cols, "YD due to CC")
+	}
+	t := report.NewTable("Table 2. System Results", cols...)
 	for i, cfg := range []jsas.Config{jsas.Config1, jsas.Config2} {
 		res, err := jsas.Solve(cfg, p)
 		if err != nil {
@@ -73,13 +81,18 @@ func table2(p jsas.Params) (*report.Table, error) {
 		}
 		asShare := res.DowntimeASMinutes / res.YearlyDowntimeMinutes * 100
 		hadbShare := res.DowntimeHADBMinutes / res.YearlyDowntimeMinutes * 100
-		t.AddRow(
+		row := []string{
 			fmt.Sprintf("Config %d (%s)", i+1, cfg),
 			report.Availability(res.Availability),
 			report.Minutes(res.YearlyDowntimeMinutes),
 			fmt.Sprintf("%s (%.2f%%)", report.Minutes(res.DowntimeASMinutes), asShare),
 			fmt.Sprintf("%s (%.2f%%)", report.Minutes(res.DowntimeHADBMinutes), hadbShare),
-		)
+		}
+		if p.Beta > 0 {
+			ccShare := res.DowntimeCommonCauseMinutes / res.YearlyDowntimeMinutes * 100
+			row = append(row, fmt.Sprintf("%s (%.2f%%)", report.Minutes(res.DowntimeCommonCauseMinutes), ccShare))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

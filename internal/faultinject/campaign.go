@@ -73,6 +73,22 @@ type Options struct {
 	// DefaultMultiNodeFraction (0.1); Fraction(0) disables multi-node
 	// injections entirely.
 	MultiNodeFraction *float64
+	// Domains declares the fault-domain tree (site → power domain/rack →
+	// members) for common-cause injection; required when
+	// CommonCauseFraction > 0.
+	Domains []testbed.Domain
+	// CommonCauseFraction is the probability an injection is a
+	// domain-level common-cause burst: a random declared domain fails
+	// atomically, every member with the same fault. nil (or Fraction(0))
+	// keeps the campaign purely independent — and RNG-stream identical to
+	// a pre-fault-domain campaign.
+	CommonCauseFraction *float64
+	// PartitionFraction is the probability an injection is a network
+	// partition isolating a random nonempty subset of the AS instances
+	// from the load balancer (LB split-brain; isolating all of them
+	// models a switch loss). nil means 0. CommonCauseFraction +
+	// PartitionFraction must not exceed 1.
+	PartitionFraction *float64
 	// RecoveryTimeout bounds how long the campaign waits for full cluster
 	// health after an injection before declaring the recovery failed.
 	// Default 4 h (covers HW physical repair).
@@ -120,6 +136,15 @@ type Injection struct {
 	Target    string
 	Fault     testbed.Fault
 	MultiNode bool
+	// Class is the cause class: independent (zero), common-cause (a
+	// domain burst), or partition.
+	Class testbed.Cause
+	// Domain names the fault domain of a common-cause burst.
+	Domain string
+	// ComponentsFailed counts the component failures this injection
+	// induced (1 or 2 independent, domain size for a burst, 0 for a
+	// partition — isolated instances stay alive).
+	ComponentsFailed int
 	// Recovered reports whether the cluster returned to full health
 	// within the timeout with no system-level outage.
 	Recovered bool
@@ -138,6 +163,10 @@ type Report struct {
 	Successes int
 	// ByFault counts injections per fault type.
 	ByFault map[testbed.Fault]int
+	// ByClass decomposes injections, successes, component failures, and
+	// downtime by cause class (independent vs. common-cause vs.
+	// partition).
+	ByClass map[testbed.Cause]ClassStats
 	// CoverageBounds holds the Equation (1) bounds at each confidence,
 	// computed over the pooled injection counts.
 	CoverageBounds []estimate.CoverageBound
@@ -193,11 +222,42 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 	if multiNodeFraction < 0 || multiNodeFraction > 1 {
 		return nil, fmt.Errorf("MultiNodeFraction = %g: %w", multiNodeFraction, ErrBadCampaign)
 	}
+	ccFraction := opts.commonCauseFraction()
+	if ccFraction < 0 || ccFraction > 1 {
+		return nil, fmt.Errorf("CommonCauseFraction = %g: %w", ccFraction, ErrBadCampaign)
+	}
+	partitionFraction := opts.partitionFraction()
+	if partitionFraction < 0 || partitionFraction > 1 {
+		return nil, fmt.Errorf("PartitionFraction = %g: %w", partitionFraction, ErrBadCampaign)
+	}
+	correlated := ccFraction + partitionFraction
+	if correlated > 1 {
+		return nil, fmt.Errorf("CommonCauseFraction+PartitionFraction = %g > 1: %w", correlated, ErrBadCampaign)
+	}
+	if ccFraction > 0 && len(opts.Domains) == 0 {
+		return nil, fmt.Errorf("CommonCauseFraction = %g with no Domains: %w", ccFraction, ErrBadCampaign)
+	}
+	if partitionFraction > 0 && opts.Config.ASInstances < 2 {
+		return nil, fmt.Errorf("PartitionFraction = %g needs at least 2 AS instances: %w", partitionFraction, ErrBadCampaign)
+	}
+	if len(opts.Domains) > 0 {
+		if err := testbed.ValidateDomains(opts.Domains, opts.Config.ASInstances, opts.Config.HADBPairs); err != nil {
+			return nil, fmt.Errorf("domains: %v: %w", err, ErrBadCampaign)
+		}
+	}
 	if opts.RecoveryTimeout <= 0 {
 		opts.RecoveryTimeout = 4 * time.Hour
 	}
 	if len(opts.Faults) == 0 {
 		opts.Faults = testbed.Faults()
+	}
+	// Reject an unknown Fault value here, not after thousands of healthy
+	// injections: Fault.Kind is the taxonomy's source of truth, and a
+	// value outside it is a configuration error, not a mid-campaign one.
+	for _, f := range opts.Faults {
+		if _, err := f.Kind(); err != nil {
+			return nil, fmt.Errorf("faults: %v: %w", err, ErrBadCampaign)
+		}
 	}
 	if len(opts.Confidences) == 0 {
 		opts.Confidences = []float64{0.95, 0.995}
@@ -226,6 +286,7 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 		Params:   opts.Params,
 		Timing:   opts.Timing,
 		Seed:     opts.Seed,
+		Domains:  opts.Domains,
 		Observer: observer,
 		// Organic failures off: every failure is an injection.
 	})
@@ -233,6 +294,12 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("faultinject: %w", err)
 	}
 	rng := cluster.Sim().RNG()
+	// Scratch for partition target selection (partial Fisher–Yates),
+	// allocated once for the whole campaign.
+	var partitionIDs []int
+	if partitionFraction > 0 {
+		partitionIDs = make([]int, opts.Config.ASInstances)
+	}
 	rep := &Report{
 		Config:        opts.Config,
 		Replicas:      1,
@@ -249,8 +316,26 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 			runErr = fmt.Errorf("faultinject: cluster did not settle before injection %d: %w", i, err)
 			break
 		}
-		fault := opts.Faults[rng.Intn(len(opts.Faults))]
-		inj := Injection{At: cluster.Now(), Fault: fault}
+		// The class selector draw happens only when correlated injections
+		// are requested, so a purely independent campaign consumes the
+		// exact RNG stream it always has — same-seed reports stay
+		// byte-identical to pre-fault-domain runs.
+		class := testbed.CauseIndependent
+		if correlated > 0 {
+			switch u := rng.Float64(); {
+			case u < ccFraction:
+				class = testbed.CauseCommonCause
+			case u < correlated:
+				class = testbed.CausePartition
+			}
+		}
+		// A partition is the network-cut fault by definition; the
+		// taxonomy draw is reserved for injections that fail components.
+		fault := testbed.FaultNetworkCut
+		if class != testbed.CausePartition {
+			fault = opts.Faults[rng.Intn(len(opts.Faults))]
+		}
+		inj := Injection{At: cluster.Now(), Fault: fault, Class: class}
 		kind, err := fault.Kind()
 		if err != nil {
 			runErr = fmt.Errorf("faultinject: injection %d: %w", i, err)
@@ -269,35 +354,79 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 		if tracer != nil {
 			tracer.SetParent(injSpan)
 		}
-		if rng.Float64() < asFraction {
-			id := rng.Intn(opts.Config.ASInstances)
-			inj.Target = fmt.Sprintf("as-%d", id)
-			injSpan.Attr(trace.String(trace.AttrComponent, testbed.ComponentAS.String()))
-			if err := cluster.InjectAS(id, fault); err != nil {
-				injSpan.EndAt(cluster.Now())
-				runErr = fmt.Errorf("faultinject: injection %d: %w", i, err)
-				break
+		var placeErr error
+		switch class {
+		case testbed.CauseCommonCause:
+			d := opts.Domains[rng.Intn(len(opts.Domains))]
+			inj.Domain = d.Name
+			inj.Target = "domain:" + d.Name
+			injSpan.Attr(
+				trace.String(trace.AttrClass, class.String()),
+				trace.String(trace.AttrDomain, d.Name))
+			if n, err := cluster.InjectDomain(d.Name, fault); err != nil {
+				placeErr = err
+			} else {
+				inj.ComponentsFailed = n
+				obsDomainInjections.Inc()
 			}
-		} else {
-			pair := rng.Intn(opts.Config.HADBPairs)
-			slot := rng.Intn(2)
-			inj.Target = fmt.Sprintf("hadb-%d/%d", pair, slot)
-			injSpan.Attr(trace.String(trace.AttrComponent, testbed.ComponentHADB.String()))
-			if err := cluster.InjectHADB(pair, slot, fault); err != nil {
-				injSpan.EndAt(cluster.Now())
-				runErr = fmt.Errorf("faultinject: injection %d: %w", i, err)
-				break
+		case testbed.CausePartition:
+			// Isolate a random nonempty subset of the instances via a
+			// partial Fisher–Yates shuffle of the scratch index slice.
+			// k = n cuts the whole tier off from the load balancer (switch
+			// loss) — the system is down until the partition heals even
+			// though every instance is alive.
+			n := opts.Config.ASInstances
+			k := 1 + rng.Intn(n)
+			for j := range partitionIDs {
+				partitionIDs[j] = j
 			}
-			// Multi-node: a simultaneous second injection in another pair.
-			if opts.Config.HADBPairs > 1 && rng.Float64() < multiNodeFraction {
-				other := (pair + 1 + rng.Intn(opts.Config.HADBPairs-1)) % opts.Config.HADBPairs
-				if err := cluster.InjectHADB(other, rng.Intn(2), fault); err != nil {
-					injSpan.EndAt(cluster.Now())
-					runErr = fmt.Errorf("faultinject: injection %d (multi-node): %w", i, err)
+			for j := 0; j < k; j++ {
+				swap := j + rng.Intn(n-j)
+				partitionIDs[j], partitionIDs[swap] = partitionIDs[swap], partitionIDs[j]
+			}
+			inj.Target = fmt.Sprintf("network:%d", k)
+			injSpan.Attr(trace.String(trace.AttrClass, class.String()))
+			if err := cluster.InjectPartition(partitionIDs[:k]); err != nil {
+				placeErr = err
+			} else {
+				obsPartitionInjections.Inc()
+			}
+		default:
+			if rng.Float64() < asFraction {
+				id := rng.Intn(opts.Config.ASInstances)
+				inj.Target = fmt.Sprintf("as-%d", id)
+				injSpan.Attr(trace.String(trace.AttrComponent, testbed.ComponentAS.String()))
+				if err := cluster.InjectAS(id, fault); err != nil {
+					placeErr = err
+				} else {
+					inj.ComponentsFailed = 1
+				}
+			} else {
+				pair := rng.Intn(opts.Config.HADBPairs)
+				slot := rng.Intn(2)
+				inj.Target = fmt.Sprintf("hadb-%d/%d", pair, slot)
+				injSpan.Attr(trace.String(trace.AttrComponent, testbed.ComponentHADB.String()))
+				if err := cluster.InjectHADB(pair, slot, fault); err != nil {
+					placeErr = err
 					break
 				}
-				inj.MultiNode = true
+				inj.ComponentsFailed = 1
+				// Multi-node: a simultaneous second injection in another pair.
+				if opts.Config.HADBPairs > 1 && rng.Float64() < multiNodeFraction {
+					other := (pair + 1 + rng.Intn(opts.Config.HADBPairs-1)) % opts.Config.HADBPairs
+					if err := cluster.InjectHADB(other, rng.Intn(2), fault); err != nil {
+						placeErr = fmt.Errorf("multi-node: %w", err)
+						break
+					}
+					inj.MultiNode = true
+					inj.ComponentsFailed = 2
+				}
 			}
+		}
+		if placeErr != nil {
+			injSpan.EndAt(cluster.Now())
+			runErr = fmt.Errorf("faultinject: injection %d: %w", i, placeErr)
+			break
 		}
 		healthyErr := waitHealthy(cluster, opts.RecoveryTimeout)
 		inj.RecoveryTime = cluster.Now() - inj.At
@@ -316,6 +445,7 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 		rep.ByFault[fault]++
 		rep.Injections = append(rep.Injections, inj)
 		obsInjections.Inc()
+		obsInjectionsByClass[class].Inc()
 		if opts.Progress != nil {
 			opts.Progress.Done()
 			if inj.Recovered {
@@ -334,6 +464,7 @@ func RunCtx(ctx context.Context, opts Options) (*Report, error) {
 	}
 	rep.Stats = cluster.Stats()
 	cluster.Close()
+	rep.computeByClass()
 	// Collect the recovery-time samples for parameter estimation.
 	for _, rec := range rep.Stats.Recoveries {
 		if !rec.Success {

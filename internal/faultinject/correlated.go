@@ -1,0 +1,106 @@
+package faultinject
+
+// This file holds the correlated-campaign support: domain-level
+// common-cause bursts and network partitions layered on the independent
+// fault taxonomy, with the report decomposed by cause class. The
+// measured common-cause fraction (beta) is the bridge to the analytic
+// side — it parameterizes the beta-factor term of the hierarchical
+// model the same way Table 3 parameterizes the independent one.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/testbed"
+)
+
+// Correlated-injection metrics, reported to the default obs registry.
+var (
+	obsDomainInjections    = obs.C("faultinject_domain_injections_total", "domain-level common-cause injections performed")
+	obsPartitionInjections = obs.C("faultinject_partition_injections_total", "network-partition injections performed")
+	// obsInjectionsByClass is resolved per class at init — the increment
+	// runs once per injection in the campaign hot loop.
+	obsInjectionsByClass [int(testbed.CausePartition) + 1]*obs.Counter
+)
+
+func init() {
+	for cl := testbed.CauseIndependent; cl <= testbed.CausePartition; cl++ {
+		obsInjectionsByClass[cl] = obs.C("faultinject_injections_by_class_total",
+			"fault injections by cause class", fmt.Sprintf("class=%q", cl))
+	}
+}
+
+// commonCauseFraction resolves the common-cause probability (nil = 0).
+func (o Options) commonCauseFraction() float64 {
+	if o.CommonCauseFraction == nil {
+		return 0
+	}
+	return *o.CommonCauseFraction
+}
+
+// partitionFraction resolves the partition probability (nil = 0).
+func (o Options) partitionFraction() float64 {
+	if o.PartitionFraction == nil {
+		return 0
+	}
+	return *o.PartitionFraction
+}
+
+// ClassStats decomposes the campaign along one cause class.
+type ClassStats struct {
+	// Injections and Successes count experiments of this class and those
+	// that recovered without a system outage — the class's coverage.
+	Injections int
+	Successes  int
+	// ComponentFailures counts the component failures the class's
+	// injections induced (a domain burst fails every member at once; a
+	// partition fails none — instances stay alive, just unreachable).
+	ComponentFailures int
+	// Downtime is the system downtime from outages attributed to this
+	// class.
+	Downtime time.Duration
+}
+
+// computeByClass (re)derives the per-class decomposition from the
+// injection records and the cluster stats; called when a report is
+// finalized and again after a replicated merge, so the decomposition is
+// always consistent with the pooled records.
+func (r *Report) computeByClass() {
+	r.ByClass = make(map[testbed.Cause]ClassStats)
+	for _, inj := range r.Injections {
+		cs := r.ByClass[inj.Class]
+		cs.Injections++
+		if inj.Recovered {
+			cs.Successes++
+		}
+		cs.ComponentFailures += inj.ComponentsFailed
+		r.ByClass[inj.Class] = cs
+	}
+	down := r.Stats.DowntimeByClass()
+	for cl := range down {
+		if down[cl] > 0 {
+			cs := r.ByClass[testbed.Cause(cl)]
+			cs.Downtime = down[cl]
+			r.ByClass[testbed.Cause(cl)] = cs
+		}
+	}
+}
+
+// MeasuredCommonCauseFraction returns the measured beta-factor: the
+// fraction of induced component failures that arrived via a common
+// cause. Feeding it to jsas.Params.Beta (or a spec common_cause block)
+// parameterizes the analytic beta-factor model from this campaign.
+func (r *Report) MeasuredCommonCauseFraction() float64 {
+	total, cc := 0, 0
+	for _, inj := range r.Injections {
+		total += inj.ComponentsFailed
+		if inj.Class == testbed.CauseCommonCause {
+			cc += inj.ComponentsFailed
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cc) / float64(total)
+}

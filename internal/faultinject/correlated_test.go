@@ -1,0 +1,203 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/jsas"
+	"repro/internal/testbed"
+)
+
+// corrDomains is a two-rack site covering all of Config1.
+func corrDomains() []testbed.Domain {
+	return []testbed.Domain{
+		{Name: "site"},
+		{Name: "rack-a", Parent: "site", AS: []int{0}, HADB: []testbed.NodeRef{{Pair: 0, Slot: 0}, {Pair: 1, Slot: 0}}},
+		{Name: "rack-b", Parent: "site", AS: []int{1}, HADB: []testbed.NodeRef{{Pair: 0, Slot: 1}, {Pair: 1, Slot: 1}}},
+	}
+}
+
+func frac(v float64) *float64 { return &v }
+
+func TestCorrelatedCampaignValidation(t *testing.T) {
+	t.Parallel()
+	base := Options{Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 1, Injections: 5}
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"negative ccf", func(o *Options) { o.Domains = corrDomains(); o.CommonCauseFraction = frac(-0.1) }},
+		{"ccf above 1", func(o *Options) { o.Domains = corrDomains(); o.CommonCauseFraction = frac(1.5) }},
+		{"negative partition", func(o *Options) { o.PartitionFraction = frac(-0.1) }},
+		{"fractions sum above 1", func(o *Options) {
+			o.Domains = corrDomains()
+			o.CommonCauseFraction = frac(0.6)
+			o.PartitionFraction = frac(0.6)
+		}},
+		{"ccf without domains", func(o *Options) { o.CommonCauseFraction = frac(0.2) }},
+		{"partition needs 2+ instances", func(o *Options) {
+			o.Config = jsas.Config{ASInstances: 1, HADBPairs: 0}
+			o.PartitionFraction = frac(0.2)
+		}},
+		{"bad domain member", func(o *Options) {
+			o.Domains = []testbed.Domain{{Name: "a", AS: []int{99}}}
+			o.CommonCauseFraction = frac(0.2)
+		}},
+		{"unknown fault", func(o *Options) { o.Faults = []testbed.Fault{testbed.Fault(42)} }},
+	}
+	for _, tc := range cases {
+		opts := base
+		tc.mutate(&opts)
+		if _, err := Run(opts); !errors.Is(err, ErrBadCampaign) {
+			t.Errorf("%s: err = %v, want ErrBadCampaign", tc.name, err)
+		}
+	}
+}
+
+func TestCorrelatedDecompositionConsistent(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Options{
+		Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 9, Injections: 400,
+		Domains:             corrDomains(),
+		CommonCauseFraction: frac(0.15),
+		PartitionFraction:   frac(0.1),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	inj, succ := 0, 0
+	for _, cs := range rep.ByClass {
+		inj += cs.Injections
+		succ += cs.Successes
+	}
+	if inj != len(rep.Injections) {
+		t.Errorf("per-class injections sum to %d, want %d", inj, len(rep.Injections))
+	}
+	if succ != rep.Successes {
+		t.Errorf("per-class successes sum to %d, want %d", succ, rep.Successes)
+	}
+	if cs := rep.ByClass[testbed.CausePartition]; cs.ComponentFailures != 0 {
+		t.Errorf("partition component failures = %d, want 0 (instances stay alive)", cs.ComponentFailures)
+	}
+	if cs := rep.ByClass[testbed.CauseCommonCause]; cs.Injections > 0 && cs.ComponentFailures <= cs.Injections {
+		t.Errorf("common-cause bursts should fail >1 component each: %d failures over %d bursts",
+			cs.ComponentFailures, cs.Injections)
+	}
+	var classDown time.Duration
+	for cl := range rep.Stats.DowntimeByClass() {
+		classDown += rep.Stats.DowntimeByClass()[cl]
+	}
+	if classDown != rep.Stats.DownTime {
+		t.Errorf("per-class downtime sums to %v, want %v", classDown, rep.Stats.DownTime)
+	}
+	beta := rep.MeasuredCommonCauseFraction()
+	if beta <= 0 || beta >= 1 {
+		t.Errorf("measured beta = %v, want in (0,1) for a mixed campaign", beta)
+	}
+	if rep.Stats.Partitions == 0 {
+		t.Error("no partitions recorded with a partition fraction set")
+	}
+}
+
+// TestCorrelatedDeterministicAcrossParallelism pins the replication
+// contract for correlated campaigns: the merged report — per-class
+// decomposition included — and the merged availability time series are
+// byte-identical for every worker count.
+func TestCorrelatedDeterministicAcrossParallelism(t *testing.T) {
+	t.Parallel()
+	run := func(parallelism int) (*Report, []byte) {
+		series := testbed.NewTimeSeries(time.Hour, 0)
+		rep, err := RunReplicated(ReplicatedOptions{
+			Options: Options{
+				Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 77, Injections: 200,
+				Domains:             corrDomains(),
+				CommonCauseFraction: frac(0.2),
+				PartitionFraction:   frac(0.1),
+				TimeSeries:          series,
+			},
+			Replicas:    4,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatalf("RunReplicated(parallelism=%d): %v", parallelism, err)
+		}
+		var buf bytes.Buffer
+		if err := series.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return rep, buf.Bytes()
+	}
+	rep1, json1 := run(1)
+	for _, par := range []int{2, 0} {
+		repN, jsonN := run(par)
+		if !reflect.DeepEqual(rep1, repN) {
+			t.Fatalf("correlated report differs between parallelism 1 and %d", par)
+		}
+		if !bytes.Equal(json1, jsonN) {
+			t.Fatalf("merged time series JSON differs between parallelism 1 and %d", par)
+		}
+	}
+	// The merged decomposition carries real correlated content.
+	if rep1.ByClass[testbed.CauseCommonCause].Injections == 0 {
+		t.Error("merged report lost the common-cause class")
+	}
+	if rep1.ByClass[testbed.CausePartition].Injections == 0 {
+		t.Error("merged report lost the partition class")
+	}
+}
+
+// TestUnsetFractionsMatchPlainCampaign pins the RNG-stream identity:
+// declaring domains without fractions must not perturb a single draw, so
+// the report matches a domain-free campaign exactly.
+func TestUnsetFractionsMatchPlainCampaign(t *testing.T) {
+	t.Parallel()
+	base := Options{Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 13, Injections: 120}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	withDomains := base
+	withDomains.Domains = corrDomains()
+	domained, err := Run(withDomains)
+	if err != nil {
+		t.Fatalf("Run with domains: %v", err)
+	}
+	if !reflect.DeepEqual(plain.Injections, domained.Injections) {
+		t.Error("injection records differ with declared-but-unused domains")
+	}
+	if plain.Successes != domained.Successes || plain.Stats.DownTime != domained.Stats.DownTime {
+		t.Error("outcome differs with declared-but-unused domains")
+	}
+	// Explicit zero fractions are the same contract as nil.
+	zeroed := withDomains
+	zeroed.CommonCauseFraction = frac(0)
+	zeroed.PartitionFraction = frac(0)
+	z, err := Run(zeroed)
+	if err != nil {
+		t.Fatalf("Run with zero fractions: %v", err)
+	}
+	if !reflect.DeepEqual(plain.Injections, z.Injections) {
+		t.Error("injection records differ with explicit zero fractions")
+	}
+}
+
+func TestMeasuredBetaAllCommonCause(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Options{
+		Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: 5, Injections: 30,
+		Domains:             corrDomains(),
+		CommonCauseFraction: frac(1),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if beta := rep.MeasuredCommonCauseFraction(); beta != 1 {
+		t.Errorf("beta = %v, want 1 when every injection is common-cause", beta)
+	}
+	if got := rep.ByClass[testbed.CauseIndependent].Injections; got != 0 {
+		t.Errorf("independent injections = %d, want 0", got)
+	}
+}

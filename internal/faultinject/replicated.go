@@ -224,6 +224,10 @@ func mergeReports(opts Options, replicas int, parts []*Report) (*Report, error) 
 		}
 		out.Stats = out.Stats.Merge(p.Stats)
 	}
+	// Rederive the per-class decomposition from the pooled records — a
+	// sum of per-replica maps and a recompute agree exactly, and the
+	// recompute keeps one source of truth.
+	out.computeByClass()
 	confidences := opts.Confidences
 	if len(confidences) == 0 {
 		confidences = []float64{0.95, 0.995}

@@ -340,3 +340,85 @@ func TestComponentName(t *testing.T) {
 		t.Errorf("Name = %q", c.Name())
 	}
 }
+
+// TestProductWithCommonCause: the shared mode is an independent two-state
+// component AND-ed with the structure, so availability factorizes exactly
+// as A_cc · A_structure.
+func TestProductWithCommonCause(t *testing.T) {
+	t.Parallel()
+	mk := func(la, mu float64) *reward.Structure {
+		b := ctmc.NewBuilder()
+		up := b.State("Up")
+		down := b.State("Down")
+		b.Transition(up, down, la)
+		b.Transition(down, up, mu)
+		m, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		s, err := reward.Binary(m, "Down")
+		if err != nil {
+			t.Fatalf("Binary: %v", err)
+		}
+		return s
+	}
+	comps := []*reward.Structure{mk(0.01, 1), mk(0.02, 4)}
+	oneOfTwo := func(up []bool) bool { return up[0] || up[1] }
+	plain, err := Product(comps, oneOfTwo)
+	if err != nil {
+		t.Fatalf("Product: %v", err)
+	}
+	plainRes, err := plain.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve plain: %v", err)
+	}
+	const laCC, muCC = 0.005, 2.0
+	cc, err := ProductWithCommonCause(comps, oneOfTwo, laCC, muCC)
+	if err != nil {
+		t.Fatalf("ProductWithCommonCause: %v", err)
+	}
+	if cc.Model().NumStates() != 8 {
+		t.Fatalf("states = %d, want 8 (2·2·2)", cc.Model().NumStates())
+	}
+	res, err := cc.Solve(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	aCC := muCC / (laCC + muCC)
+	want := aCC * plainRes.Availability
+	if math.Abs(res.Availability-want) > 1e-12 {
+		t.Errorf("availability = %v, want A_cc·A_structure = %v", res.Availability, want)
+	}
+}
+
+func TestProductWithCommonCauseErrors(t *testing.T) {
+	t.Parallel()
+	b := ctmc.NewBuilder()
+	up := b.State("Up")
+	down := b.State("Down")
+	b.Transition(up, down, 0.01)
+	b.Transition(down, up, 1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s, err := reward.Binary(m, "Down")
+	if err != nil {
+		t.Fatalf("Binary: %v", err)
+	}
+	comps := []*reward.Structure{s}
+	pred := func(up []bool) bool { return up[0] }
+	for name, rates := range map[string][2]float64{
+		"zero-lambda":     {0, 1},
+		"negative-lambda": {-1, 1},
+		"zero-mu":         {0.1, 0},
+		"negative-mu":     {0.1, -2},
+	} {
+		if _, err := ProductWithCommonCause(comps, pred, rates[0], rates[1]); !errors.Is(err, ErrBadComponent) {
+			t.Errorf("%s: err = %v, want ErrBadComponent", name, err)
+		}
+	}
+	if _, err := ProductWithCommonCause(comps, nil, 0.1, 1); !errors.Is(err, ErrBadComponent) {
+		t.Errorf("nil predicate: err = %v, want ErrBadComponent", err)
+	}
+}

@@ -104,6 +104,46 @@ func Product(components []*reward.Structure, up func(componentUp []bool) bool) (
 	return reward.New(model, rates)
 }
 
+// ProductWithCommonCause composes components like Product and adds a
+// beta-factor common-cause mode: an independent two-state failure process
+// (failure rate lambdaCC, repair rate muCC) that takes the composite down
+// regardless of the component states. The composite is up iff the
+// common-cause process is up AND the predicate holds.
+//
+// Because the common-cause process is independent of every component, the
+// steady-state availability factorizes exactly as A_cc · A_structure —
+// the same composition the bayes backend expresses as a noisy-OR failure
+// gate with leak 1−A_cc over the structure root — so the two backends
+// agree to solver precision, not just to first order.
+func ProductWithCommonCause(components []*reward.Structure, up func(componentUp []bool) bool, lambdaCC, muCC float64) (*reward.Structure, error) {
+	if !(lambdaCC > 0) || !(muCC > 0) {
+		return nil, fmt.Errorf("common-cause rates lambda=%g, mu=%g must be positive: %w", lambdaCC, muCC, ErrBadComponent)
+	}
+	if up == nil {
+		return nil, fmt.Errorf("nil up predicate: %w", ErrBadComponent)
+	}
+	b := ctmc.NewBuilder()
+	ccUp := b.State("CC:Up")
+	ccDown := b.State("CC:Down")
+	b.Transition(ccUp, ccDown, lambdaCC)
+	b.Transition(ccDown, ccUp, muCC)
+	m, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("common-cause component: %w", err)
+	}
+	cc, err := reward.New(m, []float64{1, 0})
+	if err != nil {
+		return nil, fmt.Errorf("common-cause component: %w", err)
+	}
+	all := make([]*reward.Structure, 0, len(components)+1)
+	all = append(all, components...)
+	all = append(all, cc)
+	n := len(components)
+	return Product(all, func(componentUp []bool) bool {
+		return componentUp[n] && up(componentUp[:n])
+	})
+}
+
 // increment advances a mixed-radix counter (most significant digit first).
 func increment(idx, sizes []int) {
 	for i := len(idx) - 1; i >= 0; i-- {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/jsas"
 	"repro/internal/progress"
 	"repro/internal/spec"
+	"repro/internal/testbed"
 	"repro/internal/uncertainty"
 )
 
@@ -77,6 +78,24 @@ type CampaignResponse struct {
 	Availability   float64                 `json:"availability"`
 	DowntimeMin    float64                 `json:"downtimeMinutes"`
 	Outages        int                     `json:"outages"`
+
+	// Correlated-campaign extensions, present only when the request set a
+	// common-cause or partition fraction (omitted otherwise, keeping
+	// independent-campaign responses byte-identical to earlier versions).
+	CommonCauseFraction float64                       `json:"commonCauseFraction,omitempty"`
+	PartitionFraction   float64                       `json:"partitionFraction,omitempty"`
+	MeasuredBeta        float64                       `json:"measuredBeta,omitempty"`
+	Partitions          int                           `json:"partitions,omitempty"`
+	ByClass             map[string]ClassStatsResponse `json:"byClass,omitempty"`
+}
+
+// ClassStatsResponse decomposes a correlated campaign along one cause
+// class.
+type ClassStatsResponse struct {
+	Injections        int     `json:"injections"`
+	Successes         int     `json:"successes"`
+	ComponentFailures int     `json:"componentFailures"`
+	DowntimeMinutes   float64 `json:"downtimeMinutes"`
 }
 
 // CoverageBoundResponse is one Equation (1) bound.
@@ -518,6 +537,11 @@ type campaignJobRequest struct {
 	Replicas   *int     `json:"replicas"`
 	ASFraction *float64 `json:"asFraction"`
 	MultiNode  *float64 `json:"multiNodeFraction"`
+	// Correlated-fault extensions: domain declarations plus the fraction
+	// of injections that are common-cause bursts / network partitions.
+	CommonCause *float64          `json:"commonCauseFraction"`
+	Partition   *float64          `json:"partitionFraction"`
+	Domains     []spec.DomainSpec `json:"domains"`
 }
 
 // campaignJobCanonical is the normalized form the hash covers. Replicas
@@ -533,6 +557,12 @@ type campaignJobCanonical struct {
 	Replicas   int     `json:"replicas"`
 	ASFraction float64 `json:"asFraction"`
 	MultiNode  float64 `json:"multiNodeFraction"`
+	// Correlated extensions are omitted from the canonical form when
+	// unset, so independent-campaign hashes — and therefore their cache
+	// entries — are unchanged from earlier versions.
+	CommonCause float64           `json:"commonCauseFraction,omitempty"`
+	Partition   float64           `json:"partitionFraction,omitempty"`
+	Domains     []spec.DomainSpec `json:"domains,omitempty"`
 }
 
 func buildCampaignTask(raw json.RawMessage) (jobs.Task, error) {
@@ -575,11 +605,40 @@ func buildCampaignTask(raw json.RawMessage) (jobs.Task, error) {
 	if can.MultiNode < 0 || can.MultiNode > 1 {
 		return jobs.Task{}, fmt.Errorf("multiNodeFraction %g outside [0, 1]", can.MultiNode)
 	}
+	if req.CommonCause != nil {
+		can.CommonCause = *req.CommonCause
+	}
+	if req.Partition != nil {
+		can.Partition = *req.Partition
+	}
+	can.Domains = req.Domains
+	if can.CommonCause < 0 || can.CommonCause > 1 {
+		return jobs.Task{}, fmt.Errorf("commonCauseFraction %g outside [0, 1]", can.CommonCause)
+	}
+	if can.Partition < 0 || can.Partition > 1 {
+		return jobs.Task{}, fmt.Errorf("partitionFraction %g outside [0, 1]", can.Partition)
+	}
+	if can.CommonCause+can.Partition > 1 {
+		return jobs.Task{}, fmt.Errorf("commonCauseFraction + partitionFraction = %g exceeds 1", can.CommonCause+can.Partition)
+	}
+	// Convert and structurally validate the domains at submit time so a
+	// bad declaration is a 400, not a failed job.
+	domains, err := spec.BuildDomains(can.Domains)
+	if err != nil {
+		return jobs.Task{}, err
+	}
+	if err := testbed.ValidateDomains(domains, can.Instances, can.Pairs); err != nil {
+		return jobs.Task{}, err
+	}
+	if can.CommonCause > 0 && len(domains) == 0 {
+		return jobs.Task{}, fmt.Errorf("commonCauseFraction %g requires domains", can.CommonCause)
+	}
 	hash, err := jobs.CanonicalHash(JobKindCampaign, can)
 	if err != nil {
 		return jobs.Task{}, err
 	}
 	cfg := jsas.Config{ASInstances: can.Instances, HADBPairs: can.Pairs, HADBSpares: can.Spares}
+	correlated := can.CommonCause > 0 || can.Partition > 0
 	return jobs.Task{
 		Kind: JobKindCampaign,
 		Hash: hash,
@@ -588,16 +647,26 @@ func buildCampaignTask(raw json.RawMessage) (jobs.Task, error) {
 		Total:       int64(can.Injections),
 		TrackerOpts: []progress.Option{progress.WithUnit("inj"), progress.WithStat("recovered")},
 		Run: func(ctx context.Context, tr *progress.Tracker) (json.RawMessage, error) {
+			fopts := faultinject.Options{
+				Config:            cfg,
+				Params:            jsas.DefaultParams(),
+				Seed:              can.Seed,
+				Injections:        can.Injections,
+				ASFraction:        faultinject.Fraction(can.ASFraction),
+				MultiNodeFraction: faultinject.Fraction(can.MultiNode),
+				Progress:          tr,
+				Domains:           domains,
+			}
+			// nil pointers when unset keep the campaign's RNG stream — and
+			// so the response — byte-identical to earlier versions.
+			if can.CommonCause > 0 {
+				fopts.CommonCauseFraction = &can.CommonCause
+			}
+			if can.Partition > 0 {
+				fopts.PartitionFraction = &can.Partition
+			}
 			rep, err := faultinject.RunReplicatedCtx(ctx, faultinject.ReplicatedOptions{
-				Options: faultinject.Options{
-					Config:            cfg,
-					Params:            jsas.DefaultParams(),
-					Seed:              can.Seed,
-					Injections:        can.Injections,
-					ASFraction:        faultinject.Fraction(can.ASFraction),
-					MultiNodeFraction: faultinject.Fraction(can.MultiNode),
-					Progress:          tr,
-				},
+				Options:  fopts,
 				Replicas: can.Replicas,
 			})
 			if err != nil {
@@ -622,6 +691,21 @@ func buildCampaignTask(raw json.RawMessage) (jobs.Task, error) {
 					CoverageLowerBound: b.Coverage,
 					FIRUpperBound:      b.FIR,
 				})
+			}
+			if correlated {
+				out.CommonCauseFraction = can.CommonCause
+				out.PartitionFraction = can.Partition
+				out.MeasuredBeta = rep.MeasuredCommonCauseFraction()
+				out.Partitions = rep.Stats.Partitions
+				out.ByClass = make(map[string]ClassStatsResponse, len(rep.ByClass))
+				for cl, cs := range rep.ByClass {
+					out.ByClass[cl.String()] = ClassStatsResponse{
+						Injections:        cs.Injections,
+						Successes:         cs.Successes,
+						ComponentFailures: cs.ComponentFailures,
+						DowntimeMinutes:   cs.Downtime.Minutes(),
+					}
+				}
 			}
 			return json.Marshal(out)
 		},

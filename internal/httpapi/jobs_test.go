@@ -449,3 +449,105 @@ func TestJobsVisibleInRuns(t *testing.T) {
 	}
 	t.Fatalf("no job:jsas run registered; runs: %+v", reg.Statuses())
 }
+
+// domainsJSON is the two-rack Config 1 site used by the correlated
+// campaign job tests (same shape as models/domains-config1.json).
+const domainsJSON = `[
+  {"name": "site"},
+  {"name": "rack-a", "parent": "site", "as": [0], "hadb": ["0/0", "1/0"]},
+  {"name": "rack-b", "parent": "site", "as": [1], "hadb": ["0/1", "1/1"]}
+]`
+
+// TestCampaignJobCorrelated runs a correlated campaign through the job
+// engine and checks the served per-class decomposition.
+func TestCampaignJobCorrelated(t *testing.T) {
+	srv, eng := newJobServer(t, jobs.Config{Workers: 1})
+	st := postJob(t, srv, "campaign", `{
+		"injections": 300, "seed": 9,
+		"commonCauseFraction": 0.15, "partitionFraction": 0.1,
+		"domains": `+domainsJSON+`
+	}`)
+	done := waitJob(t, srv, eng, st.ID)
+	if done.State != jobs.StateDone {
+		t.Fatalf("state = %q, want done (error %q)", done.State, done.Error)
+	}
+	var out struct {
+		Injections   int                           `json:"injections"`
+		MeasuredBeta float64                       `json:"measuredBeta"`
+		Partitions   int                           `json:"partitions"`
+		ByClass      map[string]map[string]float64 `json:"byClass"`
+	}
+	if err := json.Unmarshal(done.Result, &out); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if out.Injections != 300 {
+		t.Errorf("injections = %d, want 300", out.Injections)
+	}
+	if out.MeasuredBeta <= 0 || out.MeasuredBeta >= 1 {
+		t.Errorf("measuredBeta = %v, want in (0,1)", out.MeasuredBeta)
+	}
+	if out.Partitions == 0 {
+		t.Error("no partitions reported")
+	}
+	total := 0
+	for _, cs := range out.ByClass {
+		total += int(cs["injections"])
+	}
+	if total != 300 {
+		t.Errorf("per-class injections sum to %d, want 300", total)
+	}
+	if cf := out.ByClass["partition"]["componentFailures"]; cf != 0 {
+		t.Errorf("partition componentFailures = %v, want 0", cf)
+	}
+}
+
+// TestCampaignJobIndependentOmitsCorrelatedFields pins response
+// back-compat: without correlated options the response carries none of
+// the new keys, byte-for-byte.
+func TestCampaignJobIndependentOmitsCorrelatedFields(t *testing.T) {
+	srv, eng := newJobServer(t, jobs.Config{Workers: 1})
+	st := postJob(t, srv, "campaign", `{"injections": 100, "seed": 3}`)
+	done := waitJob(t, srv, eng, st.ID)
+	if done.State != jobs.StateDone {
+		t.Fatalf("state = %q, want done (error %q)", done.State, done.Error)
+	}
+	for _, key := range []string{"byClass", "measuredBeta", "commonCauseFraction", "partitionFraction", "partitions"} {
+		if bytes.Contains(done.Result, []byte(key)) {
+			t.Errorf("independent campaign response leaks %q: %s", key, done.Result)
+		}
+	}
+}
+
+func TestCampaignJobCorrelatedValidation(t *testing.T) {
+	srv, _ := newJobServer(t, jobs.Config{Workers: 1})
+	cases := []struct {
+		name       string
+		request    string
+		wantInBody string
+	}{
+		{"ccf without domains", `{"injections":10,"commonCauseFraction":0.2}`, "domains"},
+		{"ccf out of range", `{"injections":10,"commonCauseFraction":1.5,"domains":` + domainsJSON + `}`, "commonCauseFraction"},
+		{"fractions sum above 1", `{"injections":10,"commonCauseFraction":0.6,"partitionFraction":0.6,"domains":` + domainsJSON + `}`, ""},
+		{"negative partition", `{"injections":10,"partitionFraction":-0.1}`, "partitionFraction"},
+		{"bad domain ref", `{"injections":10,"commonCauseFraction":0.2,"domains":[{"name":"a","hadb":["zz"]}]}`, ""},
+		{"domain member out of range", `{"injections":10,"commonCauseFraction":0.2,"domains":[{"name":"a","as":[7]}]}`, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			body := `{"kind":"campaign","request":` + c.request + `}`
+			resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			_, _ = buf.ReadFrom(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, buf.String())
+			}
+			if c.wantInBody != "" && !strings.Contains(buf.String(), c.wantInBody) {
+				t.Fatalf("400 body %q does not name %q", buf.String(), c.wantInBody)
+			}
+		})
+	}
+}

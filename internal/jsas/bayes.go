@@ -41,6 +41,9 @@ func BayesModel(cfg Config, p Params) (*bayes.Network, error) {
 	}
 	b := bayes.NewBuilder(fmt.Sprintf("JSAS (%s)", cfg))
 	events := []bayes.Node{b.Basic("ApplServer", asRes.Availability)}
+	// Total independent equivalent failure rate at the top level — the
+	// same base the CTMC backend's beta-factor state scales from.
+	totalInd := asRes.LambdaEq
 	if cfg.HADBPairs > 0 {
 		pair, err := BuildHADBPair(p)
 		if err != nil {
@@ -53,8 +56,22 @@ func BayesModel(cfg Config, p Params) (*bayes.Network, error) {
 		for i := 1; i <= cfg.HADBPairs; i++ {
 			events = append(events, b.Basic(fmt.Sprintf("HADBPair%d", i), pairRes.Availability))
 		}
+		totalInd += float64(cfg.HADBPairs) * pairRes.LambdaEq
 	}
-	net, err := b.Build(b.And("JSAS", events...))
+	root := b.And("JSAS", events...)
+	if p.Beta > 0 && totalInd > 0 {
+		// Beta-factor common cause as a noisy-OR leak: the shared mode is
+		// an independent two-state process with availability A_cc, and
+		// the system is up iff the independent composition holds AND the
+		// shared mode has not fired — P(up) = A_cc · P(root), i.e. a
+		// noisy-OR failure gate with leak 1−A_cc and weight-1 passthrough
+		// of the independent root.
+		laCC := p.Beta / (1 - p.Beta) * totalInd
+		muCC := 1 / p.CommonCauseRestore.Hours()
+		aCC := muCC / (laCC + muCC)
+		root = b.NoisyOr("JSAS+CC", 1-aCC, []bayes.Node{root}, []float64{1})
+	}
+	net, err := b.Build(root)
 	if err != nil {
 		return nil, fmt.Errorf("jsas: bayes compose: %w", err)
 	}
@@ -84,8 +101,12 @@ func SolveBackend(ctx context.Context, cfg Config, p Params, kind backend.Kind) 
 			return nil, err
 		}
 		// Size: states across the hierarchy (AS submodel + 6-state pair
-		// model when present + 3-state top diagram).
+		// model when present + 3-state top diagram, 4 with a beta-factor
+		// common-cause state).
 		size := 3
+		if p.Beta > 0 {
+			size++
+		}
 		if as, err := BuildAppServer(p, cfg.ASInstances); err == nil {
 			size += as.Model().NumStates()
 		}

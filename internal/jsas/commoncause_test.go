@@ -1,0 +1,111 @@
+package jsas
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+)
+
+// TestCommonCauseBackendsAgree cross-validates the beta-factor extension:
+// the CTMC's CC_Fail star state and the BN's noisy-OR leak must agree on
+// every Table 3 configuration across a spread of beta values. The two
+// compositions differ only at second order in the rates (~1e-11 for the
+// paper's numbers), so the shared 1e-6 tolerance applies.
+func TestCommonCauseBackendsAgree(t *testing.T) {
+	for _, beta := range []float64{0.01, 0.05, 0.1, 0.3} {
+		p := DefaultParams()
+		p.Beta = beta
+		for _, cfg := range Table3Configs() {
+			ctmcRes, err := SolveBackend(context.Background(), cfg, p, backend.KindCTMC)
+			if err != nil {
+				t.Fatalf("beta=%v %v ctmc: %v", beta, cfg, err)
+			}
+			bayesRes, err := SolveBackend(context.Background(), cfg, p, backend.KindBayes)
+			if err != nil {
+				t.Fatalf("beta=%v %v bayes: %v", beta, cfg, err)
+			}
+			if diff := math.Abs(ctmcRes.Availability - bayesRes.Availability); diff > crossValidationTolerance {
+				t.Errorf("beta=%v %v: ctmc %.12f vs bayes %.12f (diff %.2g)",
+					beta, cfg, ctmcRes.Availability, bayesRes.Availability, diff)
+			}
+		}
+	}
+}
+
+// TestCommonCauseZeroBetaIsBaseline pins back-compat: Beta = 0 must
+// reproduce the pre-extension model exactly — same availability, same
+// downtime decomposition, no CC_Fail state.
+func TestCommonCauseZeroBetaIsBaseline(t *testing.T) {
+	base, err := Solve(Config1, DefaultParams())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	p := DefaultParams()
+	p.Beta = 0
+	got, err := Solve(Config1, p)
+	if err != nil {
+		t.Fatalf("Solve beta=0: %v", err)
+	}
+	if got.Availability != base.Availability || got.YearlyDowntimeMinutes != base.YearlyDowntimeMinutes {
+		t.Errorf("beta=0 result differs from baseline: %.12f vs %.12f", got.Availability, base.Availability)
+	}
+	if got.DowntimeCommonCauseMinutes != 0 {
+		t.Errorf("DowntimeCommonCauseMinutes = %v, want 0 at beta=0", got.DowntimeCommonCauseMinutes)
+	}
+}
+
+// TestCommonCauseLowersAvailability: adding a common-cause failure mode
+// can only hurt, monotonically in beta, and the lost availability shows
+// up as attributed common-cause downtime.
+func TestCommonCauseLowersAvailability(t *testing.T) {
+	prev, err := Solve(Config1, DefaultParams())
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for _, beta := range []float64{0.05, 0.1, 0.2, 0.4} {
+		p := DefaultParams()
+		p.Beta = beta
+		res, err := Solve(Config1, p)
+		if err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		if res.Availability >= prev.Availability {
+			t.Errorf("beta=%v: availability %.12f not below %.12f", beta, res.Availability, prev.Availability)
+		}
+		if res.DowntimeCommonCauseMinutes <= prev.DowntimeCommonCauseMinutes {
+			t.Errorf("beta=%v: CC downtime %.4f not above %.4f",
+				beta, res.DowntimeCommonCauseMinutes, prev.DowntimeCommonCauseMinutes)
+		}
+		sum := res.DowntimeASMinutes + res.DowntimeHADBMinutes + res.DowntimeCommonCauseMinutes
+		if math.Abs(sum-res.YearlyDowntimeMinutes) > 1e-6 {
+			t.Errorf("beta=%v: downtime decomposition %.6f != total %.6f", beta, sum, res.YearlyDowntimeMinutes)
+		}
+		prev = res
+	}
+}
+
+func TestCommonCauseParamValidation(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Beta = -0.1 },
+		func(p *Params) { p.Beta = 1 },
+		func(p *Params) { p.Beta = 1.5 },
+		func(p *Params) { p.Beta = 0.1; p.CommonCauseRestore = 0 },
+		func(p *Params) { p.Beta = 0.1; p.CommonCauseRestore = -time.Hour },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid common-cause params %+v", i, p)
+		}
+	}
+	// Beta > 0 with a positive restore rate is valid.
+	p := DefaultParams()
+	p.Beta = 0.1
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid beta rejected: %v", err)
+	}
+}

@@ -85,6 +85,23 @@ type Params struct {
 	// after the i-th failure the per-instance rate is multiplied by
 	// Acceleration^i (paper §4: La_i = La_0·2^i).
 	Acceleration float64
+
+	// --- Correlated-failure (beta-factor) parameters ---
+
+	// Beta is the beta-factor common-cause fraction: the fraction of
+	// component failures that arrive via a shared cause (power domain,
+	// switch, bad push) taking the whole system down at once. The shared
+	// mode enters the top-level diagram as an extra failure state with
+	// rate La_cc = Beta/(1−Beta) · La_independent, so Beta equals
+	// La_cc/(La_cc + La_independent) — directly comparable to the
+	// common-cause fraction a correlated fault-injection campaign
+	// measures (faultinject.Report.MeasuredCommonCauseFraction). 0
+	// disables the mode and leaves every model untouched.
+	Beta float64
+	// CommonCauseRestore is the operator restore time after a
+	// common-cause event (all tiers brought back together). Only used
+	// when Beta > 0.
+	CommonCauseRestore time.Duration
 }
 
 // DefaultParams returns the paper's Section 5 parameter set.
@@ -110,6 +127,9 @@ func DefaultParams() Params {
 		ASRestoreAll:        30 * time.Minute,
 
 		Acceleration: 2,
+
+		Beta:               0,
+		CommonCauseRestore: time.Hour,
 	}
 }
 
@@ -138,6 +158,8 @@ func (p Params) Validate() error {
 		{"ASRestartLong > 0", p.ASRestartLong > 0},
 		{"ASRestoreAll > 0", p.ASRestoreAll > 0},
 		{"Acceleration ≥ 1", p.Acceleration >= 1},
+		{"Beta in [0,1)", p.Beta >= 0 && p.Beta < 1},
+		{"CommonCauseRestore > 0 when Beta > 0", p.Beta == 0 || p.CommonCauseRestore > 0},
 	}
 	for _, c := range checks {
 		if !c.ok {

@@ -14,6 +14,9 @@ const (
 	SystemStateOk       = "Ok"
 	SystemStateASFail   = "AS_Fail"
 	SystemStateHADBFail = "HADB_Fail"
+	// SystemStateCCFail is the beta-factor common-cause failure state,
+	// present only when Params.Beta > 0.
+	SystemStateCCFail = "CC_Fail"
 )
 
 // SystemResult aggregates the solved measures for one configuration —
@@ -29,6 +32,9 @@ type SystemResult struct {
 	DowntimeASMinutes float64
 	// DowntimeHADBMinutes is the share attributed to the HADB submodel.
 	DowntimeHADBMinutes float64
+	// DowntimeCommonCauseMinutes is the share attributed to the
+	// beta-factor common-cause state (0 when Params.Beta == 0).
+	DowntimeCommonCauseMinutes float64
 	// MTBFHours is the mean time between system failures.
 	MTBFHours float64
 	// ASSubmodel and HADBSubmodel carry the solved submodel measures
@@ -53,7 +59,7 @@ func Components(cfg Config, p Params) (*hier.Component, error) {
 		return BuildAppServer(p, cfg.ASInstances)
 	})
 	top := hier.NewComponent("JSAS", func(env hier.Params) (*reward.Structure, error) {
-		return buildTopModel(cfg, env)
+		return buildTopModel(cfg, p, env)
 	})
 	top.Use(as, "La_appl", "Mu_appl")
 	if cfg.HADBPairs > 0 {
@@ -65,9 +71,10 @@ func Components(cfg Config, p Params) (*hier.Component, error) {
 	return top, nil
 }
 
-// buildTopModel assembles the 3-state Figure 2 diagram from the submodel
-// equivalent rates bound in env.
-func buildTopModel(cfg Config, env hier.Params) (*reward.Structure, error) {
+// buildTopModel assembles the Figure 2 diagram (3 states, plus a
+// common-cause state when p.Beta > 0) from the submodel equivalent rates
+// bound in env.
+func buildTopModel(cfg Config, p Params, env hier.Params) (*reward.Structure, error) {
 	laAppl, ok := env["La_appl"]
 	if !ok {
 		return nil, fmt.Errorf("missing La_appl binding: %w", ErrBadConfig)
@@ -76,6 +83,9 @@ func buildTopModel(cfg Config, env hier.Params) (*reward.Structure, error) {
 	b := ctmc.NewBuilder()
 	okState := b.State(SystemStateOk)
 	var downNames []string
+	// Total independent top-level failure rate — the base the beta-factor
+	// mode scales from.
+	totalInd := 0.0
 	// A submodel whose equivalent failure rate underflows to zero (e.g. a
 	// very wide AS cluster) contributes no failure state: adding one would
 	// leave it unreachable and the chain reducible.
@@ -84,6 +94,7 @@ func buildTopModel(cfg Config, env hier.Params) (*reward.Structure, error) {
 		b.Transition(okState, asFail, laAppl)
 		b.Transition(asFail, okState, muAppl)
 		downNames = append(downNames, SystemStateASFail)
+		totalInd += laAppl
 	}
 	if cfg.HADBPairs > 0 {
 		laHADB, okh := env["La_hadb"]
@@ -96,7 +107,21 @@ func buildTopModel(cfg Config, env hier.Params) (*reward.Structure, error) {
 			b.Transition(okState, hadbFail, float64(cfg.HADBPairs)*laHADB)
 			b.Transition(hadbFail, okState, muHADB)
 			downNames = append(downNames, SystemStateHADBFail)
+			totalInd += float64(cfg.HADBPairs) * laHADB
 		}
+	}
+	if p.Beta > 0 && totalInd > 0 {
+		// Beta-factor common-cause mode: a shared failure (power domain,
+		// switch, bad push) takes the whole system down at rate
+		// La_cc = Beta/(1−Beta) · La_independent, so a fraction Beta of
+		// system failures arrive via the shared cause — matching the
+		// common-cause fraction a correlated injection campaign measures.
+		laCC := p.Beta / (1 - p.Beta) * totalInd
+		muCC := 1 / p.CommonCauseRestore.Hours()
+		ccFail := b.State(SystemStateCCFail)
+		b.Transition(okState, ccFail, laCC)
+		b.Transition(ccFail, okState, muCC)
+		downNames = append(downNames, SystemStateCCFail)
 	}
 	m, err := b.Build()
 	if err != nil {
@@ -155,6 +180,9 @@ func SolveWith(cfg Config, p Params, s *ctmc.Solver) (*SystemResult, error) {
 	}
 	if s, err := topModel.StateByName(SystemStateHADBFail); err == nil {
 		res.DowntimeHADBMinutes = ev.Result.Pi[s] * reward.MinutesPerYear
+	}
+	if s, err := topModel.StateByName(SystemStateCCFail); err == nil {
+		res.DowntimeCommonCauseMinutes = ev.Result.Pi[s] * reward.MinutesPerYear
 	}
 	return res, nil
 }

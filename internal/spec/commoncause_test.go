@@ -1,0 +1,181 @@
+package spec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// ccDoc is clusterDoc with a beta-factor common-cause block layered on
+// top; Beta and MuCC are document parameters so overrides can sweep them.
+func ccDoc(k, n int, beta string) string {
+	return `{
+	  "name": "as-cluster-cc",
+	  "parameters": {"La": 0.005, "Mu": 2.0, "Beta": ` + beta + `, "MuCC": 4.0},
+	  "redundancy": {
+	    "root": "svc",
+	    "nodes": [
+	      {"name": "as", "lambda": "La", "mu": "Mu"},
+	      {"name": "svc", "gate": "kofn", "k": ` + itoa(k) + `, "of": ["as"], "replicate": ` + itoa(n) + `}
+	    ],
+	    "common_cause": {"beta": "Beta", "mu": "MuCC"}
+	  }
+	}`
+}
+
+// TestCommonCauseDocBackendsAgree: for the flat product the beta-factor
+// factorization A = A_cc · A_structure is exact in both backends (an
+// extra independent two-state component vs. a noisy-OR leak), so they
+// must agree to solver tolerance — and match the closed form.
+func TestCommonCauseDocBackendsAgree(t *testing.T) {
+	for _, beta := range []string{"0.05", "0.1", "0.3"} {
+		d, err := Parse(strings.NewReader(ccDoc(2, 3, beta)))
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		ctmcRes, err := d.SolveBackend(context.Background(), backend.KindCTMC, nil)
+		if err != nil {
+			t.Fatalf("beta=%s ctmc: %v", beta, err)
+		}
+		bayesRes, err := d.SolveBackend(context.Background(), backend.KindBayes, nil)
+		if err != nil {
+			t.Fatalf("beta=%s bayes: %v", beta, err)
+		}
+		if diff := math.Abs(ctmcRes.Availability - bayesRes.Availability); diff > 1e-9 {
+			t.Errorf("beta=%s: ctmc %.12f vs bayes %.12f (diff %g)",
+				beta, ctmcRes.Availability, bayesRes.Availability, diff)
+		}
+		// Closed form: lambda_cc = beta/(1-beta)·3·La, A_cc = MuCC/(la_cc+MuCC),
+		// A_structure = P(Bin(3, Mu/(La+Mu)) ≥ 2).
+		b := mustFloat(t, beta)
+		laCC := b / (1 - b) * 3 * 0.005
+		aCC := 4.0 / (laCC + 4.0)
+		p := 2.0 / 2.005
+		aStruct := 3*p*p*(1-p) + p*p*p
+		want := aCC * aStruct
+		if math.Abs(bayesRes.Availability-want) > 1e-9 {
+			t.Errorf("beta=%s: availability %.12f, want closed form %.12f", beta, bayesRes.Availability, want)
+		}
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q: %v", s, err)
+	}
+	return v
+}
+
+// TestCommonCauseZeroBetaMatchesNoBlock pins back-compat: a block with
+// beta = 0 must solve to exactly the availability of a document without
+// the block, on both backends.
+func TestCommonCauseZeroBetaMatchesNoBlock(t *testing.T) {
+	plain, err := Parse(strings.NewReader(clusterDoc(2, 3)))
+	if err != nil {
+		t.Fatalf("Parse plain: %v", err)
+	}
+	blocked, err := Parse(strings.NewReader(ccDoc(2, 3, "0")))
+	if err != nil {
+		t.Fatalf("Parse cc: %v", err)
+	}
+	for _, kind := range []backend.Kind{backend.KindCTMC, backend.KindBayes} {
+		a, err := plain.SolveBackend(context.Background(), kind, nil)
+		if err != nil {
+			t.Fatalf("%v plain: %v", kind, err)
+		}
+		b, err := blocked.SolveBackend(context.Background(), kind, nil)
+		if err != nil {
+			t.Fatalf("%v cc: %v", kind, err)
+		}
+		if a.Availability != b.Availability {
+			t.Errorf("%v: beta=0 block changed availability: %.15f vs %.15f", kind, b.Availability, a.Availability)
+		}
+	}
+}
+
+// TestCommonCauseOverridesSweepBeta: raising beta via an override must
+// monotonically lower availability.
+func TestCommonCauseOverridesSweepBeta(t *testing.T) {
+	d, err := Parse(strings.NewReader(ccDoc(2, 3, "0.05")))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prev := 2.0
+	for _, beta := range []float64{0.01, 0.1, 0.3, 0.6} {
+		res, err := d.SolveBackend(context.Background(), backend.KindBayes, map[string]float64{"Beta": beta})
+		if err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		if res.Availability >= prev {
+			t.Errorf("beta=%v: availability %.12f did not drop below %.12f", beta, res.Availability, prev)
+		}
+		prev = res.Availability
+	}
+}
+
+func TestCommonCauseValidationRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"missing-beta", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1","mu":"2"}],"common_cause":{"mu":"1"}}}`},
+		{"missing-mu", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1","mu":"2"}],"common_cause":{"beta":"0.1"}}}`},
+		{"beta-undefined-param", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1","mu":"2"}],"common_cause":{"beta":"Ghost","mu":"1"}}}`},
+		{"mu-undefined-param", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1","mu":"2"}],"common_cause":{"beta":"0.1","mu":"Ghost"}}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.doc)); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+	// A malformed expression is rejected too (with the parser's own error).
+	bad := `{"name":"x","redundancy":{"root":"a","nodes":[
+		{"name":"a","lambda":"1","mu":"2"}],"common_cause":{"beta":"0.1","mu":"1+"}}}`
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("malformed mu expression accepted")
+	}
+}
+
+func TestCommonCauseEvalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"beta-at-one", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1","mu":"2"}],"common_cause":{"beta":"1","mu":"1"}}}`},
+		{"beta-negative", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1","mu":"2"}],"common_cause":{"beta":"0-0.1","mu":"1"}}}`},
+		{"zero-mu", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","lambda":"1","mu":"2"}],"common_cause":{"beta":"0.1","mu":"0"}}}`},
+		// Beta > 0 needs an independent rate base: availability-only
+		// leaves have no lambda to scale from.
+		{"availability-leaf", `{"name":"x","redundancy":{"root":"a","nodes":[
+			{"name":"a","availability":"0.99"}],"common_cause":{"beta":"0.1","mu":"1"}}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(strings.NewReader(tc.doc))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			for _, kind := range []backend.Kind{backend.KindCTMC, backend.KindBayes} {
+				if _, err := d.SolveBackend(context.Background(), kind, nil); !errors.Is(err, ErrBadSpec) {
+					t.Errorf("%v: err = %v, want ErrBadSpec", kind, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/testbed"
+)
+
+func TestParseDomains(t *testing.T) {
+	doc := `{
+	  "domains": [
+	    {"name": "site"},
+	    {"name": "rack-a", "parent": "site", "as": [0], "hadb": ["0/0", "1/0"]},
+	    {"name": "rack-b", "parent": "site", "as": [1], "hadb": ["0/1", "1/1"]}
+	  ]
+	}`
+	domains, err := ParseDomains(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("ParseDomains: %v", err)
+	}
+	if len(domains) != 3 {
+		t.Fatalf("got %d domains, want 3", len(domains))
+	}
+	want := testbed.Domain{
+		Name: "rack-a", Parent: "site", AS: []int{0},
+		HADB: []testbed.NodeRef{{Pair: 0, Slot: 0}, {Pair: 1, Slot: 0}},
+	}
+	got := domains[1]
+	if got.Name != want.Name || got.Parent != want.Parent ||
+		len(got.AS) != 1 || got.AS[0] != 0 ||
+		len(got.HADB) != 2 || got.HADB[0] != want.HADB[0] || got.HADB[1] != want.HADB[1] {
+		t.Errorf("rack-a = %+v, want %+v", got, want)
+	}
+	// The parsed tree passes structural validation for the paper's
+	// two-instance, two-pair configuration.
+	if err := testbed.ValidateDomains(domains, 2, 2); err != nil {
+		t.Errorf("ValidateDomains: %v", err)
+	}
+}
+
+func TestParseDomainsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"empty-document", `{"domains": []}`},
+		{"unknown-field", `{"domains": [{"name": "a", "rack": 3}]}`},
+		{"not-a-ref", `{"domains": [{"name": "a", "hadb": ["01"]}]}`},
+		{"bad-pair", `{"domains": [{"name": "a", "hadb": ["x/0"]}]}`},
+		{"bad-slot", `{"domains": [{"name": "a", "hadb": ["0/y"]}]}`},
+		{"not-json", `domains: []`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseDomains(strings.NewReader(tc.doc)); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+	// Syntax errors in refs carry the sentinel for API callers.
+	if _, err := ParseDomains(strings.NewReader(`{"domains": [{"name": "a", "hadb": ["oops"]}]}`)); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("err = %v, want ErrBadSpec", err)
+	}
+}

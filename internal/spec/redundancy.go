@@ -28,6 +28,27 @@ type Redundancy struct {
 	Root string `json:"root"`
 	// Nodes lists the structure's leaves and gates in any order.
 	Nodes []RedundancyNode `json:"nodes"`
+	// CommonCause, when set, layers a beta-factor common-cause failure
+	// mode over the structure: a shared failure process with rate
+	// lambda_cc = beta/(1−beta) · Σ leaf lambda (summed over leaf
+	// instances after replication) and repair rate mu that takes the
+	// system down regardless of component states. Requires rate-based
+	// (lambda/mu) leaves when beta > 0; solved exactly and identically
+	// by both backends (flat cross-product with an extra two-state
+	// component vs. noisy-OR leak over the root).
+	CommonCause *CommonCauseSpec `json:"common_cause,omitempty"`
+}
+
+// CommonCauseSpec is a redundancy block's beta-factor declaration. Both
+// fields are expressions over the document parameters.
+type CommonCauseSpec struct {
+	// Beta is the common-cause fraction in [0,1); 0 disables the mode,
+	// leaving the solved results bit-identical to a document without the
+	// block. A correlated fault-injection campaign's measured fraction
+	// (faultinject.Report.MeasuredCommonCauseFraction) plugs in directly.
+	Beta string `json:"beta"`
+	// Mu is the common-cause repair rate (per hour).
+	Mu string `json:"mu"`
 }
 
 // RedundancyNode is one leaf or gate of a redundancy structure.
@@ -151,6 +172,20 @@ func (d *Document) validateRedundancy(extraParams map[string]bool) error {
 	}
 	if _, ok := r.node(r.Root); !ok {
 		return fmt.Errorf("redundancy root %q not found: %w", r.Root, ErrBadSpec)
+	}
+	if cc := r.CommonCause; cc != nil {
+		if cc.Beta == "" {
+			return fmt.Errorf("common_cause block needs a beta expression: %w", ErrBadSpec)
+		}
+		if err := d.checkExpr("common_cause beta", cc.Beta, extraParams); err != nil {
+			return err
+		}
+		if cc.Mu == "" {
+			return fmt.Errorf("common_cause block needs a mu expression: %w", ErrBadSpec)
+		}
+		if err := d.checkExpr("common_cause mu", cc.Mu, extraParams); err != nil {
+			return err
+		}
 	}
 	return r.checkAcyclic()
 }
@@ -336,6 +371,80 @@ func leafRates(n *RedundancyNode, env expr.Env) (lambda, mu float64, err error) 
 	return lambda, mu, nil
 }
 
+// totalLeafLambda sums the failure rates of every leaf component
+// instance (after replication; shared children count once, matching the
+// single component they compile to). This is the independent failure
+// rate base the beta-factor mode scales from, so it requires rate-based
+// leaves.
+func (d *Document) totalLeafLambda(env expr.Env) (float64, error) {
+	r := d.Redundancy
+	seen := make(map[string]bool)
+	total := 0.0
+	var walk func(name, suffix string) error
+	walk = func(name, suffix string) error {
+		n, _ := r.node(name)
+		key := name + suffix
+		if n.isLeaf() {
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+			la, _, err := leafRates(n, env)
+			if err != nil {
+				return err
+			}
+			total += la
+			return nil
+		}
+		if n.Replicate > 0 {
+			for i := 1; i <= n.Replicate; i++ {
+				if err := walk(n.Of[0], fmt.Sprintf("%s#%d", suffix, i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, c := range n.Of {
+			if err := walk(c, suffix); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(r.Root, ""); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// commonCauseRates evaluates the common_cause block into concrete
+// (lambda_cc, mu_cc) rates; (0, 0, nil) when beta evaluates to 0.
+func (d *Document) commonCauseRates(env expr.Env) (lambdaCC, muCC float64, err error) {
+	cc := d.Redundancy.CommonCause
+	beta, err := evalIn("common_cause beta", cc.Beta, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !(beta >= 0 && beta < 1) || math.IsNaN(beta) {
+		return 0, 0, fmt.Errorf("common_cause beta %g outside [0,1): %w", beta, ErrBadSpec)
+	}
+	if beta == 0 {
+		return 0, 0, nil
+	}
+	muCC, err = evalIn("common_cause mu", cc.Mu, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !(muCC > 0) || math.IsInf(muCC, 0) {
+		return 0, 0, fmt.Errorf("common_cause mu = %g must be finite and positive: %w", muCC, ErrBadSpec)
+	}
+	total, err := d.totalLeafLambda(env)
+	if err != nil {
+		return 0, 0, fmt.Errorf("common_cause: %w", err)
+	}
+	return beta / (1 - beta) * total, muCC, nil
+}
+
 // Model compiles the document for the requested backend, behind the
 // common backend.AvailabilityModel interface:
 //
@@ -451,6 +560,20 @@ func (d *Document) BayesModel(overrides map[string]float64) (*bayes.Network, err
 	if err != nil {
 		return nil, err
 	}
+	if d.Redundancy.CommonCause != nil {
+		laCC, muCC, ccErr := d.commonCauseRates(env)
+		if ccErr != nil {
+			return nil, fmt.Errorf("model %q: %w", d.Name, ccErr)
+		}
+		if laCC > 0 {
+			// Beta-factor as a noisy-OR leak: the shared mode is an
+			// independent two-state process with availability A_cc, so
+			// P(up) = A_cc · P(root) — exactly the factorization the
+			// ctmc backend's extra common-cause component produces.
+			aCC := muCC / (laCC + muCC)
+			root = b.NoisyOr(d.Redundancy.Root+"+cc", 1-aCC, []bayes.Node{root}, []float64{1})
+		}
+	}
 	net, err := b.Build(root)
 	if err != nil {
 		return nil, fmt.Errorf("model %q: %w", d.Name, err)
@@ -551,7 +674,21 @@ func (d *Document) productModel(overrides map[string]float64) (backend.Availabil
 	if err != nil {
 		return nil, fmt.Errorf("model %q: %w", d.Name, err)
 	}
-	s, err := hier.Product(components, pred)
+	var s *reward.Structure
+	if d.Redundancy.CommonCause != nil {
+		laCC, muCC, ccErr := d.commonCauseRates(env)
+		if ccErr != nil {
+			return nil, fmt.Errorf("model %q: %w", d.Name, ccErr)
+		}
+		if laCC > 0 {
+			s, err = hier.ProductWithCommonCause(components, pred, laCC, muCC)
+			if err != nil {
+				return nil, fmt.Errorf("model %q: %w", d.Name, err)
+			}
+			return reward.AsModel(d.Name, s, ctmc.SolveOptions{}), nil
+		}
+	}
+	s, err = hier.Product(components, pred)
 	if err != nil {
 		return nil, fmt.Errorf("model %q: %w", d.Name, err)
 	}

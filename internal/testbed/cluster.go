@@ -88,6 +88,9 @@ type Outage struct {
 	Start, End time.Duration
 	// Cause names the tier whose failure made the system unavailable.
 	Cause Component
+	// Class records why: an independent fault (the zero value), a
+	// domain-level common cause, or a network partition (split-brain).
+	Class Cause
 }
 
 // Duration returns the outage length.
@@ -118,6 +121,9 @@ type Options struct {
 	// SessionsPerInstance is the number of live sessions an AS instance
 	// carries (used for failover accounting; paper: up to 10,000).
 	SessionsPerInstance int
+	// Domains declares the fault-domain tree (site → power domain/rack →
+	// members) for common-cause injection; empty means no domains.
+	Domains []Domain
 	// Observer, if set, receives trace events as the simulation runs.
 	Observer Observer
 }
@@ -137,6 +143,20 @@ type Cluster struct {
 	pairs []*hadbPair
 	// spares is the pool of ready spare nodes.
 	spares int
+
+	// domains is the resolved fault-domain tree (transitive memberships
+	// precomputed at New).
+	domains []resolvedDomain
+	// Partition state: partitionSeq stamps each partition event (heal
+	// staleness checks), partitionedCount counts currently-isolated
+	// instances (the no-partition fast path in the availability
+	// predicate), partitions counts events for Stats.
+	partitionSeq     uint64
+	partitionedCount int
+	partitions       int
+	// pendingClass attributes outages opened during a correlated event
+	// burst (domain injection, partition) to their cause class.
+	pendingClass Cause
 
 	// Availability bookkeeping.
 	systemUp   bool
@@ -170,6 +190,11 @@ type asInstance struct {
 	// failFn is the timer callback, bound once on first arm and reused
 	// across re-arms (rescheduling happens on every cluster event).
 	failFn func()
+	// partitioned marks the instance alive-but-unreachable (network
+	// partition); partitionID stamps which partition isolated it so a
+	// stale heal doesn't reconnect a re-partitioned instance.
+	partitioned bool
+	partitionID uint64
 	// pendingKind is the failure class being recovered from.
 	pendingKind FailureKind
 	failedAt    time.Duration
@@ -260,8 +285,17 @@ func New(opts Options) (*Cluster, error) {
 	if err := timing.Validate(); err != nil {
 		return nil, err
 	}
+	if timing.PartitionHeal == (DurationRange{}) {
+		// Pre-domain Timing literals predate the field; fill the default
+		// rather than invalidating them.
+		timing.PartitionHeal = DefaultTiming().PartitionHeal
+	}
 	if opts.RequestRatePerSecond < 0 || opts.SessionsPerInstance < 0 {
 		return nil, &ConfigError{Field: "negative workload settings"}
+	}
+	domains, err := resolveDomains(opts.Domains, opts.Config.ASInstances, opts.Config.HADBPairs)
+	if err != nil {
+		return nil, err
 	}
 	c, _ := clusterPool.Get().(*Cluster)
 	if c == nil {
@@ -282,6 +316,11 @@ func New(opts Options) (*Cluster, error) {
 	c.recoveries = c.recoveries[:0]
 	c.sessionFailovers = 0
 	c.sessionRecovery = 0
+	c.domains = domains
+	c.partitionSeq = 0
+	c.partitionedCount = 0
+	c.partitions = 0
+	c.pendingClass = CauseIndependent
 	c.resetComponents()
 	if opts.OrganicFailures {
 		for _, inst := range c.as {
@@ -316,6 +355,8 @@ func (c *Cluster) resetComponents() {
 			inst.pendingKind = 0
 			inst.failedAt = 0
 			inst.injected = false
+			inst.partitioned = false
+			inst.partitionID = 0
 		}
 		for _, p := range c.pairs {
 			p.down = false
@@ -409,9 +450,10 @@ func (c *Cluster) upASCount() int {
 }
 
 // systemIsUp evaluates the availability predicate: at least one AS
-// instance serving and every HADB pair able to persist session state.
+// instance serving (up and reachable) and every HADB pair able to
+// persist session state.
 func (c *Cluster) systemIsUp() bool {
-	if c.upASCount() == 0 {
+	if c.servingASCount() == 0 {
 		return false
 	}
 	for _, p := range c.pairs {
@@ -427,6 +469,9 @@ func (c *Cluster) systemIsUp() bool {
 // evaluating Snapshot component-by-component, without building one —
 // campaign drivers call it after every simulation event.
 func (c *Cluster) Healthy() bool {
+	if c.partitionedCount > 0 {
+		return false
+	}
 	for _, inst := range c.as {
 		if !inst.up {
 			return false
@@ -480,8 +525,15 @@ func (c *Cluster) stateChanged(cause Component) {
 	c.systemUp = up
 	now := c.sim.Now()
 	if !up {
-		c.openOutage = &Outage{Start: now, Cause: cause}
-		c.emit(Event{Type: EventOutageStart, Component: cause, Target: "system"})
+		class := c.pendingClass
+		if class == CauseIndependent && cause == ComponentAS && c.partitionedAlive() {
+			// Split-brain: the last reachable instance died, but alive
+			// capacity exists behind the partition — without the network
+			// fault the system would still be serving.
+			class = CausePartition
+		}
+		c.openOutage = &Outage{Start: now, Cause: cause, Class: class}
+		c.emit(Event{Type: EventOutageStart, Component: cause, Target: "system", Class: class})
 		return
 	}
 	if c.openOutage != nil {
@@ -500,6 +552,8 @@ type Stats struct {
 	RequestsServed   float64
 	RequestsFailed   float64
 	SessionFailovers int
+	// Partitions counts injected network-partition events.
+	Partitions int
 	// SessionRecoverySeconds is the cumulative session-seconds of
 	// elevated response time caused by failovers: each migrated session
 	// pays one session-recovery interval on its next request.
@@ -547,6 +601,7 @@ func (c *Cluster) Stats() Stats {
 		RequestsServed:         c.opts.RequestRatePerSecond * c.upTime.Seconds(),
 		RequestsFailed:         c.opts.RequestRatePerSecond * c.downTime.Seconds(),
 		SessionFailovers:       c.sessionFailovers,
+		Partitions:             c.partitions,
 		SessionRecoverySeconds: c.sessionRecovery,
 	}
 }

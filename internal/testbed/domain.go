@@ -1,0 +1,342 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cause classifies why an outage (or injection) happened: an independent
+// component fault, a domain-level common-cause fault taking out every
+// member of a power domain / rack / site at once, or a network partition
+// leaving alive instances unreachable (LB split-brain). The zero value is
+// CauseIndependent so records from domain-free runs are unchanged.
+type Cause int
+
+// Cause values.
+const (
+	CauseIndependent Cause = iota
+	CauseCommonCause
+	CausePartition
+)
+
+func (c Cause) String() string {
+	switch c {
+	case CauseIndependent:
+		return "independent"
+	case CauseCommonCause:
+		return "common-cause"
+	case CausePartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// NodeRef identifies one HADB node slot (pair index, slot 0 or 1).
+type NodeRef struct {
+	Pair, Slot int
+}
+
+// Domain is one node of the fault-domain tree declared alongside the
+// cluster topology: a site, power domain, or rack whose members share a
+// failure cause. A domain owns its direct members; injecting it also
+// takes down every member of its child domains (the subtree shares the
+// cause — a site failure includes its racks).
+type Domain struct {
+	// Name identifies the domain ("rack-a", "site-east"); unique.
+	Name string
+	// Parent is the enclosing domain's name ("" for a root).
+	Parent string
+	// AS lists the member AS instance indices.
+	AS []int
+	// HADB lists the member HADB node slots.
+	HADB []NodeRef
+}
+
+// ValidateDomains checks a domain tree against a deployment shape:
+// unique nonempty names, parents that exist, no cycles, and member
+// indices within the configured instance/pair counts.
+func ValidateDomains(domains []Domain, nAS, nPairs int) error {
+	byName := make(map[string]int, len(domains))
+	for i, d := range domains {
+		if d.Name == "" {
+			return &ConfigError{Field: fmt.Sprintf("domain %d has no name", i)}
+		}
+		if _, dup := byName[d.Name]; dup {
+			return &ConfigError{Field: fmt.Sprintf("duplicate domain %q", d.Name)}
+		}
+		byName[d.Name] = i
+		for _, id := range d.AS {
+			if id < 0 || id >= nAS {
+				return &ConfigError{Field: fmt.Sprintf("domain %q: AS instance %d of %d", d.Name, id, nAS)}
+			}
+		}
+		for _, ref := range d.HADB {
+			if ref.Pair < 0 || ref.Pair >= nPairs {
+				return &ConfigError{Field: fmt.Sprintf("domain %q: HADB pair %d of %d", d.Name, ref.Pair, nPairs)}
+			}
+			if ref.Slot < 0 || ref.Slot > 1 {
+				return &ConfigError{Field: fmt.Sprintf("domain %q: HADB node slot %d, want 0 or 1", d.Name, ref.Slot)}
+			}
+		}
+	}
+	for _, d := range domains {
+		if d.Parent == "" {
+			continue
+		}
+		if _, ok := byName[d.Parent]; !ok {
+			return &ConfigError{Field: fmt.Sprintf("domain %q: unknown parent %q", d.Name, d.Parent)}
+		}
+		// Walk the parent chain; more steps than domains means a cycle.
+		cur, steps := d.Parent, 0
+		for cur != "" {
+			if steps++; steps > len(domains) {
+				return &ConfigError{Field: fmt.Sprintf("domain %q: parent cycle", d.Name)}
+			}
+			cur = domains[byName[cur]].Parent
+		}
+	}
+	return nil
+}
+
+// resolvedDomain is a domain with its transitive membership (own members
+// plus every descendant's) precomputed, deduplicated, and its trace
+// target prebuilt — InjectDomain runs in the campaign hot loop.
+type resolvedDomain struct {
+	name   string
+	target string // "domain:<name>"
+	as     []int
+	hadb   []NodeRef
+}
+
+// resolveDomains validates and flattens the domain tree. Membership
+// order within a resolved domain is deterministic: own members first,
+// then each child's (in declaration order), depth-first.
+func resolveDomains(domains []Domain, nAS, nPairs int) ([]resolvedDomain, error) {
+	if len(domains) == 0 {
+		return nil, nil
+	}
+	if err := ValidateDomains(domains, nAS, nPairs); err != nil {
+		return nil, err
+	}
+	children := make(map[string][]int, len(domains))
+	for i, d := range domains {
+		if d.Parent != "" {
+			children[d.Parent] = append(children[d.Parent], i)
+		}
+	}
+	out := make([]resolvedDomain, len(domains))
+	for i, d := range domains {
+		r := resolvedDomain{name: d.Name, target: "domain:" + d.Name}
+		seenAS := make(map[int]bool)
+		seenNode := make(map[NodeRef]bool)
+		var collect func(idx int)
+		collect = func(idx int) {
+			for _, id := range domains[idx].AS {
+				if !seenAS[id] {
+					seenAS[id] = true
+					r.as = append(r.as, id)
+				}
+			}
+			for _, ref := range domains[idx].HADB {
+				if !seenNode[ref] {
+					seenNode[ref] = true
+					r.hadb = append(r.hadb, ref)
+				}
+			}
+			for _, ci := range children[domains[idx].Name] {
+				collect(ci)
+			}
+		}
+		collect(i)
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Domains lists the declared domain names in declaration order.
+func (c *Cluster) Domains() []string {
+	out := make([]string, len(c.domains))
+	for i := range c.domains {
+		out[i] = c.domains[i].name
+	}
+	return out
+}
+
+// findDomain returns the resolved domain by name, or nil.
+func (c *Cluster) findDomain(name string) *resolvedDomain {
+	for i := range c.domains {
+		if c.domains[i].name == name {
+			return &c.domains[i]
+		}
+	}
+	return nil
+}
+
+// InjectDomain atomically fails every member of the named domain (child
+// domains included) with a single common cause at the current virtual
+// time: every member manifests the same fault class, and any outage the
+// burst opens is attributed CauseCommonCause. Members already down are
+// skipped, as a real shared-cause event finds them. It returns the
+// number of components actually failed.
+func (c *Cluster) InjectDomain(name string, f Fault) (int, error) {
+	d := c.findDomain(name)
+	if d == nil {
+		return 0, fmt.Errorf("unknown fault domain %q: %w", name, ErrBadTarget)
+	}
+	kind, err := f.Kind()
+	if err != nil {
+		return 0, err
+	}
+	c.emit(Event{
+		Type: EventDomainFault, Target: d.target, Kind: kind,
+		Injected: true, Class: CauseCommonCause, Count: len(d.as) + len(d.hadb),
+	})
+	c.pendingClass = CauseCommonCause
+	n := 0
+	for _, id := range d.as {
+		if inst := c.as[id]; inst.up {
+			c.failAS(inst, kind, true)
+			n++
+		}
+	}
+	for _, ref := range d.hadb {
+		if p := c.pairs[ref.Pair]; !p.down && p.nodes[ref.Slot].active {
+			c.failHADB(p, ref.Slot, kind, true)
+			n++
+		}
+	}
+	c.pendingClass = CauseIndependent
+	c.emit(Event{
+		Type: EventDomainFaultDone, Target: d.target, Kind: kind,
+		Injected: true, Class: CauseCommonCause, Count: n,
+	})
+	return n, nil
+}
+
+// InjectPartition splits the cluster's network at the current virtual
+// time: the listed AS instances become unreachable from the load
+// balancer (and the HADB tier) until the partition heals after a
+// Timing.PartitionHeal draw. A partitioned instance keeps running — it
+// can still fail and recover — but serves no traffic, and outage
+// attribution records CausePartition when alive-but-unreachable
+// capacity is why the system is down (LB split-brain). Sessions on
+// isolated instances fail over to reachable survivors, if any.
+func (c *Cluster) InjectPartition(ids []int) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("partition isolates no instances: %w", ErrBadTarget)
+	}
+	for i, id := range ids {
+		if id < 0 || id >= len(c.as) {
+			return fmt.Errorf("AS instance %d of %d: %w", id, len(c.as), ErrBadTarget)
+		}
+		for _, prev := range ids[:i] {
+			if prev == id {
+				return fmt.Errorf("AS instance %d isolated twice: %w", id, ErrBadTarget)
+			}
+		}
+	}
+	c.partitionSeq++
+	pid := c.partitionSeq
+	c.partitions++
+	c.emit(Event{
+		Type: EventPartitionStart, Component: ComponentAS, Target: "network",
+		Injected: true, Class: CausePartition, Count: len(ids),
+	})
+	for _, id := range ids {
+		inst := c.as[id]
+		if !inst.partitioned {
+			inst.partitioned = true
+			c.partitionedCount++
+		}
+		inst.partitionID = pid
+	}
+	// Split-brain failover: the LB health check marks isolated instances
+	// dead and their sessions re-establish (from HADB) on reachable
+	// survivors — each paying one session-recovery interval, exactly as
+	// for a crashed instance.
+	if c.opts.SessionsPerInstance > 0 && c.servingASCount() > 0 {
+		for _, id := range ids {
+			if c.as[id].up {
+				c.sessionFailovers += c.opts.SessionsPerInstance
+				obsFailovers.Add(int64(c.opts.SessionsPerInstance))
+				c.sessionRecovery += float64(c.opts.SessionsPerInstance) *
+					c.draw(c.timing.SessionRecovery).Seconds()
+			}
+		}
+	}
+	c.pendingClass = CausePartition
+	c.stateChanged(ComponentAS)
+	c.pendingClass = CauseIndependent
+	heal := c.draw(c.timing.PartitionHeal)
+	_ = c.sim.Schedule(heal, func() { c.healPartition(pid) })
+	return nil
+}
+
+// healPartition reconnects the instances isolated by partition pid. An
+// instance re-partitioned by a newer event stays isolated (its ID moved
+// on), mirroring the version-stamp staleness convention of the failure
+// timers.
+func (c *Cluster) healPartition(pid uint64) {
+	healed := 0
+	for _, inst := range c.as {
+		if inst.partitioned && inst.partitionID == pid {
+			inst.partitioned = false
+			c.partitionedCount--
+			healed++
+		}
+	}
+	if healed == 0 {
+		return
+	}
+	c.emit(Event{
+		Type: EventPartitionHeal, Component: ComponentAS, Target: "network",
+		Class: CausePartition, Count: healed,
+	})
+	c.stateChanged(ComponentAS)
+}
+
+// servingASCount returns the number of instances actually serving
+// traffic: up and reachable. With no partition active it equals
+// upASCount.
+func (c *Cluster) servingASCount() int {
+	if c.partitionedCount == 0 {
+		return c.upASCount()
+	}
+	n := 0
+	for _, inst := range c.as {
+		if inst.up && !inst.partitioned {
+			n++
+		}
+	}
+	return n
+}
+
+// partitionedAlive reports whether any instance is alive but
+// unreachable — the split-brain signature: capacity exists, the network
+// hides it.
+func (c *Cluster) partitionedAlive() bool {
+	if c.partitionedCount == 0 {
+		return false
+	}
+	for _, inst := range c.as {
+		if inst.up && inst.partitioned {
+			return true
+		}
+	}
+	return false
+}
+
+// DowntimeByClass sums the outage durations by cause class, indexed by
+// Cause (CauseIndependent, CauseCommonCause, CausePartition).
+func (s Stats) DowntimeByClass() [int(CausePartition) + 1]time.Duration {
+	var out [int(CausePartition) + 1]time.Duration
+	for _, o := range s.Outages {
+		cl := int(o.Class)
+		if cl < 0 || cl >= len(out) {
+			cl = int(CauseIndependent)
+		}
+		out[cl] += o.Duration()
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package testbed
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/jsas"
+)
+
+// testDomains is a two-rack site covering all of Config1: rack-a owns
+// AS 0 and the slot-0 HADB nodes, rack-b owns AS 1 and the slot-1 nodes.
+func testDomains() []Domain {
+	return []Domain{
+		{Name: "site"},
+		{Name: "rack-a", Parent: "site", AS: []int{0}, HADB: []NodeRef{{0, 0}, {1, 0}}},
+		{Name: "rack-b", Parent: "site", AS: []int{1}, HADB: []NodeRef{{0, 1}, {1, 1}}},
+	}
+}
+
+func newDomainCluster(t *testing.T, seed int64) *Cluster {
+	t.Helper()
+	c, err := New(Options{Config: jsas.Config1, Params: jsas.DefaultParams(), Seed: seed, Domains: testDomains()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestValidateDomains(t *testing.T) {
+	t.Parallel()
+	if err := ValidateDomains(testDomains(), 2, 2); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		domains []Domain
+	}{
+		{"unnamed", []Domain{{Name: ""}}},
+		{"duplicate", []Domain{{Name: "a"}, {Name: "a"}}},
+		{"AS out of range", []Domain{{Name: "a", AS: []int{2}}}},
+		{"negative AS", []Domain{{Name: "a", AS: []int{-1}}}},
+		{"pair out of range", []Domain{{Name: "a", HADB: []NodeRef{{2, 0}}}}},
+		{"bad slot", []Domain{{Name: "a", HADB: []NodeRef{{0, 2}}}}},
+		{"unknown parent", []Domain{{Name: "a", Parent: "nope"}}},
+		{"cycle", []Domain{{Name: "a", Parent: "b"}, {Name: "b", Parent: "a"}}},
+	}
+	for _, tc := range cases {
+		if err := ValidateDomains(tc.domains, 2, 2); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The same validation guards cluster construction.
+	if _, err := New(Options{Config: jsas.Config1, Params: jsas.DefaultParams(),
+		Domains: []Domain{{Name: "a", AS: []int{9}}}}); err == nil {
+		t.Error("New accepted out-of-range domain member")
+	}
+}
+
+func TestClusterDomainsListed(t *testing.T) {
+	t.Parallel()
+	c := newDomainCluster(t, 1)
+	got := c.Domains()
+	want := []string{"site", "rack-a", "rack-b"}
+	if len(got) != len(want) {
+		t.Fatalf("Domains() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Domains() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInjectDomainRackBurst(t *testing.T) {
+	t.Parallel()
+	c := newDomainCluster(t, 3)
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// A rack burst fails its AS member and both its HADB nodes at once,
+	// but the survivors on the other rack keep the system up (each pair
+	// still has its slot-1 node).
+	n, err := c.InjectDomain("rack-a", FaultPowerOff)
+	if err != nil {
+		t.Fatalf("InjectDomain: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("failed %d components, want 3 (1 AS + 2 HADB)", n)
+	}
+	snap := c.Snapshot()
+	if snap.ASUp[0] {
+		t.Error("AS 0 survived its rack's power-off")
+	}
+	if !snap.SystemUp {
+		t.Error("system should survive a single-rack burst")
+	}
+	if err := c.Run(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Healthy() {
+		t.Error("cluster not healthy after rack burst recovery")
+	}
+}
+
+func TestInjectDomainSiteOutageAttributed(t *testing.T) {
+	t.Parallel()
+	c := newDomainCluster(t, 4)
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// The site burst transitively includes both racks: every AS instance
+	// and every HADB node fails at once — a system outage whose cause
+	// class is common-cause.
+	n, err := c.InjectDomain("site", FaultProcessKill)
+	if err != nil {
+		t.Fatalf("InjectDomain: %v", err)
+	}
+	if n != 6 {
+		t.Errorf("failed %d components, want 6 (2 AS + 4 HADB)", n)
+	}
+	if c.Snapshot().SystemUp {
+		t.Fatal("system up after whole-site burst")
+	}
+	if err := c.Run(24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if len(s.Outages) == 0 {
+		t.Fatal("no outage recorded")
+	}
+	if got := s.Outages[0].Class; got != CauseCommonCause {
+		t.Errorf("outage class = %v, want common-cause", got)
+	}
+	down := s.DowntimeByClass()
+	if down[CauseCommonCause] == 0 {
+		t.Error("no common-cause downtime accounted")
+	}
+	if down[CauseCommonCause] != s.DownTime {
+		t.Errorf("common-cause downtime %v != total %v", down[CauseCommonCause], s.DownTime)
+	}
+}
+
+func TestInjectDomainErrors(t *testing.T) {
+	t.Parallel()
+	c := newDomainCluster(t, 5)
+	if _, err := c.InjectDomain("nope", FaultProcessKill); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("unknown domain: err = %v, want ErrBadTarget", err)
+	}
+	if _, err := c.InjectDomain("site", Fault(99)); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("unknown fault: err = %v, want ErrBadTarget", err)
+	}
+}
+
+func TestInjectPartitionSplitBrain(t *testing.T) {
+	t.Parallel()
+	c := newDomainCluster(t, 6)
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// Isolating every instance models losing the cluster switch: all
+	// instances stay alive, yet nothing serves — an outage attributed to
+	// the partition, not to component failures.
+	if err := c.InjectPartition([]int{0, 1}); err != nil {
+		t.Fatalf("InjectPartition: %v", err)
+	}
+	snap := c.Snapshot()
+	if !snap.ASUp[0] || !snap.ASUp[1] {
+		t.Error("partitioned instances should stay alive")
+	}
+	if !snap.ASPartitioned[0] || !snap.ASPartitioned[1] {
+		t.Error("instances not marked partitioned")
+	}
+	if snap.SystemUp {
+		t.Fatal("system up with every instance unreachable")
+	}
+	if c.Healthy() {
+		t.Error("Healthy with an open partition")
+	}
+	// DefaultTiming heals a partition within 15 simulated minutes.
+	if err := c.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if !c.Snapshot().SystemUp {
+		t.Fatal("system still down after partition heal window")
+	}
+	if s.Partitions != 1 {
+		t.Errorf("Partitions = %d, want 1", s.Partitions)
+	}
+	if len(s.Outages) != 1 {
+		t.Fatalf("outages = %d, want 1", len(s.Outages))
+	}
+	if got := s.Outages[0].Class; got != CausePartition {
+		t.Errorf("outage class = %v, want partition", got)
+	}
+	if down := s.DowntimeByClass(); down[CausePartition] != s.DownTime {
+		t.Errorf("partition downtime %v != total %v", down[CausePartition], s.DownTime)
+	}
+}
+
+func TestInjectPartitionPartialKeepsServing(t *testing.T) {
+	t.Parallel()
+	c := newDomainCluster(t, 7)
+	if err := c.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectPartition([]int{0}); err != nil {
+		t.Fatalf("InjectPartition: %v", err)
+	}
+	if !c.Snapshot().SystemUp {
+		t.Error("system down with a reachable survivor serving")
+	}
+	if err := c.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.DownTime != 0 {
+		t.Errorf("downtime = %v, want 0 for a partial partition", s.DownTime)
+	}
+}
+
+func TestInjectPartitionValidation(t *testing.T) {
+	t.Parallel()
+	c := newDomainCluster(t, 8)
+	for name, ids := range map[string][]int{
+		"empty":        {},
+		"out of range": {5},
+		"negative":     {-1},
+		"duplicate":    {0, 0},
+	} {
+		if err := c.InjectPartition(ids); !errors.Is(err, ErrBadTarget) {
+			t.Errorf("%s: err = %v, want ErrBadTarget", name, err)
+		}
+	}
+}
+
+// TestDomainsDeclaredButUnusedChangeNothing pins the byte-identity
+// contract: declaring domains draws nothing from the RNG, so an organic
+// run with domains matches one without, outage for outage.
+func TestDomainsDeclaredButUnusedChangeNothing(t *testing.T) {
+	t.Parallel()
+	run := func(domains []Domain) Stats {
+		c, err := New(Options{Config: jsas.Config1, Params: jsas.DefaultParams(),
+			Seed: 42, OrganicFailures: true, Domains: domains})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := c.Run(90 * 24 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats()
+	}
+	plain, domained := run(nil), run(testDomains())
+	if plain.DownTime != domained.DownTime || len(plain.Outages) != len(domained.Outages) {
+		t.Errorf("declared-but-unused domains changed the run: %v/%d vs %v/%d",
+			plain.DownTime, len(plain.Outages), domained.DownTime, len(domained.Outages))
+	}
+}

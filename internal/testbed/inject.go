@@ -116,6 +116,9 @@ func (c *Cluster) InjectHADB(pair, slot int, f Fault) error {
 type Snapshot struct {
 	// ASUp[i] reports whether AS instance i is serving.
 	ASUp []bool
+	// ASPartitioned[i] marks instances alive-but-unreachable behind a
+	// network partition.
+	ASPartitioned []bool
 	// PairActiveNodes[i] is the number of active nodes in pair i (0–2).
 	PairActiveNodes []int
 	// PairDown[i] marks pairs lost and awaiting operator restore.
@@ -130,6 +133,7 @@ type Snapshot struct {
 func (c *Cluster) Snapshot() Snapshot {
 	s := Snapshot{
 		ASUp:            make([]bool, len(c.as)),
+		ASPartitioned:   make([]bool, len(c.as)),
 		PairActiveNodes: make([]int, len(c.pairs)),
 		PairDown:        make([]bool, len(c.pairs)),
 		Spares:          c.spares,
@@ -137,6 +141,7 @@ func (c *Cluster) Snapshot() Snapshot {
 	}
 	for i, inst := range c.as {
 		s.ASUp[i] = inst.up
+		s.ASPartitioned[i] = inst.partitioned
 	}
 	for i, p := range c.pairs {
 		s.PairActiveNodes[i] = p.activeCount()

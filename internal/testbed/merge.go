@@ -18,6 +18,7 @@ func (s Stats) Merge(o Stats) Stats {
 		RequestsServed:         s.RequestsServed + o.RequestsServed,
 		RequestsFailed:         s.RequestsFailed + o.RequestsFailed,
 		SessionFailovers:       s.SessionFailovers + o.SessionFailovers,
+		Partitions:             s.Partitions + o.Partitions,
 		SessionRecoverySeconds: s.SessionRecoverySeconds + o.SessionRecoverySeconds,
 	}
 	merged.Outages = make([]Outage, 0, len(s.Outages)+len(o.Outages))

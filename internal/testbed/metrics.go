@@ -17,6 +17,8 @@ var (
 	obsFailovers   = obs.C("testbed_session_failovers_total", "sessions migrated off failed AS instances")
 	obsOutages     = obs.C("testbed_outages_total", "system-level outages observed")
 	obsMaintenance = obs.C("testbed_maintenance_total", "scheduled maintenance switchovers started")
+	obsDomainInj   = obs.C("testbed_domain_faults_total", "domain-level common-cause injections performed")
+	obsPartitions  = obs.C("testbed_partitions_total", "network partitions injected")
 
 	// Per-(component, kind) counters are resolved once at init instead
 	// of per event: obsRecordEvent runs inline in the DES hot loop, and
@@ -78,5 +80,9 @@ func obsRecordEvent(e Event) {
 		obsOutages.Inc()
 	case EventMaintenanceStart:
 		obsMaintenance.Inc()
+	case EventDomainFault:
+		obsDomainInj.Inc()
+	case EventPartitionStart:
+		obsPartitions.Inc()
 	}
 }

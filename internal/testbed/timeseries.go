@@ -54,8 +54,9 @@ type tsState struct {
 	at   time.Duration // time accounted so far
 	down bool          // system currently down
 	// cause of the open outage (zero values = unattributed).
-	causeComp Component
-	causeKind FailureKind
+	causeComp  Component
+	causeKind  FailureKind
+	causeClass Cause
 	// last component failure seen, pending outage attribution.
 	lastComp Component
 	lastKind FailureKind
@@ -74,6 +75,9 @@ type Window struct {
 	// outage, indexed [Component][FailureKind] (slot [0][0] collects
 	// outages with no attributable prior failure, e.g. maintenance).
 	DownByCause [int(ComponentHADB) + 1][int(FailureHW) + 1]time.Duration
+	// DownByClass attributes down time to the outage's cause class
+	// (independent, common-cause, partition).
+	DownByClass [int(CausePartition) + 1]time.Duration
 }
 
 // Availability is the window's up fraction (1 for an empty window).
@@ -127,6 +131,7 @@ func (ts *TimeSeries) Observe(e Event) {
 	case EventOutageStart:
 		if !ts.st.down {
 			ts.st.down = true
+			ts.st.causeClass = e.Class
 			if ts.st.haveLast {
 				ts.st.causeComp, ts.st.causeKind = ts.st.lastComp, ts.st.lastKind
 			} else {
@@ -158,6 +163,7 @@ func (ts *TimeSeries) advance(t time.Duration) {
 		if ts.st.down {
 			ts.cur.Down += span
 			ts.cur.DownByCause[ts.st.causeComp][ts.st.causeKind] += span
+			ts.cur.DownByClass[ts.st.causeClass] += span
 		} else {
 			ts.cur.Up += span
 		}
@@ -177,6 +183,7 @@ func (ts *TimeSeries) advance(t time.Duration) {
 			if ts.st.down {
 				w.Down += span
 				w.DownByCause[ts.st.causeComp][ts.st.causeKind] += span
+				w.DownByClass[ts.st.causeClass] += span
 			} else {
 				w.Up += span
 			}
@@ -291,6 +298,9 @@ func (ts *TimeSeries) Merge(o *TimeSeries) {
 				w.DownByCause[c][k] += ow.DownByCause[c][k]
 			}
 		}
+		for cl := range ow.DownByClass {
+			w.DownByClass[cl] += ow.DownByClass[cl]
+		}
 	}
 }
 
@@ -313,6 +323,7 @@ type windowJSON struct {
 	Availability float64          `json:"availability"`
 	Outages      int64            `json:"outages,omitempty"`
 	DownByCause  map[string]int64 `json:"downByCauseNanos,omitempty"`
+	DownByClass  map[string]int64 `json:"downByClassNanos,omitempty"`
 }
 
 type timeSeriesJSON struct {
@@ -353,6 +364,17 @@ func (ts *TimeSeries) WriteJSON(w io.Writer) error {
 					}
 					wj.DownByCause[causeKey(Component(c), FailureKind(k))] = int64(d)
 				}
+			}
+		}
+		// Only correlated classes are emitted: independent downtime is
+		// DownNanos minus the rest, and domain-free runs keep their exact
+		// pre-fault-domain serialization.
+		for cl, d := range win.DownByClass {
+			if Cause(cl) != CauseIndependent && d > 0 {
+				if wj.DownByClass == nil {
+					wj.DownByClass = make(map[string]int64)
+				}
+				wj.DownByClass[Cause(cl).String()] = int64(d)
 			}
 		}
 		doc.Windows = append(doc.Windows, wj)

@@ -58,6 +58,11 @@ type Timing struct {
 	// MaintenanceSwitchover is the observed switchover to a standby
 	// during scheduled maintenance (paper: 1 minute).
 	MaintenanceSwitchover DurationRange
+	// PartitionHeal is the time for a network partition to be found and
+	// fixed (switch reboot, cable reseat, route repair). The zero value
+	// selects the default — Timing literals predating fault domains stay
+	// valid.
+	PartitionHeal DurationRange
 }
 
 // DurationRange is a closed interval recovery durations are drawn from.
@@ -87,6 +92,7 @@ func DefaultTiming() Timing {
 		OperatorRestoreAS:     DurationRange{20 * time.Minute, 30 * time.Minute},
 		OperatorRestoreHADB:   DurationRange{45 * time.Minute, 60 * time.Minute},
 		MaintenanceSwitchover: DurationRange{45 * time.Second, 75 * time.Second},
+		PartitionHeal:         DurationRange{5 * time.Minute, 15 * time.Minute},
 	}
 }
 
@@ -109,6 +115,9 @@ func (t Timing) Validate() error {
 		{"OperatorRestoreAS", t.OperatorRestoreAS.Valid()},
 		{"OperatorRestoreHADB", t.OperatorRestoreHADB.Valid()},
 		{"MaintenanceSwitchover", t.MaintenanceSwitchover.Valid()},
+		// Zero means "use the default" (filled at New), so only reject a
+		// partially-set range.
+		{"PartitionHeal", t.PartitionHeal.Valid() || t.PartitionHeal == (DurationRange{})},
 	}
 	for _, c := range checks {
 		if !c.ok {

@@ -36,6 +36,17 @@ const (
 	EventPairDown
 	// EventPairRestore marks the operator recreating a lost pair.
 	EventPairRestore
+	// EventDomainFault marks the start of a domain-level common-cause
+	// injection; the member failures follow at the same virtual time.
+	EventDomainFault
+	// EventDomainFaultDone closes the burst (Count carries how many
+	// members actually failed).
+	EventDomainFaultDone
+	// EventPartitionStart marks a network partition isolating AS
+	// instances from the load balancer (Count carries how many).
+	EventPartitionStart
+	// EventPartitionHeal marks the partition being repaired.
+	EventPartitionHeal
 )
 
 func (e EventType) String() string {
@@ -62,6 +73,14 @@ func (e EventType) String() string {
 		return "pair-down"
 	case EventPairRestore:
 		return "pair-restore"
+	case EventDomainFault:
+		return "domain-fault"
+	case EventDomainFaultDone:
+		return "domain-fault-done"
+	case EventPartitionStart:
+		return "partition-start"
+	case EventPartitionHeal:
+		return "partition-heal"
 	default:
 		return fmt.Sprintf("event(%d)", int(e))
 	}
@@ -78,6 +97,12 @@ type Event struct {
 	Kind FailureKind
 	// Injected marks fault-injection events.
 	Injected bool
+	// Class attributes outage-start and correlated-fault events to a
+	// cause class (zero = independent).
+	Class Cause
+	// Count carries the member/instance count for domain-fault and
+	// partition events.
+	Count int
 }
 
 // String renders the event as one log line.

@@ -29,6 +29,11 @@ type Tracer struct {
 	maint    map[string]*trace.Active // target → open maintenance span
 	pairs    map[string]*trace.Active // pair target → open pair-down span
 	outage   *trace.Active
+	// domain is the open common-cause burst span: member failures
+	// emitted during the burst parent to it instead of t.parent.
+	domain *trace.Active
+	// partition is the open network-partition span.
+	partition *trace.Active
 }
 
 // NewTracer creates a tracer recording into rec, parenting new spans to
@@ -55,7 +60,11 @@ func (t *Tracer) Observe(e Event) {
 	target := e.Target
 	switch e.Type {
 	case EventFailure:
-		sp := t.rec.StartAt(trace.SpanFailure, e.Time, t.parent,
+		parent := t.parent
+		if t.domain != nil {
+			parent = t.domain
+		}
+		sp := t.rec.StartAt(trace.SpanFailure, e.Time, parent,
 			trace.String(trace.AttrTrack, target),
 			trace.String(trace.AttrComponent, e.Component.String()),
 			trace.String(trace.AttrTarget, target),
@@ -95,6 +104,9 @@ func (t *Tracer) Observe(e Event) {
 		t.outage = t.rec.StartAt(trace.SpanOutage, e.Time, t.parent,
 			trace.String(trace.AttrTrack, "system"),
 			trace.String(trace.AttrCause, e.Component.String()))
+		if e.Class != CauseIndependent {
+			t.outage.Attr(trace.String(trace.AttrClass, e.Class.String()))
+		}
 	case EventOutageEnd:
 		t.outage.EndAt(e.Time)
 		t.outage = nil
@@ -137,6 +149,30 @@ func (t *Tracer) Observe(e Event) {
 		for _, node := range t.sortedTargets(t.failures, target+"/") {
 			t.failures[node].EndAt(e.Time)
 			delete(t.failures, node)
+		}
+	case EventDomainFault:
+		t.domain = t.rec.StartAt(trace.SpanDomain, e.Time, t.parent,
+			trace.String(trace.AttrTrack, target),
+			trace.String(trace.AttrDomain, strings.TrimPrefix(target, "domain:")),
+			trace.String(trace.AttrKind, e.Kind.String()),
+			trace.String(trace.AttrClass, e.Class.String()))
+	case EventDomainFaultDone:
+		if t.domain != nil {
+			// The burst span is instantaneous — it marks the shared cause;
+			// the member failure spans it parents carry the recoveries.
+			t.domain.Attr(trace.Int(trace.AttrMembers, int64(e.Count)))
+			t.domain.EndAt(e.Time)
+			t.domain = nil
+		}
+	case EventPartitionStart:
+		t.partition = t.rec.StartAt(trace.SpanPartition, e.Time, t.parent,
+			trace.String(trace.AttrTrack, target),
+			trace.String(trace.AttrClass, e.Class.String()),
+			trace.Int(trace.AttrMembers, int64(e.Count)))
+	case EventPartitionHeal:
+		if t.partition != nil {
+			t.partition.EndAt(e.Time)
+			t.partition = nil
 		}
 	}
 }
@@ -181,5 +217,13 @@ func (t *Tracer) Close(at time.Duration) {
 	if t.outage != nil {
 		t.outage.EndOpenAt(at)
 		t.outage = nil
+	}
+	if t.domain != nil {
+		t.domain.EndOpenAt(at)
+		t.domain = nil
+	}
+	if t.partition != nil {
+		t.partition.EndOpenAt(at)
+		t.partition = nil
 	}
 }

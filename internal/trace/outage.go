@@ -22,7 +22,9 @@ const (
 	SpanReinstate = "reinstate" // LB health-check reinstatement lag
 	SpanSpare     = "spare-repair"
 	SpanMaint     = "maintenance"
-	SpanPairDown  = "pair-down" // catastrophic HADB pair loss
+	SpanPairDown  = "pair-down"    // catastrophic HADB pair loss
+	SpanDomain    = "domain-fault" // domain-level common-cause burst
+	SpanPartition = "partition"    // network partition (LB split-brain)
 
 	AttrComponent = "component"
 	AttrKind      = "kind"
@@ -34,6 +36,13 @@ const (
 	AttrRecovered = "recovered"
 	AttrMultiNode = "multi-node"
 	AttrEscalated = "escalated"
+	// AttrClass attributes an outage or injection to its cause class
+	// (independent, common-cause, partition); AttrDomain names the fault
+	// domain of a common-cause burst; AttrMembers counts the components a
+	// correlated event hit.
+	AttrClass   = "class"
+	AttrDomain  = "domain"
+	AttrMembers = "members"
 	// AttrReplica tags every span of one replica's timeline in a merged
 	// replicated-measurement trace (see TagReplica).
 	AttrReplica = "replica"
